@@ -1,0 +1,70 @@
+// Ablation (paper §4.6): the reduce-schedule trade-off. "Using a linear
+// communication schedule, both reduce and scan can be performed using a
+// single output register per node and a total of N-1 EPR pairs per qubit
+// ... In contrast, a binary-tree reduction either requires more local
+// storage, or intermediate results must be uncomputed, and later
+// recomputed during QMPI_Unreduce, which also increases EPR pair usage."
+//
+// This bench quantifies both sides: SENDQ depth (desim) and measured EPR
+// pairs for a full reduce + unreduce round trip on the prototype.
+
+#include <cstdio>
+
+#include "core/qmpi.hpp"
+#include "sendq/programs.hpp"
+
+namespace sq = qmpi::sendq;
+using namespace qmpi;
+
+namespace {
+
+std::uint64_t measured_epr(int nodes, ReduceAlg alg) {
+  const JobReport r = run(nodes, [alg](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    if (ctx.rank() % 2 == 1) ctx.x(q[0]);
+    ReductionHandle h = ctx.reduce(q, 1, parity_op(), 0, 0, alg);
+    ctx.unreduce(h, q);
+  });
+  return r[OpCategory::kReduce].epr_pairs +
+         r[OpCategory::kUnreduce].epr_pairs;
+}
+
+}  // namespace
+
+int main() {
+  sq::Params p;
+  p.E = 10.0;
+  p.S = 2;
+
+  std::printf("QMPI_Reduce schedules: chain (linear) vs binary tree "
+              "(E = %.0f)\n\n", p.E);
+  std::printf("%6s | %14s %14s | %18s %18s\n", "N", "chain depth",
+              "tree depth", "chain EPR (rt)", "tree EPR (rt)");
+  for (const int n : {2, 4, 8}) {
+    p.N = n;
+    const double chain_t =
+        sq::simulate(sq::reduce_chain_program(n), p).makespan;
+    const double tree_t =
+        sq::simulate(sq::reduce_tree_program(n), p).makespan;
+    const auto chain_epr = measured_epr(n, ReduceAlg::kChain);
+    const auto tree_epr = measured_epr(n, ReduceAlg::kBinaryTree);
+    std::printf("%6d | %14.1f %14.1f | %18llu %18llu\n", n, chain_t, tree_t,
+                static_cast<unsigned long long>(chain_epr),
+                static_cast<unsigned long long>(tree_epr));
+  }
+  // Depth-only rows for larger N (the functional run needs 2N qubits).
+  for (const int n : {16, 32, 64}) {
+    p.N = n;
+    const double chain_t =
+        sq::simulate(sq::reduce_chain_program(n), p).makespan;
+    const double tree_t =
+        sq::simulate(sq::reduce_tree_program(n), p).makespan;
+    std::printf("%6d | %14.1f %14.1f | %18s %18s\n", n, chain_t, tree_t,
+                "-", "-");
+  }
+  std::printf(
+      "\nshape: chain depth E(N-1) vs tree depth E ceil(log2 N); chain "
+      "round-trip EPR = N-1 (classical-only inverse) vs tree = 2(N-1) "
+      "(recompute on unreduce) — the paper's storage/EPR trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Substrate microbenchmarks (google-benchmark): raw state-vector gate
+// throughput as a function of register width, and the cost of the
+// operations the QMPI protocols lean on (CNOT, measurement, parity
+// measurement, allocation). Not a paper figure — this characterizes the
+// simulation substrate that stands in for the authors' testbed.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/statevector.hpp"
+
+namespace sim = qmpi::sim;
+
+namespace {
+
+void BM_SingleQubitGate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.h(q[i % n]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleQubitGate)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_Cnot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.cnot(q[i % n], q[(i + 1) % n]);
+    ++i;
+  }
+}
+BENCHMARK(BM_Cnot)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_Rotation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.rz(q[i % n], 0.1);
+    ++i;
+  }
+}
+BENCHMARK(BM_Rotation)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_ParityMeasurement(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(1);
+  const auto q = sv.allocate(n);
+  sv.h(q[0]);
+  sv.cnot(q[0], q[1]);
+  const sim::QubitId pair[] = {q[0], q[1]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.measure_parity(pair));
+  }
+}
+BENCHMARK(BM_ParityMeasurement)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_AllocateRelease(benchmark::State& state) {
+  const auto base = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  (void)sv.allocate(base);
+  for (auto _ : state) {
+    const auto q = sv.allocate(1);
+    sv.deallocate(q[0]);
+  }
+}
+BENCHMARK(BM_AllocateRelease)->Arg(4)->Arg(12)->Arg(18);
+
+void BM_PauliRotationDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::vector<std::pair<sim::QubitId, char>> zz;
+  for (const auto id : q) zz.emplace_back(id, 'Z');
+  for (auto _ : state) {
+    sv.apply_pauli_rotation(zz, 0.05);
+  }
+}
+BENCHMARK(BM_PauliRotationDirect)->Arg(10)->Arg(16)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Constant-depth broadcast and fanout-parallelized controlled gates
+// (paper Figs. 2 and 4, §7.1).
+//
+// A control qubit in superposition is exposed on six nodes at once via
+// QMPI_Bcast's cat-state implementation; every node then applies its
+// controlled gate against the *local* copy in parallel — the fanout
+// parallelization of Fig. 2 — before the copies are uncomputed with
+// classical communication only (QMPI_Unbcast).
+//
+// The example prints the resources of the two broadcast algorithms side by
+// side and the SENDQ times that make the cat state attractive for N > 4.
+
+#include <cstdio>
+
+#include "core/qmpi.hpp"
+#include "sendq/analytic.hpp"
+
+using namespace qmpi;
+
+namespace {
+
+JobReport run_bcast(int ranks, BcastAlg alg) {
+  return run(ranks, [alg](Context& ctx) {
+    QubitArray control = ctx.alloc_qmem(1);
+    QubitArray target = ctx.alloc_qmem(1);
+    if (ctx.rank() == 0) ctx.h(control[0]);  // superposed control
+
+    ctx.bcast(control, 1, /*root=*/0, alg);
+    // Fig. 2: every node applies its controlled gate in parallel against
+    // its entangled copy of the control.
+    ctx.cnot(control[0], target[0]);
+    ctx.unbcast(control, 1, /*root=*/0);
+
+    // The targets now form a GHZ state with the root's control; verify the
+    // coherence on rank 0 via the X...X correlator.
+    if (ctx.rank() == 0) {
+      std::vector<Qubit> all(static_cast<std::size_t>(ctx.size()) + 1);
+      all[0] = control[0];
+      all[1] = target[0];
+      for (int r = 1; r < ctx.size(); ++r) {
+        all[static_cast<std::size_t>(r) + 1] =
+            ctx.classical_comm().recv<Qubit>(r, 900);
+      }
+      std::vector<std::pair<sim::QubitId, char>> xs;
+      for (const Qubit q : all) xs.emplace_back(q.id, 'X');
+      const double xx = ctx.server().call(
+          [&xs](sim::StateVector& sv) { return sv.expectation(xs); });
+      std::printf("   GHZ <X...X> = %+.6f (want +1)\n", xx);
+    } else {
+      ctx.classical_comm().send(target[0], 0, 900);
+    }
+    ctx.barrier();
+  });
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 6;
+  std::printf("Broadcast of one control qubit to %d nodes:\n", ranks);
+
+  std::printf(" binomial tree:\n");
+  const auto tree = run_bcast(ranks, BcastAlg::kBinomialTree);
+  std::printf(" cat state (Fig. 4):\n");
+  const auto cat = run_bcast(ranks, BcastAlg::kCatState);
+
+  std::printf(" resources   tree: %llu EPR / %llu bits    cat: %llu EPR / %llu bits\n",
+              static_cast<unsigned long long>(tree.total().epr_pairs),
+              static_cast<unsigned long long>(tree.total().classical_bits),
+              static_cast<unsigned long long>(cat.total().epr_pairs),
+              static_cast<unsigned long long>(cat.total().classical_bits));
+
+  sendq::Params p;
+  p.N = ranks;
+  p.E = 10.0;
+  p.D_M = 0.5;
+  p.D_F = 0.25;
+  std::printf(
+      " SENDQ time  tree: E*ceil(log2 N) = %.2f    cat: 2E+D_M+D_F = %.2f\n",
+      sendq::bcast_tree_time(p), sendq::bcast_cat_time(p));
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Distributed quantum chemistry (paper §7.3): Trotterized time evolution
+// of a small hydrogen-ring Hamiltonian, with the spin-orbitals
+// block-distributed over two QMPI nodes.
+//
+// Pipeline: synthetic molecular integrals -> second-quantized Hamiltonian
+// -> Jordan-Wigner or Bravyi-Kitaev encoding -> distributed exp(-i dt c P)
+// per term (Fig. 6b strategy) -> energy expectation tracked over time.
+// Energy conservation across the evolution is the correctness signal, and
+// the run's EPR/classical resource consumption is reported per encoding —
+// the paper's "inform algorithmic decisions" workflow in miniature.
+
+#include <cstdio>
+
+#include "apps/pauli_evolution.hpp"
+#include "apps/placement.hpp"
+#include "core/qmpi.hpp"
+#include "fermion/encodings.hpp"
+#include "fermion/molecular.hpp"
+
+using namespace qmpi;
+
+namespace {
+
+/// <H> measured through the simulation server on rank 0.
+double energy(Context& ctx, const pauli::DensePauliSum& h,
+              const std::vector<Qubit>& all) {
+  double total = 0.0;
+  for (const auto& term : h.terms()) {
+    const auto term_string = term.to_pauli_string();
+    std::vector<std::pair<sim::QubitId, char>> ops;
+    for (const auto& [q, op] : term_string.ops()) {
+      ops.emplace_back(all[q].id, pauli::to_char(op));
+    }
+    const double ev = ctx.server().call(
+        [&ops](sim::StateVector& sv) { return sv.expectation(ops); });
+    total += term.coeff.real() * ev;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  fermion::RingHamiltonianOptions opt;
+  opt.atoms = 2;  // H2-sized ring: 4 spin-orbitals, 2 per node
+  const auto molecule = fermion::hydrogen_ring(opt);
+  const unsigned n_qubits = fermion::spin_orbitals(opt);
+
+  for (const auto encoding :
+       {fermion::Encoding::kJordanWigner, fermion::Encoding::kBravyiKitaev}) {
+    const auto hamiltonian = fermion::encode(molecule, n_qubits, encoding);
+    const char* name =
+        encoding == fermion::Encoding::kJordanWigner ? "Jordan-Wigner"
+                                                     : "Bravyi-Kitaev";
+    std::printf("== %s encoding: %zu fermionic terms -> %zu Pauli terms\n",
+                name, molecule.size(), hamiltonian.size());
+
+    const int ranks = 2;
+    const unsigned block = n_qubits / ranks;
+    const double dt = 0.05;
+    const unsigned steps = 4;
+
+    const JobReport report = run(ranks, [&](Context& ctx) {
+      QubitArray mine = ctx.alloc_qmem(block);
+      // A simple correlated start state: Hartree-Fock-like |0101...> plus
+      // local rotations.
+      const unsigned lo = static_cast<unsigned>(ctx.rank()) * block;
+      for (unsigned i = 0; i < block; ++i) {
+        if ((lo + i) % 2 == 0) ctx.x(mine[i]);
+        ctx.ry(mine[i], 0.1);
+      }
+      // Collect handles at rank 0 for observables.
+      std::vector<Qubit> all(n_qubits);
+      if (ctx.rank() == 0) {
+        for (unsigned i = 0; i < block; ++i) all[i] = mine[i];
+        for (int r = 1; r < ranks; ++r) {
+          for (unsigned i = 0; i < block; ++i) {
+            all[static_cast<unsigned>(r) * block + i] =
+                ctx.classical_comm().recv<Qubit>(r, 900);
+          }
+        }
+        std::printf("   t=0.00  <H> = %+.6f\n", energy(ctx, hamiltonian, all));
+      } else {
+        for (unsigned i = 0; i < block; ++i) {
+          ctx.classical_comm().send(mine[i], 0, 900);
+        }
+      }
+      for (unsigned s = 1; s <= steps; ++s) {
+        apps::distributed_trotter_step(ctx, hamiltonian, mine, block, dt);
+        ctx.barrier();
+        if (ctx.rank() == 0) {
+          std::printf("   t=%.2f  <H> = %+.6f\n", s * dt,
+                      energy(ctx, hamiltonian, all));
+        }
+        ctx.barrier();
+      }
+    });
+
+    // SENDQ-flavoured decision data: what did the communication cost?
+    apps::BlockPlacement placement{n_qubits, 2};
+    const auto per_step = apps::trotter_step_epr_cost(
+        hamiltonian, placement, apps::ParityMethod::kOutOfPlace);
+    std::printf(
+        "   consumed %llu EPR pairs, %llu classical bits "
+        "(model: %llu EPR/step x %u steps)\n",
+        static_cast<unsigned long long>(report.total().epr_pairs),
+        static_cast<unsigned long long>(report.total().classical_bits),
+        static_cast<unsigned long long>(per_step), steps);
+  }
+  return 0;
+}

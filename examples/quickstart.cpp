@@ -1,0 +1,36 @@
+// Quickstart: the EPR-pair example from paper §6, nearly verbatim.
+//
+// Two QMPI ranks each allocate one qubit, jointly turn the pair into an
+// EPR pair, and measure. Both ranks always observe the same (random) value
+// — run the binary a few times to see both outcomes.
+//
+// The paper's program runs under mpirun; this prototype's equivalent is
+// qmpi::compat::run(num_ranks, ...), which plays the role of `mpirun -np 2`
+// with a shared state-vector simulation server on rank 0 (paper §6).
+
+#include <iostream>
+#include <mutex>
+
+#include "core/qmpi.hpp"
+
+using namespace qmpi::compat;
+
+int main() {
+  std::mutex io;
+  qmpi::compat::run(2, [&io] {
+    auto qubit = QMPI_Alloc_qmem(1);  // allocate 1 qubit
+    int rank;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    int dest = rank == 0 ? 1 : 0;
+    // prepare EPR pair between rank and dest
+    QMPI_Prepare_EPR(qubit, dest, 0, QMPI_COMM_WORLD);
+    // measure the local qubit
+    bool res = Measure(qubit);
+    {
+      const std::lock_guard lock(io);
+      std::cout << rank << ": " << res << std::endl;
+    }
+    QMPI_Free_qmem(qubit, 1);  // free 1 qubit
+  });
+  return 0;
+}

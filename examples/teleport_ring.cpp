@@ -1,0 +1,50 @@
+// Move semantics in action: QMPI_Sendrecv_replace rotates quantum states
+// around a ring of nodes by teleportation (paper §4.4, Table 2).
+//
+// Each of four ranks prepares a distinctive Bloch vector, then the ring
+// rotates size() times so every state visits every node and comes home.
+// The example verifies the round trip by measuring <Z> against the
+// prepared angle, and prints the teleportation resource bill — exactly
+// 1 EPR pair + 2 classical bits per qubit per hop (Table 1).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/qmpi.hpp"
+
+using namespace qmpi;
+
+int main() {
+  const int ranks = 4;
+  const JobReport report = run(ranks, [&](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    const double my_angle = 0.4 * (ctx.rank() + 1);
+    ctx.ry(q[0], my_angle);
+
+    const int next = (ctx.rank() + 1) % ctx.size();
+    const int prev = (ctx.rank() - 1 + ctx.size()) % ctx.size();
+    for (int hop = 0; hop < ctx.size(); ++hop) {
+      ctx.sendrecv_replace(q.data(), 1, next, prev, 0);
+      ctx.barrier();
+    }
+    // After size() hops every state is back home.
+    const double z = ctx.server().call([qq = q[0]](sim::StateVector& sv) {
+      const std::pair<sim::QubitId, char> pz[] = {{qq.id, 'Z'}};
+      return sv.expectation(pz);
+    });
+    const double expected = std::cos(my_angle);
+    if (ctx.rank() == 0) {
+      std::printf("rank %d: <Z> = %+.6f (expected %+.6f) %s\n", ctx.rank(), z,
+                  expected, std::abs(z - expected) < 1e-9 ? "OK" : "MISMATCH");
+    }
+    ctx.barrier();
+  });
+  std::printf(
+      "%d hops x %d ranks consumed %llu EPR pairs and %llu classical bits "
+      "(Table 1: 1 EPR + 2 bits per teleport)\n",
+      ranks, ranks,
+      static_cast<unsigned long long>(report[OpCategory::kMove].epr_pairs),
+      static_cast<unsigned long long>(
+          report[OpCategory::kMove].classical_bits));
+  return 0;
+}

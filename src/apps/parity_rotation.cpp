@@ -1,0 +1,154 @@
+#include "apps/parity_rotation.hpp"
+
+namespace qmpi::apps {
+
+void distributed_cnot(Context& ctx, Qubit local, int partner,
+                      bool is_control, int tag) {
+  if (is_control) {
+    // Fan the control out to the partner; the copy is uncomputed with
+    // classical communication only (Fig. 3b), so each distributed CNOT
+    // consumes exactly one EPR pair.
+    ctx.send(&local, 1, partner, tag);
+    ctx.unsend(&local, 1, partner, tag);
+  } else {
+    QubitArray tmp = ctx.alloc_qmem(1);
+    ctx.recv(tmp, 1, partner, tag);
+    ctx.cnot(tmp[0], local);
+    ctx.unrecv(tmp, 1, partner, tag);
+    ctx.free_qmem(tmp, 1);
+  }
+}
+
+namespace {
+
+/// Fig. 6(a): binary tree of distributed CNOTs folding the parity into
+/// rank 0's qubit, rotation there, then the inverse tree.
+void rotation_in_place(Context& ctx, Qubit data, double t) {
+  const int k = ctx.size();
+  const int r = ctx.rank();
+  auto run_tree = [&](bool /*forward*/) {
+    for (int dist = 1; dist < k; dist <<= 1) {
+      const bool is_target = (r % (2 * dist) == 0) && (r + dist < k);
+      const bool is_control = (r % (2 * dist) == dist);
+      if (is_target) {
+        distributed_cnot(ctx, data, r + dist, /*is_control=*/false, dist);
+      } else if (is_control) {
+        distributed_cnot(ctx, data, r - dist, /*is_control=*/true, dist);
+      }
+    }
+  };
+  auto run_tree_reverse = [&] {
+    int start = 1;
+    while (start < k) start <<= 1;
+    for (int dist = start >> 1; dist >= 1; dist >>= 1) {
+      const bool is_target = (r % (2 * dist) == 0) && (r + dist < k);
+      const bool is_control = (r % (2 * dist) == dist);
+      if (is_target) {
+        distributed_cnot(ctx, data, r + dist, /*is_control=*/false, dist);
+      } else if (is_control) {
+        distributed_cnot(ctx, data, r - dist, /*is_control=*/true, dist);
+      }
+    }
+  };
+  run_tree(true);
+  if (r == 0) ctx.rz(data, 2.0 * t);
+  run_tree_reverse();
+}
+
+/// Fig. 6(b): serial distributed CNOTs into an auxiliary qubit on the last
+/// rank; rotation there; classical-only uncompute via X-measurement of the
+/// auxiliary and a conditional Z on every involved qubit.
+void rotation_out_of_place(Context& ctx, Qubit data, double t) {
+  const int k = ctx.size();
+  const int r = ctx.rank();
+  const int aux_rank = k - 1;
+  Qubit aux{};
+  QubitArray aux_store;
+  if (r == aux_rank) {
+    aux_store = ctx.alloc_qmem(1);
+    aux = aux_store[0];
+  }
+  for (int i = 0; i < k - 1; ++i) {
+    if (r == i) {
+      distributed_cnot(ctx, data, aux_rank, /*is_control=*/true, i);
+    } else if (r == aux_rank) {
+      QubitArray tmp = ctx.alloc_qmem(1);
+      ctx.recv(tmp, 1, i, i);
+      ctx.cnot(tmp[0], aux);
+      ctx.unrecv(tmp, 1, i, i);
+      ctx.free_qmem(tmp, 1);
+    }
+  }
+  std::uint8_t m = 0;
+  if (r == aux_rank) {
+    ctx.cnot(data, aux);  // the aux node's own qubit folds in locally
+    ctx.rz(aux, 2.0 * t);
+    // Uncompute with classical communication only (Fig. 1b generalized):
+    // X-basis measurement of the auxiliary, then Z on every data qubit if
+    // the outcome is 1.
+    ctx.h(aux);
+    const bool outcome = ctx.measure(aux);
+    if (outcome) ctx.x(aux);
+    ctx.free_qmem(&aux, 1);
+    m = outcome ? 1 : 0;
+  }
+  m = ctx.classical_comm().bcast(m, aux_rank);
+  if (m != 0) ctx.z(data);
+}
+
+/// Fig. 6(c): constant-quantum-depth implementation. In the X frame,
+/// exp(-it X^(x)k) = U exp(-it X_aux) U with U the multi-target CNOT from
+/// an auxiliary |+> control, and U is constant-depth via cat-state fanout
+/// (QMPI_Bcast). Data qubits are H-conjugated to turn X^(x)k into Z^(x)k.
+void rotation_constant_depth(Context& ctx, Qubit data, double t) {
+  const int root = ctx.size() - 1;
+  const int r = ctx.rank();
+  ctx.h(data);
+
+  Qubit control{};
+  QubitArray store = ctx.alloc_qmem(1);
+  control = store[0];
+  if (r == root) ctx.h(control);  // the |+> control
+
+  for (int round = 0; round < 2; ++round) {
+    // Multi-target CNOT: fan the control out (cat state, Fig. 4), apply
+    // the local CNOT on every node, then uncompute the fanout with
+    // classical communication only.
+    ctx.bcast(&control, 1, root, BcastAlg::kCatState);
+    ctx.cnot(control, data);
+    ctx.unbcast(&control, 1, root);
+    if (round == 0 && r == root) {
+      ctx.rx(control, 2.0 * t);  // exp(-i t X_aux)
+    }
+  }
+  if (r == root) {
+    ctx.h(control);
+    const bool outcome = ctx.measure(control);  // deterministically |0>
+    if (outcome) ctx.x(control);
+  }
+  ctx.free_qmem(&control, 1);
+  ctx.h(data);
+}
+
+}  // namespace
+
+void distributed_pauli_z_rotation(Context& ctx, Qubit data, double t,
+                                  ParityMethod method) {
+  if (ctx.size() == 1) {
+    ctx.rz(data, 2.0 * t);
+    return;
+  }
+  switch (method) {
+    case ParityMethod::kInPlace:
+      rotation_in_place(ctx, data, t);
+      break;
+    case ParityMethod::kOutOfPlace:
+      rotation_out_of_place(ctx, data, t);
+      break;
+    case ParityMethod::kConstantDepth:
+      rotation_constant_depth(ctx, data, t);
+      break;
+  }
+}
+
+}  // namespace qmpi::apps

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/context.hpp"
+
+namespace qmpi::apps {
+
+/// The three implementations of the chemistry primitive
+/// exp(-i t Z_{i1} ... Z_{ik}) analyzed in paper §7.3 / Fig. 6, for the
+/// setting the paper assumes there: k = comm size, one data qubit per rank.
+enum class ParityMethod {
+  kInPlace,       ///< Fig. 6(a): binary tree of distributed CNOTs;
+                  ///< 2(k-1) EPR pairs, SENDQ delay 2E ceil(log2 k) + D_R.
+  kOutOfPlace,    ///< Fig. 6(b): serial distributed CNOTs into an aux
+                  ///< qubit; k-ish EPR pairs, delay E k + D_R, but the
+                  ///< uncompute is classical-only.
+  kConstantDepth  ///< Fig. 6(c): multi-target CNOT via cat-state fanout of
+                  ///< an auxiliary |+> control; constant quantum depth.
+};
+
+/// Distributed CNOT between this rank's `local` qubit and the partner
+/// rank's qubit, implemented with one entangled copy (1 EPR pair) and a
+/// classical-only uncopy, per Fig. 1/3. `is_control` selects this rank's
+/// role; both ranks must call with complementary roles and the same tag.
+void distributed_cnot(Context& ctx, Qubit local, int partner,
+                      bool is_control, int tag = 0);
+
+/// Applies exp(-i t Z^(0) Z^(1) ... Z^(size-1)) where rank r contributes
+/// its qubit `data`. Collective: all ranks must call with the same method
+/// and t. The auxiliary qubit (methods b, c) lives on rank size()-1, "on
+/// one of the nodes already storing one of the involved orbitals" (§7.3).
+///
+/// Note on kConstantDepth: the functional implementation uses two cat-state
+/// fanout rounds of the |+> control (multi-target CNOT, its inverse after
+/// the rotation), which is constant quantum depth as in the paper; the
+/// SENDQ cost model (sendq/analytic.hpp) uses the paper's single-cat
+/// counting convention. See EXPERIMENTS.md.
+void distributed_pauli_z_rotation(Context& ctx, Qubit data, double t,
+                                  ParityMethod method);
+
+}  // namespace qmpi::apps

@@ -1,0 +1,146 @@
+#include "apps/pauli_evolution.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace qmpi::apps {
+
+namespace {
+
+/// Local view of one rank's share of a global Pauli term.
+struct LocalSupport {
+  std::vector<unsigned> x_qubits;  // local indices with X
+  std::vector<unsigned> y_qubits;  // local indices with Y
+  std::vector<unsigned> z_qubits;  // local indices with Z
+  std::vector<unsigned> all;       // all involved local indices
+};
+
+LocalSupport local_support(const pauli::DensePauli& term, int rank,
+                           unsigned block_size) {
+  LocalSupport s;
+  const unsigned lo = static_cast<unsigned>(rank) * block_size;
+  for (unsigned l = 0; l < block_size; ++l) {
+    const unsigned g = lo + l;
+    if (g >= 64) break;
+    const bool x = (term.x_mask >> g) & 1ULL;
+    const bool z = (term.z_mask >> g) & 1ULL;
+    if (!x && !z) continue;
+    s.all.push_back(l);
+    if (x && z) {
+      s.y_qubits.push_back(l);
+    } else if (x) {
+      s.x_qubits.push_back(l);
+    } else {
+      s.z_qubits.push_back(l);
+    }
+  }
+  return s;
+}
+
+/// Basis change making the local factors Z: H for X, S^dagger then H for Y
+/// (so that H S^dagger Y S H = Z up to the standard convention).
+void to_z_basis(Context& ctx, const Qubit* block, const LocalSupport& s) {
+  for (const unsigned l : s.x_qubits) ctx.h(block[l]);
+  for (const unsigned l : s.y_qubits) {
+    ctx.sdg(block[l]);
+    ctx.h(block[l]);
+  }
+}
+
+void from_z_basis(Context& ctx, const Qubit* block, const LocalSupport& s) {
+  for (const unsigned l : s.x_qubits) ctx.h(block[l]);
+  for (const unsigned l : s.y_qubits) {
+    ctx.h(block[l]);
+    ctx.s(block[l]);
+  }
+}
+
+}  // namespace
+
+void distributed_pauli_term_evolution(Context& ctx,
+                                      const pauli::DensePauli& term,
+                                      Qubit* local_block, unsigned block_size,
+                                      double t) {
+  if (term.is_identity()) return;  // global phase only
+  const int rank = ctx.rank();
+  const int size = ctx.size();
+
+  // Which ranks are involved (every rank computes the same answer).
+  std::vector<int> involved;
+  for (int r = 0; r < size; ++r) {
+    const unsigned lo = static_cast<unsigned>(r) * block_size;
+    std::uint64_t mask = 0;
+    for (unsigned l = 0; l < block_size && lo + l < 64; ++l) {
+      mask |= 1ULL << (lo + l);
+    }
+    if ((term.x_mask | term.z_mask) & mask) involved.push_back(r);
+  }
+  if (involved.empty()) return;
+  const int aux_rank = involved.front();
+
+  const LocalSupport mine = local_support(term, rank, block_size);
+  const bool am_involved = !mine.all.empty();
+
+  // 1. Local basis change to Z...Z.
+  if (am_involved) to_z_basis(ctx, local_block, mine);
+
+  // 2. Fold local support into the representative (first involved local
+  //    qubit) with a CNOT ladder.
+  Qubit rep{};
+  if (am_involved) {
+    rep = local_block[mine.all.front()];
+    for (std::size_t i = 1; i < mine.all.size(); ++i) {
+      ctx.cnot(local_block[mine.all[i]], rep);
+    }
+  }
+
+  // 3. Combine representatives into an auxiliary on aux_rank via entangled
+  //    copies (Fig. 6b applied to the involved subset), rotate, uncompute
+  //    classically.
+  std::uint8_t fix = 0;
+  if (rank == aux_rank) {
+    QubitArray aux = ctx.alloc_qmem(1);
+    ctx.cnot(rep, aux[0]);
+    for (const int r : involved) {
+      if (r == aux_rank) continue;
+      QubitArray tmp = ctx.alloc_qmem(1);
+      ctx.recv(tmp, 1, r, /*tag=*/7);
+      ctx.cnot(tmp[0], aux[0]);
+      ctx.unrecv(tmp, 1, r, /*tag=*/7);
+      ctx.free_qmem(tmp, 1);
+    }
+    ctx.rz(aux[0], 2.0 * t);
+    ctx.h(aux[0]);
+    const bool outcome = ctx.measure(aux[0]);
+    if (outcome) ctx.x(aux[0]);
+    ctx.free_qmem(aux, 1);
+    fix = outcome ? 1 : 0;
+  } else if (am_involved) {
+    ctx.send(&rep, 1, aux_rank, /*tag=*/7);
+    ctx.unsend(&rep, 1, aux_rank, /*tag=*/7);
+  }
+  // Conditional Z on every representative (Z on the folded parity equals
+  // Z(x)...Z on the involved qubits after unfolding).
+  fix = ctx.classical_comm().bcast(fix, aux_rank);
+  if (am_involved && fix != 0) ctx.z(rep);
+
+  // 4. Unfold and undo the basis change.
+  if (am_involved) {
+    for (std::size_t i = mine.all.size(); i-- > 1;) {
+      ctx.cnot(local_block[mine.all[i]], rep);
+    }
+    from_z_basis(ctx, local_block, mine);
+  }
+}
+
+void distributed_trotter_step(Context& ctx,
+                              const pauli::DensePauliSum& hamiltonian,
+                              Qubit* local_block, unsigned block_size,
+                              double dt) {
+  for (const auto& term : hamiltonian.terms()) {
+    distributed_pauli_term_evolution(ctx, term, local_block, block_size,
+                                     dt * term.coeff.real());
+  }
+}
+
+}  // namespace qmpi::apps

@@ -1,0 +1,43 @@
+#include "apps/placement.hpp"
+
+#include <bit>
+
+namespace qmpi::apps {
+
+int nodes_spanned(const pauli::DensePauli& term, const BlockPlacement& p) {
+  std::uint64_t support = term.x_mask | term.z_mask;
+  std::uint64_t node_mask = 0;
+  while (support != 0) {
+    const unsigned q = static_cast<unsigned>(std::countr_zero(support));
+    support &= support - 1;
+    node_mask |= 1ULL << p.node_of(q);
+  }
+  return std::popcount(node_mask);
+}
+
+std::uint64_t term_epr_cost(const pauli::DensePauli& term,
+                            const BlockPlacement& placement,
+                            ParityMethod method) {
+  const int m = nodes_spanned(term, placement);
+  if (m <= 1) return 0;
+  switch (method) {
+    case ParityMethod::kInPlace:
+      return static_cast<std::uint64_t>(2 * (m - 1));
+    case ParityMethod::kOutOfPlace:
+    case ParityMethod::kConstantDepth:
+      return static_cast<std::uint64_t>(m);
+  }
+  return 0;
+}
+
+std::uint64_t trotter_step_epr_cost(const pauli::DensePauliSum& hamiltonian,
+                                    const BlockPlacement& placement,
+                                    ParityMethod method) {
+  std::uint64_t total = 0;
+  for (const auto& term : hamiltonian.terms()) {
+    total += term_epr_cost(term, placement, method);
+  }
+  return total;
+}
+
+}  // namespace qmpi::apps

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "apps/parity_rotation.hpp"
+#include "pauli/dense_pauli.hpp"
+
+namespace qmpi::apps {
+
+/// Block (contiguous) placement of `n_qubits` data qubits over `n_nodes`
+/// nodes — the paper's Fig. 7 setting: "the spin-orbitals are fixed ... to
+/// a specific node for the full duration".
+struct BlockPlacement {
+  unsigned n_qubits = 0;
+  int n_nodes = 1;
+
+  int node_of(unsigned qubit) const {
+    const unsigned per_node =
+        (n_qubits + static_cast<unsigned>(n_nodes) - 1) /
+        static_cast<unsigned>(n_nodes);
+    return static_cast<int>(qubit / per_node);
+  }
+};
+
+/// Number of distinct nodes a Pauli term's support touches under the
+/// placement.
+int nodes_spanned(const pauli::DensePauli& term, const BlockPlacement& p);
+
+/// EPR pairs needed to execute one exp(-it P) term (paper Fig. 7 counting
+/// conventions, documented in DESIGN.md):
+///   m = nodes spanned;  m <= 1  -> 0 (fully local)
+///   kInPlace        -> 2(m-1)  (binary tree of distributed CNOTs, there
+///                               and back, Fig. 6a)
+///   kConstantDepth  -> m       (cat state over the involved nodes with
+///                               the rotation on an auxiliary on one of
+///                               them, Fig. 6c)
+///   kOutOfPlace     -> m       (serial collect into an auxiliary,
+///                               classical-only uncompute, Fig. 6b)
+std::uint64_t term_epr_cost(const pauli::DensePauli& term,
+                            const BlockPlacement& placement,
+                            ParityMethod method);
+
+/// Total EPR pairs for one first-order Trotter step: the sum over all
+/// Hamiltonian terms (each term of Eq. (1) appears once per step).
+std::uint64_t trotter_step_epr_cost(const pauli::DensePauliSum& hamiltonian,
+                                    const BlockPlacement& placement,
+                                    ParityMethod method);
+
+}  // namespace qmpi::apps

@@ -1,0 +1,143 @@
+#include "classical/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace qmpi::classical {
+
+Comm Comm::world(Universe& universe, int world_rank) {
+  std::vector<int> members(static_cast<std::size_t>(universe.world_size()));
+  std::iota(members.begin(), members.end(), 0);
+  return Comm(&universe, /*context=*/0, std::move(members), world_rank);
+}
+
+void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag) {
+  check_rank(dest);
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.channel = Channel::kPointToPoint;
+  msg.context = context_;
+  msg.payload.assign(bytes.begin(), bytes.end());
+  universe_->mailbox(world_rank_of(dest)).post(std::move(msg));
+}
+
+Message Comm::recv_message(int source, int tag) {
+  if (source != kAnySource) check_rank(source);
+  return universe_->mailbox(world_rank_of(rank_))
+      .match(source, tag, Channel::kPointToPoint, context_);
+}
+
+bool Comm::iprobe(int source, int tag, Status* status) {
+  if (source != kAnySource) check_rank(source);
+  return universe_->mailbox(world_rank_of(rank_))
+      .probe(source, tag, Channel::kPointToPoint, context_, status);
+}
+
+void Comm::coll_send_bytes(std::span<const std::byte> bytes, int dest,
+                           int tag) {
+  check_rank(dest);
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.channel = Channel::kCollective;
+  msg.context = context_;
+  msg.payload.assign(bytes.begin(), bytes.end());
+  universe_->mailbox(world_rank_of(dest)).post(std::move(msg));
+}
+
+Message Comm::coll_recv_message(int source, int tag) {
+  return universe_->mailbox(world_rank_of(rank_))
+      .match(source, tag, Channel::kCollective, context_);
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: round k signals rank + 2^k and waits for the
+  // signal from rank - 2^k; after ceil(log2 N) rounds all ranks have
+  // transitively heard from everyone.
+  const int tag = next_collective_tag();
+  const int n = size();
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (rank() + dist) % n;
+    const int from = (rank() - dist + n) % n;
+    coll_send(std::uint8_t{1}, to, tag + round);
+    (void)coll_recv<std::uint8_t>(from, tag + round);
+  }
+}
+
+Comm Comm::dup() {
+  // Rank 0 allocates the fresh context and broadcasts it; this keeps the
+  // universe counter the single source of truth without inter-rank races.
+  std::uint64_t ctx = 0;
+  if (rank_ == 0) ctx = universe_->allocate_context();
+  ctx = bcast(ctx, 0);
+  Comm out(universe_, ctx, members_, rank_);
+  return out;
+}
+
+Comm Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  // Gather (color, key) at rank 0, compute the group layout once, then
+  // scatter each rank's (context, new_rank, group...) assignment back.
+  auto entries = gather(Entry{color, key, rank_}, 0);
+
+  std::vector<std::uint64_t> contexts(static_cast<std::size_t>(size()), 0);
+  std::vector<int> new_ranks(static_cast<std::size_t>(size()), -1);
+  // Flattened per-rank member lists, delivered via gatherv-style messages.
+  std::vector<std::vector<int>> groups(static_cast<std::size_t>(size()));
+  if (rank_ == 0) {
+    // Sort members of each color by (key, rank) to define new rank order.
+    std::vector<int> colors;
+    for (const auto& e : entries) {
+      if (e.color >= 0 &&
+          std::find(colors.begin(), colors.end(), e.color) == colors.end()) {
+        colors.push_back(e.color);
+      }
+    }
+    for (int c : colors) {
+      std::vector<Entry> group;
+      for (const auto& e : entries) {
+        if (e.color == c) group.push_back(e);
+      }
+      std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+        return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+      });
+      const std::uint64_t ctx = universe_->allocate_context();
+      std::vector<int> world_members;
+      world_members.reserve(group.size());
+      for (const auto& e : group) {
+        world_members.push_back(world_rank_of(e.rank));
+      }
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const auto r = static_cast<std::size_t>(group[i].rank);
+        contexts[r] = ctx;
+        new_ranks[r] = static_cast<int>(i);
+        groups[r] = world_members;
+      }
+    }
+  }
+
+  const int tag = next_collective_tag();
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      const auto idx = static_cast<std::size_t>(r);
+      coll_send(contexts[idx], r, tag);
+      coll_send(new_ranks[idx], r, tag);
+      coll_send(std::span<const int>(groups[idx]), r, tag);
+    }
+    if (color < 0) return Comm();
+    return Comm(universe_, contexts[0], groups[0], new_ranks[0]);
+  }
+  const auto ctx = coll_recv<std::uint64_t>(0, tag);
+  const auto new_rank = coll_recv<int>(0, tag);
+  auto group = coll_recv_vector<int>(0, tag);
+  if (color < 0) return Comm();
+  return Comm(universe_, ctx, std::move(group), new_rank);
+}
+
+}  // namespace qmpi::classical

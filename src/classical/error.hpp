@@ -1,0 +1,49 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qmpi::classical {
+
+/// Base class for all errors raised by the classical transport layer.
+///
+/// The transport mirrors MPI's error classes but reports problems through
+/// exceptions (the idiomatic C++ equivalent of MPI_ERRORS_ARE_FATAL with a
+/// recoverable twist: tests can catch and assert on them).
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An out-of-range rank was passed to a communication call.
+class InvalidRankError : public TransportError {
+ public:
+  InvalidRankError(int rank, int size)
+      : TransportError("invalid rank " + std::to_string(rank) +
+                       " for communicator of size " + std::to_string(size)) {}
+};
+
+/// A typed receive found a message whose payload size does not match the
+/// receiver's expectation (MPI_ERR_TRUNCATE equivalent).
+class TruncationError : public TransportError {
+ public:
+  TruncationError(std::size_t expected, std::size_t actual)
+      : TransportError("message truncation: expected " +
+                       std::to_string(expected) + " bytes, got " +
+                       std::to_string(actual)) {}
+};
+
+/// A collective was invoked with inconsistent arguments across ranks.
+class CollectiveMismatchError : public TransportError {
+ public:
+  explicit CollectiveMismatchError(const std::string& what)
+      : TransportError("collective argument mismatch: " + what) {}
+};
+
+/// The universe was shut down while a rank was blocked in a call.
+class ShutdownError : public TransportError {
+ public:
+  ShutdownError() : TransportError("transport universe was shut down") {}
+};
+
+}  // namespace qmpi::classical

@@ -1,0 +1,76 @@
+#include "classical/mailbox.hpp"
+
+namespace qmpi::classical {
+
+void Mailbox::post(Message msg) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::matches(const Message& msg, int source, int tag, Channel channel,
+                      std::uint64_t context) const {
+  if (msg.channel != channel || msg.context != context) return false;
+  if (source != kAnySource && msg.source != source) return false;
+  if (tag != kAnyTag && msg.tag != tag) return false;
+  return true;
+}
+
+std::optional<Message> Mailbox::extract_locked(int source, int tag,
+                                               Channel channel,
+                                               std::uint64_t context) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag, channel, context)) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::match(int source, int tag, Channel channel,
+                       std::uint64_t context) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (shutdown_) throw ShutdownError();
+    if (auto msg = extract_locked(source, tag, channel, context)) {
+      return std::move(*msg);
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_match(int source, int tag, Channel channel,
+                                          std::uint64_t context) {
+  const std::lock_guard lock(mutex_);
+  if (shutdown_) throw ShutdownError();
+  return extract_locked(source, tag, channel, context);
+}
+
+bool Mailbox::probe(int source, int tag, Channel channel,
+                    std::uint64_t context, Status* status) {
+  const std::lock_guard lock(mutex_);
+  if (shutdown_) throw ShutdownError();
+  for (const auto& msg : queue_) {
+    if (matches(msg, source, tag, channel, context)) {
+      if (status != nullptr) {
+        *status = Status{msg.source, msg.tag, msg.payload.size()};
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Mailbox::shutdown() {
+  {
+    const std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace qmpi::classical

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "classical/error.hpp"
+#include "classical/message.hpp"
+
+namespace qmpi::classical {
+
+/// Per-rank inbox with MPI matching semantics.
+///
+/// Messages from a given (source, tag, channel, context) arrive in FIFO order
+/// (non-overtaking, as required by the MPI standard); matching supports
+/// kAnySource / kAnyTag wildcards on the point-to-point channel. The mailbox
+/// is the only synchronization point between rank threads, so it carries the
+/// universe shutdown flag as well: a rank blocked in match() is woken with a
+/// ShutdownError when the universe is torn down (e.g. because a peer threw).
+class Mailbox {
+ public:
+  /// Deposits a message and wakes any matching waiter.
+  void post(Message msg);
+
+  /// Blocks until a message matching (source, tag, channel, context) is
+  /// available and removes it from the inbox. Wildcards are honoured only on
+  /// the point-to-point channel; collective protocol traffic always names its
+  /// peer explicitly.
+  Message match(int source, int tag, Channel channel, std::uint64_t context);
+
+  /// Non-blocking variant of match(); returns std::nullopt when no message
+  /// matches right now.
+  std::optional<Message> try_match(int source, int tag, Channel channel,
+                                   std::uint64_t context);
+
+  /// Returns true when a matching message is queued (MPI_Iprobe equivalent).
+  bool probe(int source, int tag, Channel channel, std::uint64_t context,
+             Status* status = nullptr);
+
+  /// Wakes all waiters with ShutdownError; subsequent calls also throw.
+  void shutdown();
+
+ private:
+  bool matches(const Message& msg, int source, int tag, Channel channel,
+               std::uint64_t context) const;
+  /// Scans the queue under the lock; extracts and returns the first match.
+  std::optional<Message> extract_locked(int source, int tag, Channel channel,
+                                        std::uint64_t context);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace qmpi::classical

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace qmpi::classical {
+
+/// Wildcard source rank, analogous to MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+/// Wildcard tag, analogous to MPI_ANY_TAG.
+inline constexpr int kAnyTag = -1;
+
+/// Messages travel on one of two channels. User point-to-point traffic and
+/// internal collective traffic are kept separate so that a user posting a
+/// receive with kAnyTag can never steal a protocol message belonging to a
+/// collective operation that is in flight on the same communicator.
+enum class Channel : std::uint8_t {
+  kPointToPoint = 0,
+  kCollective = 1,
+};
+
+/// A classical message. Payloads are opaque byte vectors; the typed helpers
+/// in Comm serialize trivially copyable values in and out.
+struct Message {
+  int source = kAnySource;      ///< Sending rank within the communicator.
+  int tag = kAnyTag;            ///< User tag (or internal collective tag).
+  Channel channel = Channel::kPointToPoint;
+  std::uint64_t context = 0;    ///< Communicator context id (dup/split safe).
+  std::vector<std::byte> payload;
+};
+
+/// Envelope describing a delivered message, analogous to MPI_Status.
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t byte_count = 0;
+};
+
+/// Serializes a trivially copyable value into a byte vector.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> to_bytes(const T& value) {
+  std::vector<std::byte> bytes(sizeof(T));
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  return bytes;
+}
+
+/// Serializes a contiguous range of trivially copyable values.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> to_bytes(std::span<const T> values) {
+  std::vector<std::byte> bytes(values.size_bytes());
+  if (!values.empty()) {
+    std::memcpy(bytes.data(), values.data(), values.size_bytes());
+  }
+  return bytes;
+}
+
+/// Deserializes a trivially copyable value from a byte span.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T from_bytes(std::span<const std::byte> bytes) {
+  T value{};
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+}  // namespace qmpi::classical

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "classical/comm.hpp"
+
+namespace qmpi::classical {
+
+/// Handle for a nonblocking operation (MPI_Request equivalent).
+///
+/// The transport is eager (sends complete immediately), so isend requests
+/// are born complete; irecv requests carry a deferred match that wait()/
+/// test() drive. Requests are move-only RAII handles; destroying an
+/// incomplete receive request abandons it (MPI_Request_free semantics).
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// A request that is already complete (used for eager sends).
+  static Request completed() {
+    Request r;
+    r.complete_ = true;
+    return r;
+  }
+
+  /// A receive request: `poll` returns the message when one matches,
+  /// `block` waits for it.
+  static Request receive(std::function<std::optional<Message>()> poll,
+                         std::function<Message()> block) {
+    Request r;
+    r.poll_ = std::move(poll);
+    r.block_ = std::move(block);
+    return r;
+  }
+
+  /// Returns true and captures the message if the operation has completed.
+  bool test() {
+    if (complete_) return true;
+    if (auto msg = poll_()) {
+      message_ = std::move(*msg);
+      complete_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Blocks until completion.
+  void wait() {
+    if (complete_) return;
+    message_ = block_();
+    complete_ = true;
+  }
+
+  /// Message delivered by a completed receive (empty for sends).
+  const Message& message() const { return message_; }
+
+  bool is_complete() const { return complete_; }
+
+ private:
+  bool complete_ = false;
+  Message message_;
+  std::function<std::optional<Message>()> poll_;
+  std::function<Message()> block_;
+};
+
+/// Posts a nonblocking typed send (eager: completes immediately).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+Request isend(Comm& comm, const T& value, int dest, int tag) {
+  comm.send(value, dest, tag);
+  return Request::completed();
+}
+
+/// Posts a nonblocking receive; call wait()/test() then recv_value<T>().
+inline Request irecv(Comm& comm, int source, int tag) {
+  return Request::receive(
+      [&comm, source, tag]() -> std::optional<Message> {
+        Status status;
+        if (!comm.iprobe(source, tag, &status)) return std::nullopt;
+        return comm.recv_message(status.source, status.tag);
+      },
+      [&comm, source, tag]() { return comm.recv_message(source, tag); });
+}
+
+/// Extracts the typed payload of a completed receive request.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+T recv_value(const Request& request) {
+  if (request.message().payload.size() != sizeof(T)) {
+    throw TruncationError(sizeof(T), request.message().payload.size());
+  }
+  return from_bytes<T>(request.message().payload);
+}
+
+/// Waits for every request in the range (MPI_Waitall).
+template <typename Range>
+void wait_all(Range& requests) {
+  for (auto& r : requests) r.wait();
+}
+
+}  // namespace qmpi::classical

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classical/comm.hpp"
+#include "classical/universe.hpp"
+
+namespace qmpi::classical {
+
+/// Threads-as-ranks job harness.
+///
+/// `Runtime::run(n, fn)` plays the role of `mpirun -np n`: it creates a
+/// Universe, spawns one thread per rank, hands each a world Comm, joins all
+/// threads, and rethrows the first rank failure (after shutting the universe
+/// down so no peer deadlocks waiting for the dead rank).
+class Runtime {
+ public:
+  using RankFn = std::function<void(Comm&)>;
+
+  /// Runs `fn` on `world_size` rank threads; blocks until all finish.
+  /// Rethrows the first exception thrown by any rank.
+  static void run(int world_size, const RankFn& fn) {
+    Universe universe(world_size);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(world_size));
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(world_size));
+
+    for (int r = 0; r < world_size; ++r) {
+      threads.emplace_back([&universe, &fn, &errors, r]() {
+        try {
+          Comm comm = Comm::world(universe, r);
+          fn(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          // Fail fast: wake every rank blocked on this one.
+          universe.shutdown();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Prefer the root-cause exception: when one rank fails, peers blocked
+    // in receives observe a secondary ShutdownError — rethrowing that
+    // would mask the original error.
+    std::exception_ptr first;
+    std::exception_ptr first_shutdown;
+    for (auto& e : errors) {
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const ShutdownError&) {
+        if (!first_shutdown) first_shutdown = e;
+      } catch (...) {
+        if (!first) first = e;
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    if (first_shutdown) std::rethrow_exception(first_shutdown);
+  }
+};
+
+}  // namespace qmpi::classical

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "classical/mailbox.hpp"
+
+namespace qmpi::classical {
+
+/// Shared state of a threads-as-ranks "MPI job".
+///
+/// The Universe owns one mailbox per world rank and hands out fresh context
+/// ids for communicator duplication/splitting. It is created once by the
+/// Runtime and shared (by reference) with every rank thread; all members are
+/// thread-safe.
+class Universe {
+ public:
+  explicit Universe(int world_size)
+      : mailboxes_(static_cast<std::size_t>(world_size)) {
+    for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+  }
+
+  int world_size() const { return static_cast<int>(mailboxes_.size()); }
+
+  Mailbox& mailbox(int world_rank) {
+    return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+
+  /// Allocates a fresh communicator context id. Ranks must call this
+  /// collectively in the same order so they agree on the id; the Comm layer
+  /// guarantees that by electing rank 0 to allocate and broadcasting.
+  std::uint64_t allocate_context() { return next_context_.fetch_add(1); }
+
+  /// Wakes every rank blocked in a receive with ShutdownError. Called when a
+  /// rank thread dies with an exception so the job fails fast instead of
+  /// deadlocking.
+  void shutdown() {
+    for (auto& box : mailboxes_) box->shutdown();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> next_context_{1};  // 0 = world context
+};
+
+}  // namespace qmpi::classical

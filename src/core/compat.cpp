@@ -1,0 +1,64 @@
+#include "core/qmpi.hpp"
+
+#include <list>
+
+namespace qmpi::compat {
+
+namespace {
+/// Per-thread binding of the C-style API to a Context, plus ownership of
+/// the QubitArrays handed out by QMPI_Alloc_qmem (the paper API returns a
+/// raw pointer, so someone must keep the storage alive until Free).
+thread_local Context* g_context = nullptr;
+thread_local std::list<QubitArray>* g_allocations = nullptr;
+}  // namespace
+
+Context& current() {
+  if (g_context == nullptr) {
+    throw QmpiError(
+        "QMPI compat API used outside qmpi::compat::run (no bound context)");
+  }
+  return *g_context;
+}
+
+QMPI_QUBIT_PTR QMPI_Alloc_qmem(std::size_t n) {
+  QubitArray array = current().alloc_qmem(n);
+  g_allocations->push_back(std::move(array));
+  return g_allocations->back().data();
+}
+
+void QMPI_Free_qmem(QMPI_QUBIT_PTR qubits, std::size_t n) {
+  current().free_qmem(qubits, n);
+  for (auto it = g_allocations->begin(); it != g_allocations->end(); ++it) {
+    if (it->data() == qubits && it->size() == n) {
+      g_allocations->erase(it);
+      return;
+    }
+  }
+  // Partial frees keep the storage alive; that is fine — handles are
+  // value-semantic and the simulator qubits are already gone.
+}
+
+JobReport run(const JobOptions& options, const std::function<void()>& fn) {
+  return qmpi::run(options, [&fn](Context& ctx) {
+    std::list<QubitArray> allocations;
+    g_context = &ctx;
+    g_allocations = &allocations;
+    try {
+      fn();
+    } catch (...) {
+      g_context = nullptr;
+      g_allocations = nullptr;
+      throw;
+    }
+    g_context = nullptr;
+    g_allocations = nullptr;
+  });
+}
+
+JobReport run(int num_ranks, const std::function<void()>& fn) {
+  JobOptions options;
+  options.num_ranks = num_ranks;
+  return run(options, fn);
+}
+
+}  // namespace qmpi::compat

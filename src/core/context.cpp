@@ -1,0 +1,561 @@
+#include "core/context.hpp"
+
+#include <utility>
+
+#include "core/protocol_tags.hpp"
+
+namespace qmpi {
+
+Context::Context(classical::Comm user_comm, sim::SimServer& server,
+                 Trace* trace)
+    : user_comm_(std::move(user_comm)),
+      protocol_comm_(user_comm_.dup()),
+      server_(&server),
+      trace_(trace),
+      tracker_(std::make_shared<ResourceTracker>()) {}
+
+Context Context::split(int color, int key) {
+  classical::Comm sub_user = user_comm_.split(color, key);
+  if (sub_user.is_null()) {
+    // Null context: the rank takes no part in the subgroup. (The protocol
+    // dup below is collective over subgroup members only, so null ranks
+    // must not join it.)
+    return Context(classical::Comm(), classical::Comm(), nullptr, trace_,
+                   tracker_);
+  }
+  classical::Comm sub_protocol = sub_user.dup();
+  return Context(std::move(sub_user), std::move(sub_protocol), server_,
+                 trace_, tracker_);
+}
+
+Context Context::duplicate() {
+  classical::Comm dup_user = user_comm_.dup();
+  classical::Comm dup_protocol = dup_user.dup();
+  return Context(std::move(dup_user), std::move(dup_protocol), server_,
+                 trace_, tracker_);
+}
+
+void Context::trace_event(TraceEvent e) {
+  if (trace_ != nullptr) trace_->record(std::move(e));
+}
+
+// ---------------------------------------------------------------- qubits ---
+
+QubitArray Context::alloc_qmem(std::size_t count) {
+  auto ids = server_->call(
+      [count](sim::StateVector& sv) { return sv.allocate(count); });
+  std::vector<Qubit> qubits;
+  qubits.reserve(count);
+  for (const auto id : ids) qubits.push_back(Qubit{id});
+  return QubitArray(std::move(qubits));
+}
+
+void Context::free_qmem(const Qubit* qubits, std::size_t count) {
+  std::vector<sim::QubitId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(qubits[i].id);
+  try {
+    server_->call([ids](sim::StateVector& sv) {
+      for (const auto id : ids) sv.deallocate_classical(id);
+      return 0;
+    });
+  } catch (const sim::SimulatorError& e) {
+    throw QmpiError(std::string("free_qmem: ") + e.what());
+  }
+}
+
+// ----------------------------------------------------------------- gates ---
+
+void Context::gate1(const char* name, Qubit q, const sim::Gate1Q& gate) {
+  server_->call([&gate, q](sim::StateVector& sv) {
+    sv.apply(gate, q.id);
+    return 0;
+  });
+  trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, name});
+}
+
+void Context::rotation(const char* name, Qubit q, const sim::Gate1Q& gate) {
+  server_->call([&gate, q](sim::StateVector& sv) {
+    sv.apply(gate, q.id);
+    return 0;
+  });
+  trace_event({TraceEvent::Kind::kRotation, rank(), -1, 0, name});
+}
+
+void Context::cnot(Qubit control, Qubit target) {
+  server_->call([control, target](sim::StateVector& sv) {
+    sv.cnot(control.id, target.id);
+    return 0;
+  });
+  trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, "CNOT"});
+}
+
+void Context::cz(Qubit control, Qubit target) {
+  server_->call([control, target](sim::StateVector& sv) {
+    sv.cz(control.id, target.id);
+    return 0;
+  });
+  trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, "CZ"});
+}
+
+void Context::toffoli(Qubit c0, Qubit c1, Qubit target) {
+  server_->call([c0, c1, target](sim::StateVector& sv) {
+    sv.toffoli(c0.id, c1.id, target.id);
+    return 0;
+  });
+  trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, "CCX"});
+}
+
+bool Context::measure(Qubit q) {
+  const bool r =
+      server_->call([q](sim::StateVector& sv) { return sv.measure(q.id); });
+  trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "M"});
+  return r;
+}
+
+bool Context::measure_x(Qubit q) {
+  const bool r =
+      server_->call([q](sim::StateVector& sv) { return sv.measure_x(q.id); });
+  trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "MX"});
+  return r;
+}
+
+bool Context::measure_parity(std::span<const Qubit> qubits) {
+  std::vector<sim::QubitId> ids;
+  ids.reserve(qubits.size());
+  for (const Qubit q : qubits) ids.push_back(q.id);
+  const bool r = server_->call([ids](sim::StateVector& sv) {
+    return sv.measure_parity(ids);
+  });
+  trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "MZZ"});
+  return r;
+}
+
+double Context::probability_one(Qubit q) {
+  return server_->call(
+      [q](sim::StateVector& sv) { return sv.probability_one(q.id); });
+}
+
+// ------------------------------------------------------------------- EPR ---
+
+using detail::direction_sub;
+using detail::encode_tag;
+
+void Context::epr_begin(Qubit qubit, int peer, int ptag) {
+  if (peer == rank() || peer < 0 || peer >= size()) {
+    throw QmpiError("prepare_epr: peer must be a different, valid rank");
+  }
+  // The paper requires a fresh |0> qubit; catch protocol bugs early.
+  if (probability_one(qubit) > 1e-9) {
+    throw QmpiError("prepare_epr: qubit is not in |0>");
+  }
+  // Rendezvous initiation: the higher-ranked endpoint eagerly posts its
+  // qubit id (a simulation artifact; on a real machine the interconnect
+  // hardware pairs the photonic links).
+  if (rank() > peer) {
+    protocol_comm_.send(qubit.id, peer, ptag);
+  }
+}
+
+void Context::epr_complete(Qubit qubit, int peer, int ptag) {
+  // The lower-ranked endpoint performs the entangling operations and acks;
+  // the higher-ranked endpoint may not touch its half before the ack.
+  if (rank() < peer) {
+    const auto peer_id = protocol_comm_.recv<sim::QubitId>(peer, ptag);
+    server_->call([qubit, peer_id](sim::StateVector& sv) {
+      sv.h(qubit.id);
+      sv.cnot(qubit.id, peer_id);
+      return 0;
+    });
+    protocol_comm_.send(std::uint8_t{1}, peer, ptag);  // ack
+    tracker_->count_epr_pair();
+    trace_event({TraceEvent::Kind::kEprEstablish, rank(), peer, 0, "EPR"});
+  } else {
+    (void)protocol_comm_.recv<std::uint8_t>(peer, ptag);
+  }
+}
+
+void Context::establish_epr(Qubit qubit, int peer, int ptag) {
+  epr_begin(qubit, peer, ptag);
+  epr_complete(qubit, peer, ptag);
+}
+
+void Context::prepare_epr(Qubit qubit, int peer, int tag) {
+  establish_epr(qubit, peer, encode_tag(tag, 0));
+}
+
+QRequest Context::iprepare_epr(Qubit qubit, int peer, int tag) {
+  return QRequest([this, qubit, peer, tag] { prepare_epr(qubit, peer, tag); });
+}
+
+// ----------------------------------------------------- p2p copy protocol ---
+
+Qubit Context::send_begin(int dest, int ptag) {
+  QubitArray epr = alloc_qmem(1);
+  epr_begin(epr[0], dest, ptag);
+  return epr[0];
+}
+
+void Context::send_complete(Qubit q, Qubit epr_half, int dest, int ptag) {
+  epr_complete(epr_half, dest, ptag);
+  cnot(q, epr_half);
+  const bool m = measure(epr_half);
+  // Reset the measured half to |0> so it can be freed.
+  if (m) x(epr_half);
+  free_qmem(&epr_half, 1);
+  protocol_comm_.send(static_cast<std::uint8_t>(m), dest, ptag);
+  tracker_->count_classical_bits(1);
+  trace_event({TraceEvent::Kind::kClassicalSend, rank(), dest, 1, "fixup"});
+}
+
+void Context::send_one(Qubit q, int dest, int tag) {
+  const int ptag = encode_tag(tag, direction_sub(rank(), dest));
+  const Qubit e = send_begin(dest, ptag);
+  send_complete(q, e, dest, ptag);
+}
+
+void Context::recv_complete(Qubit q, int source, int ptag) {
+  epr_complete(q, source, ptag);
+  const auto m = protocol_comm_.recv<std::uint8_t>(source, ptag);
+  if (m != 0) x(q);
+}
+
+void Context::recv_one(Qubit q, int source, int tag) {
+  const int ptag = encode_tag(tag, direction_sub(source, rank()));
+  epr_begin(q, source, ptag);
+  recv_complete(q, source, ptag);
+}
+
+void Context::unsend_one(Qubit q, int dest, int tag) {
+  const int ptag = encode_tag(tag, direction_sub(rank(), dest));
+  const auto m = protocol_comm_.recv<std::uint8_t>(dest, ptag);
+  if (m != 0) z(q);
+}
+
+void Context::unrecv_one(Qubit q, int source, int tag) {
+  // Fig. 1(b): H, measure; peer fixes with Z. Reset local qubit to |0> so
+  // the caller can free or reuse it.
+  const int ptag = encode_tag(tag, direction_sub(source, rank()));
+  h(q);
+  const bool m = measure(q);
+  if (m) x(q);
+  protocol_comm_.send(static_cast<std::uint8_t>(m), source, ptag);
+  tracker_->count_classical_bits(1);
+  trace_event({TraceEvent::Kind::kClassicalSend, rank(), source, 1, "unfix"});
+}
+
+void Context::send(const Qubit* qubits, std::size_t count, int dest, int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
+  for (std::size_t i = 0; i < count; ++i) send_one(qubits[i], dest, tag);
+}
+
+void Context::recv(const Qubit* qubits, std::size_t count, int source,
+                   int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
+  for (std::size_t i = 0; i < count; ++i) recv_one(qubits[i], source, tag);
+}
+
+void Context::unsend(const Qubit* qubits, std::size_t count, int dest,
+                     int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUncopy);
+  for (std::size_t i = 0; i < count; ++i) unsend_one(qubits[i], dest, tag);
+}
+
+void Context::unrecv(const Qubit* qubits, std::size_t count, int source,
+                     int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUncopy);
+  for (std::size_t i = 0; i < count; ++i) unrecv_one(qubits[i], source, tag);
+}
+
+void Context::sendrecv(const Qubit* send_qubits, std::size_t send_count,
+                       int dest, int send_tag, const Qubit* recv_qubits,
+                       std::size_t recv_count, int source, int recv_tag) {
+  // Implemented with split begin/complete phases (as MPI implements
+  // Sendrecv over nonblocking primitives) so cyclic exchange patterns —
+  // both peers "sending first" — cannot deadlock in the EPR rendezvous.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
+  const int stag = encode_tag(send_tag, direction_sub(rank(), dest));
+  const int rtag = encode_tag(recv_tag, direction_sub(source, rank()));
+  std::vector<Qubit> halves;
+  halves.reserve(send_count);
+  for (std::size_t i = 0; i < send_count; ++i)
+    halves.push_back(send_begin(dest, stag));
+  for (std::size_t i = 0; i < recv_count; ++i)
+    epr_begin(recv_qubits[i], source, rtag);
+  for (std::size_t i = 0; i < send_count; ++i)
+    send_complete(send_qubits[i], halves[i], dest, stag);
+  for (std::size_t i = 0; i < recv_count; ++i)
+    recv_complete(recv_qubits[i], source, rtag);
+}
+
+void Context::unsendrecv(const Qubit* send_qubits, std::size_t send_count,
+                         int dest, int send_tag, const Qubit* recv_qubits,
+                         std::size_t recv_count, int source, int recv_tag) {
+  unrecv(recv_qubits, recv_count, source, recv_tag);
+  unsend(send_qubits, send_count, dest, send_tag);
+}
+
+// ----------------------------------------------------- p2p move protocol ---
+
+void Context::send_move_complete(Qubit q, Qubit epr_half, int dest,
+                                 int ptag) {
+  // Appendix A.1 QMPI_Send_move: fanout via the EPR half, then remove the
+  // local qubit with an X-basis measurement (deferred-measurement CNOT).
+  epr_complete(epr_half, dest, ptag);
+  cnot(q, epr_half);
+  int r = measure(epr_half) ? 1 : 0;
+  h(q);
+  r |= measure(q) ? 2 : 0;
+  if (r & 1) x(epr_half);
+  free_qmem(&epr_half, 1);
+  if (r & 2) x(q);  // reset the consumed qubit handle to |0>
+  protocol_comm_.send(r, dest, ptag);
+  tracker_->count_classical_bits(2);
+  trace_event({TraceEvent::Kind::kClassicalSend, rank(), dest, 2, "tp"});
+}
+
+void Context::send_move_one(Qubit q, int dest, int tag) {
+  const int ptag = encode_tag(tag, direction_sub(rank(), dest));
+  const Qubit e = send_begin(dest, ptag);
+  send_move_complete(q, e, dest, ptag);
+}
+
+void Context::recv_move_complete(Qubit q, int source, int ptag) {
+  epr_complete(q, source, ptag);
+  const int r = protocol_comm_.recv<int>(source, ptag);
+  if (r & 1) x(q);
+  if (r & 2) z(q);
+}
+
+void Context::recv_move_one(Qubit q, int source, int tag) {
+  const int ptag = encode_tag(tag, direction_sub(source, rank()));
+  epr_begin(q, source, ptag);
+  recv_move_complete(q, source, ptag);
+}
+
+void Context::send_move(const Qubit* qubits, std::size_t count, int dest,
+                        int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kMove);
+  for (std::size_t i = 0; i < count; ++i) send_move_one(qubits[i], dest, tag);
+}
+
+void Context::recv_move(const Qubit* qubits, std::size_t count, int source,
+                        int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kMove);
+  for (std::size_t i = 0; i < count; ++i) recv_move_one(qubits[i], source, tag);
+}
+
+void Context::unsend_move(const Qubit* qubits, std::size_t count, int dest,
+                          int tag) {
+  // Teleport the qubits back: the original sender receives.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnmove);
+  for (std::size_t i = 0; i < count; ++i) recv_move_one(qubits[i], dest, tag);
+}
+
+void Context::unrecv_move(const Qubit* qubits, std::size_t count, int source,
+                          int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnmove);
+  for (std::size_t i = 0; i < count; ++i)
+    send_move_one(qubits[i], source, tag);
+}
+
+void Context::exchange_move(Qubit* qubits, std::size_t count, int dest,
+                            int source, int tag) {
+  // Split-phase bidirectional teleport: outgoing state leaves via
+  // send_move, incoming state lands in freshly allocated qubits that then
+  // replace the caller's handles. Begin phases for both directions run
+  // before any complete phase, so rings and pairwise swaps cannot deadlock.
+  const int stag = encode_tag(tag, direction_sub(rank(), dest));
+  const int rtag = encode_tag(tag, direction_sub(source, rank()));
+  std::vector<Qubit> halves;
+  halves.reserve(count);
+  QubitArray incoming = alloc_qmem(count);
+  for (std::size_t i = 0; i < count; ++i)
+    halves.push_back(send_begin(dest, stag));
+  for (std::size_t i = 0; i < count; ++i)
+    epr_begin(incoming[i], source, rtag);
+  for (std::size_t i = 0; i < count; ++i)
+    send_move_complete(qubits[i], halves[i], dest, stag);
+  for (std::size_t i = 0; i < count; ++i)
+    recv_move_complete(incoming[i], source, rtag);
+  // The old handles are |0> after the move; free them and adopt the
+  // incoming qubits in place (MPI_Sendrecv_replace semantics).
+  for (std::size_t i = 0; i < count; ++i) {
+    free_qmem(&qubits[i], 1);
+    qubits[i] = incoming[i];
+  }
+}
+
+void Context::sendrecv_replace(Qubit* qubits, std::size_t count, int dest,
+                               int source, int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kMove);
+  exchange_move(qubits, count, dest, source, tag);
+}
+
+void Context::unsendrecv_replace(Qubit* qubits, std::size_t count, int dest,
+                                 int source, int tag) {
+  // Inverse: teleport the replacement back to `source` and recover our
+  // original from `dest`.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnmove);
+  exchange_move(qubits, count, source, dest, tag);
+}
+
+// ------------------------------------------------------------ nonblocking ---
+
+QRequest Context::isend(const Qubit* qubits, std::size_t count, int dest,
+                        int tag) {
+  std::vector<Qubit> copy(qubits, qubits + count);
+  return QRequest(
+      [this, copy, dest, tag] { send(copy.data(), copy.size(), dest, tag); });
+}
+
+QRequest Context::irecv(const Qubit* qubits, std::size_t count, int source,
+                        int tag) {
+  std::vector<Qubit> copy(qubits, qubits + count);
+  return QRequest([this, copy, source, tag] {
+    recv(copy.data(), copy.size(), source, tag);
+  });
+}
+
+QRequest Context::isend_move(const Qubit* qubits, std::size_t count, int dest,
+                             int tag) {
+  std::vector<Qubit> copy(qubits, qubits + count);
+  return QRequest([this, copy, dest, tag] {
+    send_move(copy.data(), copy.size(), dest, tag);
+  });
+}
+
+QRequest Context::irecv_move(const Qubit* qubits, std::size_t count,
+                             int source, int tag) {
+  std::vector<Qubit> copy(qubits, qubits + count);
+  return QRequest([this, copy, source, tag] {
+    recv_move(copy.data(), copy.size(), source, tag);
+  });
+}
+
+// ------------------------------------------------------------- persistent ---
+
+PersistentHandle Context::persistent_init(std::size_t count, int peer,
+                                          int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
+  PersistentHandle handle;
+  handle.peer = peer;
+  handle.tag = tag;
+  QubitArray halves = alloc_qmem(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Sub-channel 3: persistent establishment is direction-agnostic (which
+    // side will send is decided at start time). Concurrent persistent
+    // handles between the same pair need distinct user tags, as in MPI.
+    establish_epr(halves[i], peer, encode_tag(tag, 3));
+    handle.epr_halves.push_back(halves[i]);
+  }
+  handle.armed = true;
+  return handle;
+}
+
+void Context::start_send(PersistentHandle& handle, const Qubit* qubits,
+                         std::size_t count) {
+  if (!handle.armed || handle.epr_halves.size() != count) {
+    throw QmpiError("start_send: handle not armed for this message size");
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
+  const int ptag = encode_tag(handle.tag, direction_sub(rank(), handle.peer));
+  // Purely classical phase: parity measurement against the pre-established
+  // halves + one classical bit per qubit. No EPR pairs are created here.
+  for (std::size_t i = 0; i < count; ++i) {
+    Qubit e = handle.epr_halves[i];
+    cnot(qubits[i], e);
+    const bool m = measure(e);
+    if (m) x(e);
+    free_qmem(&e, 1);
+    protocol_comm_.send(static_cast<std::uint8_t>(m), handle.peer, ptag);
+    tracker_->count_classical_bits(1);
+    trace_event({TraceEvent::Kind::kClassicalSend, rank(), handle.peer, 1,
+                 "pfixup"});
+  }
+  handle.armed = false;
+  handle.epr_halves.clear();
+}
+
+void Context::start_recv(PersistentHandle& handle, Qubit* out,
+                         std::size_t count) {
+  if (!handle.armed || handle.epr_halves.size() != count) {
+    throw QmpiError("start_recv: handle not armed for this message size");
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
+  const int ptag = encode_tag(handle.tag, direction_sub(handle.peer, rank()));
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto m = protocol_comm_.recv<std::uint8_t>(handle.peer, ptag);
+    if (m != 0) x(handle.epr_halves[i]);
+    out[i] = handle.epr_halves[i];
+  }
+  handle.armed = false;
+  handle.epr_halves.clear();
+}
+
+// ------------------------------------------------------------- aggregation ---
+
+ResourceTracker::Counts Context::aggregate_resources(OpCategory category) {
+  const auto mine = (*tracker_)[category];
+  struct Pair {
+    std::uint64_t a, b;
+  };
+  const Pair sum = user_comm_.allreduce(
+      Pair{mine.epr_pairs, mine.classical_bits},
+      [](Pair x, Pair y) { return Pair{x.a + y.a, x.b + y.b}; });
+  return ResourceTracker::Counts{sum.a, sum.b};
+}
+
+ResourceTracker::Counts Context::aggregate_total() {
+  const auto mine = tracker_->total();
+  struct Pair {
+    std::uint64_t a, b;
+  };
+  const Pair sum = user_comm_.allreduce(
+      Pair{mine.epr_pairs, mine.classical_bits},
+      [](Pair x, Pair y) { return Pair{x.a + y.a, x.b + y.b}; });
+  return ResourceTracker::Counts{sum.a, sum.b};
+}
+
+// ------------------------------------------------------------ job harness ---
+
+JobReport run(const JobOptions& options,
+              const std::function<void(Context&)>& fn) {
+  sim::SimServer server(options.seed);
+  Trace trace;
+  Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
+
+  // Collect per-rank category counters for the report.
+  std::vector<std::array<ResourceTracker::Counts,
+                         static_cast<std::size_t>(OpCategory::kCount_)>>
+      per_rank(static_cast<std::size_t>(options.num_ranks));
+
+  classical::Runtime::run(options.num_ranks, [&](classical::Comm& world) {
+    Context ctx(world, server, trace_ptr);
+    fn(ctx);
+    ctx.classical_comm().barrier();
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(OpCategory::kCount_); ++c) {
+      per_rank[static_cast<std::size_t>(ctx.rank())][c] =
+          ctx.tracker()[static_cast<OpCategory>(c)];
+    }
+  });
+
+  JobReport report;
+  for (const auto& rank_counts : per_rank) {
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(OpCategory::kCount_); ++c) {
+      report.totals_by_category[c] += rank_counts[c];
+    }
+  }
+  report.trace = trace.snapshot();
+  return report;
+}
+
+JobReport run(int num_ranks, const std::function<void(Context&)>& fn) {
+  JobOptions options;
+  options.num_ranks = num_ranks;
+  return run(options, fn);
+}
+
+}  // namespace qmpi

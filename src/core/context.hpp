@@ -1,0 +1,530 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "classical/comm.hpp"
+#include "classical/runtime.hpp"
+#include "core/qubit.hpp"
+#include "core/reduce_ops.hpp"
+#include "core/resource_tracker.hpp"
+#include "core/trace.hpp"
+#include "sim/server.hpp"
+
+namespace qmpi {
+
+/// Error raised on misuse of the QMPI API.
+class QmpiError : public std::runtime_error {
+ public:
+  explicit QmpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Algorithm selector for QMPI_Bcast (paper §7.1).
+enum class BcastAlg {
+  kBinomialTree,   ///< log-depth tree of Send/Recv; S=1 suffices.
+  kCatState,       ///< constant quantum depth via a cat state (Fig. 4);
+                   ///< needs S>=2 on interior nodes.
+};
+
+/// Schedule selector for QMPI_Reduce (paper §4.6): the linear chain uses
+/// N-1 EPR pairs total and a single output register per node, with a
+/// classical-only inverse; the binary tree halves the depth to O(log N)
+/// rounds but its intermediate copies are uncomputed immediately and must
+/// be *recomputed* during QMPI_Unreduce, doubling EPR usage — exactly the
+/// trade-off the paper describes.
+enum class ReduceAlg {
+  kChain,
+  kBinaryTree,
+};
+
+/// Opaque handle for an in-flight reversible reduction (or scan). QMPI
+/// leaves memory management of the reduction scratch space to the user in
+/// v1 (paper §4.5): the handle owns the per-node accumulator registers and
+/// must be passed to the matching un-operation, which uncomputes and frees
+/// them.
+struct ReductionHandle {
+  std::vector<Qubit> acc;     ///< this rank's accumulator register
+  std::vector<Qubit> extra;   ///< auxiliary registers (allreduce copies)
+  int root = -1;
+  std::size_t width = 0;
+  const ReduceOp* op = nullptr;
+  int tag = 0;
+  enum class Kind {
+    kReduce,
+    kReduceTree,
+    kAllreduce,
+    kScan,
+    kExscan,
+    kReduceScatter
+  } kind = Kind::kReduce;
+  bool active = false;
+};
+
+/// A nonblocking QMPI operation handle. The prototype transport is eager
+/// and the simulator is sequential, so nonblocking calls are implemented as
+/// deferred protocols: the communication runs when wait() is called (or
+/// immediately at post time for operations that cannot block). This
+/// preserves MPI completion semantics — a program is correct under this
+/// implementation iff it is correct under a fully asynchronous one.
+class QRequest {
+ public:
+  QRequest() = default;
+  explicit QRequest(std::function<void()> run) : run_(std::move(run)) {}
+
+  /// Completes the operation (runs the deferred protocol).
+  void wait() {
+    if (cancelled_ || complete_) return;
+    run_();
+    complete_ = true;
+  }
+
+  /// True once the operation has completed.
+  bool is_complete() const { return complete_; }
+
+  /// QMPI_Cancel: abandons a not-yet-started operation. Per the paper's
+  /// Table 2 note (b), resources may already have been used; cancelling a
+  /// completed request is a no-op and returns false.
+  bool cancel() {
+    if (complete_) return false;
+    cancelled_ = true;
+    return true;
+  }
+
+ private:
+  std::function<void()> run_;
+  bool complete_ = false;
+  bool cancelled_ = false;
+};
+
+/// Persistent communication request (paper §4.7, "Future Extension").
+///
+/// init pre-establishes all EPR pairs (the slow quantum phase); start then
+/// performs the transfer with *purely classical* communication — the
+/// optimization the paper highlights as impossible classically. Owned EPR
+/// halves are freed on destruction if never consumed.
+struct PersistentHandle {
+  std::vector<Qubit> epr_halves;
+  int peer = -1;
+  int tag = 0;
+  bool armed = false;
+};
+
+/// Per-rank QMPI execution context: the C++ face of the QMPI standard.
+///
+/// A Context bundles (a) the classical communicator of this rank (paper
+/// §4.1: "QMPI leverages MPI for classical communication"), (b) access to
+/// the shared state-vector simulation server (§6), (c) local gate
+/// operations, and (d) all QMPI point-to-point and collective primitives
+/// with their inverses (§4.4, §4.5) plus resource accounting.
+class Context {
+ public:
+  Context(classical::Comm user_comm, sim::SimServer& server, Trace* trace);
+
+  /// Splits this context into disjoint sub-contexts by `color`, ordered by
+  /// (key, rank) — MPI_Comm_split lifted to QMPI. All QMPI operations of
+  /// the returned context (EPR pairs, collectives, reductions) run over
+  /// the subgroup only; qubits remain globally addressable, so quantum
+  /// state may still span subgroups. Collective over this context.
+  /// Resource counters are shared with the parent, so job reports stay
+  /// complete. A negative color yields a null context (is_null()).
+  Context split(int color, int key = 0);
+
+  /// Duplicates this context with fresh communication contexts
+  /// (MPI_Comm_dup): traffic on the duplicate cannot match traffic here.
+  Context duplicate();
+
+  /// True for contexts created with a negative split color.
+  bool is_null() const { return server_ == nullptr; }
+
+  int rank() const { return user_comm_.rank(); }
+  int size() const { return user_comm_.size(); }
+
+  /// The classical communicator for user payload traffic (plain MPI in the
+  /// paper's examples, e.g. the final MPI_Gather of Listing 1).
+  classical::Comm& classical_comm() { return user_comm_; }
+
+  ResourceTracker& tracker() { return *tracker_; }
+  const ResourceTracker& tracker() const { return *tracker_; }
+
+  /// Sums resource counters across all ranks (collective); the result is
+  /// meaningful on every rank. Used by the Table 1-3 benchmarks.
+  ResourceTracker::Counts aggregate_resources(OpCategory category);
+  ResourceTracker::Counts aggregate_total();
+
+  // --------------------------------------------------- qubit management ---
+
+  /// QMPI_Alloc_qmem: allocates `count` fresh local qubits in |0>.
+  QubitArray alloc_qmem(std::size_t count);
+
+  /// QMPI_Free_qmem: frees `count` qubits starting at `qubits`. Qubits must
+  /// be in a classical basis state (the paper's examples free qubits right
+  /// after measuring them); throws QmpiError otherwise.
+  void free_qmem(const Qubit* qubits, std::size_t count);
+
+  // -------------------------------------------------------- local gates ---
+
+  void x(Qubit q) { gate1("X", q, sim::gate_x()); }
+  void y(Qubit q) { gate1("Y", q, sim::gate_y()); }
+  void z(Qubit q) { gate1("Z", q, sim::gate_z()); }
+  void h(Qubit q) { gate1("H", q, sim::gate_h()); }
+  void s(Qubit q) { gate1("S", q, sim::gate_s()); }
+  void sdg(Qubit q) { gate1("S^", q, sim::gate_sdg()); }
+  void t(Qubit q) { rotation("T", q, sim::gate_t()); }
+  void tdg(Qubit q) { rotation("T^", q, sim::gate_tdg()); }
+  void rx(Qubit q, double theta) { rotation("Rx", q, sim::gate_rx(theta)); }
+  void ry(Qubit q, double theta) { rotation("Ry", q, sim::gate_ry(theta)); }
+  void rz(Qubit q, double theta) { rotation("Rz", q, sim::gate_rz(theta)); }
+  void cnot(Qubit control, Qubit target);
+  void cz(Qubit control, Qubit target);
+  void toffoli(Qubit c0, Qubit c1, Qubit target);
+
+  /// Projective Z measurement of a local qubit.
+  bool measure(Qubit q);
+  /// X-basis measurement (H + measure), the unfanout primitive.
+  bool measure_x(Qubit q);
+  /// Local two-or-more-qubit joint parity measurement (cat-state assembly).
+  bool measure_parity(std::span<const Qubit> qubits);
+
+  // ----------------------------------------------------------- EPR (4.3) ---
+
+  /// QMPI_Prepare_EPR: turns `qubit` (fresh, |0>) and a matching fresh
+  /// qubit passed by rank `peer` into a shared EPR pair.
+  void prepare_epr(Qubit qubit, int peer, int tag);
+
+  /// QMPI_Iprepare_EPR: nonblocking EPR establishment.
+  QRequest iprepare_epr(Qubit qubit, int peer, int tag);
+
+  // ----------------------------------------- point-to-point, copy (4.4) ---
+
+  /// QMPI_Send: fans out (entangled-copies) `count` qubits to `dest`
+  /// (Fig. 3a). The local qubits keep their value; dest's matching Recv
+  /// qubits expose the same value. 1 EPR pair + 1 classical bit per qubit.
+  void send(const Qubit* qubits, std::size_t count, int dest, int tag);
+  /// QMPI_Recv: receives entangled copies into fresh |0> qubits.
+  void recv(const Qubit* qubits, std::size_t count, int source, int tag);
+
+  /// QMPI_Unsend: inverse of Send, called by the original sender after the
+  /// peer calls Unrecv. Classical communication only (Fig. 3b).
+  void unsend(const Qubit* qubits, std::size_t count, int dest, int tag);
+  /// QMPI_Unrecv: inverse of Recv; uncomputes the local copies (which end
+  /// in |0> and may be freed). Classical communication only.
+  void unrecv(const Qubit* qubits, std::size_t count, int source, int tag);
+
+  /// QMPI_Bsend / Ssend / Rsend (and the matching inverses): MPI's send
+  /// modes collapse onto the eager Send in this prototype; the aliases
+  /// exist for source compatibility with Table 2.
+  void bsend(const Qubit* q, std::size_t n, int dest, int tag) {
+    send(q, n, dest, tag);
+  }
+  void ssend(const Qubit* q, std::size_t n, int dest, int tag) {
+    send(q, n, dest, tag);
+  }
+  void rsend(const Qubit* q, std::size_t n, int dest, int tag) {
+    send(q, n, dest, tag);
+  }
+  void bunsend(const Qubit* q, std::size_t n, int dest, int tag) {
+    unsend(q, n, dest, tag);
+  }
+  void sunsend(const Qubit* q, std::size_t n, int dest, int tag) {
+    unsend(q, n, dest, tag);
+  }
+  void runsend(const Qubit* q, std::size_t n, int dest, int tag) {
+    unsend(q, n, dest, tag);
+  }
+  /// QMPI_Mrecv / Munrecv: matched receives; equivalent to Recv here (the
+  /// transport matches by (source, tag) envelope).
+  void mrecv(const Qubit* q, std::size_t n, int source, int tag) {
+    recv(q, n, source, tag);
+  }
+  void munrecv(const Qubit* q, std::size_t n, int source, int tag) {
+    unrecv(q, n, source, tag);
+  }
+
+  /// QMPI_Sendrecv: simultaneous fanout to `dest` and receive from `source`.
+  void sendrecv(const Qubit* send_qubits, std::size_t send_count, int dest,
+                int send_tag, const Qubit* recv_qubits, std::size_t recv_count,
+                int source, int recv_tag);
+  /// QMPI_Unsendrecv: inverse of sendrecv.
+  void unsendrecv(const Qubit* send_qubits, std::size_t send_count, int dest,
+                  int send_tag, const Qubit* recv_qubits,
+                  std::size_t recv_count, int source, int recv_tag);
+
+  // ----------------------------------------- point-to-point, move (4.4) ---
+
+  /// QMPI_Send_move: teleports `count` qubits to `dest` (appendix A.1).
+  /// After completion the local handles are fresh |0> qubits (the quantum
+  /// state has *moved*). 1 EPR pair + 2 classical bits per qubit.
+  void send_move(const Qubit* qubits, std::size_t count, int dest, int tag);
+  /// QMPI_Recv_move: receives teleported qubits into fresh |0> qubits.
+  void recv_move(const Qubit* qubits, std::size_t count, int source, int tag);
+  /// QMPI_Unsend_move: inverse of Send_move — teleports the qubits back to
+  /// the original sender (same cost as a move).
+  void unsend_move(const Qubit* qubits, std::size_t count, int dest, int tag);
+  /// QMPI_Unrecv_move: inverse of Recv_move (peer of unsend_move).
+  void unrecv_move(const Qubit* qubits, std::size_t count, int source,
+                   int tag);
+
+  /// QMPI_Sendrecv_replace: move semantics; the qubits' contents are
+  /// teleported to `dest` and replaced by qubits teleported from `source`.
+  void sendrecv_replace(Qubit* qubits, std::size_t count, int dest, int source,
+                        int tag);
+  /// QMPI_Unsendrecv_replace: inverse of sendrecv_replace.
+  void unsendrecv_replace(Qubit* qubits, std::size_t count, int dest,
+                          int source, int tag);
+
+  // ----------------------------------------------- nonblocking variants ---
+
+  QRequest isend(const Qubit* qubits, std::size_t count, int dest, int tag);
+  QRequest irecv(const Qubit* qubits, std::size_t count, int source, int tag);
+  QRequest isend_move(const Qubit* qubits, std::size_t count, int dest,
+                      int tag);
+  QRequest irecv_move(const Qubit* qubits, std::size_t count, int source,
+                      int tag);
+
+  // ------------------------------------------ persistent requests (4.7) ---
+
+  /// Pre-establishes `count` EPR pairs toward `peer` so a later start_send /
+  /// start_recv completes with purely classical communication.
+  PersistentHandle persistent_init(std::size_t count, int peer, int tag);
+  /// Consumes a persistent handle to fan out `qubits` using only classical
+  /// communication (zero quantum communication depth, paper §4.7).
+  void start_send(PersistentHandle& handle, const Qubit* qubits,
+                  std::size_t count);
+  /// Peer of start_send: fills `out` with the received copies (the
+  /// pre-established EPR halves become the received qubits).
+  void start_recv(PersistentHandle& handle, Qubit* out, std::size_t count);
+
+  // ------------------------------------------------- collectives (4.5) ---
+
+  /// Barrier on the classical layer (QMPI inherits MPI_Barrier).
+  void barrier();
+
+  /// QMPI_Bcast: exposes root's qubits on every rank as entangled copies.
+  /// Non-root ranks pass fresh |0> qubits. Algorithm per §7.1.
+  void bcast(const Qubit* qubits, std::size_t count, int root,
+             BcastAlg alg = BcastAlg::kCatState);
+  /// QMPI_Unbcast: uncomputes the copies (classical-only, Fig. 1b).
+  void unbcast(const Qubit* qubits, std::size_t count, int root);
+
+  /// QMPI_Gather: root receives entangled copies of every rank's qubits.
+  /// At root, `recv_qubits` must hold size()*count fresh qubits (rank-major);
+  /// elsewhere it is ignored.
+  void gather(const Qubit* send_qubits, std::size_t count, Qubit* recv_qubits,
+              int root);
+  void ungather(const Qubit* send_qubits, std::size_t count,
+                Qubit* recv_qubits, int root);
+
+  /// QMPI_Gatherv: variable block sizes. `counts[r]` qubits come from rank
+  /// r; every rank passes the same counts vector (as in MPI, where the
+  /// root's recvcounts must match the senders' counts). At root,
+  /// `recv_qubits` holds sum(counts) fresh qubits, blocks in rank order.
+  void gatherv(const Qubit* send_qubits, std::span<const std::size_t> counts,
+               Qubit* recv_qubits, int root);
+  void ungatherv(const Qubit* send_qubits,
+                 std::span<const std::size_t> counts, Qubit* recv_qubits,
+                 int root);
+
+  /// QMPI_Scatter: rank r receives an entangled copy of root's r-th block.
+  void scatter(const Qubit* send_qubits, Qubit* recv_qubits, std::size_t count,
+               int root);
+  void unscatter(const Qubit* send_qubits, Qubit* recv_qubits,
+                 std::size_t count, int root);
+
+  /// QMPI_Scatterv: variable block sizes (see gatherv for conventions).
+  void scatterv(const Qubit* send_qubits,
+                std::span<const std::size_t> counts, Qubit* recv_qubits,
+                int root);
+  void unscatterv(const Qubit* send_qubits,
+                  std::span<const std::size_t> counts, Qubit* recv_qubits,
+                  int root);
+
+  /// QMPI_Allgather: every rank receives copies of every rank's qubits.
+  void allgather(const Qubit* send_qubits, std::size_t count,
+                 Qubit* recv_qubits);
+  void unallgather(const Qubit* send_qubits, std::size_t count,
+                   Qubit* recv_qubits);
+
+  /// QMPI_Alltoall: rank r's j-th block is copied to rank j's r-th slot.
+  void alltoall(const Qubit* send_qubits, Qubit* recv_qubits,
+                std::size_t count);
+  void unalltoall(const Qubit* send_qubits, Qubit* recv_qubits,
+                  std::size_t count);
+
+  /// QMPI_Alltoallv: per-destination block sizes. `send_counts[j]` qubits
+  /// go from this rank to rank j; symmetric exchange requires
+  /// recv_counts[j] on this rank == send_counts[this] on rank j, which the
+  /// caller provides as in MPI.
+  void alltoallv(const Qubit* send_qubits,
+                 std::span<const std::size_t> send_counts, Qubit* recv_qubits,
+                 std::span<const std::size_t> recv_counts);
+  void unalltoallv(const Qubit* send_qubits,
+                   std::span<const std::size_t> send_counts,
+                   Qubit* recv_qubits,
+                   std::span<const std::size_t> recv_counts);
+
+  /// QMPI_Gather_move / QMPI_Scatter_move / QMPI_Alltoall_move: as above
+  /// with move semantics (paper's rotation-farm use case, §4.5).
+  void gather_move(const Qubit* send_qubits, std::size_t count,
+                   Qubit* recv_qubits, int root);
+  void ungather_move(Qubit* send_qubits, std::size_t count,
+                     const Qubit* recv_qubits, int root);
+  void scatter_move(Qubit* send_qubits, Qubit* recv_qubits, std::size_t count,
+                    int root);
+  void unscatter_move(Qubit* send_qubits, Qubit* recv_qubits,
+                      std::size_t count, int root);
+  void alltoall_move(Qubit* send_qubits, Qubit* recv_qubits,
+                     std::size_t count);
+
+  /// QMPI_Reduce: reversible reduction of a `width`-qubit register per rank
+  /// into a fresh accumulator at `root`. The default linear chain schedule
+  /// (§4.6) uses N-1 EPR pairs and one extra output register per node;
+  /// ReduceAlg::kBinaryTree trades 2x EPR usage (recompute on unreduce)
+  /// for O(log N) communication depth. The returned handle owns the
+  /// scratch registers and must be passed to unreduce. Root's result
+  /// qubits are handle.acc.
+  ReductionHandle reduce(const Qubit* qubits, std::size_t width,
+                         const ReduceOp& op, int root, int tag = 0,
+                         ReduceAlg alg = ReduceAlg::kChain);
+  /// QMPI_Unreduce: uncomputes the reduction; classical-only communication.
+  void unreduce(ReductionHandle& handle, const Qubit* qubits);
+
+  /// QMPI_Allreduce: reduction whose result is copied to every rank
+  /// (reduce + copy, Table 3). Every rank's result is handle.acc.
+  ReductionHandle allreduce(const Qubit* qubits, std::size_t width,
+                            const ReduceOp& op, int tag = 0);
+  void unallreduce(ReductionHandle& handle, const Qubit* qubits);
+
+  /// QMPI_Scan: inclusive reversible prefix reduction; rank r's handle.acc
+  /// holds op-fold of ranks 0..r.
+  ReductionHandle scan(const Qubit* qubits, std::size_t width,
+                       const ReduceOp& op, int tag = 0);
+  void unscan(ReductionHandle& handle, const Qubit* qubits);
+
+  /// QMPI_Exscan: exclusive prefix reduction; rank 0's acc stays |0...0>.
+  ReductionHandle exscan(const Qubit* qubits, std::size_t width,
+                         const ReduceOp& op, int tag = 0);
+  void unexscan(ReductionHandle& handle, const Qubit* qubits);
+
+  /// QMPI_Reduce_scatter_block: element-wise reduction of size()*width
+  /// qubits per rank; rank r ends up owning block r of the result
+  /// (implemented as size() independent chain reductions, each rooted at
+  /// its block owner — exactly "reduce" resources as in Table 3).
+  std::vector<ReductionHandle> reduce_scatter_block(const Qubit* qubits,
+                                                    std::size_t width);
+  void unreduce_scatter_block(std::vector<ReductionHandle>& handles,
+                              const Qubit* qubits);
+
+  // ----------------------------------------------------- introspection ---
+
+  sim::SimServer& server() { return *server_; }
+
+  /// Probability of measuring 1 (no collapse); test/debug helper.
+  double probability_one(Qubit q);
+
+ private:
+  friend class JobHarness;
+
+  void gate1(const char* name, Qubit q, const sim::Gate1Q& gate);
+  void rotation(const char* name, Qubit q, const sim::Gate1Q& gate);
+  void trace_event(TraceEvent e);
+
+  /// Raw EPR establishment with an exact (already sub-channeled) tag,
+  /// split into an initiation phase (eager id post by the higher rank) and
+  /// a completion phase (entangle + ack by the lower rank). Exchange
+  /// operations run all begins before any complete so that cyclic
+  /// communication patterns cannot deadlock in the rendezvous.
+  void epr_begin(Qubit qubit, int peer, int ptag);
+  void epr_complete(Qubit qubit, int peer, int ptag);
+  void establish_epr(Qubit qubit, int peer, int ptag);
+
+  /// Copy/move protocol phases (no scope push). send_begin allocates and
+  /// initiates the EPR half; *_complete finish the EPR pair and run the
+  /// data phase of Fig. 3 / appendix A.1.
+  Qubit send_begin(int dest, int ptag);
+  void send_complete(Qubit q, Qubit epr_half, int dest, int ptag);
+  void recv_complete(Qubit q, int source, int ptag);
+  void send_move_complete(Qubit q, Qubit epr_half, int dest, int ptag);
+  void recv_move_complete(Qubit q, int source, int ptag);
+
+  /// Bidirectional teleport with handle replacement (sendrecv_replace and
+  /// its inverse share this body).
+  void exchange_move(Qubit* qubits, std::size_t count, int dest, int source,
+                     int tag);
+
+  /// One-qubit copy-send protocol body (no scope push).
+  void send_one(Qubit q, int dest, int tag);
+  void recv_one(Qubit q, int source, int tag);
+  void unsend_one(Qubit q, int dest, int tag);
+  void unrecv_one(Qubit q, int source, int tag);
+  void send_move_one(Qubit q, int dest, int tag);
+  void recv_move_one(Qubit q, int source, int tag);
+
+  void bcast_tree(const Qubit* qubits, std::size_t count, int root);
+  void bcast_cat(const Qubit* qubits, std::size_t count, int root);
+
+  /// Chain order for reductions rooted at `root`: root is last.
+  std::vector<int> chain_order(int root) const;
+
+  /// Binary-tree reduce schedule and its recomputing inverse (§4.6).
+  ReductionHandle reduce_tree(const Qubit* qubits, std::size_t width,
+                              const ReduceOp& op, int root, int tag);
+  void unreduce_tree(ReductionHandle& handle, const Qubit* qubits);
+
+  /// Sub-context constructor: shares the simulation server, trace, and
+  /// resource tracker with the parent.
+  Context(classical::Comm user_comm, classical::Comm protocol_comm,
+          sim::SimServer* server, Trace* trace,
+          std::shared_ptr<ResourceTracker> tracker)
+      : user_comm_(std::move(user_comm)),
+        protocol_comm_(std::move(protocol_comm)),
+        server_(server),
+        trace_(trace),
+        tracker_(std::move(tracker)) {}
+
+  classical::Comm user_comm_;
+  classical::Comm protocol_comm_;
+  sim::SimServer* server_;
+  Trace* trace_;
+  std::shared_ptr<ResourceTracker> tracker_;
+};
+
+/// Options for a QMPI job.
+struct JobOptions {
+  int num_ranks = 2;
+  std::uint64_t seed = 0x5EED5EED5EEDULL;
+  bool enable_trace = false;
+};
+
+/// Result of a QMPI job: aggregated resources and (optionally) the trace.
+struct JobReport {
+  ResourceTracker::Counts totals_by_category[static_cast<std::size_t>(
+      OpCategory::kCount_)];
+  std::vector<TraceEvent> trace;
+
+  ResourceTracker::Counts total() const {
+    ResourceTracker::Counts t;
+    for (const auto& c : totals_by_category) {
+      t.epr_pairs += c.epr_pairs;
+      t.classical_bits += c.classical_bits;
+    }
+    return t;
+  }
+  const ResourceTracker::Counts& operator[](OpCategory c) const {
+    return totals_by_category[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Runs `fn` as a QMPI job on `options.num_ranks` rank threads sharing one
+/// simulation server (the mpirun of this prototype). Returns aggregated
+/// resource counts and the trace.
+JobReport run(const JobOptions& options,
+              const std::function<void(Context&)>& fn);
+
+/// Convenience overload with default options.
+JobReport run(int num_ranks, const std::function<void(Context&)>& fn);
+
+}  // namespace qmpi

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace qmpi::detail {
+
+/// Protocol tags are user tags widened by a 2-bit sub-channel so that the
+/// two opposite-direction messages a rank pair may have in flight under one
+/// user tag (e.g. in Sendrecv or Alltoall) cannot cross-wire their EPR
+/// rendezvous or fix-up bit streams. Sub-channel 0 = direct prepare_epr,
+/// 1 = message from the lower-ranked to the higher-ranked endpoint,
+/// 2 = the opposite direction, 3 = persistent-request establishment.
+constexpr int encode_tag(int tag, int sub) { return tag * 4 + sub; }
+
+/// Sub-channel for a logical message source -> dest.
+constexpr int direction_sub(int source, int dest) {
+  return source < dest ? 1 : 2;
+}
+
+}  // namespace qmpi::detail

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file qmpi.hpp
+/// Umbrella header for the QMPI library, plus a paper-compatible C-style
+/// API layer (the `QMPI_*` functions of Häner et al., SC'21) implemented on
+/// a thread-local current context so that the paper's code listings compile
+/// nearly verbatim inside a qmpi::run job.
+
+#include "core/context.hpp"
+#include "core/qubit.hpp"
+#include "core/reduce_ops.hpp"
+#include "core/resource_tracker.hpp"
+#include "core/trace.hpp"
+
+namespace qmpi::compat {
+
+/// The paper's QMPI_QUBIT_PTR.
+using QMPI_QUBIT_PTR = Qubit*;
+
+/// Marker type standing in for the single world communicator of QMPI v1.
+struct QmpiCommWorld {};
+inline constexpr QmpiCommWorld QMPI_COMM_WORLD{};
+
+/// Returns the calling thread's bound context (bound by qmpi::compat::run).
+Context& current();
+
+/// Runs `fn` as a QMPI job with the C-style API bound per rank thread.
+JobReport run(const JobOptions& options, const std::function<void()>& fn);
+JobReport run(int num_ranks, const std::function<void()>& fn);
+
+// --- paper API (Section 6 and appendix listings) -------------------------
+
+inline void QMPI_Comm_rank(QmpiCommWorld, int* rank) {
+  *rank = current().rank();
+}
+inline void QMPI_Comm_size(QmpiCommWorld, int* size) {
+  *size = current().size();
+}
+
+QMPI_QUBIT_PTR QMPI_Alloc_qmem(std::size_t n);
+void QMPI_Free_qmem(QMPI_QUBIT_PTR qubits, std::size_t n);
+
+inline void QMPI_Prepare_EPR(QMPI_QUBIT_PTR qubit, int dest, int tag,
+                             QmpiCommWorld) {
+  current().prepare_epr(*qubit, dest, tag);
+}
+
+inline void QMPI_Send(QMPI_QUBIT_PTR qubits, int dest, int tag,
+                      QmpiCommWorld, std::size_t count = 1) {
+  current().send(qubits, count, dest, tag);
+}
+inline void QMPI_Recv(QMPI_QUBIT_PTR qubits, int source, int tag,
+                      QmpiCommWorld, std::size_t count = 1) {
+  current().recv(qubits, count, source, tag);
+}
+inline void QMPI_Unsend(QMPI_QUBIT_PTR qubits, int dest, int tag,
+                        QmpiCommWorld, std::size_t count = 1) {
+  current().unsend(qubits, count, dest, tag);
+}
+inline void QMPI_Unrecv(QMPI_QUBIT_PTR qubits, int source, int tag,
+                        QmpiCommWorld, std::size_t count = 1) {
+  current().unrecv(qubits, count, source, tag);
+}
+inline void QMPI_Send_move(QMPI_QUBIT_PTR qubits, int dest, int tag,
+                           QmpiCommWorld, std::size_t count = 1) {
+  current().send_move(qubits, count, dest, tag);
+}
+inline void QMPI_Recv_move(QMPI_QUBIT_PTR qubits, int source, int tag,
+                           QmpiCommWorld, std::size_t count = 1) {
+  current().recv_move(qubits, count, source, tag);
+}
+inline void QMPI_Bcast(QMPI_QUBIT_PTR qubits, std::size_t count, int root,
+                       QmpiCommWorld) {
+  current().bcast(qubits, count, root);
+}
+inline void QMPI_Unbcast(QMPI_QUBIT_PTR qubits, std::size_t count, int root,
+                         QmpiCommWorld) {
+  current().unbcast(qubits, count, root);
+}
+
+// --- gate layer used by the paper's listings ------------------------------
+
+inline void H(QMPI_QUBIT_PTR q) { current().h(*q); }
+inline void X(QMPI_QUBIT_PTR q) { current().x(*q); }
+inline void Y(QMPI_QUBIT_PTR q) { current().y(*q); }
+inline void Z(QMPI_QUBIT_PTR q) { current().z(*q); }
+inline void Rz(QMPI_QUBIT_PTR q, double theta) { current().rz(*q, theta); }
+inline void Rx(QMPI_QUBIT_PTR q, double theta) { current().rx(*q, theta); }
+inline void Ry(QMPI_QUBIT_PTR q, double theta) { current().ry(*q, theta); }
+inline void CNOT(QMPI_QUBIT_PTR control, QMPI_QUBIT_PTR target) {
+  current().cnot(*control, *target);
+}
+inline bool Measure(QMPI_QUBIT_PTR q) { return current().measure(*q); }
+
+}  // namespace qmpi::compat

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/statevector.hpp"
+
+namespace qmpi {
+
+/// A logical qubit handle held by a QMPI rank. Thin wrapper over the
+/// simulator id; value-semantic and cheap to copy. The paper's
+/// QMPI_QUBIT_PTR corresponds to `Qubit*` into a QubitArray.
+struct Qubit {
+  sim::QubitId id = 0;
+
+  friend bool operator==(const Qubit&, const Qubit&) = default;
+};
+
+/// Owning block of qubits returned by Context::alloc_qmem. Supports the
+/// pointer-style arithmetic the paper's examples use (`qubits + site`).
+class QubitArray {
+ public:
+  QubitArray() = default;
+  explicit QubitArray(std::vector<Qubit> qubits) : qubits_(std::move(qubits)) {}
+
+  Qubit* data() { return qubits_.data(); }
+  const Qubit* data() const { return qubits_.data(); }
+  std::size_t size() const { return qubits_.size(); }
+  Qubit& operator[](std::size_t i) { return qubits_[i]; }
+  const Qubit& operator[](std::size_t i) const { return qubits_[i]; }
+
+  auto begin() { return qubits_.begin(); }
+  auto end() { return qubits_.end(); }
+  auto begin() const { return qubits_.begin(); }
+  auto end() const { return qubits_.end(); }
+
+  /// Implicit decay to Qubit* so `qubits + site` works as in the paper.
+  operator Qubit*() { return qubits_.data(); }
+  operator const Qubit*() const { return qubits_.data(); }
+
+ private:
+  std::vector<Qubit> qubits_;
+};
+
+}  // namespace qmpi

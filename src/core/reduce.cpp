@@ -1,0 +1,378 @@
+#include "core/context.hpp"
+
+namespace qmpi {
+
+namespace {
+/// Base tag for reduction-chain traffic (outside the user tag space; the
+/// user-supplied reduction tag is added to it, so concurrent reductions
+/// with distinct tags do not interfere).
+constexpr int kRedTag = (1 << 20) + (1 << 16);
+}  // namespace
+
+const ReduceOp& parity_op() {
+  static const ReduceOp op(
+      "QMPI_PARITY",
+      [](Context& ctx, std::span<const Qubit> data, std::span<Qubit> acc) {
+        for (std::size_t i = 0; i < acc.size(); ++i) ctx.cnot(data[i], acc[i]);
+      },
+      [](Context& ctx, std::span<const Qubit> data, std::span<Qubit> acc) {
+        for (std::size_t i = 0; i < acc.size(); ++i) ctx.cnot(data[i], acc[i]);
+      });
+  return op;
+}
+
+const ReduceOp& bxor_op() {
+  // Same fold as parity but named per the MPI BXOR convention; kept as a
+  // distinct object so user code reads naturally for multi-qubit registers.
+  static const ReduceOp op(
+      "QMPI_BXOR",
+      [](Context& ctx, std::span<const Qubit> data, std::span<Qubit> acc) {
+        for (std::size_t i = 0; i < acc.size(); ++i) ctx.cnot(data[i], acc[i]);
+      },
+      [](Context& ctx, std::span<const Qubit> data, std::span<Qubit> acc) {
+        for (std::size_t i = 0; i < acc.size(); ++i) ctx.cnot(data[i], acc[i]);
+      });
+  return op;
+}
+
+std::vector<int> Context::chain_order(int root) const {
+  // Linear communication schedule (paper §4.6): a chain ending at the
+  // root, so the result materializes in the root's accumulator while every
+  // node holds exactly one extra output register.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(size()));
+  for (int k = 1; k <= size(); ++k) order.push_back((root + k) % size());
+  return order;
+}
+
+ReductionHandle Context::reduce_tree(const Qubit* qubits, std::size_t width,
+                                     const ReduceOp& op, int root, int tag) {
+  // Binary-tree schedule (§4.6's alternative): O(log N) communication
+  // rounds. Intermediate copies are uncomputed immediately after folding
+  // (one output register per node is still enough), at the price of
+  // *recomputing* them during unreduce — doubling total EPR usage.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kReduce);
+  const int n = size();
+  const int rel = (rank() - root + n) % n;
+
+  ReductionHandle handle;
+  handle.root = root;
+  handle.width = width;
+  handle.op = &op;
+  handle.tag = tag;
+  handle.kind = ReductionHandle::Kind::kReduceTree;
+  QubitArray acc = alloc_qmem(width);
+  handle.acc.assign(acc.begin(), acc.end());
+  const int rtag = kRedTag + tag;
+
+  // Local fold: acc <- op(0, data).
+  op.apply(*this, std::span<const Qubit>(qubits, width),
+           std::span<Qubit>(handle.acc));
+
+  for (int dist = 1; dist < n; dist <<= 1) {
+    if (rel % (2 * dist) == 0 && rel + dist < n) {
+      // Survivor: fold the partner's accumulator in via an entangled copy
+      // that is uncomputed right away (classical-only).
+      const int partner = (rel + dist + root) % n;
+      QubitArray tmp = alloc_qmem(width);
+      for (std::size_t i = 0; i < width; ++i)
+        recv_one(tmp[i], partner, rtag);
+      op.apply(*this, std::span<const Qubit>(tmp.data(), width),
+               std::span<Qubit>(handle.acc));
+      for (std::size_t i = 0; i < width; ++i)
+        unrecv_one(tmp[i], partner, rtag);
+      free_qmem(tmp, width);
+    } else if (rel % (2 * dist) == dist) {
+      const int partner = (rel - dist + root) % n;
+      for (std::size_t i = 0; i < width; ++i)
+        send_one(handle.acc[i], partner, rtag);
+      for (std::size_t i = 0; i < width; ++i)
+        unsend_one(handle.acc[i], partner, rtag);
+    }
+  }
+  handle.active = true;
+  return handle;
+}
+
+void Context::unreduce_tree(ReductionHandle& handle, const Qubit* qubits) {
+  // Reverse rounds; every fold's copy must be re-established (recomputed),
+  // hence the doubled EPR usage relative to the chain schedule.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnreduce);
+  const int n = size();
+  const int root = handle.root;
+  const int rel = (rank() - root + n) % n;
+  const int rtag = kRedTag + handle.tag;
+
+  int start = 1;
+  while (start < n) start <<= 1;
+  for (int dist = start >> 1; dist >= 1; dist >>= 1) {
+    if (rel % (2 * dist) == 0 && rel + dist < n) {
+      const int partner = (rel + dist + root) % n;
+      QubitArray tmp = alloc_qmem(handle.width);
+      for (std::size_t i = 0; i < handle.width; ++i)
+        recv_one(tmp[i], partner, rtag);
+      handle.op->unapply(*this,
+                         std::span<const Qubit>(tmp.data(), handle.width),
+                         std::span<Qubit>(handle.acc));
+      for (std::size_t i = 0; i < handle.width; ++i)
+        unrecv_one(tmp[i], partner, rtag);
+      free_qmem(tmp, handle.width);
+    } else if (rel % (2 * dist) == dist) {
+      const int partner = (rel - dist + root) % n;
+      for (std::size_t i = 0; i < handle.width; ++i)
+        send_one(handle.acc[i], partner, rtag);
+      for (std::size_t i = 0; i < handle.width; ++i)
+        unsend_one(handle.acc[i], partner, rtag);
+    }
+  }
+  handle.op->unapply(*this, std::span<const Qubit>(qubits, handle.width),
+                     std::span<Qubit>(handle.acc));
+  free_qmem(handle.acc.data(), handle.acc.size());
+  handle.acc.clear();
+  handle.active = false;
+}
+
+ReductionHandle Context::reduce(const Qubit* qubits, std::size_t width,
+                                const ReduceOp& op, int root, int tag,
+                                ReduceAlg alg) {
+  if (alg == ReduceAlg::kBinaryTree) {
+    return reduce_tree(qubits, width, op, root, tag);
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kReduce);
+  const auto order = chain_order(root);
+  const int n = size();
+  int pos = 0;
+  while (order[static_cast<std::size_t>(pos)] != rank()) ++pos;
+
+  ReductionHandle handle;
+  handle.root = root;
+  handle.width = width;
+  handle.op = &op;
+  handle.tag = tag;
+  handle.kind = ReductionHandle::Kind::kReduce;
+  QubitArray acc = alloc_qmem(width);
+  handle.acc.assign(acc.begin(), acc.end());
+
+  const int rtag = kRedTag + tag;
+  if (pos > 0) {
+    // Receive the running prefix as an entangled copy.
+    const int prev = order[static_cast<std::size_t>(pos - 1)];
+    for (std::size_t i = 0; i < width; ++i)
+      recv_one(handle.acc[i], prev, rtag);
+  }
+  // Fold this rank's data into the accumulator.
+  op.apply(*this, std::span<const Qubit>(qubits, width),
+           std::span<Qubit>(handle.acc));
+  if (pos < n - 1) {
+    const int next = order[static_cast<std::size_t>(pos + 1)];
+    for (std::size_t i = 0; i < width; ++i)
+      send_one(handle.acc[i], next, rtag);
+  }
+  handle.active = true;
+  return handle;
+}
+
+void Context::unreduce(ReductionHandle& handle, const Qubit* qubits) {
+  if (handle.active && handle.kind == ReductionHandle::Kind::kReduceTree) {
+    unreduce_tree(handle, qubits);
+    return;
+  }
+  if (!handle.active || handle.kind != ReductionHandle::Kind::kReduce) {
+    throw QmpiError("unreduce: handle is not an active reduce handle");
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnreduce);
+  const auto order = chain_order(handle.root);
+  const int n = size();
+  int pos = 0;
+  while (order[static_cast<std::size_t>(pos)] != rank()) ++pos;
+  const int rtag = kRedTag + handle.tag;
+
+  if (pos < n - 1) {
+    // Apply the Z fix-ups produced by the next node's X-basis measurement
+    // while our accumulator still holds the value it copied.
+    const int next = order[static_cast<std::size_t>(pos + 1)];
+    for (std::size_t i = 0; i < handle.width; ++i)
+      unsend_one(handle.acc[i], next, rtag);
+  }
+  handle.op->unapply(*this, std::span<const Qubit>(qubits, handle.width),
+                     std::span<Qubit>(handle.acc));
+  if (pos > 0) {
+    const int prev = order[static_cast<std::size_t>(pos - 1)];
+    for (std::size_t i = 0; i < handle.width; ++i)
+      unrecv_one(handle.acc[i], prev, rtag);
+  }
+  free_qmem(handle.acc.data(), handle.acc.size());
+  handle.acc.clear();
+  handle.active = false;
+}
+
+ReductionHandle Context::allreduce(const Qubit* qubits, std::size_t width,
+                                   const ReduceOp& op, int tag) {
+  // Table 3: allreduce = reduce + copy. Chain-reduce to rank 0, then
+  // broadcast entangled copies of the result.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kReduce);
+  ReductionHandle handle = reduce(qubits, width, op, /*root=*/0, tag);
+  handle.kind = ReductionHandle::Kind::kAllreduce;
+  if (rank() != 0) {
+    // The chain register moves to `extra`; `acc` becomes the broadcast
+    // result copy.
+    handle.extra = std::move(handle.acc);
+    QubitArray result = alloc_qmem(width);
+    handle.acc.assign(result.begin(), result.end());
+  }
+  bcast(handle.acc.data(), width, /*root=*/0, BcastAlg::kBinomialTree);
+  return handle;
+}
+
+void Context::unallreduce(ReductionHandle& handle, const Qubit* qubits) {
+  if (!handle.active || handle.kind != ReductionHandle::Kind::kAllreduce) {
+    throw QmpiError("unallreduce: handle is not an active allreduce handle");
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnreduce);
+  unbcast(handle.acc.data(), handle.width, /*root=*/0);
+  if (rank() != 0) {
+    free_qmem(handle.acc.data(), handle.acc.size());
+    handle.acc = std::move(handle.extra);
+    handle.extra.clear();
+  }
+  handle.kind = ReductionHandle::Kind::kReduce;
+  unreduce(handle, qubits);
+}
+
+ReductionHandle Context::scan(const Qubit* qubits, std::size_t width,
+                              const ReduceOp& op, int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kScan);
+  const int n = size();
+  const int r = rank();
+  ReductionHandle handle;
+  handle.width = width;
+  handle.op = &op;
+  handle.tag = tag;
+  handle.kind = ReductionHandle::Kind::kScan;
+  QubitArray acc = alloc_qmem(width);
+  handle.acc.assign(acc.begin(), acc.end());
+  const int rtag = kRedTag + tag;
+
+  if (r > 0) {
+    for (std::size_t i = 0; i < width; ++i)
+      recv_one(handle.acc[i], r - 1, rtag);
+  }
+  op.apply(*this, std::span<const Qubit>(qubits, width),
+           std::span<Qubit>(handle.acc));
+  if (r < n - 1) {
+    for (std::size_t i = 0; i < width; ++i)
+      send_one(handle.acc[i], r + 1, rtag);
+  }
+  handle.active = true;
+  return handle;
+}
+
+void Context::unscan(ReductionHandle& handle, const Qubit* qubits) {
+  if (!handle.active || handle.kind != ReductionHandle::Kind::kScan) {
+    throw QmpiError("unscan: handle is not an active scan handle");
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnscan);
+  const int n = size();
+  const int r = rank();
+  const int rtag = kRedTag + handle.tag;
+
+  if (r < n - 1) {
+    for (std::size_t i = 0; i < handle.width; ++i)
+      unsend_one(handle.acc[i], r + 1, rtag);
+  }
+  handle.op->unapply(*this, std::span<const Qubit>(qubits, handle.width),
+                     std::span<Qubit>(handle.acc));
+  if (r > 0) {
+    for (std::size_t i = 0; i < handle.width; ++i)
+      unrecv_one(handle.acc[i], r - 1, rtag);
+  }
+  free_qmem(handle.acc.data(), handle.acc.size());
+  handle.acc.clear();
+  handle.active = false;
+}
+
+ReductionHandle Context::exscan(const Qubit* qubits, std::size_t width,
+                                const ReduceOp& op, int tag) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kScan);
+  const int n = size();
+  const int r = rank();
+  ReductionHandle handle;
+  handle.width = width;
+  handle.op = &op;
+  handle.tag = tag;
+  handle.kind = ReductionHandle::Kind::kExscan;
+  QubitArray acc = alloc_qmem(width);
+  handle.acc.assign(acc.begin(), acc.end());
+  const int rtag = kRedTag + tag;
+
+  if (r > 0) {
+    // The received prefix over ranks 0..r-1 IS the exclusive-scan result.
+    for (std::size_t i = 0; i < width; ++i)
+      recv_one(handle.acc[i], r - 1, rtag);
+  }
+  if (r < n - 1) {
+    // Fold own data only transiently, to forward the inclusive prefix.
+    op.apply(*this, std::span<const Qubit>(qubits, width),
+             std::span<Qubit>(handle.acc));
+    for (std::size_t i = 0; i < width; ++i)
+      send_one(handle.acc[i], r + 1, rtag);
+    op.unapply(*this, std::span<const Qubit>(qubits, width),
+               std::span<Qubit>(handle.acc));
+  }
+  handle.active = true;
+  return handle;
+}
+
+void Context::unexscan(ReductionHandle& handle, const Qubit* qubits) {
+  if (!handle.active || handle.kind != ReductionHandle::Kind::kExscan) {
+    throw QmpiError("unexscan: handle is not an active exscan handle");
+  }
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnscan);
+  const int n = size();
+  const int r = rank();
+  const int rtag = kRedTag + handle.tag;
+
+  if (r < n - 1) {
+    // Re-fold own data so the register again matches the copy held by the
+    // next rank, absorb that rank's Z fix-up, then unfold.
+    handle.op->apply(*this, std::span<const Qubit>(qubits, handle.width),
+                     std::span<Qubit>(handle.acc));
+    for (std::size_t i = 0; i < handle.width; ++i)
+      unsend_one(handle.acc[i], r + 1, rtag);
+    handle.op->unapply(*this, std::span<const Qubit>(qubits, handle.width),
+                       std::span<Qubit>(handle.acc));
+  }
+  if (r > 0) {
+    for (std::size_t i = 0; i < handle.width; ++i)
+      unrecv_one(handle.acc[i], r - 1, rtag);
+  }
+  free_qmem(handle.acc.data(), handle.acc.size());
+  handle.acc.clear();
+  handle.active = false;
+}
+
+std::vector<ReductionHandle> Context::reduce_scatter_block(const Qubit* qubits,
+                                                           std::size_t width) {
+  // One chain reduction per block, rooted at the block's owner: exactly
+  // "reduce" resources (Table 3), N-1 EPR pairs per qubit per block.
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kReduce);
+  std::vector<ReductionHandle> handles;
+  handles.reserve(static_cast<std::size_t>(size()));
+  for (int b = 0; b < size(); ++b) {
+    handles.push_back(reduce(qubits + static_cast<std::size_t>(b) * width,
+                             width, parity_op(), /*root=*/b, /*tag=*/b + 1));
+  }
+  return handles;
+}
+
+void Context::unreduce_scatter_block(std::vector<ReductionHandle>& handles,
+                                     const Qubit* qubits) {
+  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnreduce);
+  for (int b = size() - 1; b >= 0; --b) {
+    unreduce(handles[static_cast<std::size_t>(b)],
+             qubits + static_cast<std::size_t>(b) *
+                          handles[static_cast<std::size_t>(b)].width);
+  }
+}
+
+}  // namespace qmpi

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "core/qubit.hpp"
+
+namespace qmpi {
+
+class Context;
+
+/// A reversible reduction operation for QMPI_Reduce / Scan (paper §4.5).
+///
+/// The operation folds a node's local `data` register into a traveling
+/// accumulator `acc` of the same width: acc <- op(acc, data). Reversibility
+/// is required by the standard ("QMPI_Reduce only accepts reversible
+/// operations"): `unapply` must be the exact inverse of `apply`. Because
+/// both are expressed as quantum gates on the simulator they are reversible
+/// by construction; the pair is kept explicit so implementations can use a
+/// cheaper uncomputation than gate-by-gate reversal when one exists.
+class ReduceOp {
+ public:
+  using Fold = std::function<void(Context&, std::span<const Qubit> data,
+                                  std::span<Qubit> acc)>;
+
+  ReduceOp(std::string name, Fold apply, Fold unapply)
+      : name_(std::move(name)),
+        apply_(std::move(apply)),
+        unapply_(std::move(unapply)) {}
+
+  const std::string& name() const { return name_; }
+  void apply(Context& ctx, std::span<const Qubit> data,
+             std::span<Qubit> acc) const {
+    apply_(ctx, data, acc);
+  }
+  void unapply(Context& ctx, std::span<const Qubit> data,
+               std::span<Qubit> acc) const {
+    unapply_(ctx, data, acc);
+  }
+
+ private:
+  std::string name_;
+  Fold apply_;
+  Fold unapply_;
+};
+
+/// QMPI_PARITY: single-bit XOR fold (CNOT data into acc); self-inverse.
+/// The example reduction operation discussed in the paper (§4.5, §7.3).
+const ReduceOp& parity_op();
+
+/// QMPI_BXOR: element-wise XOR over registers of equal width; self-inverse.
+const ReduceOp& bxor_op();
+
+}  // namespace qmpi

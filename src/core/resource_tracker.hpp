@@ -1,0 +1,101 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace qmpi {
+
+/// Resource categories matching the paper's Table 1 primitives. Every QMPI
+/// operation runs inside a scope of one of these categories so that EPR
+/// pairs and classical bits can be attributed per primitive class.
+enum class OpCategory : std::uint8_t {
+  kCopy = 0,      ///< entangled copy (Send/Recv, Bcast, Gather, ...)
+  kUncopy,        ///< inverse of copy (Unsend/Unrecv, Unbcast, ...)
+  kMove,          ///< teleportation (Send_move/Recv_move, *_move collectives)
+  kUnmove,        ///< inverse of move
+  kReduce,        ///< reversible reduction
+  kUnreduce,      ///< inverse of reduction
+  kScan,          ///< reversible prefix reduction
+  kUnscan,        ///< inverse of scan
+  kOther,         ///< EPR preparation outside any primitive, etc.
+  kCount_,
+};
+
+constexpr std::string_view to_string(OpCategory c) {
+  constexpr std::array<std::string_view,
+                       static_cast<std::size_t>(OpCategory::kCount_)>
+      names{"copy",   "uncopy",   "move", "unmove", "reduce",
+            "unreduce", "scan", "unscan", "other"};
+  return names[static_cast<std::size_t>(c)];
+}
+
+/// Per-rank accounting of the two communication resources the paper's
+/// Table 1 is written in: logical EPR pairs established and classical bits
+/// sent. Only the *algorithmic* bits of the protocols are counted (the
+/// measurement-fixup bits of Figs. 1 and 3); simulation-artifact traffic
+/// such as qubit-id rendezvous is never counted, because a real machine
+/// would not exchange it.
+///
+/// EPR pairs are counted once per pair, on the lower-ranked endpoint, so
+/// summing counters across ranks yields the true cluster-wide total.
+class ResourceTracker {
+ public:
+  struct Counts {
+    std::uint64_t epr_pairs = 0;
+    std::uint64_t classical_bits = 0;
+
+    Counts& operator+=(const Counts& o) {
+      epr_pairs += o.epr_pairs;
+      classical_bits += o.classical_bits;
+      return *this;
+    }
+  };
+
+  void count_epr_pair(std::uint64_t n = 1) {
+    by_category_[current_index()].epr_pairs += n;
+  }
+  void count_classical_bits(std::uint64_t bits) {
+    by_category_[current_index()].classical_bits += bits;
+  }
+
+  const Counts& operator[](OpCategory c) const {
+    return by_category_[static_cast<std::size_t>(c)];
+  }
+
+  Counts total() const {
+    Counts t;
+    for (const auto& c : by_category_) t += c;
+    return t;
+  }
+
+  void reset() { by_category_.fill(Counts{}); }
+
+  /// RAII category scope. Nested scopes keep the *outermost* attribution:
+  /// a Reduce implemented with Sends still charges its traffic to kReduce.
+  class Scope {
+   public:
+    Scope(ResourceTracker& tracker, OpCategory category) : tracker_(tracker) {
+      tracker_.stack_.push_back(category);
+    }
+    ~Scope() { tracker_.stack_.pop_back(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ResourceTracker& tracker_;
+  };
+
+ private:
+  std::size_t current_index() const {
+    const OpCategory c = stack_.empty() ? OpCategory::kOther : stack_.front();
+    return static_cast<std::size_t>(c);
+  }
+
+  std::array<Counts, static_cast<std::size_t>(OpCategory::kCount_)>
+      by_category_{};
+  std::vector<OpCategory> stack_;
+};
+
+}  // namespace qmpi

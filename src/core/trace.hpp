@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qmpi {
+
+/// One entry of a communication/computation trace emitted by the QMPI
+/// runtime. Traces can be replayed through the SENDQ discrete-event
+/// simulator to estimate the runtime of a program on a hypothetical
+/// distributed quantum machine (the "resource estimation" use case of the
+/// paper's abstract).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kEprEstablish,   ///< node_a <-> node_b establish one logical EPR pair
+    kLocalGate,      ///< local gate on node_a (label = gate name)
+    kRotation,       ///< expensive rotation gate on node_a (T/arbitrary)
+    kMeasurement,    ///< local measurement on node_a
+    kClassicalSend,  ///< node_a -> node_b, `bits` classical bits
+  };
+
+  Kind kind;
+  int node_a = -1;
+  int node_b = -1;
+  std::uint64_t bits = 0;
+  std::string label;
+};
+
+/// Thread-safe trace sink shared by all ranks of a QMPI job.
+class Trace {
+ public:
+  void record(TraceEvent event) {
+    const std::lock_guard lock(mutex_);
+    events_.push_back(std::move(event));
+  }
+
+  std::vector<TraceEvent> snapshot() const {
+    const std::lock_guard lock(mutex_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return events_.size();
+  }
+
+  void clear() {
+    const std::lock_guard lock(mutex_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace qmpi

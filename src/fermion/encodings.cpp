@@ -1,0 +1,180 @@
+#include "fermion/encodings.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace qmpi::fermion {
+
+using pauli::DensePauli;
+using pauli::DensePauliSum;
+using pauli::Op;
+
+namespace {
+
+/// A ladder operator encoded as a two-term Pauli expansion
+/// c1 * P1 + c2 * P2 (both JW and BK encode a / a† this way).
+struct LadderPaulis {
+  DensePauli even_part;  ///< the X-type component
+  DensePauli odd_part;   ///< the Y-type component
+};
+
+/// Expands a product of encoded ladder operators into the sum, streaming
+/// 2^k partial products (k <= 4 for molecular Hamiltonians).
+void expand_term(const std::vector<LadderPaulis>& factors, Complex coeff,
+                 DensePauliSum& out) {
+  const std::size_t k = factors.size();
+  const std::size_t combos = 1ULL << k;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    DensePauli acc;
+    acc.coeff = coeff;
+    for (std::size_t i = 0; i < k; ++i) {
+      const DensePauli& f =
+          (mask >> i) & 1ULL ? factors[i].odd_part : factors[i].even_part;
+      acc = acc * f;
+    }
+    out.add(acc);
+  }
+}
+
+DensePauli pauli_on(std::uint64_t x_mask, std::uint64_t z_mask,
+                    Complex coeff) {
+  DensePauli p;
+  p.x_mask = x_mask;
+  p.z_mask = z_mask;
+  p.coeff = coeff;
+  return p;
+}
+
+std::uint64_t bits_of(const std::vector<unsigned>& idx) {
+  std::uint64_t m = 0;
+  for (const unsigned i : idx) m |= 1ULL << i;
+  return m;
+}
+
+}  // namespace
+
+DensePauliSum jordan_wigner(const FermionOperator& op, double prune_eps) {
+  const unsigned n = op.num_orbitals();
+  if (n > 64) throw std::invalid_argument("jordan_wigner: > 64 modes");
+  DensePauliSum out;
+  for (const auto& term : op.terms()) {
+    std::vector<LadderPaulis> factors;
+    factors.reserve(term.ops.size());
+    for (const auto& ladder : term.ops) {
+      const unsigned p = ladder.orbital;
+      const std::uint64_t chain = (1ULL << p) - 1;  // Z_0 ... Z_{p-1}
+      LadderPaulis lp;
+      // a_p = (X + iY)/2 * Z-chain ; a†_p = (X - iY)/2 * Z-chain.
+      lp.even_part = pauli_on(1ULL << p, chain, 0.5);
+      const Complex y_coeff =
+          ladder.creation ? Complex(0, -0.5) : Complex(0, 0.5);
+      lp.odd_part = pauli_on(1ULL << p, chain | (1ULL << p), y_coeff);
+      factors.push_back(lp);
+    }
+    expand_term(factors, term.coeff, out);
+  }
+  out.prune(prune_eps);
+  return out;
+}
+
+BravyiKitaevSets bravyi_kitaevSets_impl(unsigned j, unsigned n) {
+  // Pad n to a power of two; the Fenwick index algebra below is 1-based.
+  unsigned padded = std::bit_ceil(std::max(n, 1u));
+  BravyiKitaevSets sets;
+
+  // Parity set P(j): the query path for the prefix sum f_0 + .. + f_{j-1}.
+  for (unsigned p = j; p > 0; p -= p & (~p + 1)) {
+    sets.parity.push_back(p - 1);
+  }
+
+  // Update set U(j): the update path of element j (1-based j+1), excluding
+  // the node that stores bit j itself. Only indices < n matter; padding
+  // nodes beyond the real register are skipped (they would be constant 0).
+  for (unsigned p = (j + 1) + ((j + 1) & (~(j + 1) + 1)); p <= padded;
+       p += p & (~p + 1)) {
+    if (p - 1 < n) sets.update.push_back(p - 1);
+  }
+
+  // Flip set F(j): children of node j+1 in the tree (empty for even j).
+  {
+    const unsigned node = j + 1;
+    const unsigned block = node & (~node + 1);
+    for (unsigned c = node - 1; c > node - block; c -= c & (~c + 1)) {
+      sets.flip.push_back(c - 1);
+    }
+  }
+
+  // Remainder set rho(j): P(j) for even modes, P(j) \ F(j) for odd modes.
+  if (j % 2 == 0) {
+    sets.remainder = sets.parity;
+  } else {
+    for (const unsigned p : sets.parity) {
+      if (std::find(sets.flip.begin(), sets.flip.end(), p) ==
+          sets.flip.end()) {
+        sets.remainder.push_back(p);
+      }
+    }
+  }
+  std::sort(sets.parity.begin(), sets.parity.end());
+  std::sort(sets.update.begin(), sets.update.end());
+  std::sort(sets.flip.begin(), sets.flip.end());
+  std::sort(sets.remainder.begin(), sets.remainder.end());
+  return sets;
+}
+
+BravyiKitaevSets bravyi_kitaev_sets(unsigned j, unsigned n) {
+  if (j >= n) throw std::invalid_argument("bravyi_kitaev_sets: j >= n");
+  return bravyi_kitaevSets_impl(j, n);
+}
+
+DensePauliSum bravyi_kitaev(const FermionOperator& op, unsigned n_modes,
+                            double prune_eps) {
+  if (n_modes > 64) throw std::invalid_argument("bravyi_kitaev: > 64 modes");
+  // Precompute per-mode Pauli factors (Seeley-Richard-Love):
+  //   a†_j = 1/2 X_U(j) X_j Z_P(j)  -  i/2 X_U(j) Y_j Z_rho(j)
+  //   a_j  = 1/2 X_U(j) X_j Z_P(j)  +  i/2 X_U(j) Y_j Z_rho(j)
+  std::vector<LadderPaulis> annihilators(n_modes);
+  std::vector<LadderPaulis> creators(n_modes);
+  for (unsigned j = 0; j < n_modes; ++j) {
+    const auto sets = bravyi_kitaevSets_impl(j, n_modes);
+    const std::uint64_t u = bits_of(sets.update);
+    const std::uint64_t par = bits_of(sets.parity);
+    const std::uint64_t rho = bits_of(sets.remainder);
+    const std::uint64_t self = 1ULL << j;
+    const DensePauli even = pauli_on(u | self, par, 0.5);
+    annihilators[j].even_part = even;
+    annihilators[j].odd_part = pauli_on(u | self, rho | self, Complex(0, 0.5));
+    creators[j].even_part = even;
+    creators[j].odd_part = pauli_on(u | self, rho | self, Complex(0, -0.5));
+  }
+
+  DensePauliSum out;
+  for (const auto& term : op.terms()) {
+    std::vector<LadderPaulis> factors;
+    factors.reserve(term.ops.size());
+    for (const auto& ladder : term.ops) {
+      if (ladder.orbital >= n_modes) {
+        throw std::invalid_argument("bravyi_kitaev: orbital out of range");
+      }
+      factors.push_back(ladder.creation ? creators[ladder.orbital]
+                                        : annihilators[ladder.orbital]);
+    }
+    expand_term(factors, term.coeff, out);
+  }
+  out.prune(prune_eps);
+  return out;
+}
+
+DensePauliSum encode(const FermionOperator& op, unsigned n_modes,
+                     Encoding encoding, double prune_eps) {
+  switch (encoding) {
+    case Encoding::kJordanWigner:
+      return jordan_wigner(op, prune_eps);
+    case Encoding::kBravyiKitaev:
+      return bravyi_kitaev(op, n_modes, prune_eps);
+  }
+  throw std::invalid_argument("encode: bad encoding");
+}
+
+}  // namespace qmpi::fermion

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "fermion/fermion_op.hpp"
+#include "pauli/dense_pauli.hpp"
+
+namespace qmpi::fermion {
+
+/// Jordan-Wigner transform (paper §7.3, refs [27, 42, 49]):
+///   a_p  = 1/2 (X_p + iY_p) Z_{p-1} ... Z_0
+///   a†_p = 1/2 (X_p - iY_p) Z_{p-1} ... Z_0
+/// Operators may act on O(n) qubits due to the Z chains — the effect
+/// driving the wide Jordan-Wigner histogram of Fig. 5.
+pauli::DensePauliSum jordan_wigner(const FermionOperator& op,
+                                   double prune_eps = 1e-12);
+
+/// The update / parity / flip / remainder index sets of the Bravyi-Kitaev
+/// encoding (Fenwick-tree structure; Seeley-Richard-Love construction).
+/// Exposed for testing and for locality analysis.
+struct BravyiKitaevSets {
+  std::vector<unsigned> update;     ///< U(j): ancestors storing f_j
+  std::vector<unsigned> parity;     ///< P(j): prefix-parity query path
+  std::vector<unsigned> flip;       ///< F(j): children determining b_j
+  std::vector<unsigned> remainder;  ///< rho(j): P(j) (even j) or P\F (odd j)
+};
+
+/// Computes the BK sets for mode `j` among `n` modes (n need not be a
+/// power of two; the tree is padded internally).
+BravyiKitaevSets bravyi_kitaev_sets(unsigned j, unsigned n);
+
+/// Bravyi-Kitaev transform (paper §7.3, ref [9]): operators act on at most
+/// O(log n) qubits, the locality advantage Fig. 5 illustrates.
+pauli::DensePauliSum bravyi_kitaev(const FermionOperator& op, unsigned n_modes,
+                                   double prune_eps = 1e-12);
+
+/// Encoding selector used by benches and examples.
+enum class Encoding { kJordanWigner, kBravyiKitaev };
+
+pauli::DensePauliSum encode(const FermionOperator& op, unsigned n_modes,
+                            Encoding encoding, double prune_eps = 1e-12);
+
+}  // namespace qmpi::fermion

@@ -1,0 +1,58 @@
+#include "fermion/fermion_op.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qmpi::fermion {
+
+std::string FermionTerm::str() const {
+  std::ostringstream out;
+  out << '(' << coeff.real();
+  if (coeff.imag() >= 0) out << '+';
+  out << coeff.imag() << "i)";
+  for (const auto& l : ops) {
+    out << " a" << (l.creation ? "^" : "") << '_' << l.orbital;
+  }
+  return out.str();
+}
+
+void FermionOperator::add_one_body(unsigned p, unsigned q, Complex c,
+                                   bool hermitize) {
+  FermionTerm t;
+  t.coeff = c;
+  t.then_create(p).then_annihilate(q);
+  terms_.push_back(std::move(t));
+  if (hermitize && p != q) {
+    FermionTerm h;
+    h.coeff = std::conj(c);
+    h.then_create(q).then_annihilate(p);
+    terms_.push_back(std::move(h));
+  }
+}
+
+void FermionOperator::add_two_body(unsigned p, unsigned q, unsigned r,
+                                   unsigned s, Complex c) {
+  FermionTerm t;
+  t.coeff = c;
+  t.then_create(p).then_create(q).then_annihilate(r).then_annihilate(s);
+  terms_.push_back(std::move(t));
+}
+
+unsigned FermionOperator::num_orbitals() const {
+  unsigned n = 0;
+  for (const auto& t : terms_) {
+    for (const auto& l : t.ops) n = std::max(n, l.orbital + 1);
+  }
+  return n;
+}
+
+std::string FermionOperator::str() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) out << " + ";
+    out << terms_[i].str();
+  }
+  return out.str();
+}
+
+}  // namespace qmpi::fermion

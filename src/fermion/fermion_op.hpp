@@ -1,0 +1,73 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qmpi::fermion {
+
+using Complex = std::complex<double>;
+
+/// A single creation (a†) or annihilation (a) operator on a spin-orbital.
+struct Ladder {
+  unsigned orbital = 0;
+  bool creation = false;
+
+  bool operator==(const Ladder&) const = default;
+};
+
+/// A product of ladder operators with a coefficient,
+/// e.g. 0.5 * a†_2 a†_7 a_7 a_2.
+struct FermionTerm {
+  std::vector<Ladder> ops;
+  Complex coeff = 1.0;
+
+  /// a†_p convenience factory.
+  static FermionTerm create(unsigned p, Complex c = 1.0) {
+    return FermionTerm{{Ladder{p, true}}, c};
+  }
+  /// a_p convenience factory.
+  static FermionTerm annihilate(unsigned p, Complex c = 1.0) {
+    return FermionTerm{{Ladder{p, false}}, c};
+  }
+
+  FermionTerm& then_create(unsigned p) {
+    ops.push_back(Ladder{p, true});
+    return *this;
+  }
+  FermionTerm& then_annihilate(unsigned p) {
+    ops.push_back(Ladder{p, false});
+    return *this;
+  }
+
+  std::string str() const;
+};
+
+/// A sum of fermionic terms: the second-quantized Hamiltonians of paper
+/// §7.3 before the qubit encoding is chosen.
+class FermionOperator {
+ public:
+  FermionOperator() = default;
+
+  void add(FermionTerm term) { terms_.push_back(std::move(term)); }
+
+  /// Adds c * a†_p a_q (+ h.c. if `hermitize` and p != q).
+  void add_one_body(unsigned p, unsigned q, Complex c, bool hermitize = false);
+
+  /// Adds c * a†_p a†_q a_r a_s.
+  void add_two_body(unsigned p, unsigned q, unsigned r, unsigned s, Complex c);
+
+  const std::vector<FermionTerm>& terms() const { return terms_; }
+  std::size_t size() const { return terms_.size(); }
+
+  /// Largest orbital index + 1.
+  unsigned num_orbitals() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<FermionTerm> terms_;
+};
+
+}  // namespace qmpi::fermion

@@ -1,0 +1,80 @@
+#include "fermion/molecular.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qmpi::fermion {
+
+unsigned ring_distance(unsigned p, unsigned q, unsigned atoms) {
+  const unsigned d = p > q ? p - q : q - p;
+  return std::min(d, atoms - d);
+}
+
+double ring_h1(unsigned p, unsigned q, const RingHamiltonianOptions& opt) {
+  if (p == q) return opt.onsite;
+  const unsigned d = ring_distance(p, q, opt.atoms);
+  return opt.hopping *
+         std::exp(-opt.one_body_decay * static_cast<double>(d - 1));
+}
+
+double ring_h2(unsigned p, unsigned q, unsigned r, unsigned s,
+               const RingHamiltonianOptions& opt) {
+  // A symmetric, translation-invariant stand-in for (pq|rs): magnitude
+  // decays with the total "spread" of the four orbital pairs on the ring.
+  // Symmetrized in (p,q), (r,s) and (pq)<->(rs) by construction.
+  const double dpq = ring_distance(p, q, opt.atoms);
+  const double drs = ring_distance(r, s, opt.atoms);
+  // Distance between the two charge distributions (midpoint distance on the
+  // ring, computed via the closer of the four endpoint distances).
+  const double cross =
+      std::min(std::min(ring_distance(p, r, opt.atoms),
+                        ring_distance(p, s, opt.atoms)),
+               std::min(ring_distance(q, r, opt.atoms),
+                        ring_distance(q, s, opt.atoms)));
+  const double v = opt.coulomb *
+                   std::exp(-opt.two_body_decay * (dpq + drs)) /
+                   (1.0 + 0.8 * cross);
+  return v;
+}
+
+FermionOperator hydrogen_ring(const RingHamiltonianOptions& opt) {
+  FermionOperator h;
+  const unsigned m = opt.atoms;
+  // One-body terms: h_pq a†_{p,sigma} a_{q,sigma}.
+  for (unsigned p = 0; p < m; ++p) {
+    for (unsigned q = 0; q < m; ++q) {
+      const double v = ring_h1(p, q, opt);
+      if (std::abs(v) < opt.threshold) continue;
+      for (unsigned sigma = 0; sigma < 2; ++sigma) {
+        h.add_one_body(2 * p + sigma, 2 * q + sigma, v);
+      }
+    }
+  }
+  // Two-body terms in chemist notation:
+  //   1/2 (pq|rs) a†_{p,s1} a†_{r,s2} a_{s,s2} a_{q,s1}.
+  for (unsigned p = 0; p < m; ++p) {
+    for (unsigned q = 0; q < m; ++q) {
+      for (unsigned r = 0; r < m; ++r) {
+        for (unsigned s = 0; s < m; ++s) {
+          const double v = ring_h2(p, q, r, s, opt);
+          if (std::abs(v) < opt.threshold) continue;
+          for (unsigned s1 = 0; s1 < 2; ++s1) {
+            for (unsigned s2 = 0; s2 < 2; ++s2) {
+              const unsigned i = 2 * p + s1;
+              const unsigned j = 2 * r + s2;
+              const unsigned k = 2 * s + s2;
+              const unsigned l = 2 * q + s1;
+              // a† a† a a with equal indices in the creation (or
+              // annihilation) pair annihilates identically; skip.
+              if (i == j || k == l) continue;
+              h.add_two_body(i, j, k, l, 0.5 * v);
+            }
+          }
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace qmpi::fermion

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "fermion/fermion_op.hpp"
+
+namespace qmpi::fermion {
+
+/// Options for the synthetic hydrogen-ring molecular Hamiltonian.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md): the paper generated its Fig. 5/7 data
+/// with PySCF + OpenFermion for a 32-atom hydrogen ring in STO-3G (64 spin
+/// orbitals). Neither package is available offline, so we generate the
+/// second-quantized Hamiltonian synthetically with the same *structure*:
+/// one- and two-body integrals over ring-symmetric spatial orbitals with
+/// exponential distance decay, full 8-fold integral symmetry
+/// ((pq|rs) = (qp|rs) = (pq|sr) = (rs|pq)) and spin conservation. The
+/// figures depend only on which spin-orbitals each term touches, so this
+/// preserves their shape.
+struct RingHamiltonianOptions {
+  unsigned atoms = 32;       ///< hydrogen atoms = spatial orbitals
+  double onsite = -1.252;    ///< h_pp
+  double hopping = -0.476;   ///< nearest-neighbour one-body scale
+  double one_body_decay = 0.85;   ///< exp decay of h_pq with ring distance
+  double coulomb = 0.674;    ///< (pp|pp)
+  double two_body_decay = 0.55;   ///< exp decay of (pq|rs) with spread
+  double threshold = 1e-10;  ///< drop integrals below this magnitude
+};
+
+/// Ring distance between spatial orbitals p and q among `atoms` sites.
+unsigned ring_distance(unsigned p, unsigned q, unsigned atoms);
+
+/// One-body integral h_pq of the synthetic model.
+double ring_h1(unsigned p, unsigned q, const RingHamiltonianOptions& opt);
+
+/// Two-body integral (pq|rs) in chemist notation; obeys 8-fold symmetry.
+double ring_h2(unsigned p, unsigned q, unsigned r, unsigned s,
+               const RingHamiltonianOptions& opt);
+
+/// Builds the full second-quantized Hamiltonian on 2*atoms spin-orbitals
+/// (interleaved spin convention: spin-orbital 2p = p-up, 2p+1 = p-down):
+///   H = sum_pq h_pq  sum_s  a†_{p,s} a_{q,s}
+///     + 1/2 sum_pqrs (pq|rs) sum_{s,t} a†_{p,s} a†_{r,t} a_{s_t...}
+/// (chemist-notation two-body ordering a†_p a†_r a_s a_q).
+FermionOperator hydrogen_ring(const RingHamiltonianOptions& opt = {});
+
+/// Number of spin orbitals of the model (= qubits after encoding).
+inline unsigned spin_orbitals(const RingHamiltonianOptions& opt) {
+  return 2 * opt.atoms;
+}
+
+}  // namespace qmpi::fermion

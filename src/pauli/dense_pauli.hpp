@@ -1,0 +1,192 @@
+#pragma once
+
+#include <bit>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace qmpi::pauli {
+
+/// Symplectic (bitmask) representation of a Pauli string on up to 64
+/// qubits: qubit q carries X iff x_mask bit q is set, Z iff z_mask bit q is
+/// set, Y iff both. Products are two XORs and a popcount — this is the hot
+/// representation used by the fermion-to-qubit transforms when processing
+/// the ~10^5-term molecular Hamiltonians of paper Figs. 5 and 7.
+struct DensePauli {
+  std::uint64_t x_mask = 0;
+  std::uint64_t z_mask = 0;
+  std::complex<double> coeff = 1.0;
+
+  /// Number of qubits acted on non-trivially (Fig. 5's per-term qubit count).
+  int weight() const { return std::popcount(x_mask | z_mask); }
+
+  bool is_identity() const { return x_mask == 0 && z_mask == 0; }
+
+  /// Multiplies a single-qubit Pauli onto the right.
+  void mul_right(unsigned qubit, Op op);
+
+  /// Full product (phases included).
+  friend DensePauli operator*(const DensePauli& a, const DensePauli& b);
+
+  bool commutes_with(const DensePauli& other) const {
+    // Symplectic inner product: strings commute iff it is even.
+    const int v = std::popcount(x_mask & other.z_mask) +
+                  std::popcount(z_mask & other.x_mask);
+    return (v % 2) == 0;
+  }
+
+  /// Operator-content key (ignores coefficient) for combining like terms.
+  std::uint64_t key_lo() const { return x_mask; }
+  std::uint64_t key_hi() const { return z_mask; }
+
+  PauliString to_pauli_string() const;
+  static DensePauli from_pauli_string(const PauliString& s);
+
+  std::string str() const { return to_pauli_string().str(); }
+};
+
+inline void DensePauli::mul_right(unsigned qubit, Op op) {
+  DensePauli rhs;
+  switch (op) {
+    case Op::I:
+      return;
+    case Op::X:
+      rhs.x_mask = 1ULL << qubit;
+      break;
+    case Op::Z:
+      rhs.z_mask = 1ULL << qubit;
+      break;
+    case Op::Y:
+      rhs.x_mask = 1ULL << qubit;
+      rhs.z_mask = 1ULL << qubit;
+      break;
+  }
+  *this = *this * rhs;
+}
+
+inline DensePauli operator*(const DensePauli& a, const DensePauli& b) {
+  // Write each string as c * i^{#Y} * X^x Z^z; then
+  // (X^x1 Z^z1)(X^x2 Z^z2) = (-1)^{|z1 & x2|} X^{x1^x2} Z^{z1^z2}.
+  // Folding the i^{#Y} bookkeeping back into the result coefficient:
+  const int y1 = std::popcount(a.x_mask & a.z_mask);
+  const int y2 = std::popcount(b.x_mask & b.z_mask);
+  DensePauli out;
+  out.x_mask = a.x_mask ^ b.x_mask;
+  out.z_mask = a.z_mask ^ b.z_mask;
+  const int y_out = std::popcount(out.x_mask & out.z_mask);
+  const int swaps = std::popcount(a.z_mask & b.x_mask);
+  // phase = i^{y1 + y2 - y_out} * (-1)^{swaps}
+  int exponent = (y1 + y2 - y_out) % 4;
+  if (exponent < 0) exponent += 4;
+  static constexpr std::complex<double> kIPow[4] = {
+      {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  out.coeff = a.coeff * b.coeff * kIPow[exponent] *
+              ((swaps % 2) ? -1.0 : 1.0);
+  return out;
+}
+
+inline PauliString DensePauli::to_pauli_string() const {
+  PauliString out(coeff);
+  for (unsigned q = 0; q < 64; ++q) {
+    const bool x = (x_mask >> q) & 1ULL;
+    const bool z = (z_mask >> q) & 1ULL;
+    if (x && z) {
+      out.multiply_right(q, Op::Y);
+    } else if (x) {
+      out.multiply_right(q, Op::X);
+    } else if (z) {
+      out.multiply_right(q, Op::Z);
+    }
+  }
+  // multiply_right(Y) on a fresh position does not introduce phases, so the
+  // coefficient is preserved exactly.
+  return out;
+}
+
+inline DensePauli DensePauli::from_pauli_string(const PauliString& s) {
+  DensePauli out;
+  out.coeff = s.coefficient();
+  for (const auto& [qubit, op] : s.ops()) {
+    const std::uint64_t bit = 1ULL << qubit;
+    switch (op) {
+      case Op::X:
+        out.x_mask |= bit;
+        break;
+      case Op::Z:
+        out.z_mask |= bit;
+        break;
+      case Op::Y:
+        out.x_mask |= bit;
+        out.z_mask |= bit;
+        break;
+      case Op::I:
+        break;
+    }
+  }
+  return out;
+}
+
+/// A sum of DensePauli terms with hash-based term combining.
+class DensePauliSum {
+ public:
+  void add(const DensePauli& term, double eps = 0.0) {
+    if (std::abs(term.coeff) <= eps && eps > 0.0) return;
+    const Key k{term.x_mask, term.z_mask};
+    auto [it, inserted] = index_.try_emplace(k, terms_.size());
+    if (inserted) {
+      terms_.push_back(term);
+    } else {
+      terms_[it->second].coeff += term.coeff;
+    }
+  }
+
+  /// Drops terms with |coeff| <= eps.
+  void prune(double eps = 1e-12) {
+    std::vector<DensePauli> kept;
+    kept.reserve(terms_.size());
+    for (const auto& t : terms_) {
+      if (std::abs(t.coeff) > eps) kept.push_back(t);
+    }
+    terms_ = std::move(kept);
+    index_.clear();
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      index_.emplace(Key{terms_[i].x_mask, terms_[i].z_mask}, i);
+    }
+  }
+
+  const std::vector<DensePauli>& terms() const { return terms_; }
+  std::size_t size() const { return terms_.size(); }
+
+  /// Histogram of term weights (paper Fig. 5).
+  std::vector<std::size_t> weight_histogram() const {
+    std::vector<std::size_t> hist;
+    for (const auto& t : terms_) {
+      const auto w = static_cast<std::size_t>(t.weight());
+      if (w >= hist.size()) hist.resize(w + 1, 0);
+      ++hist[w];
+    }
+    return hist;
+  }
+
+ private:
+  struct Key {
+    std::uint64_t x, z;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix-style mix of the two masks.
+      std::uint64_t h = k.x * 0x9E3779B97F4A7C15ULL;
+      h ^= (k.z + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::vector<DensePauli> terms_;
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+};
+
+}  // namespace qmpi::pauli

@@ -1,0 +1,243 @@
+#include "pauli/pauli_string.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace qmpi::pauli {
+
+char to_char(Op op) {
+  switch (op) {
+    case Op::I:
+      return 'I';
+    case Op::X:
+      return 'X';
+    case Op::Y:
+      return 'Y';
+    case Op::Z:
+      return 'Z';
+  }
+  return '?';
+}
+
+Op op_from_char(char c) {
+  switch (c) {
+    case 'I':
+      return Op::I;
+    case 'X':
+      return Op::X;
+    case 'Y':
+      return Op::Y;
+    case 'Z':
+      return Op::Z;
+    default:
+      throw std::invalid_argument(std::string("bad Pauli label '") + c + "'");
+  }
+}
+
+namespace {
+/// Single-qubit product table: a*b = phase * c.
+/// Indexed [a][b] -> (c, phase) with I=0, X=1, Y=2, Z=3.
+struct ProductEntry {
+  Op op;
+  Complex phase;
+};
+
+ProductEntry product(Op a, Op b) {
+  if (a == Op::I) return {b, 1.0};
+  if (b == Op::I) return {a, 1.0};
+  if (a == b) return {Op::I, 1.0};
+  const Complex i(0.0, 1.0);
+  // XY=iZ, YZ=iX, ZX=iY, and the reverses pick up a minus sign.
+  if (a == Op::X && b == Op::Y) return {Op::Z, i};
+  if (a == Op::Y && b == Op::X) return {Op::Z, -i};
+  if (a == Op::Y && b == Op::Z) return {Op::X, i};
+  if (a == Op::Z && b == Op::Y) return {Op::X, -i};
+  if (a == Op::Z && b == Op::X) return {Op::Y, i};
+  /* a == Op::X && b == Op::Z */
+  return {Op::Y, -i};
+}
+}  // namespace
+
+PauliString PauliString::parse(const std::string& text, Complex coefficient) {
+  PauliString result(coefficient);
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    if (token == "I") continue;
+    if (token.size() < 2) {
+      throw std::invalid_argument("bad Pauli token '" + token + "'");
+    }
+    const Op op = op_from_char(token[0]);
+    const unsigned qubit = static_cast<unsigned>(std::stoul(token.substr(1)));
+    result.multiply_right(qubit, op);
+  }
+  return result;
+}
+
+PauliString PauliString::from_ops(
+    std::span<const std::pair<unsigned, Op>> ops, Complex coefficient) {
+  PauliString result(coefficient);
+  for (const auto& [qubit, op] : ops) result.multiply_right(qubit, op);
+  return result;
+}
+
+Op PauliString::op_on(unsigned qubit) const {
+  const auto it = ops_.find(qubit);
+  return it == ops_.end() ? Op::I : it->second;
+}
+
+std::vector<unsigned> PauliString::support() const {
+  std::vector<unsigned> out;
+  out.reserve(ops_.size());
+  for (const auto& [qubit, op] : ops_) out.push_back(qubit);
+  return out;
+}
+
+unsigned PauliString::num_qubits() const {
+  return ops_.empty() ? 0 : ops_.rbegin()->first + 1;
+}
+
+void PauliString::multiply_right(unsigned qubit, Op op) {
+  if (op == Op::I) return;
+  const auto it = ops_.find(qubit);
+  if (it == ops_.end()) {
+    ops_.emplace(qubit, op);
+    return;
+  }
+  const auto [res, phase] = product(it->second, op);
+  coefficient_ *= phase;
+  if (res == Op::I) {
+    ops_.erase(it);
+  } else {
+    it->second = res;
+  }
+}
+
+PauliString operator*(const PauliString& a, const PauliString& b) {
+  PauliString result = a;
+  result.coefficient_ *= b.coefficient_;
+  for (const auto& [qubit, op] : b.ops_) result.multiply_right(qubit, op);
+  return result;
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  // Two Pauli strings commute iff they anticommute on an even number of
+  // qubits (distinct non-identity ops anticommute).
+  int anticommuting = 0;
+  for (const auto& [qubit, op] : ops_) {
+    const Op o = other.op_on(qubit);
+    if (o != Op::I && o != op) ++anticommuting;
+  }
+  return (anticommuting % 2) == 0;
+}
+
+PauliString PauliString::dagger() const {
+  PauliString result = *this;
+  result.coefficient_ = std::conj(result.coefficient_);
+  return result;
+}
+
+std::string PauliString::key() const {
+  std::ostringstream out;
+  for (const auto& [qubit, op] : ops_) out << to_char(op) << qubit << ' ';
+  return out.str();
+}
+
+std::string PauliString::str() const {
+  std::ostringstream out;
+  out << '(' << coefficient_.real();
+  if (coefficient_.imag() >= 0) out << '+';
+  out << coefficient_.imag() << "i)";
+  if (ops_.empty()) {
+    out << " I";
+  } else {
+    for (const auto& [qubit, op] : ops_) out << ' ' << to_char(op) << qubit;
+  }
+  return out.str();
+}
+
+bool operator==(const PauliString& a, const PauliString& b) {
+  return a.ops_ == b.ops_ &&
+         std::abs(a.coefficient_ - b.coefficient_) < 1e-12;
+}
+
+// -------------------------------------------------------------- PauliSum ---
+
+PauliSum::PauliSum(std::initializer_list<PauliString> terms)
+    : terms_(terms) {}
+
+void PauliSum::add(PauliString term) { terms_.push_back(std::move(term)); }
+
+void PauliSum::add(const PauliSum& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+}
+
+void PauliSum::simplify(double eps) {
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<PauliString> combined;
+  combined.reserve(terms_.size());
+  for (const auto& term : terms_) {
+    const std::string k = term.key();
+    const auto it = index.find(k);
+    if (it == index.end()) {
+      index.emplace(k, combined.size());
+      combined.push_back(term);
+    } else {
+      combined[it->second].set_coefficient(combined[it->second].coefficient() +
+                                           term.coefficient());
+    }
+  }
+  terms_.clear();
+  for (auto& term : combined) {
+    if (std::abs(term.coefficient()) > eps) terms_.push_back(std::move(term));
+  }
+}
+
+PauliSum& PauliSum::operator*=(Complex scalar) {
+  for (auto& term : terms_) term *= scalar;
+  return *this;
+}
+
+PauliSum operator*(const PauliSum& a, const PauliSum& b) {
+  PauliSum result;
+  for (const auto& ta : a.terms_) {
+    for (const auto& tb : b.terms_) result.add(ta * tb);
+  }
+  result.simplify();
+  return result;
+}
+
+PauliSum operator+(PauliSum a, const PauliSum& b) {
+  a.add(b);
+  a.simplify();
+  return a;
+}
+
+unsigned PauliSum::num_qubits() const {
+  unsigned n = 0;
+  for (const auto& term : terms_) n = std::max(n, term.num_qubits());
+  return n;
+}
+
+std::vector<std::size_t> PauliSum::weight_histogram() const {
+  std::vector<std::size_t> hist;
+  for (const auto& term : terms_) {
+    const std::size_t w = term.weight();
+    if (w >= hist.size()) hist.resize(w + 1, 0);
+    ++hist[w];
+  }
+  return hist;
+}
+
+std::string PauliSum::str() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) out << " + ";
+    out << terms_[i].str();
+  }
+  return out.str();
+}
+
+}  // namespace qmpi::pauli

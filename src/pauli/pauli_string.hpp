@@ -1,0 +1,127 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qmpi::pauli {
+
+using Complex = std::complex<double>;
+
+/// Single-qubit Pauli operator label.
+enum class Op : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+char to_char(Op op);
+Op op_from_char(char c);
+
+/// A Pauli string: a sparse map qubit-index -> {X,Y,Z} together with a
+/// complex coefficient, e.g. 0.5 * X0 Z3 Z4.
+///
+/// This is the workhorse behind the fermion-to-qubit encodings (paper §7.3):
+/// Jordan-Wigner and Bravyi-Kitaev transforms produce PauliSums, and the
+/// per-term qubit support drives Figs. 5 and 7.
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(Complex coefficient) : coefficient_(coefficient) {}
+
+  /// Parses e.g. "X0 Z2 Y11" (identity for the empty string).
+  static PauliString parse(const std::string& text,
+                           Complex coefficient = 1.0);
+
+  /// Builds from (qubit, op) pairs; duplicate qubits are multiplied out.
+  static PauliString from_ops(
+      std::span<const std::pair<unsigned, Op>> ops, Complex coefficient = 1.0);
+
+  Complex coefficient() const { return coefficient_; }
+  void set_coefficient(Complex c) { coefficient_ = c; }
+
+  /// Number of qubits the string acts on non-trivially. This is the
+  /// "number of qubits per term" of paper Fig. 5.
+  std::size_t weight() const { return ops_.size(); }
+
+  bool is_identity() const { return ops_.empty(); }
+
+  /// The Pauli op on `qubit` (I if untouched).
+  Op op_on(unsigned qubit) const;
+
+  /// Sorted non-trivial support (qubit indices).
+  std::vector<unsigned> support() const;
+
+  /// Largest qubit index + 1 (0 for identity).
+  unsigned num_qubits() const;
+
+  const std::map<unsigned, Op>& ops() const { return ops_; }
+
+  /// Right-multiplies by a single-qubit Pauli, tracking the phase
+  /// (e.g. X*Y = iZ). Used when composing operator products.
+  void multiply_right(unsigned qubit, Op op);
+
+  /// Product of two strings (phases included).
+  friend PauliString operator*(const PauliString& a, const PauliString& b);
+
+  PauliString& operator*=(Complex scalar) {
+    coefficient_ *= scalar;
+    return *this;
+  }
+
+  /// True iff the two strings commute (qubit-wise anticommutation count is
+  /// even).
+  bool commutes_with(const PauliString& other) const;
+
+  /// Hermitian conjugate (conjugates the coefficient; Pauli ops are
+  /// self-adjoint).
+  PauliString dagger() const;
+
+  /// Canonical text form, e.g. "(0.5+0i) X0 Z2"; identity prints "I".
+  std::string str() const;
+
+  /// Key identifying the operator content (ignoring the coefficient); used
+  /// for combining like terms in PauliSum.
+  std::string key() const;
+
+  friend bool operator==(const PauliString& a, const PauliString& b);
+
+ private:
+  std::map<unsigned, Op> ops_;
+  Complex coefficient_ = 1.0;
+};
+
+/// A linear combination of Pauli strings (a qubit Hamiltonian).
+class PauliSum {
+ public:
+  PauliSum() = default;
+  PauliSum(std::initializer_list<PauliString> terms);
+
+  void add(PauliString term);
+  void add(const PauliSum& other);
+
+  /// Combines like terms and drops those with |coefficient| < eps.
+  void simplify(double eps = 1e-12);
+
+  const std::vector<PauliString>& terms() const { return terms_; }
+  std::size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  PauliSum& operator*=(Complex scalar);
+  friend PauliSum operator*(const PauliSum& a, const PauliSum& b);
+  friend PauliSum operator+(PauliSum a, const PauliSum& b);
+
+  /// Largest qubit index + 1 over all terms.
+  unsigned num_qubits() const;
+
+  /// Histogram of term weights: result[w] = number of terms acting on
+  /// exactly w qubits (paper Fig. 5).
+  std::vector<std::size_t> weight_histogram() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<PauliString> terms_;
+};
+
+}  // namespace qmpi::pauli

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sendq/params.hpp"
+
+namespace qmpi::sendq {
+
+/// Closed-form SENDQ costs for the algorithms analyzed in the paper
+/// (§7.1-§7.3). All return times in the same units as Params delays.
+
+inline double ceil_log2(double x) {
+  if (x <= 1.0) return 0.0;
+  return std::ceil(std::log2(x));
+}
+
+// ------------------------------------------------------------- §7.1 bcast ---
+
+/// Binomial-tree broadcast of one qubit: E * ceil(log2 N); S = 1 suffices.
+inline double bcast_tree_time(const Params& p) {
+  return p.E * ceil_log2(p.N);
+}
+
+/// Constant-quantum-depth cat-state broadcast (Fig. 4): 2E + D_M + D_F.
+/// Chain EPR pairs overlap pairwise (each node is in at most one
+/// establishment at a time => two rounds), then local parity measurements
+/// and fix-ups. Requires S >= 2 on interior nodes.
+inline double bcast_cat_time(const Params& p) {
+  if (p.N <= 1) return 0.0;
+  if (p.N == 2) return p.E + p.D_M + p.D_F;  // single edge: one round
+  return 2 * p.E + p.D_M + p.D_F;
+}
+
+/// EPR pairs consumed by either broadcast implementation: N - 1.
+inline std::uint64_t bcast_epr_pairs(const Params& p) {
+  return p.N > 0 ? static_cast<std::uint64_t>(p.N - 1) : 0;
+}
+
+// ------------------------------------------------- §7.3 parity + rotation ---
+
+/// exp(-it Z...Z) over k qubits on k distinct nodes, Fig. 6(a):
+/// in-place binary-tree parity. 2(k-1) EPR pairs, time 2E ceil(log2 k)+D_R.
+inline double parity_inplace_time(const Params& p, int k) {
+  return 2 * p.E * ceil_log2(k) + p.D_R;
+}
+inline std::uint64_t parity_inplace_epr(int k) {
+  return k > 1 ? static_cast<std::uint64_t>(2 * (k - 1)) : 0;
+}
+
+/// Fig. 6(b): out-of-place parity into an auxiliary qubit; serial
+/// distributed CNOTs but classical-only uncompute. k EPR pairs, E k + D_R.
+inline double parity_outofplace_time(const Params& p, int k) {
+  return p.E * k + p.D_R;
+}
+inline std::uint64_t parity_outofplace_epr(int k) {
+  return static_cast<std::uint64_t>(k);
+}
+
+/// Fig. 6(c): constant-depth via cat state (QMPI_Bcast of the control).
+/// k EPR pairs (paper's §7.3 counting convention), 2E + D_R; needs S >= 2.
+/// (A two-node cat state is a single EPR pair and needs only one round E.)
+inline double parity_constdepth_time(const Params& p, int k) {
+  return (k <= 2 ? p.E : 2 * p.E) + p.D_R;
+}
+inline std::uint64_t parity_constdepth_epr(int k) {
+  return static_cast<std::uint64_t>(k);
+}
+
+// ---------------------------------------------------------- §7.2 TFIM step ---
+
+/// Local compute per first-order Trotter step with n spins over N nodes:
+/// D_Trotter = 2 (n/N) D_R = 2 Q D_R (rotations serialized by the single
+/// rotation factory per node; Cliffords free).
+inline double tfim_local_delay(const Params& p, int n_spins) {
+  const double per_node = static_cast<double>(n_spins) / p.N;
+  return 2.0 * per_node * p.D_R;
+}
+
+/// Delay per Trotter step with an optimized communication schedule:
+///   S >= 2:  max(D_Trotter, 2E)
+///   S == 1:  max(D_Trotter, 2E + 2 D_R)   (buffer must be cleared by a
+///            rotation between EPR creation requests, §7.2)
+inline double tfim_step_delay(const Params& p, int n_spins) {
+  const double local = tfim_local_delay(p, n_spins);
+  if (p.S >= 2) return std::max(local, 2 * p.E);
+  return std::max(local, 2 * p.E + 2 * p.D_R);
+}
+
+/// The paper's node-count guideline: communication is not a bottleneck
+/// (S >= 2) while N <= E^-1 n D_R.
+inline double tfim_max_nodes(const Params& p, int n_spins) {
+  return static_cast<double>(n_spins) * p.D_R / p.E;
+}
+
+/// EPR pairs per Trotter step: one per ring edge = N (n >= N >= 2).
+inline std::uint64_t tfim_step_epr(const Params& p) {
+  return p.N >= 2 ? static_cast<std::uint64_t>(p.N) : 0;
+}
+
+}  // namespace qmpi::sendq

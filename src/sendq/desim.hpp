@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sendq/params.hpp"
+
+namespace qmpi::sendq {
+
+/// Error raised when a program cannot make progress under the given
+/// resource constraints (e.g. it needs more concurrent EPR buffer slots
+/// than S provides) or is malformed.
+class DesimError : public std::runtime_error {
+ public:
+  explicit DesimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using TaskId = std::size_t;
+
+/// A task-graph program over the SENDQ machine model. Build with the
+/// factory methods, then run through `simulate`. The discrete-event
+/// scheduler enforces the model's resource constraints, so model claims
+/// (e.g. the 2E cat-state bound or the S=1 penalty of §7.2) *emerge* from
+/// simulation rather than being assumed.
+class Program {
+ public:
+  /// Establishes an EPR pair between nodes a and b (duration E). Occupies
+  /// the EPR engine of both endpoints for the duration and one buffer slot
+  /// on each endpoint from start until the slot is released (see
+  /// release_slot). Slots for which release_slot is never called are held
+  /// to the end of the program.
+  TaskId epr(int node_a, int node_b, std::vector<TaskId> deps = {});
+
+  /// Releases the buffer slot held by `epr_task` on `node` (instantaneous;
+  /// models fanout-measurement or unreceive freeing the qubit).
+  TaskId release_slot(TaskId epr_task, int node, std::vector<TaskId> deps);
+
+  /// Local computation of `duration` on `node`. If `channel` is non-empty,
+  /// tasks on the same (node, channel) serialize — e.g. channel "rot"
+  /// models the single rotation factory per node (§7.2). Unnamed tasks run
+  /// fully in parallel (the Q-qubit parallelism of the model).
+  TaskId local(int node, double duration, std::vector<TaskId> deps = {},
+               std::string channel = {});
+
+  /// Rotation gate: local(node, D_R) on the "rot" channel.
+  TaskId rotation(int node, std::vector<TaskId> deps = {});
+  /// Local parity measurement: local(node, D_M).
+  TaskId parity_measurement(int node, std::vector<TaskId> deps = {});
+  /// Pauli fix-up: local(node, D_F).
+  TaskId fixup(int node, std::vector<TaskId> deps = {});
+
+  /// Classical message from a to b: a zero-duration ordering edge (the
+  /// model ignores classical communication time, §5).
+  TaskId classical(int from, int to, std::vector<TaskId> deps = {});
+
+  /// Adds an extra dependency after construction.
+  void depends(TaskId task, TaskId on);
+
+  std::size_t size() const { return tasks_.size(); }
+
+  struct Task {
+    enum class Kind { kEpr, kRelease, kLocal, kClassical } kind;
+    int node_a = -1;
+    int node_b = -1;
+    double duration = 0.0;       ///< resolved at simulate() time for kEpr
+    bool duration_is_epr = false;
+    bool duration_is_rotation = false;
+    bool duration_is_parity = false;
+    bool duration_is_fixup = false;
+    std::string channel;
+    TaskId release_target = 0;   ///< for kRelease: the epr task
+    std::vector<TaskId> deps;
+  };
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  TaskId push(Task t);
+  std::vector<Task> tasks_;
+};
+
+/// Simulation outcome.
+struct SimResult {
+  double makespan = 0.0;
+  std::uint64_t epr_pairs = 0;
+  /// Peak number of concurrently held EPR buffer slots per node (must be
+  /// <= S; reported so experiments can state the S their schedule needs).
+  std::vector<int> peak_buffer;
+  /// Completion time per task (diagnostics).
+  std::vector<double> finish_time;
+};
+
+/// Runs the greedy (list-scheduling) discrete-event simulation of `program`
+/// under `params`. Throws DesimError on stalls (resource deadlock) or if a
+/// task references a node >= params.N.
+SimResult simulate(const Program& program, const Params& params);
+
+}  // namespace qmpi::sendq

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace qmpi::sendq {
+
+/// The SENDQ model parameters (paper §5).
+///
+/// Communication:
+///  - S: logical qubits per node dedicated to buffering EPR pairs. The
+///       guard against the "share everything ahead of time" exploit (§5.1).
+///  - E: time to establish one logical EPR pair with any other node; a node
+///       participates in at most one establishment at a time. E^-1 is the
+///       per-node EPR injection bandwidth (latency is ignored).
+///  - N: number of quantum nodes.
+/// Local computation:
+///  - D: delay of local computation, refined into the delays that dominate
+///       fault-tolerant execution (§5.1): D_R for rotation/T gates, D_M for
+///       a local two-qubit parity measurement, D_F for a Pauli fix-up.
+///       Cheap Clifford gates are modelled as free, as the paper assumes.
+///  - Q: logical compute qubits per node (= compute elements; current QEC
+///       schemes give full parallelism across stored qubits).
+struct Params {
+  int N = 2;          ///< number of nodes
+  int S = 2;          ///< EPR buffer qubits per node
+  double E = 10.0;    ///< EPR establishment time (arbitrary time units)
+  double D_R = 1.0;   ///< rotation / T-gate delay
+  double D_M = 0.0;   ///< local parity-measurement delay
+  double D_F = 0.0;   ///< Pauli fix-up delay
+  int Q = 64;         ///< compute qubits per node
+
+  void validate() const {
+    if (N < 1) throw std::invalid_argument("SENDQ: N must be >= 1");
+    if (S < 0) throw std::invalid_argument("SENDQ: S must be >= 0");
+    if (E < 0 || D_R < 0 || D_M < 0 || D_F < 0) {
+      throw std::invalid_argument("SENDQ: delays must be non-negative");
+    }
+    if (Q < 1) throw std::invalid_argument("SENDQ: Q must be >= 1");
+  }
+
+  std::string str() const {
+    return "SENDQ{N=" + std::to_string(N) + ", S=" + std::to_string(S) +
+           ", E=" + std::to_string(E) + ", D_R=" + std::to_string(D_R) +
+           ", D_M=" + std::to_string(D_M) + ", D_F=" + std::to_string(D_F) +
+           ", Q=" + std::to_string(Q) + "}";
+  }
+};
+
+/// Unbounded buffer sentinel for experiments that ignore S.
+inline constexpr int kUnboundedS = std::numeric_limits<int>::max() / 2;
+
+}  // namespace qmpi::sendq

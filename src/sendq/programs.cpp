@@ -1,0 +1,280 @@
+#include "sendq/programs.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace qmpi::sendq {
+
+Program bcast_tree_program(int n_nodes) {
+  Program p;
+  // arrival[r]: the task after which node r holds the message.
+  std::vector<std::optional<TaskId>> arrival(
+      static_cast<std::size_t>(n_nodes));
+  for (int mask = 1; mask < n_nodes; mask <<= 1) {
+    for (int src = 0; src < mask && src + mask < n_nodes; ++src) {
+      const int dst = src + mask;
+      std::vector<TaskId> deps;
+      if (arrival[static_cast<std::size_t>(src)]) {
+        deps.push_back(*arrival[static_cast<std::size_t>(src)]);
+      }
+      const TaskId e = p.epr(src, dst, deps);
+      // Copy protocol: sender's half is measured immediately (slot freed);
+      // receiver's half becomes the data copy (leaves the EPR buffer).
+      p.release_slot(e, src, {e});
+      p.release_slot(e, dst, {e});
+      arrival[static_cast<std::size_t>(dst)] = e;
+    }
+  }
+  return p;
+}
+
+Program bcast_cat_program(int n_nodes) {
+  Program p;
+  if (n_nodes < 2) return p;
+  // Chain EPR pairs: edge k connects nodes k and k+1. No dependencies —
+  // the engine-exclusivity constraint alone forces the two-round (2E)
+  // schedule the paper describes.
+  std::vector<TaskId> edges;
+  edges.reserve(static_cast<std::size_t>(n_nodes - 1));
+  for (int k = 0; k + 1 < n_nodes; ++k) edges.push_back(p.epr(k, k + 1));
+
+  // Local parity measurements on every node with a right edge (the root
+  // measures data (x) EPR-half; interior nodes measure their two halves).
+  std::vector<TaskId> parities;
+  for (int k = 0; k + 1 < n_nodes; ++k) {
+    std::vector<TaskId> deps{edges[static_cast<std::size_t>(k)]};
+    if (k > 0) deps.push_back(edges[static_cast<std::size_t>(k - 1)]);
+    parities.push_back(p.parity_measurement(k, deps));
+  }
+
+  // Classical exscan of outcomes, then an X fix-up on each node. Classical
+  // time is free in SENDQ; the messages only order the fix-ups after the
+  // measurements they depend on.
+  std::vector<TaskId> fixes;
+  fixes.reserve(static_cast<std::size_t>(n_nodes));
+  for (int k = 0; k < n_nodes; ++k) {
+    std::vector<TaskId> deps;
+    for (int j = 0; j < k && j + 1 < n_nodes; ++j) {
+      deps.push_back(p.classical(j, k, {parities[static_cast<std::size_t>(j)]}));
+    }
+    if (k + 1 < n_nodes) deps.push_back(parities[static_cast<std::size_t>(k)]);
+    fixes.push_back(p.fixup(k, deps));
+  }
+  // Slots: each node folds its redundant half into its kept qubit after
+  // its own fix-up (local CNOT, free), releasing the buffer. Edge k holds
+  // a slot at node k until fix_k and at node k+1 until fix_{k+1}.
+  for (int k = 0; k + 1 < n_nodes; ++k) {
+    p.release_slot(edges[static_cast<std::size_t>(k)], k,
+                   {fixes[static_cast<std::size_t>(k)]});
+    p.release_slot(edges[static_cast<std::size_t>(k)], k + 1,
+                   {fixes[static_cast<std::size_t>(k + 1)]});
+  }
+  return p;
+}
+
+Program parity_inplace_program(int k) {
+  Program p;
+  if (k < 1) return p;
+  // last[i]: most recent task touching node i's qubit.
+  std::vector<std::optional<TaskId>> last(static_cast<std::size_t>(k));
+  // Binary tree of distributed CNOTs folding parities towards node 0:
+  // round r folds the qubit at distance 2^r into the survivor at i.
+  std::vector<std::pair<int, int>> tree_edges;
+  for (int dist = 1; dist < k; dist <<= 1) {
+    for (int i = 0; i + dist < k; i += 2 * dist) {
+      tree_edges.emplace_back(i + dist, i);
+    }
+  }
+  auto dcnot = [&](int a, int b) {
+    std::vector<TaskId> deps;
+    if (last[static_cast<std::size_t>(a)])
+      deps.push_back(*last[static_cast<std::size_t>(a)]);
+    if (last[static_cast<std::size_t>(b)])
+      deps.push_back(*last[static_cast<std::size_t>(b)]);
+    const TaskId e = p.epr(a, b, deps);
+    p.release_slot(e, a, {e});
+    p.release_slot(e, b, {e});
+    last[static_cast<std::size_t>(a)] = e;
+    last[static_cast<std::size_t>(b)] = e;
+    return e;
+  };
+  for (const auto& [a, b] : tree_edges) dcnot(a, b);
+  // The rotation sits on the final accumulator, node 0.
+  const int acc = 0;
+  std::vector<TaskId> rot_deps;
+  if (last[static_cast<std::size_t>(acc)])
+    rot_deps.push_back(*last[static_cast<std::size_t>(acc)]);
+  const TaskId rot = p.rotation(acc, rot_deps);
+  last[static_cast<std::size_t>(acc)] = rot;
+  // Uncompute: the same tree in reverse.
+  for (auto it = tree_edges.rbegin(); it != tree_edges.rend(); ++it) {
+    dcnot(it->first, it->second);
+  }
+  return p;
+}
+
+Program parity_outofplace_program(int k) {
+  Program p;
+  if (k < 1) return p;
+  const int aux_node = k - 1;
+  // Serial distributed CNOTs into the auxiliary qubit: every EPR involves
+  // aux_node, so engine exclusivity serializes them (E * k emerges; for
+  // the qubit hosted on aux_node itself the CNOT is local and free).
+  TaskId prev = 0;
+  bool have_prev = false;
+  for (int i = 0; i < k; ++i) {
+    if (i == aux_node) continue;  // local CNOT, free
+    std::vector<TaskId> deps;
+    if (have_prev) deps.push_back(prev);
+    const TaskId e = p.epr(i, aux_node, deps);
+    p.release_slot(e, i, {e});
+    p.release_slot(e, aux_node, {e});
+    prev = e;
+    have_prev = true;
+  }
+  // One extra EPR accounts for the aux-node qubit's own fanout in the
+  // paper's counting (k EPR pairs total): the aux qubit's CNOT is local,
+  // so only k-1 pairs appear here when the aux hosts one of the qubits.
+  std::vector<TaskId> rot_deps;
+  if (have_prev) rot_deps.push_back(prev);
+  p.rotation(aux_node, rot_deps);
+  // Uncompute is classical-only (Fig. 1b): free in SENDQ.
+  return p;
+}
+
+Program parity_constdepth_program(int k) {
+  Program p;
+  if (k < 1) return p;
+  // Cat state over the k nodes (constant depth, as in bcast_cat), rotation
+  // on the auxiliary qubit hosted on one involved node, classical-only
+  // uncompute of the fanout. Chain EPRs + parities + fix-ups:
+  std::vector<TaskId> edges;
+  for (int i = 0; i + 1 < k; ++i) edges.push_back(p.epr(i, i + 1));
+  std::vector<TaskId> parities;
+  for (int i = 0; i + 1 < k; ++i) {
+    std::vector<TaskId> deps{edges[static_cast<std::size_t>(i)]};
+    if (i > 0) deps.push_back(edges[static_cast<std::size_t>(i - 1)]);
+    parities.push_back(p.parity_measurement(i, deps));
+  }
+  std::vector<TaskId> fixes;
+  for (int i = 0; i < k; ++i) {
+    std::vector<TaskId> deps;
+    for (int j = 0; j < i && j + 1 < k; ++j)
+      deps.push_back(parities[static_cast<std::size_t>(j)]);
+    if (i + 1 < k) deps.push_back(parities[static_cast<std::size_t>(i)]);
+    fixes.push_back(p.fixup(i, deps));
+  }
+  // Rotation on the aux qubit (hosted on node k-1) once its cat qubit is
+  // fixed up.
+  const TaskId rot = p.rotation(k - 1, {fixes.back()});
+  // Uncompute: X-basis measurements + classical parity to the rotation
+  // node — free. Release the chain slots after the rotation completes.
+  for (int i = 0; i + 1 < k; ++i) {
+    p.release_slot(edges[static_cast<std::size_t>(i)], i, {rot});
+    p.release_slot(edges[static_cast<std::size_t>(i)], i + 1, {rot});
+  }
+  return p;
+}
+
+Program reduce_chain_program(int n_nodes) {
+  Program p;
+  std::optional<TaskId> prev;
+  for (int k = 0; k + 1 < n_nodes; ++k) {
+    std::vector<TaskId> deps;
+    if (prev) deps.push_back(*prev);
+    const TaskId e = p.epr(k, k + 1, deps);
+    p.release_slot(e, k, {e});
+    p.release_slot(e, k + 1, {e});
+    prev = e;
+  }
+  return p;
+}
+
+Program reduce_tree_program(int n_nodes) {
+  Program p;
+  std::vector<std::optional<TaskId>> last(
+      static_cast<std::size_t>(n_nodes));
+  for (int dist = 1; dist < n_nodes; dist <<= 1) {
+    for (int i = 0; i + dist < n_nodes; i += 2 * dist) {
+      const int a = i;
+      const int b = i + dist;
+      std::vector<TaskId> deps;
+      if (last[static_cast<std::size_t>(a)])
+        deps.push_back(*last[static_cast<std::size_t>(a)]);
+      if (last[static_cast<std::size_t>(b)])
+        deps.push_back(*last[static_cast<std::size_t>(b)]);
+      const TaskId e = p.epr(a, b, deps);
+      p.release_slot(e, a, {e});
+      p.release_slot(e, b, {e});
+      last[static_cast<std::size_t>(a)] = e;
+      last[static_cast<std::size_t>(b)] = e;
+    }
+  }
+  return p;
+}
+
+Program tfim_step_program(int n_nodes, int spins_per_node, int steps) {
+  Program p;
+  const int q = spins_per_node;
+  if (n_nodes < 2) {
+    // Single node: just the serialized local rotations.
+    for (int s = 0; s < steps; ++s) {
+      for (int g = 0; g < 2 * q; ++g) p.rotation(0);
+    }
+    return p;
+  }
+  // prev_release[r]: release task of the buffer slot node r used last step
+  // (receiver side); next step's EPR on that edge reuses the slot.
+  std::vector<std::optional<TaskId>> prev_recv_release(
+      static_cast<std::size_t>(n_nodes));
+  std::vector<std::optional<TaskId>> prev_send_release(
+      static_cast<std::size_t>(n_nodes));
+  std::vector<std::optional<TaskId>> last_rot(
+      static_cast<std::size_t>(n_nodes));
+
+  for (int s = 0; s < steps; ++s) {
+    // One EPR per ring edge (r, r+1); receiver is r (it receives a copy of
+    // node r+1's first spin for the boundary ZZ term, as in Listing 1).
+    std::vector<TaskId> edge_epr(static_cast<std::size_t>(n_nodes));
+    for (int r = 0; r < n_nodes; ++r) {
+      const int sender = (r + 1) % n_nodes;
+      std::vector<TaskId> deps;
+      if (prev_recv_release[static_cast<std::size_t>(r)])
+        deps.push_back(*prev_recv_release[static_cast<std::size_t>(r)]);
+      if (prev_send_release[static_cast<std::size_t>(sender)])
+        deps.push_back(*prev_send_release[static_cast<std::size_t>(sender)]);
+      edge_epr[static_cast<std::size_t>(r)] = p.epr(r, sender, deps);
+      // Sender's half is measured right away in the fanout protocol.
+      prev_send_release[static_cast<std::size_t>(sender)] = p.release_slot(
+          edge_epr[static_cast<std::size_t>(r)], sender,
+          {edge_epr[static_cast<std::size_t>(r)]});
+    }
+    // Local rotations: 2q per node, serialized on the rotation channel.
+    // One of them is the boundary rotation on the received copy; the
+    // buffer slot is held until it completes (the §7.2 S=1 structure).
+    for (int r = 0; r < n_nodes; ++r) {
+      std::vector<TaskId> first_deps;
+      if (last_rot[static_cast<std::size_t>(r)])
+        first_deps.push_back(*last_rot[static_cast<std::size_t>(r)]);
+      TaskId prev_rot = 0;
+      bool have = false;
+      for (int g = 0; g < 2 * q - 1; ++g) {
+        std::vector<TaskId> deps = have
+                                       ? std::vector<TaskId>{prev_rot}
+                                       : first_deps;
+        prev_rot = p.rotation(r, deps);
+        have = true;
+      }
+      // Boundary rotation needs the received copy.
+      std::vector<TaskId> bdeps{edge_epr[static_cast<std::size_t>(r)]};
+      if (have) bdeps.push_back(prev_rot);
+      const TaskId boundary = p.rotation(r, bdeps);
+      last_rot[static_cast<std::size_t>(r)] = boundary;
+      prev_recv_release[static_cast<std::size_t>(r)] =
+          p.release_slot(edge_epr[static_cast<std::size_t>(r)], r, {boundary});
+    }
+  }
+  return p;
+}
+
+}  // namespace qmpi::sendq

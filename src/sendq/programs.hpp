@@ -1,0 +1,48 @@
+#pragma once
+
+#include "sendq/desim.hpp"
+
+namespace qmpi::sendq {
+
+/// Builders for the task-graph programs the paper analyzes (§7.1-§7.3).
+/// Simulating these under `simulate()` cross-checks the analytic formulas
+/// in analytic.hpp — the resource constraints (EPR engine exclusivity,
+/// buffer capacity S) are enforced by the scheduler, so the paper's claimed
+/// runtimes must *emerge*.
+
+/// §7.1: log-depth broadcast as a binomial tree of QMPI_Send/Recv.
+Program bcast_tree_program(int n_nodes);
+
+/// §7.1 / Fig. 4: constant-quantum-depth broadcast via a cat state on a
+/// spanning chain. Interior nodes hold two EPR halves => needs S >= 2.
+Program bcast_cat_program(int n_nodes);
+
+/// §7.3 / Fig. 6(a): in-place binary-tree parity + rotation + uncompute
+/// over k qubits on k distinct nodes.
+Program parity_inplace_program(int k);
+
+/// §7.3 / Fig. 6(b): out-of-place parity into an auxiliary qubit on the
+/// last node; serial distributed CNOTs, classical-only uncompute.
+Program parity_outofplace_program(int k);
+
+/// §7.3 / Fig. 6(c): constant-depth multi-target CNOT via cat state,
+/// rotation on the auxiliary, classical-only uncompute.
+Program parity_constdepth_program(int k);
+
+/// §4.6 ablation: chain-scheduled QMPI_Reduce — N-1 serial copy hops
+/// (each EPR depends on the previous hop's fold), linear depth.
+Program reduce_chain_program(int n_nodes);
+
+/// §4.6 ablation: binary-tree QMPI_Reduce — O(log N) rounds of pairwise
+/// folds; the immediate-uncopy variant whose unreduce recomputes (the
+/// program models the forward pass; double it for reduce+unreduce EPR).
+Program reduce_tree_program(int n_nodes);
+
+/// §7.2: `steps` first-order TFIM Trotter steps on a ring of
+/// n_nodes * spins_per_node spins, block-distributed. Per step and node:
+/// 2*spins_per_node serialized rotations; one EPR per ring edge whose
+/// receiver-side buffer slot is held until the boundary rotation finishes
+/// (the structure that makes S=1 slower, §7.2).
+Program tfim_step_program(int n_nodes, int spins_per_node, int steps = 1);
+
+}  // namespace qmpi::sendq

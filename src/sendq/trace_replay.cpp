@@ -1,0 +1,76 @@
+#include "sendq/trace_replay.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace qmpi::sendq {
+
+Program replay(std::span<const TraceEvent> events) {
+  Program p;
+  int max_node = -1;
+  for (const auto& e : events) {
+    max_node = std::max({max_node, e.node_a, e.node_b});
+  }
+  const int n = max_node + 1;
+  // last[r]: most recent task on node r; inbox[r]: pending cross-node
+  // ordering edges (classical sends targeting r).
+  std::vector<std::optional<TaskId>> last(static_cast<std::size_t>(n));
+  std::vector<std::vector<TaskId>> inbox(static_cast<std::size_t>(n));
+
+  auto deps_for = [&](int node) {
+    std::vector<TaskId> deps;
+    const auto idx = static_cast<std::size_t>(node);
+    if (last[idx]) deps.push_back(*last[idx]);
+    for (const TaskId t : inbox[idx]) deps.push_back(t);
+    inbox[idx].clear();
+    return deps;
+  };
+
+  for (const auto& e : events) {
+    const auto a = static_cast<std::size_t>(e.node_a);
+    switch (e.kind) {
+      case TraceEvent::Kind::kEprEstablish: {
+        auto deps = deps_for(e.node_a);
+        for (const TaskId t : deps_for(e.node_b)) deps.push_back(t);
+        const TaskId t = p.epr(e.node_a, e.node_b, deps);
+        // Traces carry no qubit-lifetime info: release slots immediately.
+        p.release_slot(t, e.node_a, {t});
+        p.release_slot(t, e.node_b, {t});
+        last[a] = t;
+        last[static_cast<std::size_t>(e.node_b)] = t;
+        break;
+      }
+      case TraceEvent::Kind::kRotation: {
+        const TaskId t = p.rotation(e.node_a, deps_for(e.node_a));
+        last[a] = t;
+        break;
+      }
+      case TraceEvent::Kind::kMeasurement: {
+        const TaskId t = p.parity_measurement(e.node_a, deps_for(e.node_a));
+        last[a] = t;
+        break;
+      }
+      case TraceEvent::Kind::kLocalGate: {
+        // Clifford gates are free in SENDQ; they still order the chain.
+        const TaskId t = p.local(e.node_a, 0.0, deps_for(e.node_a));
+        last[a] = t;
+        break;
+      }
+      case TraceEvent::Kind::kClassicalSend: {
+        const TaskId t =
+            p.classical(e.node_a, e.node_b, deps_for(e.node_a));
+        last[a] = t;
+        inbox[static_cast<std::size_t>(e.node_b)].push_back(t);
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+SimResult estimate(std::span<const TraceEvent> events, const Params& params) {
+  return simulate(replay(events), params);
+}
+
+}  // namespace qmpi::sendq

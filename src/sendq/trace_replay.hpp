@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "core/trace.hpp"
+#include "sendq/desim.hpp"
+
+namespace qmpi::sendq {
+
+/// Converts a QMPI runtime trace into a SENDQ task-graph program so that an
+/// actual program's runtime on a hypothetical distributed quantum machine
+/// can be estimated (the resource-estimation use of the paper's abstract).
+///
+/// Modeling choices:
+///  - Per-node event order in the trace becomes a dependency chain.
+///  - EPR establishments join the two endpoint chains.
+///  - Classical sends create a cross-node ordering edge (zero cost).
+///  - Rotations run on the per-node "rot" channel (one factory per node);
+///    Clifford gates are free, measurements cost D_M.
+///  - EPR buffer slots are released immediately after establishment; pass
+///    Params with a large S (or kUnboundedS) — replayed traces do not carry
+///    qubit-lifetime information.
+Program replay(std::span<const TraceEvent> events);
+
+/// Convenience: simulate a trace directly.
+SimResult estimate(std::span<const TraceEvent> events, const Params& params);
+
+}  // namespace qmpi::sendq

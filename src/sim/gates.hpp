@@ -1,0 +1,102 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <string>
+
+namespace qmpi::sim {
+
+using Complex = std::complex<double>;
+
+/// A single-qubit gate as a dense 2x2 unitary, row-major:
+/// [ m00 m01 ; m10 m11 ].
+struct Gate1Q {
+  std::array<Complex, 4> m;
+  std::string name;
+
+  Complex operator()(int row, int col) const {
+    return m[static_cast<std::size_t>(row * 2 + col)];
+  }
+
+  /// Hermitian conjugate (the inverse, since gates are unitary).
+  Gate1Q dagger() const {
+    return Gate1Q{{std::conj(m[0]), std::conj(m[2]), std::conj(m[1]),
+                   std::conj(m[3])},
+                  name + "^"};
+  }
+};
+
+inline const Gate1Q& gate_x() {
+  static const Gate1Q g{{0, 1, 1, 0}, "X"};
+  return g;
+}
+
+inline const Gate1Q& gate_y() {
+  static const Gate1Q g{{0, Complex(0, -1), Complex(0, 1), 0}, "Y"};
+  return g;
+}
+
+inline const Gate1Q& gate_z() {
+  static const Gate1Q g{{1, 0, 0, -1}, "Z"};
+  return g;
+}
+
+inline const Gate1Q& gate_h() {
+  static const double s = 1.0 / std::numbers::sqrt2;
+  static const Gate1Q g{{s, s, s, -s}, "H"};
+  return g;
+}
+
+inline const Gate1Q& gate_s() {
+  static const Gate1Q g{{1, 0, 0, Complex(0, 1)}, "S"};
+  return g;
+}
+
+inline const Gate1Q& gate_sdg() {
+  static const Gate1Q g{{1, 0, 0, Complex(0, -1)}, "S^"};
+  return g;
+}
+
+inline const Gate1Q& gate_t() {
+  static const Gate1Q g{
+      {1, 0, 0, std::exp(Complex(0, std::numbers::pi / 4))}, "T"};
+  return g;
+}
+
+inline const Gate1Q& gate_tdg() {
+  static const Gate1Q g{
+      {1, 0, 0, std::exp(Complex(0, -std::numbers::pi / 4))}, "T^"};
+  return g;
+}
+
+/// Rx(theta) = exp(-i theta X / 2).
+inline Gate1Q gate_rx(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return Gate1Q{{Complex(c, 0), Complex(0, -s), Complex(0, -s), Complex(c, 0)},
+                "Rx"};
+}
+
+/// Ry(theta) = exp(-i theta Y / 2).
+inline Gate1Q gate_ry(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return Gate1Q{{Complex(c, 0), Complex(-s, 0), Complex(s, 0), Complex(c, 0)},
+                "Ry"};
+}
+
+/// Rz(theta) = exp(-i theta Z / 2).
+inline Gate1Q gate_rz(double theta) {
+  return Gate1Q{{std::exp(Complex(0, -theta / 2)), 0, 0,
+                 std::exp(Complex(0, theta / 2))},
+                "Rz"};
+}
+
+/// Phase gate diag(1, e^{i phi}).
+inline Gate1Q gate_phase(double phi) {
+  return Gate1Q{{1, 0, 0, std::exp(Complex(0, phi))}, "Ph"};
+}
+
+}  // namespace qmpi::sim

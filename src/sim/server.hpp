@@ -1,0 +1,89 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sim/statevector.hpp"
+
+namespace qmpi::sim {
+
+/// Serialized access to a shared StateVector, mirroring the paper's
+/// prototype design (§6): "all ranks forward quantum operations to rank 0,
+/// which then applies the operation to the state vector. Rank 0 runs a
+/// separate thread that waits to receive gate operations to execute."
+///
+/// Rank threads call submit() with a closure over the StateVector; the
+/// worker thread executes submissions strictly in arrival order and
+/// fulfills the returned future. This keeps the global state vector a
+/// faithful representation of the distributed machine at every step.
+class SimServer {
+ public:
+  explicit SimServer(std::uint64_t seed = 0x5EED5EED5EEDULL)
+      : state_(seed), worker_([this] { run(); }) {}
+
+  ~SimServer() {
+    {
+      const std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  SimServer(const SimServer&) = delete;
+  SimServer& operator=(const SimServer&) = delete;
+
+  /// Enqueues `fn(state)` for execution on the server thread; the returned
+  /// future carries fn's result (or exception).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn, StateVector&>> {
+    using R = std::invoke_result_t<Fn, StateVector&>;
+    auto task = std::make_shared<std::packaged_task<R(StateVector&)>>(
+        std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.emplace_back([task](StateVector& sv) { (*task)(sv); });
+    }
+    cv_.notify_all();
+    return future;
+  }
+
+  /// Convenience: submit and wait for the result.
+  template <typename Fn>
+  auto call(Fn&& fn) -> std::invoke_result_t<Fn, StateVector&> {
+    return submit(std::forward<Fn>(fn)).get();
+  }
+
+ private:
+  void run() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      auto fn = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      fn(state_);
+      lock.lock();
+    }
+  }
+
+  StateVector state_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void(StateVector&)>> queue_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace qmpi::sim

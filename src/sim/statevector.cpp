@@ -1,0 +1,329 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <thread>
+
+namespace qmpi::sim {
+
+namespace {
+constexpr double kEps = 1e-10;
+}
+
+StateVector::StateVector(std::uint64_t seed) : rng_(seed) {
+  amplitudes_ = {Complex(1.0, 0.0)};  // the empty register: a scalar 1
+}
+
+std::vector<QubitId> StateVector::allocate(std::size_t count) {
+  std::vector<QubitId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const QubitId id = next_id_++;
+    index_[id] = positions_.size();
+    positions_.push_back(id);
+    // Appending a |0> factor: amplitudes double, upper half is zero.
+    amplitudes_.resize(amplitudes_.size() * 2, Complex(0.0, 0.0));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t StateVector::position_checked(QubitId qubit) const {
+  const auto it = index_.find(qubit);
+  if (it == index_.end()) {
+    throw SimulatorError("unknown qubit id " + std::to_string(qubit));
+  }
+  return it->second;
+}
+
+double StateVector::probability_one_at(std::size_t pos) const {
+  const std::uint64_t stride = 1ULL << pos;
+  double p1 = 0.0;
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i & stride) p1 += std::norm(amplitudes_[i]);
+  }
+  return p1;
+}
+
+double StateVector::probability_one(QubitId qubit) const {
+  return probability_one_at(position_checked(qubit));
+}
+
+void StateVector::remove_position(std::size_t pos, bool bit) {
+  const std::uint64_t stride = 1ULL << pos;
+  const std::size_t n = amplitudes_.size();
+  std::vector<Complex> reduced(n / 2);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<bool>(i & stride) == bit) reduced[out++] = amplitudes_[i];
+  }
+  amplitudes_ = std::move(reduced);
+  // Fix the id<->position maps: qubits above `pos` shift down by one.
+  index_.erase(positions_[pos]);
+  positions_.erase(positions_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t p = pos; p < positions_.size(); ++p) {
+    index_[positions_[p]] = p;
+  }
+}
+
+void StateVector::deallocate(QubitId qubit) {
+  const std::size_t pos = position_checked(qubit);
+  const double p1 = probability_one_at(pos);
+  if (p1 > kEps) {
+    throw SimulatorError(
+        "deallocating qubit " + std::to_string(qubit) +
+        " that is not in |0> (P[1]=" + std::to_string(p1) +
+        "); uncompute it first or use release()");
+  }
+  remove_position(pos, /*bit=*/false);
+}
+
+void StateVector::deallocate_classical(QubitId qubit) {
+  const std::size_t pos = position_checked(qubit);
+  const double p1 = probability_one_at(pos);
+  if (p1 > kEps && p1 < 1.0 - kEps) {
+    throw SimulatorError("deallocating qubit " + std::to_string(qubit) +
+                         " that is in superposition (P[1]=" +
+                         std::to_string(p1) + ")");
+  }
+  remove_position(pos, /*bit=*/p1 >= 0.5);
+}
+
+bool StateVector::release(QubitId qubit) {
+  const bool outcome = measure(qubit);
+  const std::size_t pos = position_checked(qubit);
+  remove_position(pos, outcome);
+  return outcome;
+}
+
+template <typename Fn>
+void StateVector::parallel_for(std::size_t count, Fn&& fn) const {
+  // Fork/join threshold: below ~2^16 elements the thread launch dominates.
+  constexpr std::size_t kMinParallel = 1ULL << 16;
+  if (num_threads_ <= 1 || count < kMinParallel) {
+    fn(std::size_t{0}, count);
+    return;
+  }
+  const std::size_t chunk = (count + num_threads_ - 1) / num_threads_;
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads_);
+  for (unsigned t = 0; t < num_threads_; ++t) {
+    const std::size_t begin = std::min(count, t * chunk);
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+void StateVector::apply_at(const Gate1Q& gate, std::size_t pos,
+                           std::uint64_t ctrl_mask) {
+  const std::uint64_t stride = 1ULL << pos;
+  const std::size_t n = amplitudes_.size();
+  const Complex m00 = gate.m[0], m01 = gate.m[1], m10 = gate.m[2],
+                m11 = gate.m[3];
+  // Iterate over all pairs (i, i|stride) with bit `pos` clear in i; the
+  // pair index k maps to i0 by splicing the target bit out of k.
+  const std::size_t pairs = n / 2;
+  parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t low = k & (stride - 1);
+      const std::size_t high = (k >> pos) << (pos + 1);
+      const std::size_t i0 = high | low;
+      if ((i0 & ctrl_mask) != ctrl_mask) continue;
+      const std::size_t i1 = i0 | stride;
+      const Complex a0 = amplitudes_[i0];
+      const Complex a1 = amplitudes_[i1];
+      amplitudes_[i0] = m00 * a0 + m01 * a1;
+      amplitudes_[i1] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+void StateVector::apply(const Gate1Q& gate, QubitId target) {
+  apply_at(gate, position_checked(target), /*ctrl_mask=*/0);
+}
+
+void StateVector::apply_controlled(const Gate1Q& gate,
+                                   std::span<const QubitId> controls,
+                                   QubitId target) {
+  const std::size_t tpos = position_checked(target);
+  std::uint64_t mask = 0;
+  for (const QubitId c : controls) {
+    const std::size_t cpos = position_checked(c);
+    if (cpos == tpos) {
+      throw SimulatorError("control qubit equals target qubit");
+    }
+    mask |= 1ULL << cpos;
+  }
+  apply_at(gate, tpos, mask);
+}
+
+void StateVector::collapse(std::size_t pos, bool bit, double prob_bit) {
+  const std::uint64_t stride = 1ULL << pos;
+  const double scale = 1.0 / std::sqrt(prob_bit);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<bool>(i & stride) == bit) {
+      amplitudes_[i] *= scale;
+    } else {
+      amplitudes_[i] = Complex(0.0, 0.0);
+    }
+  }
+}
+
+bool StateVector::measure(QubitId qubit) {
+  const std::size_t pos = position_checked(qubit);
+  const double p1 = probability_one_at(pos);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool outcome = dist(rng_) < p1;
+  collapse(pos, outcome, outcome ? p1 : 1.0 - p1);
+  return outcome;
+}
+
+bool StateVector::measure_x(QubitId qubit) {
+  h(qubit);
+  const bool outcome = measure(qubit);
+  h(qubit);  // map the collapsed |0>/|1> back to |+>/|->
+  return outcome;
+}
+
+bool StateVector::measure_parity(std::span<const QubitId> qubits) {
+  std::uint64_t mask = 0;
+  for (const QubitId q : qubits) mask |= 1ULL << position_checked(q);
+  const std::size_t n = amplitudes_.size();
+  double p_odd = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::popcount(i & mask) & 1U) p_odd += std::norm(amplitudes_[i]);
+  }
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool outcome = dist(rng_) < p_odd;
+  const double prob = outcome ? p_odd : 1.0 - p_odd;
+  const double scale = 1.0 / std::sqrt(prob);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool odd = std::popcount(i & mask) & 1U;
+    if (odd == outcome) {
+      amplitudes_[i] *= scale;
+    } else {
+      amplitudes_[i] = Complex(0.0, 0.0);
+    }
+  }
+  return outcome;
+}
+
+Complex StateVector::amplitude(std::span<const QubitId> order,
+                               std::span<const bool> bits) const {
+  if (order.size() != bits.size() || order.size() != positions_.size()) {
+    throw SimulatorError("amplitude() needs exactly one bit per qubit");
+  }
+  std::size_t idx = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (bits[k]) idx |= 1ULL << position_checked(order[k]);
+  }
+  return amplitudes_[idx];
+}
+
+double StateVector::expectation(
+    std::span<const std::pair<QubitId, char>> pauli) const {
+  // <psi|P|psi> = <psi|phi> with |phi> = P|psi>. Build P|psi> cheaply:
+  // X flips a bit, Z adds a sign, Y does both with a factor i.
+  std::uint64_t flip_mask = 0;
+  std::uint64_t z_mask = 0;
+  int y_count = 0;
+  for (const auto& [qubit, op] : pauli) {
+    const std::uint64_t bit = 1ULL << position_checked(qubit);
+    switch (op) {
+      case 'X':
+        flip_mask |= bit;
+        break;
+      case 'Y':
+        flip_mask |= bit;
+        z_mask |= bit;
+        ++y_count;
+        break;
+      case 'Z':
+        z_mask |= bit;
+        break;
+      default:
+        throw SimulatorError(std::string("bad Pauli op '") + op + "'");
+    }
+  }
+  // Y = i * X * Z (acting as |b> -> i^{?}): with convention
+  // Y|0> = i|1>, Y|1> = -i|0>: phase = i * (-1)^b. We fold the per-Y global
+  // i factor and the Z-type signs below.
+  Complex acc(0.0, 0.0);
+  const std::size_t n = amplitudes_.size();
+  const Complex y_phase = std::pow(Complex(0.0, 1.0), y_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex a = amplitudes_[i];
+    if (a == Complex(0.0, 0.0)) continue;
+    const std::size_t j = i ^ flip_mask;
+    // Sign from Z-type masks applied to the *source* basis state i.
+    const int sign = (std::popcount(i & z_mask) & 1) ? -1 : 1;
+    acc += std::conj(amplitudes_[j]) * a * double(sign) * y_phase;
+  }
+  return acc.real();
+}
+
+void StateVector::apply_pauli_rotation(
+    std::span<const std::pair<QubitId, char>> pauli, double t) {
+  // exp(-i t P) = cos(t) I - i sin(t) P. Build P's action per basis state
+  // (see expectation() for the phase bookkeeping) and combine the paired
+  // amplitudes in place.
+  std::uint64_t flip_mask = 0;
+  std::uint64_t z_mask = 0;
+  int y_count = 0;
+  for (const auto& [qubit, op] : pauli) {
+    const std::uint64_t bit = 1ULL << position_checked(qubit);
+    switch (op) {
+      case 'X':
+        flip_mask |= bit;
+        break;
+      case 'Y':
+        flip_mask |= bit;
+        z_mask |= bit;
+        ++y_count;
+        break;
+      case 'Z':
+        z_mask |= bit;
+        break;
+      default:
+        throw SimulatorError(std::string("bad Pauli op '") + op + "'");
+    }
+  }
+  const Complex y_phase = std::pow(Complex(0.0, 1.0), y_count);
+  const Complex c = std::cos(t);
+  const Complex mis = Complex(0.0, -1.0) * std::sin(t);
+  const std::size_t n = amplitudes_.size();
+  if (flip_mask == 0) {
+    // Diagonal: phase e^{-it(+/-1)} per basis state.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double sign = (std::popcount(i & z_mask) & 1) ? -1.0 : 1.0;
+      amplitudes_[i] *= c + mis * sign;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i ^ flip_mask;
+    if (j < i) continue;  // handle each pair once
+    // P|i> = phase_i |j>, P|j> = phase_j |i>.
+    const Complex phase_i =
+        y_phase * ((std::popcount(i & z_mask) & 1) ? -1.0 : 1.0);
+    const Complex phase_j =
+        y_phase * ((std::popcount(j & z_mask) & 1) ? -1.0 : 1.0);
+    const Complex ai = amplitudes_[i];
+    const Complex aj = amplitudes_[j];
+    amplitudes_[i] = c * ai + mis * phase_j * aj;
+    amplitudes_[j] = c * aj + mis * phase_i * ai;
+  }
+}
+
+double StateVector::norm() const {
+  double total = 0.0;
+  for (const Complex& a : amplitudes_) total += std::norm(a);
+  return std::sqrt(total);
+}
+
+}  // namespace qmpi::sim

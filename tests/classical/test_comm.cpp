@@ -1,0 +1,210 @@
+// Unit tests for the classical threads-as-ranks transport: point-to-point
+// semantics (matching, ordering, wildcards, errors) and communicator algebra.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "classical/comm.hpp"
+#include "classical/runtime.hpp"
+
+namespace cl = qmpi::classical;
+
+TEST(ClassicalComm, WorldHasExpectedRanksAndSize) {
+  std::vector<int> ranks(4, -1);
+  cl::Runtime::run(4, [&](cl::Comm& comm) {
+    ranks[static_cast<std::size_t>(comm.rank())] = comm.rank();
+    EXPECT_EQ(comm.size(), 4);
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(ranks[static_cast<std::size_t>(r)], r);
+}
+
+TEST(ClassicalComm, PingPongDeliversTypedValue) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(42, 1, 5);
+      const int back = comm.recv<int>(1, 6);
+      EXPECT_EQ(back, 43);
+    } else {
+      const int v = comm.recv<int>(0, 5);
+      comm.send(v + 1, 0, 6);
+    }
+  });
+}
+
+TEST(ClassicalComm, MessagesFromSameSourceArriveInOrder) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    constexpr int kCount = 100;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) comm.send(i, 1, 0);
+    } else {
+      for (int i = 0; i < kCount; ++i) EXPECT_EQ(comm.recv<int>(0, 0), i);
+    }
+  });
+}
+
+TEST(ClassicalComm, TagsSelectMessagesOutOfOrder) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, /*tag=*/10);
+      comm.send(2, 1, /*tag=*/20);
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not arrival.
+      EXPECT_EQ(comm.recv<int>(0, 20), 2);
+      EXPECT_EQ(comm.recv<int>(0, 10), 1);
+    }
+  });
+}
+
+TEST(ClassicalComm, AnySourceAndAnyTagWildcardsMatch) {
+  cl::Runtime::run(3, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      int sum = 0;
+      cl::Status status;
+      for (int i = 0; i < 2; ++i) {
+        sum += comm.recv<int>(cl::kAnySource, cl::kAnyTag, &status);
+        EXPECT_GE(status.source, 1);
+        EXPECT_LE(status.source, 2);
+      }
+      EXPECT_EQ(sum, 30);
+    } else {
+      comm.send(comm.rank() * 10, 0, comm.rank());
+    }
+  });
+}
+
+TEST(ClassicalComm, SpanPayloadRoundTrips) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data(257);
+      std::iota(data.begin(), data.end(), 0.5);
+      comm.send(std::span<const double>(data), 1, 0);
+    } else {
+      std::vector<double> out(257);
+      comm.recv(std::span<double>(out), 0, 0);
+      EXPECT_DOUBLE_EQ(out.front(), 0.5);
+      EXPECT_DOUBLE_EQ(out.back(), 256.5);
+    }
+  });
+}
+
+TEST(ClassicalComm, TruncationMismatchThrows) {
+  EXPECT_THROW(cl::Runtime::run(2,
+                                [](cl::Comm& comm) {
+                                  if (comm.rank() == 0) {
+                                    comm.send(std::uint8_t{1}, 1, 0);
+                                  } else {
+                                    (void)comm.recv<std::uint64_t>(0, 0);
+                                  }
+                                }),
+               cl::TruncationError);
+}
+
+TEST(ClassicalComm, InvalidRankThrows) {
+  EXPECT_THROW(
+      cl::Runtime::run(2, [](cl::Comm& comm) { comm.send(1, 7, 0); }),
+      cl::InvalidRankError);
+}
+
+TEST(ClassicalComm, IprobeSeesPendingMessageWithoutConsuming) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(99, 1, 3);
+      comm.barrier();
+    } else {
+      comm.barrier();
+      cl::Status status;
+      EXPECT_TRUE(comm.iprobe(0, 3, &status));
+      EXPECT_EQ(status.source, 0);
+      EXPECT_EQ(status.byte_count, sizeof(int));
+      EXPECT_TRUE(comm.iprobe(0, 3));  // still there
+      EXPECT_EQ(comm.recv<int>(0, 3), 99);
+      EXPECT_FALSE(comm.iprobe(0, 3));
+    }
+  });
+}
+
+TEST(ClassicalComm, RankFailurePropagatesAndUnblocksPeers) {
+  // Rank 1 throws while rank 0 is blocked in recv; the runtime must shut
+  // the universe down and rethrow instead of deadlocking.
+  EXPECT_THROW(cl::Runtime::run(2,
+                                [](cl::Comm& comm) {
+                                  if (comm.rank() == 0) {
+                                    (void)comm.recv<int>(1, 0);
+                                  } else {
+                                    throw std::logic_error("rank 1 died");
+                                  }
+                                }),
+               std::exception);
+}
+
+TEST(ClassicalComm, DupIsolatesContexts) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    cl::Comm dup = comm.dup();
+    EXPECT_NE(dup.context(), comm.context());
+    if (comm.rank() == 0) {
+      comm.send(1, 1, 0);
+      dup.send(2, 1, 0);
+    } else {
+      // Same source and tag on both communicators: each recv must match
+      // only traffic from its own context.
+      EXPECT_EQ(dup.recv<int>(0, 0), 2);
+      EXPECT_EQ(comm.recv<int>(0, 0), 1);
+    }
+  });
+}
+
+TEST(ClassicalComm, SplitGroupsByColorOrderedByKey) {
+  std::vector<int> new_ranks(4, -1);
+  std::vector<int> new_sizes(4, -1);
+  cl::Runtime::run(4, [&](cl::Comm& comm) {
+    const int color = comm.rank() % 2;
+    const int key = -comm.rank();  // reverse order within each color
+    cl::Comm sub = comm.split(color, key);
+    new_ranks[static_cast<std::size_t>(comm.rank())] = sub.rank();
+    new_sizes[static_cast<std::size_t>(comm.rank())] = sub.size();
+    // Communication inside the split communicator works.
+    if (sub.rank() == 0) {
+      sub.send(color * 100, 1, 0);
+    } else {
+      EXPECT_EQ(sub.recv<int>(0, 0), color * 100);
+    }
+  });
+  // Colors {0,2} and {1,3}; key = -rank reverses order.
+  EXPECT_EQ(new_sizes, (std::vector<int>{2, 2, 2, 2}));
+  EXPECT_EQ(new_ranks[0], 1);
+  EXPECT_EQ(new_ranks[2], 0);
+  EXPECT_EQ(new_ranks[1], 1);
+  EXPECT_EQ(new_ranks[3], 0);
+}
+
+TEST(ClassicalComm, SplitWithNegativeColorYieldsNullComm) {
+  cl::Runtime::run(3, [](cl::Comm& comm) {
+    cl::Comm sub = comm.split(comm.rank() == 0 ? -1 : 0, 0);
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(sub.is_null());
+    } else {
+      EXPECT_FALSE(sub.is_null());
+      EXPECT_EQ(sub.size(), 2);
+    }
+  });
+}
+
+TEST(ClassicalComm, ManyRanksAllToAllStress) {
+  constexpr int kRanks = 8;
+  cl::Runtime::run(kRanks, [](cl::Comm& comm) {
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == comm.rank()) continue;
+      comm.send(comm.rank() * 1000 + peer, peer, 1);
+    }
+    int received = 0;
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer == comm.rank()) continue;
+      const int v = comm.recv<int>(peer, 1);
+      EXPECT_EQ(v, peer * 1000 + comm.rank());
+      ++received;
+    }
+    EXPECT_EQ(received, kRanks - 1);
+  });
+}

@@ -1,0 +1,79 @@
+// Tests for nonblocking requests (isend/irecv/wait/test/waitall).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "classical/request.hpp"
+#include "classical/runtime.hpp"
+
+namespace cl = qmpi::classical;
+
+TEST(ClassicalRequest, IsendCompletesEagerly) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = cl::isend(comm, 5, 1, 0);
+      EXPECT_TRUE(req.is_complete());
+      req.wait();  // idempotent
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 0), 5);
+    }
+  });
+}
+
+TEST(ClassicalRequest, IrecvWaitBlocksUntilMessage) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+      comm.send(17, 1, 2);
+    } else {
+      auto req = cl::irecv(comm, 0, 2);
+      EXPECT_FALSE(req.test());  // nothing sent yet
+      comm.barrier();
+      req.wait();
+      EXPECT_EQ(cl::recv_value<int>(req), 17);
+    }
+  });
+}
+
+TEST(ClassicalRequest, TestPollsWithoutBlocking) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(8, 1, 0);
+      comm.barrier();
+    } else {
+      comm.barrier();  // message is now definitely queued
+      auto req = cl::irecv(comm, 0, 0);
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(cl::recv_value<int>(req), 8);
+    }
+  });
+}
+
+TEST(ClassicalRequest, WaitAllDrainsMultipleReceives) {
+  cl::Runtime::run(3, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<cl::Request> reqs;
+      reqs.push_back(cl::irecv(comm, 1, 0));
+      reqs.push_back(cl::irecv(comm, 2, 0));
+      cl::wait_all(reqs);
+      EXPECT_EQ(cl::recv_value<int>(reqs[0]), 100);
+      EXPECT_EQ(cl::recv_value<int>(reqs[1]), 200);
+    } else {
+      comm.send(comm.rank() * 100, 0, 0);
+    }
+  });
+}
+
+TEST(ClassicalRequest, WildcardIrecvResolvesSourceAtMatchTime) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(3, 1, 9);
+    } else {
+      auto req = cl::irecv(comm, cl::kAnySource, cl::kAnyTag);
+      req.wait();
+      EXPECT_EQ(req.message().source, 0);
+      EXPECT_EQ(req.message().tag, 9);
+      EXPECT_EQ(cl::recv_value<int>(req), 3);
+    }
+  });
+}

@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared helpers for QMPI core tests. Convention: ranks exchange Qubit
+// handles over the classical communicator so that (usually) rank 0 can make
+// whole-state assertions through the simulation server.
+
+#include <utility>
+#include <vector>
+
+#include "core/qmpi.hpp"
+
+namespace qmpi::testing {
+
+/// Expectation value of a Pauli string over arbitrary qubits.
+inline double expectation(Context& ctx,
+                          std::vector<std::pair<sim::QubitId, char>> paulis) {
+  return ctx.server().call([paulis = std::move(paulis)](sim::StateVector& sv) {
+    return sv.expectation(paulis);
+  });
+}
+
+inline double exp1(Context& ctx, Qubit q, char p) {
+  return expectation(ctx, {{q.id, p}});
+}
+
+inline double exp2(Context& ctx, Qubit a, Qubit b, char pa, char pb) {
+  return expectation(ctx, {{a.id, pa}, {b.id, pb}});
+}
+
+/// Ships a qubit handle to another rank over the classical layer.
+inline void send_handle(Context& ctx, Qubit q, int dest, int tag = 900) {
+  ctx.classical_comm().send(q, dest, tag);
+}
+inline Qubit recv_handle(Context& ctx, int source, int tag = 900) {
+  return ctx.classical_comm().recv<Qubit>(source, tag);
+}
+
+/// Number of currently allocated qubits in the global state vector.
+inline std::size_t total_qubits(Context& ctx) {
+  return ctx.server().call(
+      [](sim::StateVector& sv) { return sv.num_qubits(); });
+}
+
+}  // namespace qmpi::testing

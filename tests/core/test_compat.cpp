@@ -1,0 +1,109 @@
+// Tests for the paper-compatible C-style API (qmpi::compat): the §6
+// program, Listing-1-style gate usage, and allocation ownership.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/qmpi.hpp"
+
+using namespace qmpi::compat;
+
+TEST(CompatApi, RankAndSizeMatchJob) {
+  std::atomic<int> checks{0};
+  qmpi::compat::run(3, [&] {
+    int rank = -1, size = -1;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    QMPI_Comm_size(QMPI_COMM_WORLD, &size);
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, 3);
+    EXPECT_EQ(size, 3);
+    checks.fetch_add(1);
+  });
+  EXPECT_EQ(checks.load(), 3);
+}
+
+TEST(CompatApi, PointerArithmeticOverAllocatedBlock) {
+  qmpi::compat::run(1, [] {
+    auto qubits = QMPI_Alloc_qmem(3);
+    X(qubits);          // qubit 0
+    X(qubits + 2);      // qubit 2
+    EXPECT_TRUE(Measure(qubits));
+    EXPECT_FALSE(Measure(qubits + 1));
+    EXPECT_TRUE(Measure(qubits + 2));
+    // Reset to |0> before freeing.
+    X(qubits);
+    X(qubits + 2);
+    QMPI_Free_qmem(qubits, 3);
+  });
+}
+
+TEST(CompatApi, SendRecvRoundTrip) {
+  qmpi::compat::run(2, [] {
+    int rank;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    auto q = QMPI_Alloc_qmem(1);
+    if (rank == 0) {
+      H(q);
+      QMPI_Send(q, 1, 0, QMPI_COMM_WORLD);
+      QMPI_Unsend(q, 1, 0, QMPI_COMM_WORLD);
+      // Back to |+>: X-basis measurement is deterministic.
+      H(q);
+      EXPECT_FALSE(Measure(q));
+      QMPI_Free_qmem(q, 1);
+    } else {
+      auto tmp = QMPI_Alloc_qmem(1);
+      QMPI_Recv(tmp, 0, 0, QMPI_COMM_WORLD);
+      QMPI_Unrecv(tmp, 0, 0, QMPI_COMM_WORLD);
+      QMPI_Free_qmem(tmp, 1);
+      QMPI_Free_qmem(q, 1);
+    }
+  });
+}
+
+TEST(CompatApi, MoveSemanticsViaPaperAppendixProtocol) {
+  qmpi::compat::run(2, [] {
+    int rank;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    auto q = QMPI_Alloc_qmem(1);
+    if (rank == 0) {
+      X(q);  // |1>
+      QMPI_Send_move(q, 1, 0, QMPI_COMM_WORLD);
+      EXPECT_FALSE(Measure(q));  // moved away: handle is |0>
+    } else {
+      QMPI_Recv_move(q, 0, 0, QMPI_COMM_WORLD);
+      EXPECT_TRUE(Measure(q));
+      X(q);
+    }
+    QMPI_Free_qmem(q, 1);
+  });
+}
+
+TEST(CompatApi, BcastExposesValueEverywhere) {
+  qmpi::compat::run(3, [] {
+    int rank;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    auto q = QMPI_Alloc_qmem(1);
+    if (rank == 0) X(q);
+    QMPI_Bcast(q, 1, 0, QMPI_COMM_WORLD);
+    EXPECT_TRUE(Measure(q));
+    // Measuring a classical-valued copy leaves it classical; unbcast then
+    // uncomputes it (outcome already fixed at 1).
+    QMPI_Unbcast(q, 1, 0, QMPI_COMM_WORLD);
+    if (rank != 0) {
+      EXPECT_FALSE(Measure(q));
+      QMPI_Free_qmem(q, 1);
+    }
+  });
+}
+
+TEST(CompatApi, ReportAggregatesAcrossRanks) {
+  const auto report = qmpi::compat::run(2, [] {
+    int rank;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    auto q = QMPI_Alloc_qmem(1);
+    QMPI_Prepare_EPR(q, 1 - rank, 0, QMPI_COMM_WORLD);
+    (void)Measure(q);
+    QMPI_Free_qmem(q, 1);
+  });
+  EXPECT_EQ(report.total().epr_pairs, 1u);
+}

@@ -1,0 +1,116 @@
+// Tests for QMPI_Prepare_EPR: the paper's §6 example plus state-level
+// verification of the shared pair and failure modes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <mutex>
+
+#include "helpers.hpp"
+
+using namespace qmpi;
+namespace qt = qmpi::testing;
+
+TEST(QmpiEpr, PreparedPairIsMaximallyEntangled) {
+  run(2, [](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    const int peer = ctx.rank() == 0 ? 1 : 0;
+    ctx.prepare_epr(q[0], peer, 0);
+    if (ctx.rank() == 1) qt::send_handle(ctx, q[0], 0);
+    if (ctx.rank() == 0) {
+      const Qubit other = qt::recv_handle(ctx, 1);
+      EXPECT_NEAR(qt::exp2(ctx, q[0], other, 'Z', 'Z'), 1.0, 1e-12);
+      EXPECT_NEAR(qt::exp2(ctx, q[0], other, 'X', 'X'), 1.0, 1e-12);
+      EXPECT_NEAR(qt::exp2(ctx, q[0], other, 'Y', 'Y'), -1.0, 1e-12);
+      EXPECT_NEAR(qt::exp1(ctx, q[0], 'Z'), 0.0, 1e-12);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiEpr, PaperSection6ExampleBothRanksMeasureSameValue) {
+  // The exact program from the paper's §6 listing, in the compat API.
+  using namespace qmpi::compat;
+  std::array<int, 2> results{-1, -1};
+  std::mutex mu;
+  qmpi::compat::run(2, [&] {
+    auto qubit = QMPI_Alloc_qmem(1);
+    int rank;
+    QMPI_Comm_rank(QMPI_COMM_WORLD, &rank);
+    const int dest = rank == 0 ? 1 : 0;
+    QMPI_Prepare_EPR(qubit, dest, 0, QMPI_COMM_WORLD);
+    const bool res = Measure(qubit);
+    {
+      const std::lock_guard lock(mu);
+      results[static_cast<std::size_t>(rank)] = res ? 1 : 0;
+    }
+    // Measured -> classical; Free accepts it.
+    QMPI_Free_qmem(qubit, 1);
+  });
+  EXPECT_NE(results[0], -1);
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(QmpiEpr, ManyPairsInFlightBetweenSameRanksStayPaired) {
+  run(2, [](Context& ctx) {
+    constexpr std::size_t kPairs = 8;
+    QubitArray q = ctx.alloc_qmem(kPairs);
+    const int peer = 1 - ctx.rank();
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      ctx.prepare_epr(q[i], peer, /*tag=*/static_cast<int>(i));
+    }
+    if (ctx.rank() == 1) {
+      for (std::size_t i = 0; i < kPairs; ++i) qt::send_handle(ctx, q[i], 0);
+    } else {
+      for (std::size_t i = 0; i < kPairs; ++i) {
+        const Qubit other = qt::recv_handle(ctx, 1);
+        EXPECT_NEAR(qt::exp2(ctx, q[i], other, 'X', 'X'), 1.0, 1e-12)
+            << "pair " << i;
+      }
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiEpr, PreparingOnNonZeroQubitThrows) {
+  EXPECT_THROW(run(2,
+                   [](Context& ctx) {
+                     QubitArray q = ctx.alloc_qmem(1);
+                     if (ctx.rank() == 0) ctx.x(q[0]);
+                     ctx.prepare_epr(q[0], 1 - ctx.rank(), 0);
+                   }),
+               QmpiError);
+}
+
+TEST(QmpiEpr, PreparingWithSelfThrows) {
+  EXPECT_THROW(run(2,
+                   [](Context& ctx) {
+                     QubitArray q = ctx.alloc_qmem(1);
+                     ctx.prepare_epr(q[0], ctx.rank(), 0);
+                   }),
+               QmpiError);
+}
+
+TEST(QmpiEpr, IprepareCompletesAtWait) {
+  run(2, [](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    QRequest req = ctx.iprepare_epr(q[0], 1 - ctx.rank(), 0);
+    EXPECT_FALSE(req.is_complete());
+    req.wait();
+    EXPECT_TRUE(req.is_complete());
+    if (ctx.rank() == 1) qt::send_handle(ctx, q[0], 0);
+    if (ctx.rank() == 0) {
+      const Qubit other = qt::recv_handle(ctx, 1);
+      EXPECT_NEAR(qt::exp2(ctx, q[0], other, 'Z', 'Z'), 1.0, 1e-12);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiEpr, EprPairCountedOnceGlobally) {
+  const JobReport report = run(2, [](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(3);
+    const int peer = 1 - ctx.rank();
+    for (int i = 0; i < 3; ++i) ctx.prepare_epr(q[i], peer, i);
+  });
+  EXPECT_EQ(report[OpCategory::kOther].epr_pairs, 3u);
+}

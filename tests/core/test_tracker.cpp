@@ -1,0 +1,106 @@
+// Unit tests for the resource tracker (scope attribution rules) and the
+// trace container.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/resource_tracker.hpp"
+#include "core/trace.hpp"
+
+using qmpi::OpCategory;
+using qmpi::ResourceTracker;
+using qmpi::Trace;
+using qmpi::TraceEvent;
+
+TEST(ResourceTracker, CountsOutsideAnyScopeGoToOther) {
+  ResourceTracker t;
+  t.count_epr_pair();
+  t.count_classical_bits(3);
+  EXPECT_EQ(t[OpCategory::kOther].epr_pairs, 1u);
+  EXPECT_EQ(t[OpCategory::kOther].classical_bits, 3u);
+  EXPECT_EQ(t[OpCategory::kCopy].epr_pairs, 0u);
+}
+
+TEST(ResourceTracker, ScopeAttributesToCategory) {
+  ResourceTracker t;
+  {
+    const ResourceTracker::Scope scope(t, OpCategory::kMove);
+    t.count_epr_pair(2);
+  }
+  EXPECT_EQ(t[OpCategory::kMove].epr_pairs, 2u);
+  t.count_epr_pair();
+  EXPECT_EQ(t[OpCategory::kOther].epr_pairs, 1u);
+}
+
+TEST(ResourceTracker, NestedScopesKeepOutermostAttribution) {
+  // A Reduce implemented via Sends charges kReduce, not kCopy.
+  ResourceTracker t;
+  {
+    const ResourceTracker::Scope outer(t, OpCategory::kReduce);
+    {
+      const ResourceTracker::Scope inner(t, OpCategory::kCopy);
+      t.count_epr_pair();
+      t.count_classical_bits(1);
+    }
+  }
+  EXPECT_EQ(t[OpCategory::kReduce].epr_pairs, 1u);
+  EXPECT_EQ(t[OpCategory::kCopy].epr_pairs, 0u);
+}
+
+TEST(ResourceTracker, TotalSumsAllCategories) {
+  ResourceTracker t;
+  {
+    const ResourceTracker::Scope a(t, OpCategory::kCopy);
+    t.count_epr_pair(3);
+  }
+  {
+    const ResourceTracker::Scope b(t, OpCategory::kScan);
+    t.count_classical_bits(5);
+  }
+  const auto total = t.total();
+  EXPECT_EQ(total.epr_pairs, 3u);
+  EXPECT_EQ(total.classical_bits, 5u);
+}
+
+TEST(ResourceTracker, ResetClearsEverything) {
+  ResourceTracker t;
+  t.count_epr_pair(7);
+  t.reset();
+  EXPECT_EQ(t.total().epr_pairs, 0u);
+}
+
+TEST(ResourceTracker, CategoryNames) {
+  EXPECT_EQ(qmpi::to_string(OpCategory::kCopy), "copy");
+  EXPECT_EQ(qmpi::to_string(OpCategory::kUnmove), "unmove");
+  EXPECT_EQ(qmpi::to_string(OpCategory::kUnscan), "unscan");
+}
+
+TEST(Trace, RecordsInOrderAndSnapshotCopies) {
+  Trace trace;
+  trace.record({TraceEvent::Kind::kEprEstablish, 0, 1, 0, "EPR"});
+  trace.record({TraceEvent::Kind::kRotation, 1, -1, 0, "Rz"});
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].kind, TraceEvent::Kind::kEprEstablish);
+  EXPECT_EQ(snap[1].label, "Rz");
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(snap.size(), 2u);  // snapshot unaffected by clear
+}
+
+TEST(Trace, ConcurrentRecordingIsSafe) {
+  Trace trace;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trace, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        trace.record({TraceEvent::Kind::kLocalGate, t, -1, 0, "g"});
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(trace.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}

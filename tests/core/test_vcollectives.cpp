@@ -1,0 +1,222 @@
+// Tests for the variable-size collectives (Gatherv/Scatterv/Alltoallv)
+// and the binary-tree reduce schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "helpers.hpp"
+
+using namespace qmpi;
+namespace qt = qmpi::testing;
+
+TEST(QmpiGatherv, VariableBlockSizes) {
+  constexpr int kRanks = 3;
+  // Rank r contributes r+1 qubits.
+  const std::vector<std::size_t> counts{1, 2, 3};
+  run(kRanks, [&](Context& ctx) {
+    const std::size_t mine = counts[static_cast<std::size_t>(ctx.rank())];
+    QubitArray send = ctx.alloc_qmem(mine);
+    for (std::size_t i = 0; i < mine; ++i) {
+      ctx.ry(send[i], 0.2 * (ctx.rank() + 1) + 0.1 * i);
+    }
+    const std::size_t total =
+        std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+    QubitArray slots =
+        ctx.rank() == 0 ? ctx.alloc_qmem(total) : QubitArray();
+    ctx.gatherv(send, counts, slots.data(), 0);
+    if (ctx.rank() == 0) {
+      std::size_t off = 0;
+      for (int r = 0; r < kRanks; ++r) {
+        for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)];
+             ++i) {
+          EXPECT_NEAR(qt::exp1(ctx, slots[off + i], 'Z'),
+                      std::cos(0.2 * (r + 1) + 0.1 * i), 1e-9)
+              << "rank " << r << " qubit " << i;
+        }
+        off += counts[static_cast<std::size_t>(r)];
+      }
+    }
+    ctx.barrier();
+    ctx.ungatherv(send, counts, slots.data(), 0);
+    if (ctx.rank() == 0) {
+      for (std::size_t i = 0; i < total; ++i) {
+        EXPECT_NEAR(ctx.probability_one(slots[i]), 0.0, 1e-9);
+      }
+      ctx.free_qmem(slots, total);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiScatterv, VariableBlockSizes) {
+  constexpr int kRanks = 3;
+  const std::vector<std::size_t> counts{2, 1, 2};
+  run(kRanks, [&](Context& ctx) {
+    const std::size_t total =
+        std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+    QubitArray src = ctx.rank() == 0 ? ctx.alloc_qmem(total) : QubitArray();
+    if (ctx.rank() == 0) {
+      for (std::size_t i = 0; i < total; ++i) ctx.ry(src[i], 0.15 * (i + 1));
+    }
+    const std::size_t mine = counts[static_cast<std::size_t>(ctx.rank())];
+    QubitArray recv = ctx.alloc_qmem(mine);
+    ctx.scatterv(src.data(), counts, recv.data(), 0);
+    std::size_t my_off = 0;
+    for (int r = 0; r < ctx.rank(); ++r) {
+      my_off += counts[static_cast<std::size_t>(r)];
+    }
+    for (std::size_t i = 0; i < mine; ++i) {
+      EXPECT_NEAR(qt::exp1(ctx, recv[i], 'Z'),
+                  std::cos(0.15 * (my_off + i + 1)), 1e-9)
+          << "rank " << ctx.rank() << " qubit " << i;
+    }
+    ctx.barrier();
+    ctx.unscatterv(src.data(), counts, recv.data(), 0);
+    for (std::size_t i = 0; i < mine; ++i) {
+      EXPECT_NEAR(ctx.probability_one(recv[i]), 0.0, 1e-9);
+    }
+    ctx.free_qmem(recv, mine);
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiAlltoallv, AsymmetricExchange) {
+  // 2 ranks: rank 0 sends 2 qubits to rank 1 and keeps 1 for itself;
+  // rank 1 sends 1 qubit each way.
+  run(2, [](Context& ctx) {
+    const std::vector<std::size_t> send_counts =
+        ctx.rank() == 0 ? std::vector<std::size_t>{1, 2}
+                        : std::vector<std::size_t>{1, 1};
+    const std::vector<std::size_t> recv_counts =
+        ctx.rank() == 0 ? std::vector<std::size_t>{1, 1}
+                        : std::vector<std::size_t>{2, 1};
+    const std::size_t send_total = ctx.rank() == 0 ? 3 : 2;
+    const std::size_t recv_total = ctx.rank() == 0 ? 2 : 3;
+    QubitArray out = ctx.alloc_qmem(send_total);
+    for (std::size_t i = 0; i < send_total; ++i) {
+      ctx.ry(out[i], 0.3 * (ctx.rank() + 1) + 0.1 * i);
+    }
+    QubitArray in = ctx.alloc_qmem(recv_total);
+    ctx.alltoallv(out.data(), send_counts, in.data(), recv_counts);
+    if (ctx.rank() == 1) {
+      // Block from rank 0: its send block for dest 1 = out[1], out[2]
+      // (offset send_counts[0] = 1), angles 0.3+0.1*1 and 0.3+0.1*2.
+      EXPECT_NEAR(qt::exp1(ctx, in[0], 'Z'), std::cos(0.3 + 0.1), 1e-9);
+      EXPECT_NEAR(qt::exp1(ctx, in[1], 'Z'), std::cos(0.3 + 0.2), 1e-9);
+    } else {
+      // Block from rank 1: its send block for dest 0 = out[0], angle 0.6.
+      EXPECT_NEAR(qt::exp1(ctx, in[1], 'Z'), std::cos(0.6), 1e-9);
+    }
+    ctx.barrier();
+    ctx.unalltoallv(out.data(), send_counts, in.data(), recv_counts);
+    ctx.barrier();
+  });
+}
+
+class TreeReduceSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(N, TreeReduceSizes, ::testing::Values(2, 3, 4, 5, 8));
+
+TEST_P(TreeReduceSizes, TreeReduceComputesParityAndUncomputes) {
+  const int n = GetParam();
+  const bool expected_parity = ((n / 2) % 2) != 0;
+  run(n, [&](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    if (ctx.rank() % 2 == 1) ctx.x(q[0]);
+    ReductionHandle h =
+        ctx.reduce(q, 1, parity_op(), 0, 0, ReduceAlg::kBinaryTree);
+    if (ctx.rank() == 0) {
+      EXPECT_NEAR(ctx.probability_one(h.acc[0]), expected_parity ? 1.0 : 0.0,
+                  1e-9);
+    }
+    ctx.barrier();
+    ctx.unreduce(h, q);
+    EXPECT_NEAR(ctx.probability_one(q[0]), ctx.rank() % 2 ? 1.0 : 0.0, 1e-9);
+    ctx.barrier();
+  });
+}
+
+TEST_P(TreeReduceSizes, TreeReduceWorksOnSuperpositions) {
+  const int n = GetParam();
+  run(n, [&](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    if (ctx.rank() == 0) ctx.h(q[0]);
+    ReductionHandle h =
+        ctx.reduce(q, 1, parity_op(), 0, 0, ReduceAlg::kBinaryTree);
+    if (ctx.rank() == 0) {
+      EXPECT_NEAR(qt::exp2(ctx, q[0], h.acc[0], 'Z', 'Z'), 1.0, 1e-9);
+    }
+    ctx.barrier();
+    ctx.unreduce(h, q);
+    if (ctx.rank() == 0) {
+      EXPECT_NEAR(qt::exp1(ctx, q[0], 'X'), 1.0, 1e-9);
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiTreeReduce, DoublesEprUsageVsChainRoundTrip) {
+  // The §4.6 trade-off, measured: chain round trip = N-1 EPR; tree round
+  // trip = 2(N-1) (recompute during unreduce).
+  for (const int n : {3, 4, 5}) {
+    auto round_trip = [n](ReduceAlg alg) {
+      const JobReport r = run(n, [alg](Context& ctx) {
+        QubitArray q = ctx.alloc_qmem(1);
+        if (ctx.rank() % 2 == 1) ctx.x(q[0]);
+        ReductionHandle h = ctx.reduce(q, 1, parity_op(), 0, 0, alg);
+        ctx.unreduce(h, q);
+      });
+      return r[OpCategory::kReduce].epr_pairs +
+             r[OpCategory::kUnreduce].epr_pairs;
+    };
+    EXPECT_EQ(round_trip(ReduceAlg::kChain),
+              static_cast<std::uint64_t>(n - 1))
+        << "n=" << n;
+    EXPECT_EQ(round_trip(ReduceAlg::kBinaryTree),
+              static_cast<std::uint64_t>(2 * (n - 1)))
+        << "n=" << n;
+  }
+}
+
+TEST(QmpiTreeReduce, NonZeroRoot) {
+  run(4, [](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    ctx.x(q[0]);  // parity of four 1s = 0
+    ReductionHandle h =
+        ctx.reduce(q, 1, parity_op(), /*root=*/2, 0, ReduceAlg::kBinaryTree);
+    if (ctx.rank() == 2) {
+      EXPECT_NEAR(ctx.probability_one(h.acc[0]), 0.0, 1e-9);
+    }
+    ctx.barrier();
+    ctx.unreduce(h, q);
+    EXPECT_NEAR(ctx.probability_one(q[0]), 1.0, 1e-9);
+    ctx.barrier();
+  });
+}
+
+TEST(QmpiSendModes, AliasesShareSendSemantics) {
+  run(2, [](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(3);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 3; ++i) ctx.ry(q[i], 0.4 + 0.2 * i);
+      ctx.bsend(&q[0], 1, 1, 0);
+      ctx.ssend(&q[1], 1, 1, 1);
+      ctx.rsend(&q[2], 1, 1, 2);
+      ctx.bunsend(&q[0], 1, 1, 0);
+      ctx.sunsend(&q[1], 1, 1, 1);
+      ctx.runsend(&q[2], 1, 1, 2);
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_NEAR(qt::exp1(ctx, q[i], 'Z'), std::cos(0.4 + 0.2 * i), 1e-9);
+      }
+    } else {
+      for (int i = 0; i < 3; ++i) {
+        ctx.mrecv(&q[i], 1, 0, i);
+      }
+      for (int i = 0; i < 3; ++i) {
+        ctx.munrecv(&q[i], 1, 0, i);
+      }
+      ctx.free_qmem(q, 3);
+    }
+    ctx.barrier();
+  });
+}

@@ -1,0 +1,219 @@
+// Tests for the fermion-to-qubit encodings. The heavy lifting is done by
+// property tests: both Jordan-Wigner and Bravyi-Kitaev must reproduce the
+// canonical anticommutation relations {a_p, a†_q} = delta_pq, {a_p, a_q}=0
+// purely at the Pauli-algebra level, for a sweep of register sizes
+// (including non-powers of two).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fermion/encodings.hpp"
+
+namespace f = qmpi::fermion;
+namespace p = qmpi::pauli;
+using p::DensePauliSum;
+
+namespace {
+
+/// Encodes a single ladder operator as a DensePauliSum.
+DensePauliSum encode_ladder(unsigned orbital, bool creation, unsigned n,
+                            f::Encoding enc) {
+  f::FermionOperator op;
+  op.add(creation ? f::FermionTerm::create(orbital)
+                  : f::FermionTerm::annihilate(orbital));
+  return f::encode(op, n, enc);
+}
+
+/// Anticommutator {A, B} = AB + BA as a combined, pruned sum.
+DensePauliSum anticommutator(const DensePauliSum& a, const DensePauliSum& b) {
+  DensePauliSum out;
+  for (const auto& ta : a.terms()) {
+    for (const auto& tb : b.terms()) {
+      out.add(ta * tb);
+      out.add(tb * ta);
+    }
+  }
+  out.prune(1e-12);
+  return out;
+}
+
+bool is_identity_with_coeff(const DensePauliSum& s, double expected) {
+  if (s.size() != 1) return false;
+  const auto& t = s.terms()[0];
+  return t.is_identity() && std::abs(t.coeff - p::Complex(expected, 0)) < 1e-12;
+}
+
+}  // namespace
+
+struct EncodingCase {
+  f::Encoding enc;
+  unsigned n;
+};
+
+class EncodingCars : public ::testing::TestWithParam<EncodingCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncodingCars,
+    ::testing::Values(EncodingCase{f::Encoding::kJordanWigner, 2},
+                      EncodingCase{f::Encoding::kJordanWigner, 5},
+                      EncodingCase{f::Encoding::kJordanWigner, 8},
+                      EncodingCase{f::Encoding::kBravyiKitaev, 2},
+                      EncodingCase{f::Encoding::kBravyiKitaev, 3},
+                      EncodingCase{f::Encoding::kBravyiKitaev, 4},
+                      EncodingCase{f::Encoding::kBravyiKitaev, 6},
+                      EncodingCase{f::Encoding::kBravyiKitaev, 8},
+                      EncodingCase{f::Encoding::kBravyiKitaev, 12}),
+    [](const auto& info) {
+      return std::string(info.param.enc == f::Encoding::kJordanWigner ? "JW"
+                                                                      : "BK") +
+             std::to_string(info.param.n);
+    });
+
+TEST_P(EncodingCars, CanonicalAnticommutationRelations) {
+  const auto [enc, n] = GetParam();
+  for (unsigned pp = 0; pp < n; ++pp) {
+    for (unsigned q = 0; q <= pp; ++q) {
+      const auto ap = encode_ladder(pp, false, n, enc);
+      const auto aq_dag = encode_ladder(q, true, n, enc);
+      const auto aq = encode_ladder(q, false, n, enc);
+      // {a_p, a†_q} = delta_pq.
+      const auto mixed = anticommutator(ap, aq_dag);
+      if (pp == q) {
+        EXPECT_TRUE(is_identity_with_coeff(mixed, 1.0))
+            << "p=q=" << pp << ": " << mixed.size() << " terms";
+      } else {
+        EXPECT_EQ(mixed.size(), 0u) << "p=" << pp << " q=" << q;
+      }
+      // {a_p, a_q} = 0 (including p == q: a_p^2 = 0).
+      const auto same = anticommutator(ap, aq);
+      EXPECT_EQ(same.size(), 0u) << "p=" << pp << " q=" << q;
+    }
+  }
+}
+
+TEST_P(EncodingCars, NumberOperatorIsHermitianProjector) {
+  const auto [enc, n] = GetParam();
+  for (unsigned j = 0; j < n; ++j) {
+    f::FermionOperator num;
+    num.add(f::FermionTerm{{f::Ladder{j, true}, f::Ladder{j, false}}, 1.0});
+    const auto nj = f::encode(num, n, enc);
+    // n_j^2 = n_j (projector property).
+    DensePauliSum sq;
+    for (const auto& ta : nj.terms()) {
+      for (const auto& tb : nj.terms()) sq.add(ta * tb);
+    }
+    sq.prune(1e-12);
+    ASSERT_EQ(sq.size(), nj.size()) << "j=" << j;
+    // All coefficients real (Hermitian).
+    for (const auto& t : nj.terms()) {
+      EXPECT_NEAR(t.coeff.imag(), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(JordanWigner, KnownFormsOnSmallRegister) {
+  // a_0 = (X0 + iY0)/2; a†_0 = (X0 - iY0)/2.
+  const auto a0 = encode_ladder(0, false, 3, f::Encoding::kJordanWigner);
+  ASSERT_EQ(a0.size(), 2u);
+  for (const auto& t : a0.terms()) {
+    EXPECT_EQ(t.weight(), 1);
+    EXPECT_NEAR(std::abs(t.coeff), 0.5, 1e-12);
+  }
+  // a_2 carries the Z chain on qubits 0 and 1.
+  const auto a2 = encode_ladder(2, false, 3, f::Encoding::kJordanWigner);
+  for (const auto& t : a2.terms()) {
+    EXPECT_EQ(t.weight(), 3);  // chain Z0 Z1 plus X2/Y2
+    EXPECT_EQ(t.z_mask & 3ull, 3ull);
+  }
+}
+
+TEST(JordanWigner, NumberOperatorIsHalfIMinusZ) {
+  f::FermionOperator num;
+  num.add(f::FermionTerm{{f::Ladder{1, true}, f::Ladder{1, false}}, 1.0});
+  const auto n1 = f::encode(num, 4, f::Encoding::kJordanWigner);
+  // (I - Z1)/2.
+  ASSERT_EQ(n1.size(), 2u);
+  for (const auto& t : n1.terms()) {
+    if (t.is_identity()) {
+      EXPECT_NEAR(std::abs(t.coeff - p::Complex(0.5, 0)), 0.0, 1e-12);
+    } else {
+      EXPECT_EQ(t.z_mask, 2ull);
+      EXPECT_EQ(t.x_mask, 0ull);
+      EXPECT_NEAR(std::abs(t.coeff - p::Complex(-0.5, 0)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(JordanWigner, HoppingTermHasZChainBetweenSites) {
+  // a†_0 a_3 + a†_3 a_0 acts on qubits 0..3 with Z chain on 1, 2.
+  f::FermionOperator hop;
+  hop.add_one_body(0, 3, 1.0, /*hermitize=*/true);
+  const auto enc = f::encode(hop, 4, f::Encoding::kJordanWigner);
+  for (const auto& t : enc.terms()) {
+    EXPECT_EQ(t.weight(), 4);
+    EXPECT_EQ((t.z_mask >> 1) & 1ull, 1ull);
+    EXPECT_EQ((t.z_mask >> 2) & 1ull, 1ull);
+  }
+}
+
+TEST(BravyiKitaev, SetsMatchSeeleyRichardLoveN4) {
+  // Published index sets for n = 4 (0-indexed).
+  const auto s0 = f::bravyi_kitaev_sets(0, 4);
+  EXPECT_EQ(s0.parity, (std::vector<unsigned>{}));
+  EXPECT_EQ(s0.update, (std::vector<unsigned>{1, 3}));
+  EXPECT_EQ(s0.flip, (std::vector<unsigned>{}));
+
+  const auto s1 = f::bravyi_kitaev_sets(1, 4);
+  EXPECT_EQ(s1.parity, (std::vector<unsigned>{0}));
+  EXPECT_EQ(s1.update, (std::vector<unsigned>{3}));
+  EXPECT_EQ(s1.flip, (std::vector<unsigned>{0}));
+  EXPECT_EQ(s1.remainder, (std::vector<unsigned>{}));
+
+  const auto s2 = f::bravyi_kitaev_sets(2, 4);
+  EXPECT_EQ(s2.parity, (std::vector<unsigned>{1}));
+  EXPECT_EQ(s2.update, (std::vector<unsigned>{3}));
+  EXPECT_EQ(s2.flip, (std::vector<unsigned>{}));
+  EXPECT_EQ(s2.remainder, (std::vector<unsigned>{1}));
+
+  const auto s3 = f::bravyi_kitaev_sets(3, 4);
+  EXPECT_EQ(s3.parity, (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(s3.update, (std::vector<unsigned>{}));
+  EXPECT_EQ(s3.flip, (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(s3.remainder, (std::vector<unsigned>{}));
+}
+
+TEST(BravyiKitaev, OperatorLocalityIsLogarithmic) {
+  // The BK encoding's selling point (paper Fig. 5): single ladder
+  // operators act on O(log n) qubits.
+  for (const unsigned n : {8u, 16u, 32u, 64u}) {
+    const double bound = 2.0 * std::log2(static_cast<double>(n)) + 2.0;
+    for (unsigned j = 0; j < n; ++j) {
+      const auto enc = encode_ladder(j, true, n, f::Encoding::kBravyiKitaev);
+      for (const auto& t : enc.terms()) {
+        EXPECT_LE(t.weight(), bound) << "n=" << n << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BravyiKitaev, EvenModesStoreTheirOwnOccupation) {
+  // Even-indexed modes have empty flip sets: their qubit stores f_j
+  // directly, so the number operator is (I - Z_j)/2 exactly as in JW.
+  f::FermionOperator num;
+  num.add(f::FermionTerm{{f::Ladder{2, true}, f::Ladder{2, false}}, 1.0});
+  const auto n2 = f::encode(num, 8, f::Encoding::kBravyiKitaev);
+  ASSERT_EQ(n2.size(), 2u);
+  for (const auto& t : n2.terms()) {
+    if (!t.is_identity()) {
+      EXPECT_EQ(t.x_mask, 0ull);
+      EXPECT_EQ(t.z_mask, 1ull << 2);
+    }
+  }
+}
+
+TEST(Encodings, RejectTooManyModes) {
+  f::FermionOperator op;
+  op.add(f::FermionTerm::create(70));
+  EXPECT_THROW(f::jordan_wigner(op), std::invalid_argument);
+  EXPECT_THROW(f::bravyi_kitaev(op, 70), std::invalid_argument);
+}

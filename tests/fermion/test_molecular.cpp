@@ -1,0 +1,136 @@
+// Tests for the synthetic hydrogen-ring Hamiltonian generator: integral
+// symmetries, term structure, and the encoding-locality contrast that
+// drives paper Figs. 5 and 7.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fermion/encodings.hpp"
+#include "fermion/molecular.hpp"
+
+namespace f = qmpi::fermion;
+
+namespace {
+f::RingHamiltonianOptions small_ring(unsigned atoms) {
+  f::RingHamiltonianOptions opt;
+  opt.atoms = atoms;
+  return opt;
+}
+}  // namespace
+
+TEST(MolecularRing, RingDistanceWrapsAround) {
+  EXPECT_EQ(f::ring_distance(0, 1, 8), 1u);
+  EXPECT_EQ(f::ring_distance(0, 7, 8), 1u);
+  EXPECT_EQ(f::ring_distance(0, 4, 8), 4u);
+  EXPECT_EQ(f::ring_distance(2, 6, 8), 4u);
+  EXPECT_EQ(f::ring_distance(3, 3, 8), 0u);
+}
+
+TEST(MolecularRing, OneBodyIntegralsAreSymmetricAndDecay) {
+  const auto opt = small_ring(10);
+  for (unsigned pp = 0; pp < 10; ++pp) {
+    for (unsigned q = 0; q < 10; ++q) {
+      EXPECT_DOUBLE_EQ(f::ring_h1(pp, q, opt), f::ring_h1(q, pp, opt));
+    }
+  }
+  // Magnitude decays with ring distance.
+  EXPECT_GT(std::abs(f::ring_h1(0, 1, opt)), std::abs(f::ring_h1(0, 2, opt)));
+  EXPECT_GT(std::abs(f::ring_h1(0, 2, opt)), std::abs(f::ring_h1(0, 4, opt)));
+}
+
+TEST(MolecularRing, TwoBodyIntegralsHaveEightfoldSymmetry) {
+  const auto opt = small_ring(6);
+  for (unsigned p = 0; p < 6; ++p) {
+    for (unsigned q = 0; q < 6; ++q) {
+      for (unsigned r = 0; r < 6; ++r) {
+        for (unsigned s = 0; s < 6; ++s) {
+          const double v = f::ring_h2(p, q, r, s, opt);
+          EXPECT_DOUBLE_EQ(v, f::ring_h2(q, p, r, s, opt));
+          EXPECT_DOUBLE_EQ(v, f::ring_h2(p, q, s, r, opt));
+          EXPECT_DOUBLE_EQ(v, f::ring_h2(r, s, p, q, opt));
+        }
+      }
+    }
+  }
+}
+
+TEST(MolecularRing, TranslationInvarianceOnTheRing) {
+  const auto opt = small_ring(8);
+  for (unsigned shift = 1; shift < 8; ++shift) {
+    EXPECT_DOUBLE_EQ(f::ring_h1(0, 2, opt),
+                     f::ring_h1(shift % 8, (2 + shift) % 8, opt));
+    EXPECT_DOUBLE_EQ(
+        f::ring_h2(0, 1, 2, 3, opt),
+        f::ring_h2(shift % 8, (1 + shift) % 8, (2 + shift) % 8,
+                   (3 + shift) % 8, opt));
+  }
+}
+
+TEST(MolecularRing, HamiltonianSpinOrbitalCountAndSpinConservation) {
+  const auto opt = small_ring(4);
+  const auto h = f::hydrogen_ring(opt);
+  EXPECT_EQ(h.num_orbitals(), 8u);  // 2 spin-orbitals per atom
+  // Every term conserves spin: creation/annihilation operators pair up
+  // within each spin sector (interleaved convention: parity of index).
+  for (const auto& term : h.terms()) {
+    int spin_balance[2] = {0, 0};
+    for (const auto& l : term.ops) {
+      spin_balance[l.orbital % 2] += l.creation ? 1 : -1;
+    }
+    EXPECT_EQ(spin_balance[0], 0) << term.str();
+    EXPECT_EQ(spin_balance[1], 0) << term.str();
+  }
+}
+
+TEST(MolecularRing, EncodedHamiltonianIsHermitian) {
+  const auto opt = small_ring(3);
+  const auto h = f::hydrogen_ring(opt);
+  for (const auto enc :
+       {f::Encoding::kJordanWigner, f::Encoding::kBravyiKitaev}) {
+    const auto qubit_h = f::encode(h, 6, enc);
+    for (const auto& t : qubit_h.terms()) {
+      EXPECT_NEAR(t.coeff.imag(), 0.0, 1e-9)
+          << "non-real coefficient in " << t.str();
+    }
+  }
+}
+
+TEST(MolecularRing, Fig5ShapeJwIsWideBkIsNarrow) {
+  // The qualitative content of paper Fig. 5 at reduced scale (8 atoms, 16
+  // qubits): JW terms reach weight ~n due to Z chains; BK terms stay at
+  // O(log n) * 4.
+  const auto opt = small_ring(8);
+  const auto h = f::hydrogen_ring(opt);
+  const auto jw = f::encode(h, 16, f::Encoding::kJordanWigner);
+  const auto bk = f::encode(h, 16, f::Encoding::kBravyiKitaev);
+  const auto jw_hist = jw.weight_histogram();
+  const auto bk_hist = bk.weight_histogram();
+  const auto max_w = [](const std::vector<std::size_t>& hist) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+      if (hist[i] > 0) w = i;
+    }
+    return w;
+  };
+  EXPECT_GE(max_w(jw_hist), 14u);  // Z chains span nearly the register
+  EXPECT_LT(max_w(bk_hist), max_w(jw_hist));
+  // Mean weight must be clearly smaller for BK.
+  const auto mean = [](const std::vector<std::size_t>& hist) {
+    double num = 0, den = 0;
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+      num += static_cast<double>(i) * static_cast<double>(hist[i]);
+      den += static_cast<double>(hist[i]);
+    }
+    return num / den;
+  };
+  EXPECT_LT(mean(bk_hist), mean(jw_hist));
+}
+
+TEST(MolecularRing, ThresholdPrunesLongRangeIntegrals) {
+  auto opt = small_ring(12);
+  opt.threshold = 1e-3;
+  const auto pruned = f::hydrogen_ring(opt);
+  opt.threshold = 0.0;
+  const auto full = f::hydrogen_ring(opt);
+  EXPECT_LT(pruned.size(), full.size());
+}

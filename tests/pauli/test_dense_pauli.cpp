@@ -1,0 +1,116 @@
+// Tests for the symplectic (bitmask) Pauli representation, including a
+// property sweep checking full agreement with the sparse implementation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "pauli/dense_pauli.hpp"
+
+namespace p = qmpi::pauli;
+using p::DensePauli;
+using p::DensePauliSum;
+using p::Op;
+using p::PauliString;
+using Complex = p::Complex;
+
+TEST(DensePauli, ConversionRoundTrip) {
+  const auto s = PauliString::parse("X0 Y5 Z63", Complex(0.25, -1));
+  const auto d = DensePauli::from_pauli_string(s);
+  EXPECT_EQ(d.weight(), 3);
+  EXPECT_EQ(d.to_pauli_string(), s);
+}
+
+TEST(DensePauli, ProductMatchesSparseOnRandomPairs) {
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<unsigned> qubit_dist(0, 15);
+  for (int trial = 0; trial < 500; ++trial) {
+    PauliString a(1.0), b(1.0);
+    for (int k = 0; k < 4; ++k) {
+      a.multiply_right(qubit_dist(rng), static_cast<Op>(op_dist(rng)));
+      b.multiply_right(qubit_dist(rng), static_cast<Op>(op_dist(rng)));
+    }
+    const auto sparse = a * b;
+    const auto dense =
+        DensePauli::from_pauli_string(a) * DensePauli::from_pauli_string(b);
+    EXPECT_EQ(dense.to_pauli_string(), sparse) << "trial " << trial;
+  }
+}
+
+TEST(DensePauli, CommutationMatchesSparseOnRandomPairs) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<unsigned> qubit_dist(0, 9);
+  for (int trial = 0; trial < 300; ++trial) {
+    PauliString a(1.0), b(1.0);
+    for (int k = 0; k < 3; ++k) {
+      a.multiply_right(qubit_dist(rng), static_cast<Op>(op_dist(rng)));
+      b.multiply_right(qubit_dist(rng), static_cast<Op>(op_dist(rng)));
+    }
+    EXPECT_EQ(DensePauli::from_pauli_string(a).commutes_with(
+                  DensePauli::from_pauli_string(b)),
+              a.commutes_with(b))
+        << "trial " << trial;
+  }
+}
+
+TEST(DensePauli, YPhaseBookkeeping) {
+  // Y = iXZ: a Y on its own must round-trip without spurious phase.
+  DensePauli y;
+  y.mul_right(3, Op::Y);
+  EXPECT_EQ(y.to_pauli_string(), PauliString::parse("Y3"));
+  // Y*Y = I with coefficient exactly 1.
+  const auto yy = y * y;
+  EXPECT_TRUE(yy.is_identity());
+  EXPECT_NEAR(std::abs(yy.coeff - Complex(1, 0)), 0.0, 1e-15);
+}
+
+TEST(DensePauli, HighQubitIndexWorks) {
+  DensePauli d;
+  d.mul_right(63, Op::X);
+  d.mul_right(62, Op::Z);
+  EXPECT_EQ(d.weight(), 2);
+  const auto sq = d * d;
+  EXPECT_TRUE(sq.is_identity());
+}
+
+TEST(DensePauliSum, AddCombinesLikeTerms) {
+  DensePauliSum sum;
+  DensePauli a;
+  a.mul_right(0, Op::X);
+  a.coeff = 1.5;
+  DensePauli b = a;
+  b.coeff = 2.5;
+  sum.add(a);
+  sum.add(b);
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_NEAR(std::abs(sum.terms()[0].coeff - Complex(4.0, 0)), 0.0, 1e-12);
+}
+
+TEST(DensePauliSum, PruneDropsTinyTerms) {
+  DensePauliSum sum;
+  DensePauli a;
+  a.mul_right(0, Op::Z);
+  a.coeff = 1e-15;
+  sum.add(a);
+  DensePauli b;
+  b.mul_right(1, Op::Z);
+  b.coeff = 1.0;
+  sum.add(b);
+  sum.prune(1e-12);
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_EQ(sum.terms()[0].z_mask, 2ull);
+}
+
+TEST(DensePauliSum, WeightHistogramCountsSupport) {
+  DensePauliSum sum;
+  for (unsigned q = 0; q < 5; ++q) {
+    DensePauli t;
+    t.mul_right(q, Op::Z);
+    t.mul_right(q + 10, Op::X);
+    sum.add(t);
+  }
+  const auto hist = sum.weight_histogram();
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[2], 5u);
+}

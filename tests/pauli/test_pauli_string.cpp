@@ -1,0 +1,120 @@
+// Unit tests for the sparse Pauli-string algebra: products, phases,
+// commutation, parsing, and PauliSum simplification.
+#include <gtest/gtest.h>
+
+#include "pauli/pauli_string.hpp"
+
+namespace p = qmpi::pauli;
+using p::Op;
+using p::PauliString;
+using p::PauliSum;
+using Complex = p::Complex;
+
+TEST(PauliString, ParseAndPrintRoundTrip) {
+  const auto s = PauliString::parse("X0 Z2 Y11");
+  EXPECT_EQ(s.weight(), 3u);
+  EXPECT_EQ(s.op_on(0), Op::X);
+  EXPECT_EQ(s.op_on(2), Op::Z);
+  EXPECT_EQ(s.op_on(11), Op::Y);
+  EXPECT_EQ(s.op_on(1), Op::I);
+  EXPECT_EQ(s.num_qubits(), 12u);
+}
+
+TEST(PauliString, IdentityHasWeightZero) {
+  const auto id = PauliString::parse("");
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.weight(), 0u);
+  EXPECT_EQ(id.num_qubits(), 0u);
+}
+
+TEST(PauliString, SingleQubitProductsFollowSu2Algebra) {
+  // X*Y = iZ and cyclic; squares are identity.
+  struct Case {
+    const char* a;
+    const char* b;
+    const char* result;
+    Complex phase;
+  };
+  const Complex i(0, 1);
+  const Case cases[] = {
+      {"X0", "Y0", "Z0", i},  {"Y0", "X0", "Z0", -i}, {"Y0", "Z0", "X0", i},
+      {"Z0", "Y0", "X0", -i}, {"Z0", "X0", "Y0", i},  {"X0", "Z0", "Y0", -i},
+      {"X0", "X0", "", 1.0},  {"Y0", "Y0", "", 1.0},  {"Z0", "Z0", "", 1.0},
+  };
+  for (const auto& c : cases) {
+    const auto prod =
+        PauliString::parse(c.a) * PauliString::parse(c.b);
+    const auto expected = PauliString::parse(c.result, c.phase);
+    EXPECT_EQ(prod, expected) << c.a << " * " << c.b;
+  }
+}
+
+TEST(PauliString, MultiQubitProductsActQubitwise) {
+  const auto a = PauliString::parse("X0 Y1");
+  const auto b = PauliString::parse("Y0 Y1");
+  // (X0 Y1)(Y0 Y1) = (X0 Y0) (Y1 Y1) = iZ0.
+  const auto prod = a * b;
+  EXPECT_EQ(prod, PauliString::parse("Z0", Complex(0, 1)));
+}
+
+TEST(PauliString, CoefficientsMultiply) {
+  const auto a = PauliString::parse("X0", 2.0);
+  const auto b = PauliString::parse("Z1", Complex(0, 3));
+  const auto prod = a * b;
+  EXPECT_EQ(prod, PauliString::parse("X0 Z1", Complex(0, 6)));
+}
+
+TEST(PauliString, CommutationRules) {
+  // Disjoint strings commute; overlap on one differing qubit anticommutes;
+  // two differing qubits commute again.
+  EXPECT_TRUE(PauliString::parse("X0").commutes_with(PauliString::parse("X1")));
+  EXPECT_TRUE(PauliString::parse("X0").commutes_with(PauliString::parse("X0")));
+  EXPECT_FALSE(
+      PauliString::parse("X0").commutes_with(PauliString::parse("Z0")));
+  EXPECT_TRUE(PauliString::parse("X0 X1").commutes_with(
+      PauliString::parse("Z0 Z1")));
+  EXPECT_FALSE(PauliString::parse("X0 X1").commutes_with(
+      PauliString::parse("Z0 X1")));
+}
+
+TEST(PauliString, DaggerConjugatesCoefficient) {
+  const auto s = PauliString::parse("Y3", Complex(1, 2));
+  EXPECT_EQ(s.dagger(), PauliString::parse("Y3", Complex(1, -2)));
+}
+
+TEST(PauliString, DuplicateQubitInFromOpsIsMultipliedOut) {
+  const std::pair<unsigned, Op> ops[] = {{0, Op::X}, {0, Op::Y}};
+  const auto s = PauliString::from_ops(ops);
+  EXPECT_EQ(s, PauliString::parse("Z0", Complex(0, 1)));
+}
+
+TEST(PauliSum, SimplifyCombinesLikeTerms) {
+  PauliSum sum;
+  sum.add(PauliString::parse("X0 Z1", 1.0));
+  sum.add(PauliString::parse("X0 Z1", 2.0));
+  sum.add(PauliString::parse("Z0", 1.0));
+  sum.add(PauliString::parse("Z0", -1.0));
+  sum.simplify();
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_EQ(sum.terms()[0], PauliString::parse("X0 Z1", 3.0));
+}
+
+TEST(PauliSum, ProductDistributes) {
+  PauliSum a{PauliString::parse("X0"), PauliString::parse("Z0")};
+  PauliSum b{PauliString::parse("X0")};
+  const auto prod = a * b;
+  // X0*X0 = I; Z0*X0 = iY0.
+  ASSERT_EQ(prod.size(), 2u);
+}
+
+TEST(PauliSum, WeightHistogram) {
+  PauliSum sum;
+  sum.add(PauliString::parse("X0"));
+  sum.add(PauliString::parse("Z3"));
+  sum.add(PauliString::parse("X0 Y1 Z2"));
+  const auto hist = sum.weight_histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_EQ(hist[0], 0u);
+}

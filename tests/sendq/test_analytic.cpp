@@ -1,0 +1,108 @@
+// Edge cases and invariants of the SENDQ parameters and closed-form costs.
+#include <gtest/gtest.h>
+
+#include "sendq/analytic.hpp"
+
+namespace sq = qmpi::sendq;
+
+TEST(SendqParams, ValidationRejectsNonsense) {
+  sq::Params p;
+  p.N = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.N = 2;
+  p.S = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.S = 1;
+  p.E = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.E = 1.0;
+  p.Q = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.Q = 1;
+  p.validate();
+}
+
+TEST(SendqParams, StrMentionsAllParameters) {
+  sq::Params p;
+  const auto s = p.str();
+  for (const char* key : {"N=", "S=", "E=", "D_R=", "Q="}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(SendqAnalytic, CeilLog2) {
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(1), 0.0);
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(2), 1.0);
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(3), 2.0);
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(4), 2.0);
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(5), 3.0);
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(64), 6.0);
+  EXPECT_DOUBLE_EQ(sq::ceil_log2(65), 7.0);
+}
+
+TEST(SendqAnalytic, SingleNodeBroadcastIsFree) {
+  sq::Params p;
+  p.N = 1;
+  p.E = 10.0;
+  EXPECT_DOUBLE_EQ(sq::bcast_tree_time(p), 0.0);
+  EXPECT_DOUBLE_EQ(sq::bcast_cat_time(p), 0.0);
+  EXPECT_EQ(sq::bcast_epr_pairs(p), 0u);
+}
+
+TEST(SendqAnalytic, TwoNodeCatIsSingleRound) {
+  sq::Params p;
+  p.N = 2;
+  p.E = 10.0;
+  p.D_M = 1.0;
+  p.D_F = 0.5;
+  EXPECT_DOUBLE_EQ(sq::bcast_cat_time(p), 11.5);
+}
+
+TEST(SendqAnalytic, ParityCostsAreMonotoneInK) {
+  sq::Params p;
+  p.E = 5.0;
+  p.D_R = 2.0;
+  double prev_in = 0, prev_out = 0;
+  for (int k = 2; k <= 64; k *= 2) {
+    const double in = sq::parity_inplace_time(p, k);
+    const double out = sq::parity_outofplace_time(p, k);
+    EXPECT_GT(in, prev_in);
+    EXPECT_GT(out, prev_out);
+    prev_in = in;
+    prev_out = out;
+    // Constant-depth is flat for k > 2 and never worse than the others.
+    EXPECT_LE(sq::parity_constdepth_time(p, k), in);
+    EXPECT_LE(sq::parity_constdepth_time(p, k), out);
+  }
+}
+
+TEST(SendqAnalytic, ParityEprCounts) {
+  EXPECT_EQ(sq::parity_inplace_epr(1), 0u);
+  EXPECT_EQ(sq::parity_inplace_epr(4), 6u);
+  EXPECT_EQ(sq::parity_outofplace_epr(4), 4u);
+  EXPECT_EQ(sq::parity_constdepth_epr(4), 4u);
+}
+
+TEST(SendqAnalytic, TfimDelayIsMaxOfComputeAndComm) {
+  sq::Params p;
+  p.N = 4;
+  p.S = 2;
+  p.E = 10.0;
+  p.D_R = 1.0;
+  // Compute-bound: n large.
+  EXPECT_DOUBLE_EQ(sq::tfim_step_delay(p, 400), 200.0);
+  // Communication-bound: n small.
+  EXPECT_DOUBLE_EQ(sq::tfim_step_delay(p, 4), 20.0);
+  // S = 1 adds 2 D_R on the communication side only.
+  p.S = 1;
+  EXPECT_DOUBLE_EQ(sq::tfim_step_delay(p, 4), 22.0);
+  EXPECT_DOUBLE_EQ(sq::tfim_step_delay(p, 400), 200.0);
+}
+
+TEST(SendqAnalytic, TfimEprPerStepIsN) {
+  sq::Params p;
+  p.N = 6;
+  EXPECT_EQ(sq::tfim_step_epr(p), 6u);
+  p.N = 1;
+  EXPECT_EQ(sq::tfim_step_epr(p), 0u);
+}

@@ -1,0 +1,169 @@
+// Tests for the SENDQ discrete-event simulator: resource constraints
+// (engine exclusivity, buffer capacity S, rotation channel), stalls, and
+// basic task-graph semantics.
+#include <gtest/gtest.h>
+
+#include "sendq/desim.hpp"
+
+namespace sq = qmpi::sendq;
+
+namespace {
+sq::Params params(int n, int s, double e, double dr = 1.0) {
+  sq::Params p;
+  p.N = n;
+  p.S = s;
+  p.E = e;
+  p.D_R = dr;
+  return p;
+}
+}  // namespace
+
+TEST(Desim, SingleEprTakesE) {
+  sq::Program p;
+  const auto e = p.epr(0, 1);
+  p.release_slot(e, 0, {e});
+  p.release_slot(e, 1, {e});
+  const auto r = sq::simulate(p, params(2, 1, 10.0));
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_EQ(r.epr_pairs, 1u);
+}
+
+TEST(Desim, DisjointEprsRunInParallel) {
+  sq::Program p;
+  const auto e1 = p.epr(0, 1);
+  const auto e2 = p.epr(2, 3);
+  p.release_slot(e1, 0, {e1});
+  p.release_slot(e1, 1, {e1});
+  p.release_slot(e2, 2, {e2});
+  p.release_slot(e2, 3, {e2});
+  const auto r = sq::simulate(p, params(4, 1, 10.0));
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(Desim, SharedEndpointSerializesEprs) {
+  // "Any node can be involved in at most one EPR pair creation at any
+  // point" (paper §5). Two pairs sharing node 1 must take 2E.
+  sq::Program p;
+  const auto e1 = p.epr(0, 1);
+  const auto e2 = p.epr(1, 2);
+  for (const auto [t, n] : {std::pair{e1, 0}, {e1, 1}, {e2, 1}, {e2, 2}}) {
+    p.release_slot(t, n, {t});
+  }
+  const auto r = sq::simulate(p, params(3, 2, 10.0));
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+}
+
+TEST(Desim, BufferCapacityLimitsConcurrentPairs) {
+  // Node 0 establishes pairs with 1 and 2; slots are held until a gate
+  // completes. With S=1 at node 0, the second pair must wait for the
+  // first slot's release.
+  for (const int s : {1, 2}) {
+    sq::Program p;
+    const auto e1 = p.epr(0, 1);
+    const auto gate1 = p.rotation(0, {e1});
+    const auto rel1 = p.release_slot(e1, 0, {gate1});
+    p.release_slot(e1, 1, {e1});
+    const auto e2 = p.epr(0, 2);
+    const auto gate2 = p.rotation(0, {e2});
+    const auto rel2 = p.release_slot(e2, 0, {gate2});
+    p.release_slot(e2, 2, {e2});
+    (void)rel1;
+    (void)rel2;
+    const auto r = sq::simulate(p, params(3, s, 10.0, 1.0));
+    if (s >= 2) {
+      // e2 can start as soon as node 0's engine frees: E + E + D_R
+      // (gate2 after e2; gate1 overlaps e2 on the rot channel at t=10..11).
+      EXPECT_DOUBLE_EQ(r.makespan, 21.0);
+      EXPECT_EQ(r.peak_buffer[0], 2);
+    } else {
+      // e2 must wait for gate1 + release: E + D_R + E + D_R.
+      EXPECT_DOUBLE_EQ(r.makespan, 22.0);
+      EXPECT_EQ(r.peak_buffer[0], 1);
+    }
+  }
+}
+
+TEST(Desim, RotationChannelSerializesButPlainLocalsDoNot) {
+  sq::Program p;
+  p.rotation(0);
+  p.rotation(0);
+  p.local(0, 1.0);
+  p.local(0, 1.0);
+  const auto r = sq::simulate(p, params(1, 1, 10.0, 5.0));
+  // Two rotations serialize (10), plain locals run in parallel (1).
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(Desim, DependenciesChainDurations) {
+  sq::Program p;
+  const auto a = p.local(0, 3.0);
+  const auto b = p.local(0, 4.0, {a});
+  p.local(0, 2.0, {b});
+  const auto r = sq::simulate(p, params(1, 1, 1.0));
+  EXPECT_DOUBLE_EQ(r.makespan, 9.0);
+}
+
+TEST(Desim, ClassicalMessagesAreFree) {
+  sq::Program p;
+  const auto a = p.local(0, 5.0);
+  const auto m = p.classical(0, 1, {a});
+  p.local(1, 5.0, {m});
+  const auto r = sq::simulate(p, params(2, 1, 1.0));
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(Desim, StallOnImpossibleBufferDemandThrows) {
+  // Node 0 with S=1 must hold two slots at once (releases depend on both
+  // pairs existing) -> unschedulable.
+  sq::Program p;
+  const auto e1 = p.epr(0, 1);
+  const auto e2 = p.epr(0, 2);
+  p.release_slot(e1, 0, {e2});  // cannot release first before second
+  p.release_slot(e2, 0, {e1});
+  p.release_slot(e1, 1, {e1});
+  p.release_slot(e2, 2, {e2});
+  EXPECT_THROW(sq::simulate(p, params(3, 1, 1.0)), sq::DesimError);
+}
+
+TEST(Desim, InvalidNodeThrows) {
+  sq::Program p;
+  p.local(5, 1.0);
+  EXPECT_THROW(sq::simulate(p, params(2, 1, 1.0)), sq::DesimError);
+}
+
+TEST(Desim, SelfEprThrows) {
+  sq::Program p;
+  EXPECT_THROW(p.epr(1, 1), sq::DesimError);
+}
+
+TEST(Desim, ReleaseValidation) {
+  sq::Program p;
+  const auto l = p.local(0, 1.0);
+  EXPECT_THROW(p.release_slot(l, 0, {}), sq::DesimError);
+  const auto e = p.epr(0, 1);
+  EXPECT_THROW(p.release_slot(e, 2, {}), sq::DesimError);
+}
+
+TEST(Desim, PeakBufferReportsSlotsHeld) {
+  sq::Program p;
+  const auto e1 = p.epr(0, 1);
+  const auto e2 = p.epr(0, 2, {e1});
+  const auto gate = p.local(0, 1.0, {e2});
+  p.release_slot(e1, 0, {gate});
+  p.release_slot(e2, 0, {gate});
+  p.release_slot(e1, 1, {e1});
+  p.release_slot(e2, 2, {e2});
+  const auto r = sq::simulate(p, params(3, 4, 2.0));
+  EXPECT_EQ(r.peak_buffer[0], 2);
+  EXPECT_EQ(r.peak_buffer[1], 1);
+  EXPECT_EQ(r.peak_buffer[2], 1);
+}
+
+TEST(Desim, UnreleasedSlotsHeldToProgramEnd) {
+  sq::Program p;
+  p.epr(0, 1);       // never released
+  p.epr(0, 1);       // needs a second slot on both endpoints
+  const auto ok = sq::simulate(p, params(2, 2, 3.0));
+  EXPECT_DOUBLE_EQ(ok.makespan, 6.0);  // engine-serialized
+  EXPECT_THROW(sq::simulate(p, params(2, 1, 3.0)), sq::DesimError);
+}

@@ -1,0 +1,116 @@
+// Unit tests for the gate matrices themselves: unitarity, daggers, and
+// rotation composition laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gates.hpp"
+
+namespace sim = qmpi::sim;
+using sim::Complex;
+using sim::Gate1Q;
+
+namespace {
+
+Gate1Q multiply(const Gate1Q& a, const Gate1Q& b) {
+  Gate1Q out;
+  out.name = a.name + b.name;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      out.m[static_cast<std::size_t>(r * 2 + c)] =
+          a(r, 0) * b(0, c) + a(r, 1) * b(1, c);
+    }
+  }
+  return out;
+}
+
+void expect_identity(const Gate1Q& g, double eps = 1e-12) {
+  EXPECT_NEAR(std::abs(g(0, 0) - Complex(1, 0)), 0.0, eps) << g.name;
+  EXPECT_NEAR(std::abs(g(1, 1) - Complex(1, 0)), 0.0, eps) << g.name;
+  EXPECT_NEAR(std::abs(g(0, 1)), 0.0, eps) << g.name;
+  EXPECT_NEAR(std::abs(g(1, 0)), 0.0, eps) << g.name;
+}
+
+void expect_equal_up_to_phase(const Gate1Q& a, const Gate1Q& b,
+                              double eps = 1e-12) {
+  // Find the first non-negligible entry to fix the phase.
+  Complex phase(0, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (std::abs(b.m[i]) > 1e-9) {
+      phase = a.m[i] / b.m[i];
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(a.m[i] - phase * b.m[i]), 0.0, eps)
+        << a.name << " vs " << b.name << " entry " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Gates, AllNamedGatesAreUnitary) {
+  const Gate1Q gates[] = {sim::gate_x(),       sim::gate_y(),
+                          sim::gate_z(),       sim::gate_h(),
+                          sim::gate_s(),       sim::gate_sdg(),
+                          sim::gate_t(),       sim::gate_tdg(),
+                          sim::gate_rx(0.713), sim::gate_ry(-2.1),
+                          sim::gate_rz(0.4),   sim::gate_phase(1.9)};
+  for (const auto& g : gates) {
+    expect_identity(multiply(g.dagger(), g));
+    expect_identity(multiply(g, g.dagger()));
+  }
+}
+
+TEST(Gates, PauliProductsAnticommute) {
+  const auto xy = multiply(sim::gate_x(), sim::gate_y());
+  const auto yx = multiply(sim::gate_y(), sim::gate_x());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(xy.m[i] + yx.m[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Gates, HadamardConjugatesXToZ) {
+  const auto hxh =
+      multiply(multiply(sim::gate_h(), sim::gate_x()), sim::gate_h());
+  expect_equal_up_to_phase(hxh, sim::gate_z());
+}
+
+TEST(Gates, SdgIsDaggerOfS) {
+  expect_identity(multiply(sim::gate_s(), sim::gate_sdg()));
+  const auto s2 = multiply(sim::gate_s(), sim::gate_s());
+  expect_equal_up_to_phase(s2, sim::gate_z());
+}
+
+TEST(Gates, TSquaredIsS) {
+  const auto t2 = multiply(sim::gate_t(), sim::gate_t());
+  expect_equal_up_to_phase(t2, sim::gate_s());
+}
+
+TEST(Gates, RotationsCompose) {
+  // Rz(a) Rz(b) = Rz(a + b), same for Rx, Ry.
+  const double a = 0.37, b = 1.21;
+  expect_equal_up_to_phase(multiply(sim::gate_rz(a), sim::gate_rz(b)),
+                           sim::gate_rz(a + b));
+  expect_equal_up_to_phase(multiply(sim::gate_rx(a), sim::gate_rx(b)),
+                           sim::gate_rx(a + b));
+  expect_equal_up_to_phase(multiply(sim::gate_ry(a), sim::gate_ry(b)),
+                           sim::gate_ry(a + b));
+}
+
+TEST(Gates, FullRotationIsMinusIdentity) {
+  // exp(-i pi P) = -I for any Pauli axis.
+  const auto full = sim::gate_rz(2 * std::numbers::pi);
+  EXPECT_NEAR(std::abs(full(0, 0) - Complex(-1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(full(1, 1) - Complex(-1, 0)), 0.0, 1e-12);
+}
+
+TEST(Gates, RzIsPhaseUpToGlobalPhase) {
+  expect_equal_up_to_phase(sim::gate_rz(0.9), sim::gate_phase(0.9));
+}
+
+TEST(Gates, RotationByZeroIsIdentity) {
+  expect_identity(sim::gate_rx(0.0));
+  expect_identity(sim::gate_ry(0.0));
+  expect_identity(sim::gate_rz(0.0));
+}

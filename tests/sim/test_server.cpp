@@ -1,0 +1,75 @@
+// Tests for the SimServer command thread: ordering, futures, exceptions,
+// and concurrent submission from many client threads (the rank-0 forwarding
+// architecture of paper §6).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/server.hpp"
+
+namespace sim = qmpi::sim;
+
+TEST(SimServer, ExecutesSubmissionsInOrder) {
+  sim::SimServer server;
+  const auto q =
+      server.call([](sim::StateVector& sv) { return sv.allocate(1); });
+  server.call([&](sim::StateVector& sv) {
+    sv.x(q[0]);
+    return 0;
+  });
+  const bool one = server.call(
+      [&](sim::StateVector& sv) { return sv.probability_one(q[0]) > 0.5; });
+  EXPECT_TRUE(one);
+}
+
+TEST(SimServer, FuturePropagatesExceptions) {
+  sim::SimServer server;
+  auto future = server.submit([](sim::StateVector& sv) {
+    sv.x(12345);  // unknown qubit
+    return 0;
+  });
+  EXPECT_THROW(future.get(), sim::SimulatorError);
+  // Server must survive the exception and keep serving.
+  const auto q =
+      server.call([](sim::StateVector& sv) { return sv.allocate(1); });
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SimServer, ConcurrentClientsSeeConsistentGlobalState) {
+  sim::SimServer server;
+  constexpr int kClients = 8;
+  constexpr int kOpsPerClient = 50;
+  // Each client allocates a qubit and toggles it an even number of times;
+  // afterwards every qubit must be back in |0>.
+  std::vector<std::thread> clients;
+  std::vector<std::vector<sim::QubitId>> ids(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &ids, c] {
+      ids[static_cast<std::size_t>(c)] =
+          server.call([](sim::StateVector& sv) { return sv.allocate(1); });
+      const auto q = ids[static_cast<std::size_t>(c)][0];
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        server.call([q](sim::StateVector& sv) {
+          sv.x(q);
+          return 0;
+        });
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& qs : ids) {
+    const double p1 = server.call(
+        [q = qs[0]](sim::StateVector& sv) { return sv.probability_one(q); });
+    EXPECT_DOUBLE_EQ(p1, 0.0);  // 50 toggles = even
+  }
+}
+
+TEST(SimServer, ShutdownWithPendingWorkCompletes) {
+  std::future<int> f;
+  {
+    sim::SimServer server;
+    f = server.submit([](sim::StateVector&) { return 7; });
+  }  // destructor joins the worker
+  EXPECT_EQ(f.get(), 7);
+}

@@ -1,8 +1,18 @@
 // Substrate microbenchmarks (google-benchmark): raw state-vector gate
-// throughput as a function of register width, and the cost of the
-// operations the QMPI protocols lean on (CNOT, measurement, parity
-// measurement, allocation). Not a paper figure — this characterizes the
-// simulation substrate that stands in for the authors' testbed.
+// throughput as a function of register width and thread count, and the cost
+// of the operations the QMPI protocols lean on (CNOT, multi-controlled
+// gates, measurement, parity measurement, allocation). Not a paper figure —
+// this characterizes the simulation substrate that stands in for the
+// authors' testbed, and tracks the specialized-kernel + fusion + persistent
+// thread-pool hot path.
+//
+// Gate benchmarks call flush_gates() inside the timed region so they
+// measure the real O(2^n) sweep, not just queueing a 2x2 matrix into the
+// fusion queue (BM_RotationFused measures the amortized fused cost).
+//
+// Run e.g.:
+//   ./perf_statevector --benchmark_format=json
+//   ./perf_statevector --benchmark_filter='Threaded'
 
 #include <benchmark/benchmark.h>
 
@@ -18,24 +28,13 @@ void BM_SingleQubitGate(benchmark::State& state) {
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
-    sv.h(q[i % n]);
+    sv.h(q[i % n]);  // dense 2x2: the general pair kernel
+    sv.flush_gates();
     ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SingleQubitGate)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
-
-void BM_Cnot(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
-  const auto q = sv.allocate(n);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    sv.cnot(q[i % n], q[(i + 1) % n]);
-    ++i;
-  }
-}
-BENCHMARK(BM_Cnot)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_Rotation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -43,11 +42,79 @@ void BM_Rotation(benchmark::State& state) {
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
-    sv.rz(q[i % n], 0.1);
+    sv.rz(q[i % n], 0.1);  // diagonal kernel: one multiply per amplitude
+    sv.flush_gates();
     ++i;
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Rotation)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_PhaseGate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.t(q[i % n]);  // phase kernel: touches only the target=1 half
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhaseGate)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_RotationFused(benchmark::State& state) {
+  // Amortized per-gate cost of a run of 8 rotations on one qubit: the
+  // fusion queue composes them into a single 2x2 before one memory sweep.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kRun = 8;
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const sim::QubitId target = q[i % n];
+    for (int g = 0; g < kRun; ++g) sv.rz(target, 0.1 + 0.01 * g);
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRun);
+}
+BENCHMARK(BM_RotationFused)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_Cnot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.cnot(q[i % n], q[(i + 1) % n]);  // permutation kernel: pure swaps
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Cnot)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_MultiControlled(benchmark::State& state) {
+  // k-controlled X: the kernel enumerates only control-satisfying indices,
+  // so cost should *halve* per extra control instead of staying flat.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  sim::StateVector sv;
+  const auto q = sv.allocate(n);
+  std::vector<sim::QubitId> controls(q.begin(),
+                                     q.begin() + static_cast<long>(k));
+  for (auto _ : state) {
+    sv.apply_controlled(sim::gate_x(), controls, q[n - 1]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MultiControlled)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 3})
+    ->Args({20, 4});
 
 void BM_ParityMeasurement(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -82,8 +149,61 @@ void BM_PauliRotationDirect(benchmark::State& state) {
   for (auto _ : state) {
     sv.apply_pauli_rotation(zz, 0.05);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PauliRotationDirect)->Arg(10)->Arg(16)->Arg(20);
+
+// ----------------------------------------------------------- threading ---
+// Args are {qubits, threads}. With the persistent pool, scaling at 24
+// qubits (256 MiB of amplitudes) should be near-linear in cores; run on a
+// many-core box with --benchmark_filter='Threaded' to measure.
+
+void BM_SingleQubitGateThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  sv.set_num_threads(static_cast<unsigned>(state.range(1)));
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.h(q[i % n]);
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleQubitGateThreaded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 1})
+    ->Args({22, 2})
+    ->Args({22, 4})
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4})
+    ->Args({24, 8});
+
+void BM_RotationThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv;
+  sv.set_num_threads(static_cast<unsigned>(state.range(1)));
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.rz(q[i % n], 0.1);
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RotationThreaded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4})
+    ->Args({24, 8});
 
 }  // namespace
 

@@ -1,0 +1,28 @@
+#include "sim/fusion.hpp"
+
+namespace qmpi::sim {
+
+Gate1Q compose(const Gate1Q& a, const Gate1Q& b) {
+  // Cap the label: long fusion runs would otherwise grow an O(k) string per
+  // push (O(k^2) cumulative copying) on the very path fusion makes cheap.
+  std::string name = a.name.size() + b.name.size() < 16
+                         ? a.name + "*" + b.name
+                         : "fused";
+  return Gate1Q{{a.m[0] * b.m[0] + a.m[1] * b.m[2],
+                 a.m[0] * b.m[1] + a.m[1] * b.m[3],
+                 a.m[2] * b.m[0] + a.m[3] * b.m[2],
+                 a.m[2] * b.m[1] + a.m[3] * b.m[3]},
+                std::move(name)};
+}
+
+void FusionQueue::push(std::uint64_t qubit, const Gate1Q& gate) {
+  for (Entry& e : pending_) {
+    if (e.qubit == qubit) {
+      e.gate = compose(gate, e.gate);
+      return;
+    }
+  }
+  pending_.push_back(Entry{qubit, gate});
+}
+
+}  // namespace qmpi::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gates.hpp"
+
+namespace qmpi::sim {
+
+/// Lazy single-qubit gate fusion queue (ProjectQ-style).
+///
+/// Consecutive single-qubit gates on the same qubit are composed into one
+/// 2x2 matrix *before* the O(2^n) state vector is touched, so a run of k
+/// rotations on a qubit costs one memory sweep instead of k. Gates on
+/// distinct qubits commute, so each qubit keeps an independent pending
+/// matrix; the queue is flushed (applied to the state) before any operation
+/// that reads amplitudes or couples qubits — entangling gates, measurement,
+/// expectation values, deallocation.
+///
+/// Pending gates are keyed by stable QubitId, not state-vector position, so
+/// they survive allocation/removal of other qubits between push and flush.
+/// Flush order is insertion order, which is deterministic for a given
+/// program and (gates on distinct qubits commuting exactly) mathematically
+/// irrelevant.
+class FusionQueue {
+ public:
+  /// Composes `gate` onto the pending matrix for `qubit` (matrix product
+  /// gate * pending, i.e. `gate` applied after what is already queued), or
+  /// starts a fresh entry.
+  void push(std::uint64_t qubit, const Gate1Q& gate);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Calls `fn(qubit, gate)` for each pending entry in insertion order and
+  /// clears the queue.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    // Move out first: fn may itself push (it should not, but a reentrant
+    // flush must not observe half-drained state).
+    std::vector<Entry> entries = std::move(pending_);
+    pending_.clear();
+    for (const Entry& e : entries) fn(e.qubit, e.gate);
+  }
+
+  void clear() { pending_.clear(); }
+
+ private:
+  struct Entry {
+    std::uint64_t qubit;
+    Gate1Q gate;
+  };
+
+  /// Insertion-ordered; registers are small (tens of qubits), so linear
+  /// scans beat a hash map here.
+  std::vector<Entry> pending_;
+};
+
+/// 2x2 matrix product a * b ("b first, then a" as operators).
+Gate1Q compose(const Gate1Q& a, const Gate1Q& b);
+
+}  // namespace qmpi::sim

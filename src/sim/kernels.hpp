@@ -1,0 +1,173 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "sim/gates.hpp"
+
+namespace qmpi::sim::kernels {
+
+/// Structural class of a 2x2 unitary, used to pick a specialized kernel.
+enum class GateKind {
+  kDiagonal,      ///< [a 0; 0 d] — Z, S, T, Rz, phase: one multiply per amp
+  kAntiDiagonal,  ///< [0 b; c 0] — X, Y: a swap (with optional phases)
+  kGeneral,       ///< dense 2x2 — H, Rx, Ry, fused products
+};
+
+inline GateKind classify(const Gate1Q& g) {
+  const Complex zero(0.0, 0.0);
+  if (g.m[1] == zero && g.m[2] == zero) return GateKind::kDiagonal;
+  if (g.m[0] == zero && g.m[3] == zero) return GateKind::kAntiDiagonal;
+  return GateKind::kGeneral;
+}
+
+/// Maps a compressed loop index to a full state index by splicing zero bits
+/// into a set of fixed positions (sorted ascending) and OR-ing in `base`.
+///
+/// This is how controlled gates iterate only control-satisfying indices: fix
+/// the control bits (and the target bit for pair loops), enumerate the free
+/// bits densely, and expand. A k-controlled gate then costs 2^(n-1-k) pair
+/// updates instead of branch-rejecting all 2^(n-1) pairs as the seed did.
+struct IndexExpander {
+  std::array<std::uint8_t, 64> pos{};  ///< fixed bit positions, ascending
+  int npos = 0;
+  std::uint64_t base = 0;  ///< bits OR-ed in after splicing (e.g. ctrl mask)
+
+  void add_position(std::size_t p) {
+    int i = npos++;
+    while (i > 0 && pos[static_cast<std::size_t>(i - 1)] > p) {
+      pos[static_cast<std::size_t>(i)] = pos[static_cast<std::size_t>(i - 1)];
+      --i;
+    }
+    pos[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(p);
+  }
+
+  /// Adds every set bit of `mask` as a fixed position.
+  void add_mask(std::uint64_t mask) {
+    while (mask != 0) {
+      add_position(static_cast<std::size_t>(std::countr_zero(mask)));
+      mask &= mask - 1;
+    }
+  }
+
+  std::size_t operator()(std::size_t k) const {
+    std::uint64_t idx = k;
+    for (int j = 0; j < npos; ++j) {
+      const std::uint64_t p = pos[static_cast<std::size_t>(j)];
+      idx = ((idx >> p) << (p + 1)) | (idx & ((1ULL << p) - 1));
+    }
+    return static_cast<std::size_t>(idx | base);
+  }
+};
+
+/// Inserts bit `bit` at position `pos` of compressed index `k`.
+inline std::size_t insert_bit(std::size_t k, std::size_t pos, bool bit) {
+  const std::uint64_t low = k & ((1ULL << pos) - 1);
+  const std::uint64_t high = (static_cast<std::uint64_t>(k) >> pos) << (pos + 1);
+  return static_cast<std::size_t>(high | low |
+                                  (bit ? (1ULL << pos) : 0ULL));
+}
+
+/// Applies a (possibly controlled) single-qubit gate to `amp[0..n)`,
+/// dispatching to a specialized kernel by gate structure. `pfor` is a
+/// callable `pfor(count, fn)` running `fn(begin, end)` over [0, count),
+/// possibly in parallel; every element is written by exactly one iteration,
+/// so results are bit-identical regardless of how `pfor` splits the range.
+template <typename PFor>
+void apply_1q(Complex* amp, std::size_t n, std::size_t tpos,
+              const Gate1Q& g, std::uint64_t ctrl_mask, PFor&& pfor) {
+  const std::uint64_t stride = 1ULL << tpos;
+  const int nctrl = std::popcount(ctrl_mask);
+  const GateKind kind = classify(g);
+  const Complex one(1.0, 0.0);
+
+  if (kind == GateKind::kDiagonal) {
+    const Complex m00 = g.m[0], m11 = g.m[3];
+    if (m00 == one) {
+      // Phase-type (Z, S, T, phase): only amplitudes with target=1 (and all
+      // controls set) change — an |n|/2^(k+1) sweep with one multiply each.
+      IndexExpander ex;
+      ex.add_mask(ctrl_mask);
+      ex.add_position(tpos);
+      ex.base = ctrl_mask | stride;
+      pfor(n >> (nctrl + 1), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) amp[ex(k)] *= m11;
+      });
+    } else if (ctrl_mask == 0) {
+      // General diagonal (Rz): one multiply per amplitude, no pairing.
+      pfor(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          amp[i] *= (i & stride) ? m11 : m00;
+        }
+      });
+    } else {
+      // Controlled diagonal: enumerate control-satisfying indices only.
+      IndexExpander ex;
+      ex.add_mask(ctrl_mask);
+      ex.base = ctrl_mask;
+      pfor(n >> nctrl, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i = ex(k);
+          amp[i] *= (i & stride) ? m11 : m00;
+        }
+      });
+    }
+    return;
+  }
+
+  // Pair kernels: fixed bits are the target plus all controls.
+  IndexExpander ex;
+  ex.add_mask(ctrl_mask);
+  ex.add_position(tpos);
+  ex.base = ctrl_mask;  // target bit stays 0 in i0
+  const std::size_t pairs = n >> (nctrl + 1);
+
+  if (kind == GateKind::kAntiDiagonal) {
+    const Complex m01 = g.m[1], m10 = g.m[2];
+    if (m01 == one && m10 == one) {
+      // X / CNOT / Toffoli: a pure permutation — swap, no arithmetic.
+      pfor(pairs, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i0 = ex(k);
+          std::swap(amp[i0], amp[i0 | stride]);
+        }
+      });
+    } else {
+      pfor(pairs, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i0 = ex(k);
+          const std::size_t i1 = i0 | stride;
+          const Complex a0 = amp[i0];
+          amp[i0] = m01 * amp[i1];
+          amp[i1] = m10 * a0;
+        }
+      });
+    }
+    return;
+  }
+
+  const Complex m00 = g.m[0], m01 = g.m[1], m10 = g.m[2], m11 = g.m[3];
+  pfor(pairs, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i0 = ex(k);
+      const std::size_t i1 = i0 | stride;
+      const Complex a0 = amp[i0];
+      const Complex a1 = amp[i1];
+      amp[i0] = m00 * a0 + m01 * a1;
+      amp[i1] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+/// i^(k mod 4) without the slow, lossy std::pow on complex arguments.
+inline Complex i_power(int k) {
+  static constexpr std::array<Complex, 4> kTable = {
+      Complex(1.0, 0.0), Complex(0.0, 1.0), Complex(-1.0, 0.0),
+      Complex(0.0, -1.0)};
+  return kTable[static_cast<std::size_t>(k) & 3U];
+}
+
+}  // namespace qmpi::sim::kernels

@@ -24,8 +24,14 @@ namespace qmpi::sim {
 /// faithful representation of the distributed machine at every step.
 class SimServer {
  public:
-  explicit SimServer(std::uint64_t seed = 0x5EED5EED5EEDULL)
-      : state_(seed), worker_([this] { run(); }) {}
+  /// `num_threads` configures the StateVector's worker-lane count for its
+  /// O(2^n) sweeps (see StateVector::set_num_threads); the command thread
+  /// itself is always singular so operations stay strictly ordered.
+  explicit SimServer(std::uint64_t seed = 0x5EED5EED5EEDULL,
+                     unsigned num_threads = 1)
+      : state_(seed), worker_([this] { run(); }) {
+    state_.set_num_threads(num_threads);
+  }
 
   ~SimServer() {
     {
@@ -59,6 +65,15 @@ class SimServer {
   template <typename Fn>
   auto call(Fn&& fn) -> std::invoke_result_t<Fn, StateVector&> {
     return submit(std::forward<Fn>(fn)).get();
+  }
+
+  /// Reconfigures the simulation lane count; serialized with gate traffic
+  /// like any other command, so it never races an in-flight sweep.
+  void set_num_threads(unsigned n) {
+    call([n](StateVector& sv) {
+      sv.set_num_threads(n);
+      return 0;
+    });
   }
 
  private:

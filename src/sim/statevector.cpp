@@ -3,19 +3,56 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <thread>
+
+#include "sim/kernels.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace qmpi::sim {
 
 namespace {
 constexpr double kEps = 1e-10;
-}
+/// Below this many loop iterations the pool dispatch overhead dominates;
+/// run serial inline. Thresholds are in units of touched amplitudes.
+constexpr std::size_t kMinParallel = 1ULL << 16;
+/// Reduction chunk size. Lane-independent, so chunk partial sums combined
+/// in chunk order give bit-identical results for any thread count.
+constexpr std::size_t kReduceChunk = 1ULL << 14;
+}  // namespace
 
 StateVector::StateVector(std::uint64_t seed) : rng_(seed) {
   amplitudes_ = {Complex(1.0, 0.0)};  // the empty register: a scalar 1
 }
 
+template <typename Fn>
+void StateVector::parallel_for(std::size_t count, Fn&& fn) const {
+  const unsigned lanes = count >= kMinParallel ? num_threads_ : 1;
+  ThreadPool::instance().parallel_for(lanes, count, std::forward<Fn>(fn));
+}
+
+template <typename T, typename ChunkFn>
+T StateVector::chunked_reduce(std::size_t count, ChunkFn&& chunk_fn) const {
+  const std::size_t nchunks = (count + kReduceChunk - 1) / kReduceChunk;
+  if (nchunks <= 1) {
+    return count == 0 ? T{} : chunk_fn(std::size_t{0}, count);
+  }
+  std::vector<T> partials(nchunks);
+  const unsigned lanes = count >= kMinParallel ? num_threads_ : 1;
+  ThreadPool::instance().parallel_for(
+      lanes, nchunks, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const std::size_t lo = c * kReduceChunk;
+          const std::size_t hi = std::min(count, lo + kReduceChunk);
+          partials[c] = chunk_fn(lo, hi);
+        }
+      });
+  T total{};
+  for (const T& p : partials) total += p;
+  return total;
+}
+
 std::vector<QubitId> StateVector::allocate(std::size_t count) {
+  // No flush needed: pending 1Q gates commute with appending |0> factors
+  // (their target positions are unchanged), and they are keyed by id.
   std::vector<QubitId> ids;
   ids.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -37,28 +74,53 @@ std::size_t StateVector::position_checked(QubitId qubit) const {
   return it->second;
 }
 
+void StateVector::set_fusion_enabled(bool on) {
+  if (!on) flush_gates();
+  fusion_enabled_ = on;
+}
+
+void StateVector::flush_gates() const {
+  if (fusion_.empty()) return;
+  fusion_.drain([this](QubitId qubit, const Gate1Q& gate) {
+    // Ids were validated at push time and every deallocation path flushes
+    // before removing a qubit, so the entry must still be live.
+    apply_at(gate, index_.find(qubit)->second, /*ctrl_mask=*/0);
+  });
+}
+
 double StateVector::probability_one_at(std::size_t pos) const {
-  const std::uint64_t stride = 1ULL << pos;
-  double p1 = 0.0;
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i & stride) p1 += std::norm(amplitudes_[i]);
-  }
-  return p1;
+  // Sweep only the half of the state with the target bit set, enumerating
+  // compressed indices and splicing the bit back in.
+  const std::size_t half = amplitudes_.size() / 2;
+  const Complex* amp = amplitudes_.data();
+  return chunked_reduce<double>(
+      half, [amp, pos](std::size_t begin, std::size_t end) {
+        double p = 0.0;
+        for (std::size_t k = begin; k < end; ++k) {
+          p += std::norm(amp[kernels::insert_bit(k, pos, true)]);
+        }
+        return p;
+      });
 }
 
 double StateVector::probability_one(QubitId qubit) const {
-  return probability_one_at(position_checked(qubit));
+  const std::size_t pos = position_checked(qubit);
+  flush_gates();
+  return probability_one_at(pos);
 }
 
 void StateVector::remove_position(std::size_t pos, bool bit) {
-  const std::uint64_t stride = 1ULL << pos;
+  flush_gates();
   const std::size_t n = amplitudes_.size();
   std::vector<Complex> reduced(n / 2);
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (static_cast<bool>(i & stride) == bit) reduced[out++] = amplitudes_[i];
-  }
+  const Complex* src = amplitudes_.data();
+  Complex* dst = reduced.data();
+  parallel_for(n / 2, [src, dst, pos, bit](std::size_t begin,
+                                           std::size_t end) {
+    for (std::size_t o = begin; o < end; ++o) {
+      dst[o] = src[kernels::insert_bit(o, pos, bit)];
+    }
+  });
   amplitudes_ = std::move(reduced);
   // Fix the id<->position maps: qubits above `pos` shift down by one.
   index_.erase(positions_[pos]);
@@ -70,6 +132,7 @@ void StateVector::remove_position(std::size_t pos, bool bit) {
 
 void StateVector::deallocate(QubitId qubit) {
   const std::size_t pos = position_checked(qubit);
+  flush_gates();
   const double p1 = probability_one_at(pos);
   if (p1 > kEps) {
     throw SimulatorError(
@@ -82,6 +145,7 @@ void StateVector::deallocate(QubitId qubit) {
 
 void StateVector::deallocate_classical(QubitId qubit) {
   const std::size_t pos = position_checked(qubit);
+  flush_gates();
   const double p1 = probability_one_at(pos);
   if (p1 > kEps && p1 < 1.0 - kEps) {
     throw SimulatorError("deallocating qubit " + std::to_string(qubit) +
@@ -98,52 +162,20 @@ bool StateVector::release(QubitId qubit) {
   return outcome;
 }
 
-template <typename Fn>
-void StateVector::parallel_for(std::size_t count, Fn&& fn) const {
-  // Fork/join threshold: below ~2^16 elements the thread launch dominates.
-  constexpr std::size_t kMinParallel = 1ULL << 16;
-  if (num_threads_ <= 1 || count < kMinParallel) {
-    fn(std::size_t{0}, count);
-    return;
-  }
-  const std::size_t chunk = (count + num_threads_ - 1) / num_threads_;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads_);
-  for (unsigned t = 0; t < num_threads_; ++t) {
-    const std::size_t begin = std::min(count, t * chunk);
-    const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& w : workers) w.join();
-}
-
 void StateVector::apply_at(const Gate1Q& gate, std::size_t pos,
-                           std::uint64_t ctrl_mask) {
-  const std::uint64_t stride = 1ULL << pos;
-  const std::size_t n = amplitudes_.size();
-  const Complex m00 = gate.m[0], m01 = gate.m[1], m10 = gate.m[2],
-                m11 = gate.m[3];
-  // Iterate over all pairs (i, i|stride) with bit `pos` clear in i; the
-  // pair index k maps to i0 by splicing the target bit out of k.
-  const std::size_t pairs = n / 2;
-  parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t k = begin; k < end; ++k) {
-      const std::size_t low = k & (stride - 1);
-      const std::size_t high = (k >> pos) << (pos + 1);
-      const std::size_t i0 = high | low;
-      if ((i0 & ctrl_mask) != ctrl_mask) continue;
-      const std::size_t i1 = i0 | stride;
-      const Complex a0 = amplitudes_[i0];
-      const Complex a1 = amplitudes_[i1];
-      amplitudes_[i0] = m00 * a0 + m01 * a1;
-      amplitudes_[i1] = m10 * a0 + m11 * a1;
-    }
-  });
+                           std::uint64_t ctrl_mask) const {
+  kernels::apply_1q(
+      amplitudes_.data(), amplitudes_.size(), pos, gate, ctrl_mask,
+      [this](std::size_t count, auto&& fn) { parallel_for(count, fn); });
 }
 
 void StateVector::apply(const Gate1Q& gate, QubitId target) {
-  apply_at(gate, position_checked(target), /*ctrl_mask=*/0);
+  const std::size_t pos = position_checked(target);  // validate eagerly
+  if (fusion_enabled_) {
+    fusion_.push(target, gate);
+    return;
+  }
+  apply_at(gate, pos, /*ctrl_mask=*/0);
 }
 
 void StateVector::apply_controlled(const Gate1Q& gate,
@@ -158,24 +190,29 @@ void StateVector::apply_controlled(const Gate1Q& gate,
     }
     mask |= 1ULL << cpos;
   }
+  flush_gates();  // entangling boundary
   apply_at(gate, tpos, mask);
 }
 
 void StateVector::collapse(std::size_t pos, bool bit, double prob_bit) {
   const std::uint64_t stride = 1ULL << pos;
   const double scale = 1.0 / std::sqrt(prob_bit);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (static_cast<bool>(i & stride) == bit) {
-      amplitudes_[i] *= scale;
-    } else {
-      amplitudes_[i] = Complex(0.0, 0.0);
+  Complex* amp = amplitudes_.data();
+  parallel_for(amplitudes_.size(), [amp, stride, bit, scale](
+                                       std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (static_cast<bool>(i & stride) == bit) {
+        amp[i] *= scale;
+      } else {
+        amp[i] = Complex(0.0, 0.0);
+      }
     }
-  }
+  });
 }
 
 bool StateVector::measure(QubitId qubit) {
   const std::size_t pos = position_checked(qubit);
+  flush_gates();
   const double p1 = probability_one_at(pos);
   std::uniform_real_distribution<double> dist(0.0, 1.0);
   const bool outcome = dist(rng_) < p1;
@@ -193,23 +230,33 @@ bool StateVector::measure_x(QubitId qubit) {
 bool StateVector::measure_parity(std::span<const QubitId> qubits) {
   std::uint64_t mask = 0;
   for (const QubitId q : qubits) mask |= 1ULL << position_checked(q);
+  flush_gates();
   const std::size_t n = amplitudes_.size();
-  double p_odd = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (std::popcount(i & mask) & 1U) p_odd += std::norm(amplitudes_[i]);
-  }
+  const Complex* camp = amplitudes_.data();
+  const double p_odd = chunked_reduce<double>(
+      n, [camp, mask](std::size_t begin, std::size_t end) {
+        double p = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (std::popcount(i & mask) & 1U) p += std::norm(camp[i]);
+        }
+        return p;
+      });
   std::uniform_real_distribution<double> dist(0.0, 1.0);
   const bool outcome = dist(rng_) < p_odd;
   const double prob = outcome ? p_odd : 1.0 - p_odd;
   const double scale = 1.0 / std::sqrt(prob);
-  for (std::size_t i = 0; i < n; ++i) {
-    const bool odd = std::popcount(i & mask) & 1U;
-    if (odd == outcome) {
-      amplitudes_[i] *= scale;
-    } else {
-      amplitudes_[i] = Complex(0.0, 0.0);
+  Complex* amp = amplitudes_.data();
+  parallel_for(n, [amp, mask, outcome, scale](std::size_t begin,
+                                              std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const bool odd = std::popcount(i & mask) & 1U;
+      if (odd == outcome) {
+        amp[i] *= scale;
+      } else {
+        amp[i] = Complex(0.0, 0.0);
+      }
     }
-  }
+  });
   return outcome;
 }
 
@@ -222,48 +269,63 @@ Complex StateVector::amplitude(std::span<const QubitId> order,
   for (std::size_t k = 0; k < order.size(); ++k) {
     if (bits[k]) idx |= 1ULL << position_checked(order[k]);
   }
+  flush_gates();
   return amplitudes_[idx];
 }
 
-double StateVector::expectation(
+StateVector::PauliMasks StateVector::parse_pauli(
     std::span<const std::pair<QubitId, char>> pauli) const {
-  // <psi|P|psi> = <psi|phi> with |phi> = P|psi>. Build P|psi> cheaply:
-  // X flips a bit, Z adds a sign, Y does both with a factor i.
-  std::uint64_t flip_mask = 0;
-  std::uint64_t z_mask = 0;
-  int y_count = 0;
+  // X flips a bit, Z adds a sign, Y does both with a factor i: the masks
+  // encode P's action per basis state for both observables paths.
+  PauliMasks masks;
   for (const auto& [qubit, op] : pauli) {
     const std::uint64_t bit = 1ULL << position_checked(qubit);
     switch (op) {
       case 'X':
-        flip_mask |= bit;
+        masks.flip |= bit;
         break;
       case 'Y':
-        flip_mask |= bit;
-        z_mask |= bit;
-        ++y_count;
+        masks.flip |= bit;
+        masks.z |= bit;
+        ++masks.y_count;
         break;
       case 'Z':
-        z_mask |= bit;
+        masks.z |= bit;
         break;
       default:
         throw SimulatorError(std::string("bad Pauli op '") + op + "'");
     }
   }
+  return masks;
+}
+
+double StateVector::expectation(
+    std::span<const std::pair<QubitId, char>> pauli) const {
+  // <psi|P|psi> = <psi|phi> with |phi> = P|psi>.
+  const PauliMasks masks = parse_pauli(pauli);
+  const std::uint64_t flip_mask = masks.flip;
+  const std::uint64_t z_mask = masks.z;
+  flush_gates();
   // Y = i * X * Z (acting as |b> -> i^{?}): with convention
   // Y|0> = i|1>, Y|1> = -i|0>: phase = i * (-1)^b. We fold the per-Y global
   // i factor and the Z-type signs below.
-  Complex acc(0.0, 0.0);
+  const Complex y_phase = kernels::i_power(masks.y_count);
   const std::size_t n = amplitudes_.size();
-  const Complex y_phase = std::pow(Complex(0.0, 1.0), y_count);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Complex a = amplitudes_[i];
-    if (a == Complex(0.0, 0.0)) continue;
-    const std::size_t j = i ^ flip_mask;
-    // Sign from Z-type masks applied to the *source* basis state i.
-    const int sign = (std::popcount(i & z_mask) & 1) ? -1 : 1;
-    acc += std::conj(amplitudes_[j]) * a * double(sign) * y_phase;
-  }
+  const Complex* amp = amplitudes_.data();
+  const Complex acc = chunked_reduce<Complex>(
+      n, [amp, flip_mask, z_mask, y_phase](std::size_t begin,
+                                           std::size_t end) {
+        Complex partial(0.0, 0.0);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Complex a = amp[i];
+          if (a == Complex(0.0, 0.0)) continue;
+          const std::size_t j = i ^ flip_mask;
+          // Sign from Z-type masks applied to the *source* basis state i.
+          const int sign = (std::popcount(i & z_mask) & 1) ? -1 : 1;
+          partial += std::conj(amp[j]) * a * double(sign) * y_phase;
+        }
+        return partial;
+      });
   return acc.real();
 }
 
@@ -272,57 +334,59 @@ void StateVector::apply_pauli_rotation(
   // exp(-i t P) = cos(t) I - i sin(t) P. Build P's action per basis state
   // (see expectation() for the phase bookkeeping) and combine the paired
   // amplitudes in place.
-  std::uint64_t flip_mask = 0;
-  std::uint64_t z_mask = 0;
-  int y_count = 0;
-  for (const auto& [qubit, op] : pauli) {
-    const std::uint64_t bit = 1ULL << position_checked(qubit);
-    switch (op) {
-      case 'X':
-        flip_mask |= bit;
-        break;
-      case 'Y':
-        flip_mask |= bit;
-        z_mask |= bit;
-        ++y_count;
-        break;
-      case 'Z':
-        z_mask |= bit;
-        break;
-      default:
-        throw SimulatorError(std::string("bad Pauli op '") + op + "'");
-    }
-  }
-  const Complex y_phase = std::pow(Complex(0.0, 1.0), y_count);
+  const PauliMasks masks = parse_pauli(pauli);
+  const std::uint64_t flip_mask = masks.flip;
+  const std::uint64_t z_mask = masks.z;
+  flush_gates();
+  const Complex y_phase = kernels::i_power(masks.y_count);
   const Complex c = std::cos(t);
   const Complex mis = Complex(0.0, -1.0) * std::sin(t);
   const std::size_t n = amplitudes_.size();
+  Complex* amp = amplitudes_.data();
   if (flip_mask == 0) {
     // Diagonal: phase e^{-it(+/-1)} per basis state.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double sign = (std::popcount(i & z_mask) & 1) ? -1.0 : 1.0;
-      amplitudes_[i] *= c + mis * sign;
-    }
+    const Complex ph_even = c + mis;
+    const Complex ph_odd = c - mis;
+    parallel_for(n, [amp, z_mask, ph_even, ph_odd](std::size_t begin,
+                                                   std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        amp[i] *= (std::popcount(i & z_mask) & 1) ? ph_odd : ph_even;
+      }
+    });
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = i ^ flip_mask;
-    if (j < i) continue;  // handle each pair once
-    // P|i> = phase_i |j>, P|j> = phase_j |i>.
-    const Complex phase_i =
-        y_phase * ((std::popcount(i & z_mask) & 1) ? -1.0 : 1.0);
-    const Complex phase_j =
-        y_phase * ((std::popcount(j & z_mask) & 1) ? -1.0 : 1.0);
-    const Complex ai = amplitudes_[i];
-    const Complex aj = amplitudes_[j];
-    amplitudes_[i] = c * ai + mis * phase_j * aj;
-    amplitudes_[j] = c * aj + mis * phase_i * ai;
-  }
+  // Enumerate each pair (i, i ^ flip_mask) exactly once by splicing out the
+  // top flipped bit: i then has that bit 0 and j = i ^ flip_mask > i. The
+  // seed's branch-rejecting `if (j < i) continue` sweep did 2x the work.
+  const std::size_t top =
+      static_cast<std::size_t>(std::bit_width(flip_mask) - 1);
+  parallel_for(n / 2, [amp, flip_mask, z_mask, y_phase, c, mis, top](
+                          std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = kernels::insert_bit(k, top, false);
+      const std::size_t j = i ^ flip_mask;
+      // P|i> = phase_i |j>, P|j> = phase_j |i>.
+      const Complex phase_i =
+          y_phase * ((std::popcount(i & z_mask) & 1) ? -1.0 : 1.0);
+      const Complex phase_j =
+          y_phase * ((std::popcount(j & z_mask) & 1) ? -1.0 : 1.0);
+      const Complex ai = amp[i];
+      const Complex aj = amp[j];
+      amp[i] = c * ai + mis * phase_j * aj;
+      amp[j] = c * aj + mis * phase_i * ai;
+    }
+  });
 }
 
 double StateVector::norm() const {
-  double total = 0.0;
-  for (const Complex& a : amplitudes_) total += std::norm(a);
+  flush_gates();
+  const Complex* amp = amplitudes_.data();
+  const double total = chunked_reduce<double>(
+      amplitudes_.size(), [amp](std::size_t begin, std::size_t end) {
+        double p = 0.0;
+        for (std::size_t i = begin; i < end; ++i) p += std::norm(amp[i]);
+        return p;
+      });
   return std::sqrt(total);
 }
 

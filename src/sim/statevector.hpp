@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/fusion.hpp"
 #include "sim/gates.hpp"
 
 namespace qmpi::sim {
@@ -67,7 +68,10 @@ class StateVector {
 
   // ------------------------------------------------------------- gates ---
 
-  /// Applies a single-qubit gate.
+  /// Applies a single-qubit gate. With fusion enabled (the default) the
+  /// gate is queued and composed with later gates on the same qubit; the
+  /// O(2^n) sweep happens at the next flush boundary (entangling gate,
+  /// measurement, amplitude inspection, deallocation).
   void apply(const Gate1Q& gate, QubitId target);
 
   /// Applies `gate` on `target` controlled on all `controls` being |1>.
@@ -139,8 +143,12 @@ class StateVector {
                             double t);
 
   /// Raw amplitudes, indexed by position bits (position of qubit id q is
-  /// position_of(q)). Exposed for white-box tests and benchmarks.
-  const std::vector<Complex>& amplitudes() const { return amplitudes_; }
+  /// position_of(q)). Exposed for white-box tests and benchmarks. Flushes
+  /// pending fused gates so the returned vector is the true current state.
+  const std::vector<Complex>& amplitudes() const {
+    flush_gates();
+    return amplitudes_;
+  }
   std::size_t position_of(QubitId qubit) const { return position_checked(qubit); }
 
   /// Global L2 norm (should always be 1 within rounding).
@@ -156,26 +164,66 @@ class StateVector {
   void set_num_threads(unsigned n) { num_threads_ = n == 0 ? 1 : n; }
   unsigned num_threads() const { return num_threads_; }
 
+  /// Enables/disables lazy single-qubit gate fusion (default: enabled).
+  /// Disabling flushes anything still pending.
+  void set_fusion_enabled(bool on);
+  bool fusion_enabled() const { return fusion_enabled_; }
+
+  /// Applies all pending fused gates to the state vector. Called
+  /// automatically at every boundary that observes or couples qubits;
+  /// public so benchmarks can time gate application itself.
+  void flush_gates() const;
+
+  /// Number of 1Q gates currently queued (white-box for fusion tests).
+  std::size_t pending_gates() const { return fusion_.size(); }
+
  private:
+  /// P's per-basis-state action, shared by expectation() and
+  /// apply_pauli_rotation(): X-type ops flip bits in `flip`, Z-type ops
+  /// contribute signs via `z`, each Y adds a global factor i.
+  struct PauliMasks {
+    std::uint64_t flip = 0;
+    std::uint64_t z = 0;
+    int y_count = 0;
+  };
+  PauliMasks parse_pauli(
+      std::span<const std::pair<QubitId, char>> pauli) const;
+
   std::size_t position_checked(QubitId qubit) const;
-  void apply_at(const Gate1Q& gate, std::size_t pos, std::uint64_t ctrl_mask);
+  void apply_at(const Gate1Q& gate, std::size_t pos,
+                std::uint64_t ctrl_mask) const;
   /// Collapses `pos` to `bit` with renormalization; returns nothing.
   void collapse(std::size_t pos, bool bit, double prob_bit);
   /// Removes the (classical, = `bit`) qubit at `pos` from the register.
   void remove_position(std::size_t pos, bool bit);
   double probability_one_at(std::size_t pos) const;
 
-  /// Applies `fn(begin, end)` over [0, count) in parallel chunks when the
-  /// problem is large enough; serial otherwise.
+  /// Runs `fn(begin, end)` over [0, count) on the shared persistent
+  /// ThreadPool when the problem is large enough; serial inline otherwise.
+  /// Every index is handled by exactly one lane, so results are
+  /// bit-identical for any thread count.
   template <typename Fn>
   void parallel_for(std::size_t count, Fn&& fn) const;
 
-  std::vector<Complex> amplitudes_;
+  /// Order-fixed parallel reduction: partitions [0, count) into chunks of a
+  /// lane-independent size, reduces each chunk with `chunk_fn(begin, end)`,
+  /// and combines partials in chunk order — so the sum is bit-identical for
+  /// any thread count, including the serial path.
+  template <typename T, typename ChunkFn>
+  T chunked_reduce(std::size_t count, ChunkFn&& chunk_fn) const;
+
+  /// amplitudes_ and fusion_ are mutable: fusion makes gate application
+  /// lazy, so logically-const observers (probability_one, expectation,
+  /// amplitudes) may have to materialize pending gates first. The class was
+  /// never thread-safe for concurrent use (see class comment).
+  mutable std::vector<Complex> amplitudes_;
+  mutable FusionQueue fusion_;
   std::vector<QubitId> positions_;                    ///< pos -> id
   std::unordered_map<QubitId, std::size_t> index_;    ///< id -> pos
   QubitId next_id_ = 1;
   std::mt19937_64 rng_;
   unsigned num_threads_ = 1;
+  bool fusion_enabled_ = true;
 };
 
 }  // namespace qmpi::sim

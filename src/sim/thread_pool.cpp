@@ -1,0 +1,93 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace qmpi::sim {
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::worker_count() const {
+  const std::lock_guard lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure_workers(unsigned needed) {
+  // Only called with job_mutex_ held, so workers_ cannot be resized
+  // concurrently; workers themselves never touch the vector.
+  if (workers_.size() >= needed) return;
+  const std::lock_guard lock(mutex_);
+  while (workers_.size() < needed) {
+    const unsigned index = static_cast<unsigned>(workers_.size());
+    workers_.emplace_back([this, index] { worker_main(index); });
+  }
+}
+
+void ThreadPool::run(unsigned lanes, std::size_t count, RangeFn fn,
+                     void* ctx) {
+  lanes = std::min(lanes, kMaxLanes);
+
+  // Slice size: even split rounded up to 8 complex doubles so adjacent lanes
+  // do not share a cache line. A slice can swallow the whole range for tiny
+  // counts, in which case we just run inline.
+  std::size_t slice = (count + lanes - 1) / lanes;
+  slice = (slice + 7) & ~std::size_t{7};
+  const unsigned used = static_cast<unsigned>((count + slice - 1) / slice);
+  if (used <= 1) {
+    fn(ctx, 0, count);
+    return;
+  }
+
+  const std::lock_guard job_lock(job_mutex_);
+  ensure_workers(used - 1);
+  {
+    const std::lock_guard lock(mutex_);
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_count_ = count;
+    job_slice_ = slice;
+    job_workers_ = used - 1;
+    remaining_ = used - 1;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  // The submitter owns the last slice.
+  fn(ctx, static_cast<std::size_t>(used - 1) * slice, count);
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void ThreadPool::worker_main(unsigned index) {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock,
+                  [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    if (index >= job_workers_) continue;  // not a participant this job
+    const RangeFn fn = job_fn_;
+    void* ctx = job_ctx_;
+    const std::size_t begin = static_cast<std::size_t>(index) * job_slice_;
+    const std::size_t end = std::min(begin + job_slice_, job_count_);
+    lock.unlock();
+    fn(ctx, begin, end);
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace qmpi::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmpi::sim {
+
+/// Persistent worker pool for the state-vector hot loops.
+///
+/// The seed simulator forked and joined fresh std::threads on every gate,
+/// paying thread-creation latency per operation. This pool parks long-lived
+/// workers on a condition variable and dispatches chunked index ranges to
+/// them, so a gate application costs one notify + one wait instead of N
+/// pthread_create/join pairs (the same persistent-context discipline that
+/// collective-engine codebases use for streams).
+///
+/// Dispatch is a *static* range split: lane `i` of `L` always receives the
+/// same [begin, end) slice for a given (count, L), so elementwise loops are
+/// bit-identical to the serial path no matter how threads are scheduled.
+/// Reductions additionally need an order-fixed combine; see
+/// StateVector::chunked_reduce, which partitions by a lane-independent chunk
+/// size and sums partials in chunk order.
+///
+/// One job runs at a time (submissions from different threads serialize on
+/// an internal mutex). Workers are spawned lazily, up to kMaxLanes - 1.
+class ThreadPool {
+ public:
+  /// Process-wide pool shared by all StateVector instances.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Upper bound on lanes (submitting thread + workers) a job may use.
+  static constexpr unsigned kMaxLanes = 64;
+
+  /// Runs `fn(begin, end)` over [0, count) split across `lanes` lanes.
+  /// The submitting thread executes the last slice itself and blocks until
+  /// all worker slices are done. `lanes <= 1` (or a count too small to
+  /// split) runs serially inline with no locking.
+  template <typename Fn>
+  void parallel_for(unsigned lanes, std::size_t count, Fn&& fn) {
+    if (lanes <= 1 || count < 2) {
+      if (count > 0) fn(std::size_t{0}, count);
+      return;
+    }
+    run(lanes, count,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(begin, end);
+        },
+        &fn);
+  }
+
+  /// Number of workers currently alive (for tests / introspection).
+  std::size_t worker_count() const;
+
+ private:
+  using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  ThreadPool() = default;
+
+  void run(unsigned lanes, std::size_t count, RangeFn fn, void* ctx);
+  void ensure_workers(unsigned needed);
+  void worker_main(unsigned index);
+
+  std::vector<std::thread> workers_;
+
+  /// Serializes whole jobs: held by the submitting thread for the full
+  /// dispatch + completion-wait, so job_* fields never change mid-job.
+  std::mutex job_mutex_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+
+  // Current job (valid while job_mutex_ is held by a submitter).
+  RangeFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t job_slice_ = 0;
+  unsigned job_workers_ = 0;   ///< workers participating (slices 0..n-1)
+  unsigned remaining_ = 0;     ///< worker slices not yet finished
+};
+
+}  // namespace qmpi::sim

@@ -1,0 +1,227 @@
+// Fusion-queue correctness: lazy single-qubit gates must be observationally
+// identical to eager application, and every flush boundary (entangling
+// gates, measurement, inspection, deallocation) must materialize pending
+// gates before the state is observed or reshaped.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/fusion.hpp"
+#include "sim/statevector.hpp"
+
+namespace sim = qmpi::sim;
+using sim::Complex;
+
+namespace {
+
+void expect_close(const sim::StateVector& a, const sim::StateVector& b,
+                  double eps = 1e-12) {
+  const auto& aa = a.amplitudes();
+  const auto& bb = b.amplitudes();
+  ASSERT_EQ(aa.size(), bb.size());
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    EXPECT_NEAR(std::abs(aa[i] - bb[i]), 0.0, eps) << "amplitude " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Fusion, ConsecutiveGatesOnOneQubitFuseToOneEntry) {
+  sim::StateVector sv;
+  const auto q = sv.allocate(2);
+  sv.h(q[0]);
+  sv.t(q[0]);
+  sv.rz(q[0], 0.3);
+  EXPECT_EQ(sv.pending_gates(), 1u);
+  sv.h(q[1]);
+  EXPECT_EQ(sv.pending_gates(), 2u);
+}
+
+TEST(Fusion, FusedSequenceMatchesEagerApplication) {
+  sim::StateVector lazy, eager;
+  eager.set_fusion_enabled(false);
+  const auto ql = lazy.allocate(3);
+  const auto qe = eager.allocate(3);
+  auto program = [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+    sv.h(q[0]);
+    sv.t(q[0]);
+    sv.rz(q[0], 0.41);
+    sv.ry(q[1], 1.1);
+    sv.s(q[1]);
+    sv.x(q[2]);
+  };
+  program(lazy, ql);
+  program(eager, qe);
+  EXPECT_EQ(lazy.pending_gates(), 3u);
+  EXPECT_EQ(eager.pending_gates(), 0u);
+  expect_close(lazy, eager);
+}
+
+TEST(Fusion, EntanglingGateFlushesQueue) {
+  sim::StateVector sv;
+  const auto q = sv.allocate(2);
+  sv.h(q[0]);
+  sv.rz(q[1], 0.2);
+  EXPECT_EQ(sv.pending_gates(), 2u);
+  sv.cnot(q[0], q[1]);
+  EXPECT_EQ(sv.pending_gates(), 0u);
+  // H then CNOT is a Bell pair; the H must have landed before the CNOT.
+  EXPECT_NEAR(sv.probability_one(q[1]), 0.5, 1e-12);
+}
+
+TEST(Fusion, MeasurementFlushesAndCollapsesCorrectly) {
+  // X queued but not flushed: measuring must still see |1> determinis-
+  // tically, proving the flush happened before the Born-rule sampling.
+  sim::StateVector sv(7);
+  const auto q = sv.allocate(1);
+  sv.x(q[0]);
+  EXPECT_EQ(sv.pending_gates(), 1u);
+  EXPECT_TRUE(sv.measure(q[0]));
+  EXPECT_EQ(sv.pending_gates(), 0u);
+}
+
+TEST(Fusion, MeasureBoundaryMatchesEagerOnSuperposition) {
+  // Same seed, same program: lazy and eager runs must take the same
+  // branch and end in the same state.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sim::StateVector lazy(seed), eager(seed);
+    eager.set_fusion_enabled(false);
+    const auto ql = lazy.allocate(2);
+    const auto qe = eager.allocate(2);
+    lazy.ry(ql[0], 1.3);
+    lazy.h(ql[1]);
+    eager.ry(qe[0], 1.3);
+    eager.h(qe[1]);
+    EXPECT_EQ(lazy.measure(ql[0]), eager.measure(qe[0])) << "seed=" << seed;
+    expect_close(lazy, eager);
+  }
+}
+
+TEST(Fusion, ParityMeasurementFlushes) {
+  sim::StateVector sv(3);
+  const auto q = sv.allocate(2);
+  sv.x(q[0]);  // pending
+  const sim::QubitId both[] = {q[0], q[1]};
+  EXPECT_TRUE(sv.measure_parity(both));  // |10> has odd parity
+  EXPECT_EQ(sv.pending_gates(), 0u);
+}
+
+TEST(Fusion, DeallocBoundarySeesPendingGates) {
+  sim::StateVector sv;
+  const auto q = sv.allocate(2);
+  sv.x(q[0]);
+  // The pending X must be visible to the |0>-check: dealloc has to throw.
+  EXPECT_THROW(sv.deallocate(q[0]), sim::SimulatorError);
+  // And deallocate_classical must see |1>, not |0>.
+  sv.deallocate_classical(q[0]);
+  EXPECT_EQ(sv.num_qubits(), 1u);
+}
+
+TEST(Fusion, PendingGateSurvivesRemovalOfLowerPosition) {
+  // A pending gate is keyed by qubit id; removing a *lower* position shifts
+  // the target's position between push and flush. The flush must apply the
+  // gate at the qubit's new position.
+  sim::StateVector lazy, eager;
+  eager.set_fusion_enabled(false);
+  const auto ql = lazy.allocate(3);
+  const auto qe = eager.allocate(3);
+  lazy.ry(ql[2], 0.77);
+  eager.ry(qe[2], 0.77);
+  lazy.deallocate(ql[0]);  // flush happens here, before the shift
+  eager.deallocate(qe[0]);
+  EXPECT_NEAR(lazy.probability_one(ql[2]), eager.probability_one(qe[2]),
+              1e-15);
+  expect_close(lazy, eager);
+}
+
+TEST(Fusion, ReleaseBoundary) {
+  sim::StateVector lazy(21), eager(21);
+  eager.set_fusion_enabled(false);
+  const auto ql = lazy.allocate(2);
+  const auto qe = eager.allocate(2);
+  lazy.ry(ql[0], 2.2);
+  lazy.ry(ql[1], 0.4);
+  eager.ry(qe[0], 2.2);
+  eager.ry(qe[1], 0.4);
+  EXPECT_EQ(lazy.release(ql[0]), eager.release(qe[0]));
+  expect_close(lazy, eager);
+}
+
+TEST(Fusion, InspectionFlushes) {
+  sim::StateVector sv;
+  const auto q = sv.allocate(1);
+  sv.h(q[0]);
+  EXPECT_EQ(sv.pending_gates(), 1u);
+  // amplitudes() is the rawest observer; it must not show the stale |0>.
+  const auto& amps = sv.amplitudes();
+  EXPECT_EQ(sv.pending_gates(), 0u);
+  EXPECT_NEAR(std::abs(amps[0]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(amps[1]), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Fusion, ExpectationAndNormFlush) {
+  sim::StateVector sv;
+  const auto q = sv.allocate(1);
+  sv.x(q[0]);
+  const std::pair<sim::QubitId, char> z[] = {{q[0], 'Z'}};
+  EXPECT_NEAR(sv.expectation(z), -1.0, 1e-12);
+  sv.x(q[0]);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+  EXPECT_EQ(sv.pending_gates(), 0u);
+}
+
+TEST(Fusion, PauliRotationFlushesFirst) {
+  sim::StateVector lazy, eager;
+  eager.set_fusion_enabled(false);
+  const auto ql = lazy.allocate(2);
+  const auto qe = eager.allocate(2);
+  lazy.h(ql[0]);
+  eager.h(qe[0]);
+  const std::pair<sim::QubitId, char> zzl[] = {{ql[0], 'Z'}, {ql[1], 'Z'}};
+  const std::pair<sim::QubitId, char> zze[] = {{qe[0], 'Z'}, {qe[1], 'Z'}};
+  lazy.apply_pauli_rotation(zzl, 0.6);
+  eager.apply_pauli_rotation(zze, 0.6);
+  expect_close(lazy, eager);
+}
+
+TEST(Fusion, UnknownQubitThrowsEagerlyEvenWhenLazy) {
+  sim::StateVector sv;
+  EXPECT_THROW(sv.x(12345), sim::SimulatorError);
+}
+
+TEST(Fusion, DisablingFusionFlushesPending) {
+  sim::StateVector sv;
+  const auto q = sv.allocate(1);
+  sv.h(q[0]);
+  EXPECT_EQ(sv.pending_gates(), 1u);
+  sv.set_fusion_enabled(false);
+  EXPECT_EQ(sv.pending_gates(), 0u);
+  EXPECT_NEAR(sv.probability_one(q[0]), 0.5, 1e-12);
+}
+
+TEST(Fusion, ComposeMatchesMatrixProduct) {
+  const auto hs = sim::compose(sim::gate_h(), sim::gate_s());
+  // (H * S) |0> = H |0> = |+>; (H * S) |1> = H (i|1>) = i|->.
+  EXPECT_NEAR(std::abs(hs.m[0] - Complex(1.0 / std::sqrt(2.0), 0)), 0.0,
+              1e-15);
+  EXPECT_NEAR(std::abs(hs.m[1] - Complex(0, 1.0 / std::sqrt(2.0))), 0.0,
+              1e-15);
+  EXPECT_NEAR(std::abs(hs.m[2] - Complex(1.0 / std::sqrt(2.0), 0)), 0.0,
+              1e-15);
+  EXPECT_NEAR(std::abs(hs.m[3] - Complex(0, -1.0 / std::sqrt(2.0))), 0.0,
+              1e-15);
+}
+
+TEST(Fusion, LongOneQubitRunStaysUnitary) {
+  // 100 fused rotations then one flush: the composed matrix must still be
+  // unitary to rounding, i.e. fusion does not degrade numerical quality.
+  sim::StateVector sv;
+  const auto q = sv.allocate(1);
+  for (int k = 0; k < 100; ++k) {
+    sv.rz(q[0], 0.01 * k);
+    sv.ry(q[0], -0.02 * k);
+  }
+  EXPECT_EQ(sv.pending_gates(), 1u);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}

@@ -1,0 +1,227 @@
+// Serial-vs-threaded bit-identity regression tests.
+//
+// The ThreadPool dispatches static, lane-aligned slices and every reduction
+// combines lane-independent chunk partials in chunk order, so *every*
+// StateVector operation must produce bit-identical amplitudes (and exactly
+// equal scalars) no matter the thread count. These tests run the same
+// program serially and with several worker counts and compare amplitudes
+// with operator== on the raw doubles — no tolerance.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sim/statevector.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace sim = qmpi::sim;
+using sim::Complex;
+
+namespace {
+
+// Large enough that every O(2^n) sweep crosses the parallel threshold
+// (2^17 amplitudes > kMinParallel = 2^16).
+constexpr std::size_t kQubits = 17;
+
+void expect_bit_identical(const sim::StateVector& a,
+                          const sim::StateVector& b) {
+  const auto& aa = a.amplitudes();
+  const auto& bb = b.amplitudes();
+  ASSERT_EQ(aa.size(), bb.size());
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    ASSERT_EQ(aa[i].real(), bb[i].real()) << "amplitude " << i;
+    ASSERT_EQ(aa[i].imag(), bb[i].imag()) << "amplitude " << i;
+  }
+}
+
+/// Entangles and rotates all qubits so no amplitude is zero or special.
+void prepare(sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    sv.ry(q[i], 0.3 + 0.11 * static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i + 1 < q.size(); ++i) sv.cnot(q[i], q[i + 1]);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    sv.rz(q[i], -0.7 + 0.05 * static_cast<double>(i));
+  }
+  sv.flush_gates();
+}
+
+/// Runs `program` on a serial and an n-thread StateVector (same seed) and
+/// asserts bit-identical final amplitudes.
+template <typename Program>
+void check_identity(Program&& program, unsigned threads) {
+  sim::StateVector serial(1234), threaded(1234);
+  threaded.set_num_threads(threads);
+  const auto qs = serial.allocate(kQubits);
+  const auto qt = threaded.allocate(kQubits);
+  prepare(serial, qs);
+  prepare(threaded, qt);
+  program(serial, qs);
+  program(threaded, qt);
+  expect_bit_identical(serial, threaded);
+}
+
+const unsigned kThreadCounts[] = {2, 3, 4, 7};
+
+}  // namespace
+
+TEST(ParallelIdentity, GeneralSingleQubitGate) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          sv.h(q[3]);
+          sv.ry(q[9], 1.234);
+          sv.flush_gates();
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, DiagonalAndPhaseKernels) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          sv.rz(q[0], 0.81);  // general diagonal
+          sv.t(q[5]);         // phase-type
+          sv.z(q[16]);        // phase-type, top position
+          sv.s(q[8]);
+          sv.flush_gates();
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, PermutationKernels) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          sv.x(q[2]);
+          sv.y(q[11]);
+          sv.flush_gates();
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, ControlledGates) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          sv.cnot(q[1], q[14]);
+          sv.cz(q[13], q[2]);
+          sv.toffoli(q[0], q[8], q[16]);
+          const sim::QubitId controls[] = {q[3], q[7], q[12]};
+          sv.apply_controlled(sim::gate_ry(0.456), controls, q[5]);
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, MeasurementAndCollapse) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          // Same RNG seed + bit-identical probabilities => same outcomes.
+          (void)sv.measure(q[4]);
+          (void)sv.measure_x(q[10]);
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, ParityMeasurement) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          const sim::QubitId joint[] = {q[0], q[6], q[13]};
+          (void)sv.measure_parity(joint);
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, ReleaseAndRemove) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          (void)sv.release(q[7]);  // measure + remove_position
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, PauliRotationDiagonalAndGeneral) {
+  for (const unsigned t : kThreadCounts) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          const std::pair<sim::QubitId, char> zz[] = {{q[2], 'Z'},
+                                                      {q[9], 'Z'}};
+          sv.apply_pauli_rotation(zz, 0.37);  // diagonal path
+          const std::pair<sim::QubitId, char> xyz[] = {
+              {q[1], 'X'}, {q[8], 'Y'}, {q[15], 'Z'}};
+          sv.apply_pauli_rotation(xyz, -0.21);  // pair-enumeration path
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, ScalarObservablesExactlyEqual) {
+  for (const unsigned t : kThreadCounts) {
+    sim::StateVector serial(99), threaded(99);
+    threaded.set_num_threads(t);
+    const auto qs = serial.allocate(kQubits);
+    const auto qt = threaded.allocate(kQubits);
+    prepare(serial, qs);
+    prepare(threaded, qt);
+    // Chunked reductions combine partials in a lane-independent order, so
+    // these must match to the last bit, not within tolerance.
+    ASSERT_EQ(serial.norm(), threaded.norm()) << "threads=" << t;
+    ASSERT_EQ(serial.probability_one(qs[5]), threaded.probability_one(qt[5]))
+        << "threads=" << t;
+    const std::pair<sim::QubitId, char> ps[] = {
+        {qs[0], 'X'}, {qs[4], 'Y'}, {qs[11], 'Z'}};
+    const std::pair<sim::QubitId, char> pt[] = {
+        {qt[0], 'X'}, {qt[4], 'Y'}, {qt[11], 'Z'}};
+    ASSERT_EQ(serial.expectation(ps), threaded.expectation(pt))
+        << "threads=" << t;
+  }
+}
+
+TEST(ParallelIdentity, LongRandomMixedProgram) {
+  for (const unsigned t : {2U, 4U}) {
+    check_identity(
+        [](sim::StateVector& sv, const std::vector<sim::QubitId>& q) {
+          std::mt19937_64 rng(4242);
+          std::uniform_real_distribution<double> angle(-3.0, 3.0);
+          std::uniform_int_distribution<std::size_t> pick(0, kQubits - 1);
+          for (int step = 0; step < 30; ++step) {
+            const auto i = pick(rng);
+            auto j = pick(rng);
+            while (j == i) j = pick(rng);
+            sv.ry(q[i], angle(rng));
+            sv.rz(q[j], angle(rng));
+            sv.t(q[i]);
+            sv.cnot(q[i], q[j]);
+          }
+          (void)sv.measure(q[0]);
+        },
+        t);
+  }
+}
+
+TEST(ParallelIdentity, PoolReusesPersistentWorkers) {
+  // The whole point of the pool: repeated gates must not spawn new threads.
+  sim::StateVector sv;
+  sv.set_num_threads(4);
+  const auto q = sv.allocate(kQubits);
+  sv.h(q[0]);
+  sv.flush_gates();
+  const std::size_t after_first = sim::ThreadPool::instance().worker_count();
+  for (int rep = 0; rep < 20; ++rep) {
+    sv.h(q[rep % static_cast<int>(kQubits)]);
+    sv.flush_gates();
+  }
+  // The pool is process-global and other tests may already have grown it;
+  // the invariant is that steady-state gate traffic spawns nothing new.
+  EXPECT_EQ(sim::ThreadPool::instance().worker_count(), after_first);
+}

@@ -13,18 +13,36 @@
 // Run e.g.:
 //   ./perf_statevector --benchmark_format=json
 //   ./perf_statevector --benchmark_filter='Threaded'
+//   ./perf_statevector --benchmark_filter='Sharded'   # shard scaling series
+//   ./perf_statevector --seed=42 ...                  # reseed everything
+//   ./perf_statevector --paritycheck=4                # sharded-vs-serial
+//
+// --paritycheck runs a random circuit on the serial StateVector and the
+// ShardedStateVector and exits non-zero unless every amplitude matches
+// with operator== on the raw doubles; CI uses it as the bench smoke gate.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "sim/sharded_statevector.hpp"
 #include "sim/statevector.hpp"
 
 namespace sim = qmpi::sim;
 
 namespace {
 
+/// Overridable via --seed= or QMPI_SEED so runs are reproducible from the
+/// command line; defaults to the one centralized constant.
+std::uint64_t g_seed = sim::kDefaultSeed;
+
 void BM_SingleQubitGate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -38,7 +56,7 @@ BENCHMARK(BM_SingleQubitGate)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_Rotation(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -52,7 +70,7 @@ BENCHMARK(BM_Rotation)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_PhaseGate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -69,7 +87,7 @@ void BM_RotationFused(benchmark::State& state) {
   // fusion queue composes them into a single 2x2 before one memory sweep.
   const auto n = static_cast<std::size_t>(state.range(0));
   constexpr int kRun = 8;
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -85,7 +103,7 @@ BENCHMARK(BM_RotationFused)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_Cnot(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
@@ -101,7 +119,7 @@ void BM_MultiControlled(benchmark::State& state) {
   // so cost should *halve* per extra control instead of staying flat.
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto k = static_cast<std::size_t>(state.range(1));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::vector<sim::QubitId> controls(q.begin(),
                                      q.begin() + static_cast<long>(k));
@@ -131,7 +149,7 @@ BENCHMARK(BM_ParityMeasurement)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_AllocateRelease(benchmark::State& state) {
   const auto base = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   (void)sv.allocate(base);
   for (auto _ : state) {
     const auto q = sv.allocate(1);
@@ -142,7 +160,7 @@ BENCHMARK(BM_AllocateRelease)->Arg(4)->Arg(12)->Arg(18);
 
 void BM_PauliRotationDirect(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::vector<std::pair<sim::QubitId, char>> zz;
   for (const auto id : q) zz.emplace_back(id, 'Z');
@@ -160,7 +178,7 @@ BENCHMARK(BM_PauliRotationDirect)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_SingleQubitGateThreaded(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   sv.set_num_threads(static_cast<unsigned>(state.range(1)));
   const auto q = sv.allocate(n);
   std::size_t i = 0;
@@ -185,7 +203,7 @@ BENCHMARK(BM_SingleQubitGateThreaded)
 
 void BM_RotationThreaded(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  sim::StateVector sv;
+  sim::StateVector sv(g_seed);
   sv.set_num_threads(static_cast<unsigned>(state.range(1)));
   const auto q = sv.allocate(n);
   std::size_t i = 0;
@@ -205,6 +223,220 @@ BENCHMARK(BM_RotationThreaded)
     ->Args({24, 4})
     ->Args({24, 8});
 
+// ------------------------------------------------------------- sharded ---
+// Args are {qubits, shards}. One worker lane per shard (the distributed-
+// sweep deployment model), so this series is the shard-count scaling
+// record for BENCH JSON: local gates split embarrassingly across slices,
+// global gates pay a pairwise slab exchange through the ShardMesh (or a
+// one-off relabel swap with the policy on).
+
+void BM_RotationSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    sv.rz(q[0], 0.1);  // local diagonal: pure per-slice sweep
+    sv.flush_gates();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RotationSharded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 1})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
+void BM_LocalGateSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    sv.h(q[0]);  // dense 2x2 on a local qubit: intra-slice pairs only
+    sv.flush_gates();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalGateSharded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 1})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
+void BM_GlobalGateShardedExchange(benchmark::State& state) {
+  // Worst case: every iteration is a dense gate on a global qubit with the
+  // relabel pass disabled, so each sweep pays the full slab exchange.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_relabel_policy(false);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    sv.h(q[n - 1]);
+    sv.flush_gates();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GlobalGateShardedExchange)
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
+void BM_GlobalGateShardedRelabel(benchmark::State& state) {
+  // Same traffic with the relabel pass on: the first sweep swaps the hot
+  // qubit local, every later sweep is communication-free.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    sv.h(q[n - 1]);
+    sv.flush_gates();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GlobalGateShardedRelabel)
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
+void BM_CnotSharded(benchmark::State& state) {
+  // Control local, target global: the exchange only moves the control-
+  // satisfying half of each slice.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_relabel_policy(false);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    sv.cnot(q[0], q[n - 1]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CnotSharded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
+// ------------------------------------------------------- parity check ---
+
+/// Runs one random circuit on both backends and compares every amplitude
+/// with operator== (the shard/serial contract is bit-identity, not
+/// tolerance). Returns false and prints the first divergence on mismatch.
+bool parity_check(unsigned shards, std::uint64_t seed) {
+  constexpr std::size_t kQubits = 12;
+  sim::StateVector serial(seed);
+  sim::ShardedStateVector sharded(shards, seed);
+  sharded.set_num_threads(shards > 1 ? shards : 2);
+  auto qs = serial.allocate(kQubits);
+  auto qt = sharded.allocate(kQubits);
+  std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  std::uniform_real_distribution<double> angle(-3.0, 3.0);
+  std::uniform_int_distribution<std::size_t> pick(0, kQubits - 1);
+  std::uniform_int_distribution<int> choice(0, 5);
+  for (int step = 0; step < 80; ++step) {
+    const auto i = pick(rng);
+    auto j = pick(rng);
+    while (j == i) j = pick(rng);
+    switch (choice(rng)) {
+      case 0: {
+        const double a = angle(rng);
+        serial.ry(qs[i], a);
+        sharded.ry(qt[i], a);
+        break;
+      }
+      case 1: {
+        const double a = angle(rng);
+        serial.rz(qs[j], a);
+        sharded.rz(qt[j], a);
+        break;
+      }
+      case 2:
+        serial.h(qs[i]);
+        sharded.h(qt[i]);
+        break;
+      case 3:
+        serial.t(qs[j]);
+        sharded.t(qt[j]);
+        break;
+      case 4:
+        serial.cnot(qs[i], qs[j]);
+        sharded.cnot(qt[i], qt[j]);
+        break;
+      default:
+        if (serial.measure(qs[i]) != sharded.measure(qt[i])) {
+          std::cerr << "paritycheck: measurement diverged at step " << step
+                    << " (shards=" << shards << ")\n";
+          return false;
+        }
+        break;
+    }
+  }
+  const auto a = serial.snapshot();
+  const auto b = sharded.snapshot();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].real() != b[i].real() || a[i].imag() != b[i].imag()) {
+      std::cerr << "paritycheck: amplitude " << i << " diverged: serial=("
+                << a[i].real() << "," << a[i].imag() << ") sharded=("
+                << b[i].real() << "," << b[i].imag() << ") shards=" << shards
+                << "\n";
+      return false;
+    }
+  }
+  std::cout << "paritycheck: " << a.size() << " amplitudes bit-identical at "
+            << shards << " shard(s), seed=" << seed << "\n";
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* env = std::getenv("QMPI_SEED")) {
+    g_seed = std::strtoull(env, nullptr, 0);
+  }
+  int parity_shards = -1;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      g_seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    } else if (std::strcmp(argv[i], "--paritycheck") == 0) {
+      parity_shards = 0;  // the full default ladder
+    } else if (std::strncmp(argv[i], "--paritycheck=", 14) == 0) {
+      parity_shards = std::atoi(argv[i] + 14);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (parity_shards == 0) {
+    for (const unsigned s : {1U, 2U, 4U, 8U}) {
+      if (!parity_check(s, g_seed)) return 1;
+    }
+    return 0;
+  }
+  if (parity_shards > 0) {
+    return parity_check(static_cast<unsigned>(parity_shards), g_seed) ? 0 : 1;
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

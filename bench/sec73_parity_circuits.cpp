@@ -47,7 +47,7 @@ std::pair<std::uint64_t, double> run_functional(int k,
       }
       ref.apply_pauli_rotation(zz_ref, t);
       const double got = ctx.server().call(
-          [&zz_got](sim::StateVector& sv) { return sv.expectation(zz_got); });
+          [&zz_got](sim::Backend& sv) { return sv.expectation(zz_got); });
       err = std::abs(got - ref.expectation(zz_ref));
     } else {
       ctx.classical_comm().send(data[0], 0, 900);

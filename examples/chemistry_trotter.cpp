@@ -32,7 +32,7 @@ double energy(Context& ctx, const pauli::DensePauliSum& h,
       ops.emplace_back(all[q].id, pauli::to_char(op));
     }
     const double ev = ctx.server().call(
-        [&ops](sim::StateVector& sv) { return sv.expectation(ops); });
+        [&ops](sim::Backend& sv) { return sv.expectation(ops); });
     total += term.coeff.real() * ev;
   }
   return total;

@@ -28,7 +28,7 @@ int main() {
       ctx.barrier();
     }
     // After size() hops every state is back home.
-    const double z = ctx.server().call([qq = q[0]](sim::StateVector& sv) {
+    const double z = ctx.server().call([qq = q[0]](sim::Backend& sv) {
       const std::pair<sim::QubitId, char> pz[] = {{qq.id, 'Z'}};
       return sv.expectation(pz);
     });

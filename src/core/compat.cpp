@@ -56,7 +56,9 @@ JobReport run(const JobOptions& options, const std::function<void()>& fn) {
 }
 
 JobReport run(int num_ranks, const std::function<void()>& fn) {
-  JobOptions options;
+  // Honour the QMPI_* environment overrides like qmpi::run(int, fn) does,
+  // so compat-API binaries are backend-selectable from the command line.
+  JobOptions options = JobOptions::from_env();
   options.num_ranks = num_ranks;
   return run(options, fn);
 }

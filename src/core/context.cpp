@@ -1,5 +1,7 @@
 #include "core/context.hpp"
 
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "core/protocol_tags.hpp"
@@ -43,7 +45,7 @@ void Context::trace_event(TraceEvent e) {
 
 QubitArray Context::alloc_qmem(std::size_t count) {
   auto ids = server_->call(
-      [count](sim::StateVector& sv) { return sv.allocate(count); });
+      [count](sim::Backend& sv) { return sv.allocate(count); });
   std::vector<Qubit> qubits;
   qubits.reserve(count);
   for (const auto id : ids) qubits.push_back(Qubit{id});
@@ -55,7 +57,7 @@ void Context::free_qmem(const Qubit* qubits, std::size_t count) {
   ids.reserve(count);
   for (std::size_t i = 0; i < count; ++i) ids.push_back(qubits[i].id);
   try {
-    server_->call([ids](sim::StateVector& sv) {
+    server_->call([ids](sim::Backend& sv) {
       for (const auto id : ids) sv.deallocate_classical(id);
       return 0;
     });
@@ -67,7 +69,7 @@ void Context::free_qmem(const Qubit* qubits, std::size_t count) {
 // ----------------------------------------------------------------- gates ---
 
 void Context::gate1(const char* name, Qubit q, const sim::Gate1Q& gate) {
-  server_->call([&gate, q](sim::StateVector& sv) {
+  server_->call([&gate, q](sim::Backend& sv) {
     sv.apply(gate, q.id);
     return 0;
   });
@@ -75,7 +77,7 @@ void Context::gate1(const char* name, Qubit q, const sim::Gate1Q& gate) {
 }
 
 void Context::rotation(const char* name, Qubit q, const sim::Gate1Q& gate) {
-  server_->call([&gate, q](sim::StateVector& sv) {
+  server_->call([&gate, q](sim::Backend& sv) {
     sv.apply(gate, q.id);
     return 0;
   });
@@ -83,7 +85,7 @@ void Context::rotation(const char* name, Qubit q, const sim::Gate1Q& gate) {
 }
 
 void Context::cnot(Qubit control, Qubit target) {
-  server_->call([control, target](sim::StateVector& sv) {
+  server_->call([control, target](sim::Backend& sv) {
     sv.cnot(control.id, target.id);
     return 0;
   });
@@ -91,7 +93,7 @@ void Context::cnot(Qubit control, Qubit target) {
 }
 
 void Context::cz(Qubit control, Qubit target) {
-  server_->call([control, target](sim::StateVector& sv) {
+  server_->call([control, target](sim::Backend& sv) {
     sv.cz(control.id, target.id);
     return 0;
   });
@@ -99,7 +101,7 @@ void Context::cz(Qubit control, Qubit target) {
 }
 
 void Context::toffoli(Qubit c0, Qubit c1, Qubit target) {
-  server_->call([c0, c1, target](sim::StateVector& sv) {
+  server_->call([c0, c1, target](sim::Backend& sv) {
     sv.toffoli(c0.id, c1.id, target.id);
     return 0;
   });
@@ -108,14 +110,14 @@ void Context::toffoli(Qubit c0, Qubit c1, Qubit target) {
 
 bool Context::measure(Qubit q) {
   const bool r =
-      server_->call([q](sim::StateVector& sv) { return sv.measure(q.id); });
+      server_->call([q](sim::Backend& sv) { return sv.measure(q.id); });
   trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "M"});
   return r;
 }
 
 bool Context::measure_x(Qubit q) {
   const bool r =
-      server_->call([q](sim::StateVector& sv) { return sv.measure_x(q.id); });
+      server_->call([q](sim::Backend& sv) { return sv.measure_x(q.id); });
   trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "MX"});
   return r;
 }
@@ -124,7 +126,7 @@ bool Context::measure_parity(std::span<const Qubit> qubits) {
   std::vector<sim::QubitId> ids;
   ids.reserve(qubits.size());
   for (const Qubit q : qubits) ids.push_back(q.id);
-  const bool r = server_->call([ids](sim::StateVector& sv) {
+  const bool r = server_->call([ids](sim::Backend& sv) {
     return sv.measure_parity(ids);
   });
   trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "MZZ"});
@@ -133,7 +135,7 @@ bool Context::measure_parity(std::span<const Qubit> qubits) {
 
 double Context::probability_one(Qubit q) {
   return server_->call(
-      [q](sim::StateVector& sv) { return sv.probability_one(q.id); });
+      [q](sim::Backend& sv) { return sv.probability_one(q.id); });
 }
 
 // ------------------------------------------------------------------- EPR ---
@@ -162,7 +164,7 @@ void Context::epr_complete(Qubit qubit, int peer, int ptag) {
   // the higher-ranked endpoint may not touch its half before the ack.
   if (rank() < peer) {
     const auto peer_id = protocol_comm_.recv<sim::QubitId>(peer, ptag);
-    server_->call([qubit, peer_id](sim::StateVector& sv) {
+    server_->call([qubit, peer_id](sim::Backend& sv) {
       sv.h(qubit.id);
       sv.cnot(qubit.id, peer_id);
       return 0;
@@ -519,9 +521,53 @@ ResourceTracker::Counts Context::aggregate_total() {
 
 // ------------------------------------------------------------ job harness ---
 
+namespace {
+
+/// Strict numeric parse for the QMPI_* overrides: an explicit override
+/// that doesn't parse must fail loud, or a typo silently changes what the
+/// user thinks they are measuring.
+std::uint64_t parse_env_number(const char* name, const char* text,
+                               bool allow_zero) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (end == text || *end != '\0' || (!allow_zero && v == 0)) {
+    throw QmpiError(std::string(name) + "=\"" + text + "\" is not a " +
+                    (allow_zero ? "number" : "positive number"));
+  }
+  return v;
+}
+
+}  // namespace
+
+JobOptions JobOptions::from_env() { return from_env(JobOptions{}); }
+
+JobOptions JobOptions::from_env(JobOptions base) {
+  if (const char* seed = std::getenv("QMPI_SEED")) {
+    base.seed = parse_env_number("QMPI_SEED", seed, /*allow_zero=*/true);
+  }
+  if (const char* backend = std::getenv("QMPI_BACKEND")) {
+    sim::BackendKind kind;
+    if (!sim::backend_kind_from_string(backend, kind)) {
+      throw QmpiError(std::string("QMPI_BACKEND=\"") + backend +
+                      "\" is not a backend (use \"serial\" or \"sharded\")");
+    }
+    base.backend = kind;
+  }
+  if (const char* shards = std::getenv("QMPI_SHARDS")) {
+    base.num_shards = static_cast<unsigned>(
+        parse_env_number("QMPI_SHARDS", shards, /*allow_zero=*/false));
+  }
+  if (const char* threads = std::getenv("QMPI_SIM_THREADS")) {
+    base.sim_threads = static_cast<unsigned>(
+        parse_env_number("QMPI_SIM_THREADS", threads, /*allow_zero=*/false));
+  }
+  return base;
+}
+
 JobReport run(const JobOptions& options,
               const std::function<void(Context&)>& fn) {
-  sim::SimServer server(options.seed);
+  sim::SimServer server(options.seed, options.sim_threads, options.backend,
+                        options.num_shards);
   Trace trace;
   Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
 
@@ -553,7 +599,10 @@ JobReport run(const JobOptions& options,
 }
 
 JobReport run(int num_ranks, const std::function<void(Context&)>& fn) {
-  JobOptions options;
+  // The convenience overload honours the QMPI_* environment overrides, so
+  // every example and benchmark binary can switch seed/backend/shards from
+  // the command line without touching code.
+  JobOptions options = JobOptions::from_env();
   options.num_ranks = num_ranks;
   return run(options, fn);
 }

@@ -495,8 +495,23 @@ class Context {
 /// Options for a QMPI job.
 struct JobOptions {
   int num_ranks = 2;
-  std::uint64_t seed = 0x5EED5EED5EEDULL;
+  /// Measurement-RNG seed; defaults to the one centralized constant
+  /// (sim::kDefaultSeed) so every layer agrees on the reproducible default.
+  std::uint64_t seed = sim::kDefaultSeed;
   bool enable_trace = false;
+  /// Which simulation backend the shared SimServer hosts.
+  sim::BackendKind backend = sim::BackendKind::kSerial;
+  /// Slice count for the sharded backend (power of two; ignored otherwise).
+  unsigned num_shards = 1;
+  /// Worker lanes for the backend's O(2^n) sweeps.
+  unsigned sim_threads = 1;
+
+  /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS
+  /// environment overrides on top of `base`, so any benchmark or example
+  /// binary is reproducible and backend-selectable from the command line
+  /// without recompiling.
+  static JobOptions from_env();
+  static JobOptions from_env(JobOptions base);
 };
 
 /// Result of a QMPI job: aggregated resources and (optionally) the trace.

@@ -1,0 +1,251 @@
+#include "sim/backend.hpp"
+
+#include <string>
+
+#include "sim/sharded_statevector.hpp"
+#include "sim/statevector.hpp"
+
+namespace qmpi::sim {
+
+namespace {
+constexpr double kEps = 1e-10;
+}  // namespace
+
+std::vector<QubitId> Backend::allocate(std::size_t count) {
+  // No flush needed: pending 1Q gates commute with appending |0> factors
+  // (their target positions are unchanged), and they are keyed by id.
+  std::vector<QubitId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const QubitId id = next_id_++;
+    index_[id] = positions_.size();
+    positions_.push_back(id);
+    grow_state();
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t Backend::position_checked(QubitId qubit) const {
+  const auto it = index_.find(qubit);
+  if (it == index_.end()) {
+    throw SimulatorError("unknown qubit id " + std::to_string(qubit));
+  }
+  return it->second;
+}
+
+void Backend::set_fusion_enabled(bool on) {
+  if (!on) flush_gates();
+  fusion_enabled_ = on;
+}
+
+void Backend::flush_gates() const {
+  if (fusion_.empty()) return;
+  fusion_.drain([this](QubitId qubit, const Gate1Q& gate) {
+    // Ids were validated at push time and every deallocation path flushes
+    // before removing a qubit, so the entry must still be live.
+    apply_at(gate, index_.find(qubit)->second, /*ctrl_mask=*/0);
+  });
+}
+
+void Backend::remove_position(std::size_t pos, bool bit) {
+  flush_gates();
+  remove_position_state(pos, bit);
+  // Fix the id<->position maps: qubits above `pos` shift down by one.
+  index_.erase(positions_[pos]);
+  positions_.erase(positions_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t p = pos; p < positions_.size(); ++p) {
+    index_[positions_[p]] = p;
+  }
+}
+
+void Backend::deallocate(QubitId qubit) {
+  const std::size_t pos = position_checked(qubit);
+  flush_gates();
+  const double p1 = probability_one_at(pos);
+  if (p1 > kEps) {
+    throw SimulatorError(
+        "deallocating qubit " + std::to_string(qubit) +
+        " that is not in |0> (P[1]=" + std::to_string(p1) +
+        "); uncompute it first or use release()");
+  }
+  remove_position(pos, /*bit=*/false);
+}
+
+void Backend::deallocate_classical(QubitId qubit) {
+  const std::size_t pos = position_checked(qubit);
+  flush_gates();
+  const double p1 = probability_one_at(pos);
+  if (p1 > kEps && p1 < 1.0 - kEps) {
+    throw SimulatorError("deallocating qubit " + std::to_string(qubit) +
+                         " that is in superposition (P[1]=" +
+                         std::to_string(p1) + ")");
+  }
+  remove_position(pos, /*bit=*/p1 >= 0.5);
+}
+
+bool Backend::release(QubitId qubit) {
+  const bool outcome = measure(qubit);
+  const std::size_t pos = position_checked(qubit);
+  remove_position(pos, outcome);
+  return outcome;
+}
+
+void Backend::apply(const Gate1Q& gate, QubitId target) {
+  const std::size_t pos = position_checked(target);  // validate eagerly
+  if (fusion_enabled_) {
+    fusion_.push(target, gate);
+    return;
+  }
+  apply_at(gate, pos, /*ctrl_mask=*/0);
+}
+
+void Backend::apply_controlled(const Gate1Q& gate,
+                               std::span<const QubitId> controls,
+                               QubitId target) {
+  const std::size_t tpos = position_checked(target);
+  std::uint64_t mask = 0;
+  for (const QubitId c : controls) {
+    const std::size_t cpos = position_checked(c);
+    if (cpos == tpos) {
+      throw SimulatorError("control qubit equals target qubit");
+    }
+    mask |= 1ULL << cpos;
+  }
+  flush_gates();  // entangling boundary
+  apply_at(gate, tpos, mask);
+}
+
+bool Backend::measure(QubitId qubit) {
+  const std::size_t pos = position_checked(qubit);
+  flush_gates();
+  const double p1 = probability_one_at(pos);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool outcome = dist(rng_) < p1;
+  collapse_at(pos, outcome, outcome ? p1 : 1.0 - p1);
+  return outcome;
+}
+
+bool Backend::measure_x(QubitId qubit) {
+  h(qubit);
+  const bool outcome = measure(qubit);
+  h(qubit);  // map the collapsed |0>/|1> back to |+>/|->
+  return outcome;
+}
+
+bool Backend::measure_parity(std::span<const QubitId> qubits) {
+  std::uint64_t mask = 0;
+  for (const QubitId q : qubits) mask |= 1ULL << position_checked(q);
+  flush_gates();
+  const double p_odd = parity_odd_probability(mask);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool outcome = dist(rng_) < p_odd;
+  parity_collapse(mask, outcome, outcome ? p_odd : 1.0 - p_odd);
+  return outcome;
+}
+
+double Backend::probability_one(QubitId qubit) const {
+  const std::size_t pos = position_checked(qubit);
+  flush_gates();
+  return probability_one_at(pos);
+}
+
+Complex Backend::amplitude(std::span<const QubitId> order,
+                           std::span<const bool> bits) const {
+  if (order.size() != bits.size() || order.size() != positions_.size()) {
+    throw SimulatorError("amplitude() needs exactly one bit per qubit");
+  }
+  std::uint64_t idx = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (bits[k]) idx |= 1ULL << position_checked(order[k]);
+  }
+  flush_gates();
+  return amplitude_at(idx);
+}
+
+Backend::PauliMasks Backend::parse_pauli(
+    std::span<const std::pair<QubitId, char>> pauli) const {
+  // X flips a bit, Z adds a sign, Y does both with a factor i: the masks
+  // encode P's action per basis state for both observables paths.
+  PauliMasks masks;
+  for (const auto& [qubit, op] : pauli) {
+    const std::uint64_t bit = 1ULL << position_checked(qubit);
+    switch (op) {
+      case 'X':
+        masks.flip |= bit;
+        break;
+      case 'Y':
+        masks.flip |= bit;
+        masks.z |= bit;
+        ++masks.y_count;
+        break;
+      case 'Z':
+        masks.z |= bit;
+        break;
+      default:
+        throw SimulatorError(std::string("bad Pauli op '") + op + "'");
+    }
+  }
+  return masks;
+}
+
+double Backend::expectation(
+    std::span<const std::pair<QubitId, char>> pauli) const {
+  const PauliMasks masks = parse_pauli(pauli);
+  flush_gates();
+  return expectation_masks(masks);
+}
+
+void Backend::apply_pauli_rotation(
+    std::span<const std::pair<QubitId, char>> pauli, double t) {
+  const PauliMasks masks = parse_pauli(pauli);
+  flush_gates();
+  pauli_rotation_masks(masks, t);
+}
+
+double Backend::norm() const {
+  flush_gates();
+  return norm_state();
+}
+
+std::vector<Complex> Backend::snapshot() const {
+  flush_gates();
+  return snapshot_state();
+}
+
+// ----------------------------------------------------------- selection ---
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSerial:
+      return "serial";
+    case BackendKind::kSharded:
+      return "sharded";
+  }
+  return "?";
+}
+
+bool backend_kind_from_string(std::string_view text, BackendKind& out) {
+  if (text == "serial") {
+    out = BackendKind::kSerial;
+    return true;
+  }
+  if (text == "sharded") {
+    out = BackendKind::kSharded;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, std::uint64_t seed,
+                                      unsigned num_shards) {
+  switch (kind) {
+    case BackendKind::kSerial:
+      return std::make_unique<StateVector>(seed);
+    case BackendKind::kSharded:
+      return std::make_unique<ShardedStateVector>(num_shards, seed);
+  }
+  throw SimulatorError("unknown backend kind");
+}
+
+}  // namespace qmpi::sim

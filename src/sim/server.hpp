@@ -9,28 +9,38 @@
 #include <thread>
 #include <utility>
 
-#include "sim/statevector.hpp"
+#include "sim/backend.hpp"
 
 namespace qmpi::sim {
 
-/// Serialized access to a shared StateVector, mirroring the paper's
+/// Serialized access to a shared simulation Backend, mirroring the paper's
 /// prototype design (§6): "all ranks forward quantum operations to rank 0,
 /// which then applies the operation to the state vector. Rank 0 runs a
 /// separate thread that waits to receive gate operations to execute."
 ///
-/// Rank threads call submit() with a closure over the StateVector; the
-/// worker thread executes submissions strictly in arrival order and
-/// fulfills the returned future. This keeps the global state vector a
-/// faithful representation of the distributed machine at every step.
+/// Rank threads call submit() with a closure over the Backend; the worker
+/// thread executes submissions strictly in arrival order and fulfills the
+/// returned future. This keeps the global state a faithful representation
+/// of the distributed machine at every step.
+///
+/// The hosted backend is chosen at construction: the serial StateVector
+/// (the paper's rank-0 bottleneck) or the ShardedStateVector, whose
+/// per-worker slices are the first step toward true multi-rank
+/// distribution. Both produce bit-identical results, so callers never care
+/// which one is behind the queue.
 class SimServer {
  public:
-  /// `num_threads` configures the StateVector's worker-lane count for its
-  /// O(2^n) sweeps (see StateVector::set_num_threads); the command thread
+  /// `num_threads` configures the backend's worker-lane count for its
+  /// O(2^n) sweeps (see Backend::set_num_threads); the command thread
   /// itself is always singular so operations stay strictly ordered.
-  explicit SimServer(std::uint64_t seed = 0x5EED5EED5EEDULL,
-                     unsigned num_threads = 1)
-      : state_(seed), worker_([this] { run(); }) {
-    state_.set_num_threads(num_threads);
+  /// `num_shards` is only meaningful for BackendKind::kSharded.
+  explicit SimServer(std::uint64_t seed = kDefaultSeed,
+                     unsigned num_threads = 1,
+                     BackendKind backend = BackendKind::kSerial,
+                     unsigned num_shards = 1)
+      : state_(make_backend(backend, seed, num_shards)),
+        worker_([this] { run(); }) {
+    state_->set_num_threads(num_threads);
   }
 
   ~SimServer() {
@@ -48,14 +58,14 @@ class SimServer {
   /// Enqueues `fn(state)` for execution on the server thread; the returned
   /// future carries fn's result (or exception).
   template <typename Fn>
-  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn, StateVector&>> {
-    using R = std::invoke_result_t<Fn, StateVector&>;
-    auto task = std::make_shared<std::packaged_task<R(StateVector&)>>(
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn, Backend&>> {
+    using R = std::invoke_result_t<Fn, Backend&>;
+    auto task = std::make_shared<std::packaged_task<R(Backend&)>>(
         std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
       const std::lock_guard lock(mutex_);
-      queue_.emplace_back([task](StateVector& sv) { (*task)(sv); });
+      queue_.emplace_back([task](Backend& sv) { (*task)(sv); });
     }
     cv_.notify_all();
     return future;
@@ -63,18 +73,21 @@ class SimServer {
 
   /// Convenience: submit and wait for the result.
   template <typename Fn>
-  auto call(Fn&& fn) -> std::invoke_result_t<Fn, StateVector&> {
+  auto call(Fn&& fn) -> std::invoke_result_t<Fn, Backend&> {
     return submit(std::forward<Fn>(fn)).get();
   }
 
   /// Reconfigures the simulation lane count; serialized with gate traffic
   /// like any other command, so it never races an in-flight sweep.
   void set_num_threads(unsigned n) {
-    call([n](StateVector& sv) {
+    call([n](Backend& sv) {
       sv.set_num_threads(n);
       return 0;
     });
   }
+
+  /// Which backend implementation this server hosts ("serial"/"sharded").
+  const char* backend_name() const { return state_->name(); }
 
  private:
   void run() {
@@ -88,15 +101,15 @@ class SimServer {
       auto fn = std::move(queue_.front());
       queue_.pop_front();
       lock.unlock();
-      fn(state_);
+      fn(*state_);
       lock.lock();
     }
   }
 
-  StateVector state_;
+  std::unique_ptr<Backend> state_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void(StateVector&)>> queue_;
+  std::deque<std::function<void(Backend&)>> queue_;
   bool stopping_ = false;
   std::thread worker_;
 };

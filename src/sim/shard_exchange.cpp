@@ -1,0 +1,52 @@
+#include "sim/shard_exchange.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace qmpi::sim {
+
+ShardMesh::ShardMesh(unsigned shards) : shards_(shards) {
+  inboxes_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+ShardMesh::Inbox& ShardMesh::inbox(unsigned shard) {
+  if (shard >= shards_) {
+    throw std::out_of_range("shard " + std::to_string(shard) +
+                            " out of range (mesh has " +
+                            std::to_string(shards_) + ")");
+  }
+  return *inboxes_[shard];
+}
+
+void ShardMesh::post(unsigned dest, ShardMessage msg) {
+  Inbox& box = inbox(dest);
+  {
+    const std::lock_guard lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+ShardMessage ShardMesh::take(unsigned dest, unsigned source,
+                             std::uint64_t tag) {
+  Inbox& box = inbox(dest);
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.queue.begin(), box.queue.end(), [&](const ShardMessage& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != box.queue.end()) {
+      ShardMessage msg = std::move(*it);
+      box.queue.erase(it);
+      return msg;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+}  // namespace qmpi::sim

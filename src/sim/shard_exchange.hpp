@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/gates.hpp"
+
+namespace qmpi::sim {
+
+/// One amplitude-slab message between shard workers. `tag` is the global
+/// operation tick it belongs to, so a late worker can never consume a slab
+/// from the wrong sweep.
+struct ShardMessage {
+  unsigned source = 0;
+  std::uint64_t tag = 0;
+  std::vector<Complex> amplitudes;
+};
+
+/// In-process message fabric between shard workers, modeled on the rank
+/// mailboxes in classical/mailbox.hpp: one inbox per shard, FIFO per
+/// (source, tag), blocking matched receive. This is the stand-in for the
+/// MPI exchange a multi-rank sharded simulator performs when a gate acts on
+/// a global qubit — each shard posts the slab its partner needs, then takes
+/// the partner's slab and combines locally.
+///
+/// post() never blocks (eager, buffered, like classical::Comm::send_bytes);
+/// take() blocks until a matching message arrives. The sharded sweeps run
+/// post-everything then take-everything phases, so takes cannot deadlock
+/// regardless of how the ThreadPool schedules shard work onto lanes.
+class ShardMesh {
+ public:
+  explicit ShardMesh(unsigned shards);
+
+  unsigned shards() const { return shards_; }
+
+  /// Deposits `msg` in `dest`'s inbox and wakes any waiter.
+  void post(unsigned dest, ShardMessage msg);
+
+  /// Blocks until a message from `source` with `tag` is in `dest`'s inbox
+  /// and removes it.
+  ShardMessage take(unsigned dest, unsigned source, std::uint64_t tag);
+
+ private:
+  /// Per-shard inbox. Kept behind unique_ptr so the mesh stays movable
+  /// (mutexes are not).
+  struct Inbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<ShardMessage> queue;
+  };
+
+  Inbox& inbox(unsigned shard);
+
+  unsigned shards_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+};
+
+}  // namespace qmpi::sim

@@ -1,0 +1,603 @@
+#include "sim/sharded_statevector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "sim/kernels.hpp"
+#include "sim/sweep.hpp"
+
+namespace qmpi::sim {
+
+namespace {
+/// Hard cap on slices: shard indices must fit the global-bit budget and
+/// nobody legitimately runs more in-process workers than this.
+constexpr unsigned kMaxShards = 256;
+}  // namespace
+
+ShardedStateVector::ShardedStateVector(unsigned num_shards,
+                                       std::uint64_t seed)
+    : Backend(seed),
+      shards_(num_shards == 0 ? 1 : num_shards),
+      mesh_(num_shards == 0 ? 1 : num_shards) {
+  if (!std::has_single_bit(shards_) || shards_ > kMaxShards) {
+    throw SimulatorError("shard count must be a power of two <= " +
+                         std::to_string(kMaxShards) + ", got " +
+                         std::to_string(shards_));
+  }
+  gbits_ = static_cast<unsigned>(std::countr_zero(shards_));
+  slices_.resize(shards_);
+  slices_[0] = {Complex(1.0, 0.0)};  // the empty register: a scalar 1
+}
+
+unsigned ShardedStateVector::active_log2() const {
+  return std::min<unsigned>(gbits_,
+                            static_cast<unsigned>(num_qubits()));
+}
+
+std::size_t ShardedStateVector::local_bits() const {
+  return num_qubits() - active_log2();
+}
+
+std::uint64_t ShardedStateVector::to_physical(std::uint64_t logical) const {
+  if (identity_layout_) return logical;
+  std::uint64_t phys = 0;
+  while (logical != 0) {
+    const int b = std::countr_zero(logical);
+    phys |= 1ULL << l2p_[static_cast<std::size_t>(b)];
+    logical &= logical - 1;
+  }
+  return phys;
+}
+
+std::uint64_t ShardedStateVector::to_logical(std::uint64_t physical) const {
+  if (identity_layout_) return physical;
+  std::uint64_t logical = 0;
+  while (physical != 0) {
+    const int b = std::countr_zero(physical);
+    logical |= 1ULL << p2l_[static_cast<std::size_t>(b)];
+    physical &= physical - 1;
+  }
+  return logical;
+}
+
+template <typename Fn>
+void ShardedStateVector::for_shards(const std::vector<unsigned>& parts,
+                                    Fn&& fn) const {
+  const std::size_t count = parts.size();
+  if (count == 0) return;
+  const unsigned lanes =
+      std::min<unsigned>(num_threads_, static_cast<unsigned>(count));
+  ThreadPool::instance().parallel_for(
+      lanes, count, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(parts[i]);
+      });
+}
+
+std::vector<unsigned> ShardedStateVector::controlled_shards(
+    unsigned shard_ctrl) const {
+  const unsigned active = 1U << active_log2();
+  std::vector<unsigned> parts;
+  parts.reserve(active);
+  for (unsigned w = 0; w < active; ++w) {
+    if ((w & shard_ctrl) == shard_ctrl) parts.push_back(w);
+  }
+  return parts;
+}
+
+template <typename Fn>
+void ShardedStateVector::for_each_amp(Fn&& fn) const {
+  // Flat sweep over the whole physical index space, split across lanes
+  // regardless of the shard count: elementwise ops don't need per-shard
+  // dispatch and shouldn't cap parallelism at the number of slices.
+  const unsigned active = 1U << active_log2();
+  const std::size_t nl = local_bits();
+  const std::uint64_t mask = (1ULL << nl) - 1;
+  std::vector<Complex*> ptr(active);
+  for (unsigned w = 0; w < active; ++w) ptr[w] = slices_[w].data();
+  parallel_sweep(num_threads_, 1ULL << num_qubits(),
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     fn(i, ptr[i >> nl][i & mask]);
+                   }
+                 });
+}
+
+// --------------------------------------------------------- allocation ---
+
+void ShardedStateVector::grow_state() {
+  const std::size_t n = num_qubits();  // already includes the new qubit
+  l2p_.push_back(static_cast<std::uint8_t>(n - 1));
+  p2l_.push_back(static_cast<std::uint8_t>(n - 1));
+  const unsigned ge_old =
+      std::min<unsigned>(gbits_, static_cast<unsigned>(n - 1));
+  const unsigned ge_new = std::min<unsigned>(gbits_, static_cast<unsigned>(n));
+  if (ge_new > ge_old) {
+    // Still growing into the shard budget: the active slice count doubles
+    // (the new top bit is a fresh shard bit), slice size is unchanged, and
+    // the new top-half shards are all |...0> = zero amplitudes.
+    const std::size_t m = slices_[0].size();
+    for (unsigned w = 1U << ge_old; w < (1U << ge_new); ++w) {
+      slices_[w].assign(m, Complex(0.0, 0.0));
+    }
+  } else {
+    // All shards active: appending the |0> factor re-splits the flat array.
+    // New slice w covers two old slices (lower half of the index space);
+    // the upper half is zeros.
+    const unsigned active = 1U << ge_new;
+    const std::size_t m_old = slices_[0].size();
+    std::vector<std::vector<Complex>> next(shards_);
+    if (active == 1) {
+      next[0] = std::move(slices_[0]);
+      next[0].resize(m_old * 2, Complex(0.0, 0.0));
+    } else {
+      for (unsigned w = 0; w < active; ++w) {
+        if (w < active / 2) {
+          next[w] = std::move(slices_[2 * w]);
+          next[w].insert(next[w].end(), slices_[2 * w + 1].begin(),
+                         slices_[2 * w + 1].end());
+        } else {
+          next[w].assign(m_old * 2, Complex(0.0, 0.0));
+        }
+      }
+    }
+    slices_ = std::move(next);
+  }
+  local_last_use_.assign(local_bits(), 0);
+}
+
+void ShardedStateVector::remove_position_state(std::size_t pos, bool bit) {
+  const std::size_t n = num_qubits();  // still the old count here
+  const unsigned ge_old = active_log2();
+  const std::size_t lb_old = n - ge_old;
+  const std::uint64_t mask_old = (1ULL << lb_old) - 1;
+  const std::size_t pp = l2p_[pos];
+
+  const std::size_t n_new = n - 1;
+  const unsigned ge_new =
+      std::min<unsigned>(gbits_, static_cast<unsigned>(n_new));
+  const std::size_t lb_new = n_new - ge_new;
+  const std::size_t m_new = 1ULL << lb_new;
+  const std::uint64_t mask_new = m_new - 1;
+
+  std::vector<std::vector<Complex>> next(shards_);
+  std::vector<Complex*> dst(1U << ge_new);
+  for (unsigned w = 0; w < (1U << ge_new); ++w) {
+    next[w].resize(m_new);
+    dst[w] = next[w].data();
+  }
+  std::vector<const Complex*> src(1U << ge_old);
+  for (unsigned w = 0; w < (1U << ge_old); ++w) src[w] = slices_[w].data();
+
+  // Gather the kept half: physical compressed index o <- the old physical
+  // index with bit pp spliced back in (same formula as the serial path).
+  parallel_sweep(
+      num_threads_, 1ULL << n_new, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t o = begin; o < end; ++o) {
+          const std::uint64_t i = kernels::insert_bit(o, pp, bit);
+          dst[o >> lb_new][o & mask_new] = src[i >> lb_old][i & mask_old];
+        }
+      });
+  slices_ = std::move(next);
+
+  // Repair the relabeling maps: logical positions above `pos` and physical
+  // bits above `pp` both shift down by one.
+  l2p_.erase(l2p_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (auto& p : l2p_) {
+    if (p > pp) --p;
+  }
+  p2l_.resize(n_new);
+  identity_layout_ = true;
+  for (std::size_t q = 0; q < n_new; ++q) {
+    p2l_[l2p_[q]] = static_cast<std::uint8_t>(q);
+    if (l2p_[q] != q) identity_layout_ = false;
+  }
+  local_last_use_.assign(n_new - ge_new, 0);
+}
+
+// -------------------------------------------------------------- gates ---
+
+void ShardedStateVector::apply_at(const Gate1Q& gate, std::size_t pos,
+                                  std::uint64_t ctrl_mask) const {
+  const std::size_t nl = local_bits();
+  const std::uint64_t m = 1ULL << nl;
+  const std::size_t pt = l2p_[pos];
+  const std::uint64_t pmask = to_physical(ctrl_mask);
+  const std::uint64_t local_mask = pmask & (m - 1);
+  const unsigned shard_ctrl = static_cast<unsigned>(pmask >> nl);
+
+  if (pt < nl) {
+    apply_local(gate, pt, shard_ctrl, local_mask);
+    return;
+  }
+  const unsigned target_bit = 1U << (pt - nl);
+  if (kernels::classify(gate) == kernels::GateKind::kDiagonal) {
+    // Diagonal on a global qubit: the shard index fixes the target bit, so
+    // each slice just scales — no communication, no reason to relabel.
+    apply_global_diagonal(gate, target_bit, shard_ctrl, local_mask);
+    return;
+  }
+  if (relabel_policy_ && nl > 0) {
+    // Swap the hot global bit with the coldest local bit, then the gate
+    // (and any follow-ups on the same qubit) applies locally.
+    relabel_swap(pt, pick_victim(nl));
+    apply_at(gate, pos, ctrl_mask);
+    return;
+  }
+  apply_global_exchange(gate, target_bit, shard_ctrl, local_mask);
+}
+
+void ShardedStateVector::apply_local(const Gate1Q& gate, std::size_t pt,
+                                     unsigned shard_ctrl,
+                                     std::uint64_t local_mask) const {
+  local_last_use_[pt] = ++op_tick_;
+  const std::size_t m = 1ULL << local_bits();
+  const std::vector<unsigned> parts = controlled_shards(shard_ctrl);
+  if (parts.size() == 1) {
+    // One participating slice: let the kernel itself span the lanes.
+    kernels::apply_1q(slices_[parts[0]].data(), m, pt, gate, local_mask,
+                      [this](std::size_t count, auto&& fn) {
+                        parallel_sweep(num_threads_, count, fn);
+                      });
+    return;
+  }
+  for_shards(parts, [&](unsigned w) {
+    kernels::apply_1q(slices_[w].data(), m, pt, gate, local_mask,
+                      [](std::size_t count, auto&& fn) {
+                        if (count > 0) fn(std::size_t{0}, count);
+                      });
+  });
+}
+
+void ShardedStateVector::apply_global_diagonal(
+    const Gate1Q& gate, unsigned target_bit, unsigned shard_ctrl,
+    std::uint64_t local_mask) const {
+  const Complex one(1.0, 0.0);
+  const Complex m00 = gate.m[0], m11 = gate.m[3];
+  const std::size_t m = 1ULL << local_bits();
+  std::vector<unsigned> parts;
+  for (const unsigned w : controlled_shards(shard_ctrl)) {
+    // Phase-type gates (m00 == 1) leave the target-0 half untouched; the
+    // serial kernel skips those amplitudes too.
+    if (m00 == one && (w & target_bit) == 0) continue;
+    parts.push_back(w);
+  }
+  kernels::IndexExpander ex;
+  ex.add_mask(local_mask);
+  ex.base = local_mask;
+  const std::size_t cnt = m >> std::popcount(local_mask);
+  // One slice sweeping alone gets the worker lanes itself (like
+  // apply_local); with several slices each one is a lane's whole job.
+  const auto scale_slice = [&](unsigned w, std::size_t begin,
+                               std::size_t end) {
+    const Complex factor = (w & target_bit) ? m11 : m00;
+    Complex* s = slices_[w].data();
+    if (local_mask == 0) {
+      for (std::size_t i = begin; i < end; ++i) s[i] *= factor;
+    } else {
+      for (std::size_t k = begin; k < end; ++k) s[ex(k)] *= factor;
+    }
+  };
+  if (parts.size() == 1) {
+    const unsigned w = parts[0];
+    parallel_sweep(num_threads_, local_mask == 0 ? m : cnt,
+                   [&](std::size_t begin, std::size_t end) {
+                     scale_slice(w, begin, end);
+                   });
+    return;
+  }
+  for_shards(parts, [&](unsigned w) {
+    scale_slice(w, 0, local_mask == 0 ? m : cnt);
+  });
+}
+
+void ShardedStateVector::apply_global_exchange(
+    const Gate1Q& gate, unsigned target_bit, unsigned shard_ctrl,
+    std::uint64_t local_mask) const {
+  ++exchange_sweeps_;
+  const std::uint64_t tag = ++op_tick_;
+  const std::size_t m = 1ULL << local_bits();
+  const std::vector<unsigned> parts = controlled_shards(shard_ctrl);
+  kernels::IndexExpander ex;
+  ex.add_mask(local_mask);
+  ex.base = local_mask;
+  const std::size_t cnt = m >> std::popcount(local_mask);
+
+  // Phase A: every participating shard posts the (control-satisfying) slab
+  // its partner needs. Eager sends, so no ordering constraints.
+  for_shards(parts, [&](unsigned w) {
+    ShardMessage msg;
+    msg.source = w;
+    msg.tag = tag;
+    msg.amplitudes.resize(cnt);
+    const Complex* s = slices_[w].data();
+    for (std::size_t k = 0; k < cnt; ++k) msg.amplitudes[k] = s[ex(k)];
+    mesh_.post(w ^ target_bit, std::move(msg));
+  });
+
+  // Phase B: take the partner slab and combine into the local half. The
+  // arithmetic per pair is exactly the serial pair kernel's, so amplitudes
+  // stay bit-identical.
+  const kernels::GateKind kind = kernels::classify(gate);
+  const Complex one(1.0, 0.0);
+  const Complex g00 = gate.m[0], g01 = gate.m[1];
+  const Complex g10 = gate.m[2], g11 = gate.m[3];
+  for_shards(parts, [&](unsigned w) {
+    ShardMessage msg = mesh_.take(w, w ^ target_bit, tag);
+    const Complex* theirs = msg.amplitudes.data();
+    Complex* mine = slices_[w].data();
+    const bool hi = (w & target_bit) != 0;
+    if (kind == kernels::GateKind::kAntiDiagonal) {
+      if (g01 == one && g10 == one) {
+        // X / CNOT / Toffoli: a pure permutation — adopt the partner slab.
+        for (std::size_t k = 0; k < cnt; ++k) mine[ex(k)] = theirs[k];
+      } else {
+        const Complex f = hi ? g10 : g01;
+        for (std::size_t k = 0; k < cnt; ++k) mine[ex(k)] = f * theirs[k];
+      }
+      return;
+    }
+    if (hi) {
+      for (std::size_t k = 0; k < cnt; ++k) {
+        const std::size_t i = ex(k);
+        mine[i] = g10 * theirs[k] + g11 * mine[i];
+      }
+    } else {
+      for (std::size_t k = 0; k < cnt; ++k) {
+        const std::size_t i = ex(k);
+        mine[i] = g00 * mine[i] + g01 * theirs[k];
+      }
+    }
+  });
+}
+
+void ShardedStateVector::relabel_swap(std::size_t pg, std::size_t pl) const {
+  ++relabel_swaps_;
+  const std::uint64_t tag = ++op_tick_;
+  const std::size_t nl = local_bits();
+  const std::size_t m = 1ULL << nl;
+  const unsigned gbit = 1U << (pg - nl);
+  const std::size_t cnt = m / 2;
+  const unsigned active = 1U << active_log2();
+  std::vector<unsigned> parts(active);
+  std::iota(parts.begin(), parts.end(), 0U);
+
+  // Swapping bit values: element (pg=0, pl=1, rest) trades places with
+  // (pg=1, pl=0, rest). Each shard sends the slab that belongs to its
+  // partner and overwrites the same slots with what it receives.
+  for_shards(parts, [&](unsigned w) {
+    const bool send_bit = (w & gbit) == 0;  // low shard sends its pl=1 slab
+    ShardMessage msg;
+    msg.source = w;
+    msg.tag = tag;
+    msg.amplitudes.resize(cnt);
+    const Complex* s = slices_[w].data();
+    for (std::size_t k = 0; k < cnt; ++k) {
+      msg.amplitudes[k] = s[kernels::insert_bit(k, pl, send_bit)];
+    }
+    mesh_.post(w ^ gbit, std::move(msg));
+  });
+  for_shards(parts, [&](unsigned w) {
+    const bool slot_bit = (w & gbit) == 0;
+    ShardMessage msg = mesh_.take(w, w ^ gbit, tag);
+    Complex* s = slices_[w].data();
+    for (std::size_t k = 0; k < cnt; ++k) {
+      s[kernels::insert_bit(k, pl, slot_bit)] = msg.amplitudes[k];
+    }
+  });
+
+  // The two physical bits now carry each other's logical qubit.
+  const std::uint8_t la = p2l_[pl];
+  const std::uint8_t lg = p2l_[pg];
+  std::swap(p2l_[pl], p2l_[pg]);
+  l2p_[la] = static_cast<std::uint8_t>(pg);
+  l2p_[lg] = static_cast<std::uint8_t>(pl);
+  identity_layout_ = true;
+  for (std::size_t q = 0; q < l2p_.size(); ++q) {
+    if (l2p_[q] != q) {
+      identity_layout_ = false;
+      break;
+    }
+  }
+  local_last_use_[pl] = op_tick_;
+}
+
+std::size_t ShardedStateVector::pick_victim(std::size_t nl) const {
+  std::size_t victim = 0;
+  for (std::size_t b = 1; b < nl; ++b) {
+    if (local_last_use_[b] < local_last_use_[victim]) victim = b;
+  }
+  return victim;
+}
+
+// ------------------------------------------------------- measurements ---
+
+double ShardedStateVector::probability_one_at(std::size_t pos) const {
+  const std::size_t nl = local_bits();
+  const std::uint64_t mask = (1ULL << nl) - 1;
+  std::vector<const Complex*> ptr(1U << active_log2());
+  for (unsigned w = 0; w < ptr.size(); ++w) ptr[w] = slices_[w].data();
+  const std::size_t half = (1ULL << num_qubits()) / 2;
+  // Same enumeration and chunked combine as the serial backend: compressed
+  // logical indices with the target bit spliced in, so the partial sums are
+  // added in the exact same order.
+  return chunked_reduce<double>(
+      num_threads_, half, [&](std::size_t begin, std::size_t end) {
+        double p = 0.0;
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::uint64_t i =
+              to_physical(kernels::insert_bit(k, pos, true));
+          p += std::norm(ptr[i >> nl][i & mask]);
+        }
+        return p;
+      });
+}
+
+void ShardedStateVector::collapse_at(std::size_t pos, bool bit,
+                                     double prob_bit) {
+  const std::uint64_t stride = 1ULL << l2p_[pos];
+  const double scale = 1.0 / std::sqrt(prob_bit);
+  for_each_amp([stride, bit, scale](std::uint64_t i, Complex& a) {
+    if (static_cast<bool>(i & stride) == bit) {
+      a *= scale;
+    } else {
+      a = Complex(0.0, 0.0);
+    }
+  });
+}
+
+double ShardedStateVector::parity_odd_probability(std::uint64_t mask) const {
+  const std::size_t nl = local_bits();
+  const std::uint64_t lmask_local = (1ULL << nl) - 1;
+  std::vector<const Complex*> ptr(1U << active_log2());
+  for (unsigned w = 0; w < ptr.size(); ++w) ptr[w] = slices_[w].data();
+  const std::size_t n = 1ULL << num_qubits();
+  return chunked_reduce<double>(
+      num_threads_, n, [&](std::size_t begin, std::size_t end) {
+        double p = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (std::popcount(i & mask) & 1U) {
+            const std::uint64_t ph = to_physical(i);
+            p += std::norm(ptr[ph >> nl][ph & lmask_local]);
+          }
+        }
+        return p;
+      });
+}
+
+void ShardedStateVector::parity_collapse(std::uint64_t mask, bool outcome,
+                                         double prob) {
+  // A bit permutation preserves popcount, so the parity test can run on
+  // physical indices with the physical mask.
+  const std::uint64_t pmask = to_physical(mask);
+  const double scale = 1.0 / std::sqrt(prob);
+  for_each_amp([pmask, outcome, scale](std::uint64_t i, Complex& a) {
+    const bool odd = std::popcount(i & pmask) & 1U;
+    if (odd == outcome) {
+      a *= scale;
+    } else {
+      a = Complex(0.0, 0.0);
+    }
+  });
+}
+
+// -------------------------------------------------------- inspection ---
+
+Complex ShardedStateVector::amplitude_at(std::uint64_t index) const {
+  const std::size_t nl = local_bits();
+  const std::uint64_t ph = to_physical(index);
+  return slices_[ph >> nl][ph & ((1ULL << nl) - 1)];
+}
+
+double ShardedStateVector::expectation_masks(const PauliMasks& masks) const {
+  const std::uint64_t flip_mask = masks.flip;
+  const std::uint64_t z_mask = masks.z;
+  const Complex y_phase = kernels::i_power(masks.y_count);
+  const std::size_t nl = local_bits();
+  const std::uint64_t lmask_local = (1ULL << nl) - 1;
+  std::vector<const Complex*> ptr(1U << active_log2());
+  for (unsigned w = 0; w < ptr.size(); ++w) ptr[w] = slices_[w].data();
+  const auto amp = [&](std::uint64_t logical) -> const Complex& {
+    const std::uint64_t ph = to_physical(logical);
+    return ptr[ph >> nl][ph & lmask_local];
+  };
+  const std::size_t n = 1ULL << num_qubits();
+  const Complex acc = chunked_reduce<Complex>(
+      num_threads_, n, [&](std::size_t begin, std::size_t end) {
+        Complex partial(0.0, 0.0);
+        for (std::size_t i = begin; i < end; ++i) {
+          const Complex a = amp(i);
+          if (a == Complex(0.0, 0.0)) continue;
+          const std::size_t j = i ^ flip_mask;
+          const int sign = (std::popcount(i & z_mask) & 1) ? -1 : 1;
+          partial += std::conj(amp(j)) * a * double(sign) * y_phase;
+        }
+        return partial;
+      });
+  return acc.real();
+}
+
+void ShardedStateVector::pauli_rotation_masks(const PauliMasks& masks,
+                                              double t) {
+  const std::uint64_t flip_mask = masks.flip;
+  const std::uint64_t z_mask = masks.z;
+  const Complex y_phase = kernels::i_power(masks.y_count);
+  const Complex c = std::cos(t);
+  const Complex mis = Complex(0.0, -1.0) * std::sin(t);
+  if (flip_mask == 0) {
+    const Complex ph_even = c + mis;
+    const Complex ph_odd = c - mis;
+    const std::uint64_t z_pmask = to_physical(z_mask);
+    for_each_amp([z_pmask, ph_even, ph_odd](std::uint64_t i, Complex& a) {
+      a *= (std::popcount(i & z_pmask) & 1) ? ph_odd : ph_even;
+    });
+    return;
+  }
+  // Pair sweep over logical indices; pairs may straddle shards but every
+  // pair is owned by exactly one loop iteration, so in-place updates stay
+  // race-free under any lane split.
+  const std::size_t nl = local_bits();
+  const std::uint64_t lmask_local = (1ULL << nl) - 1;
+  std::vector<Complex*> ptr(1U << active_log2());
+  for (unsigned w = 0; w < ptr.size(); ++w) ptr[w] = slices_[w].data();
+  const auto amp = [&](std::uint64_t logical) -> Complex& {
+    const std::uint64_t ph = to_physical(logical);
+    return ptr[ph >> nl][ph & lmask_local];
+  };
+  const std::size_t top =
+      static_cast<std::size_t>(std::bit_width(flip_mask) - 1);
+  const std::size_t n = 1ULL << num_qubits();
+  parallel_sweep(
+      num_threads_, n / 2, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i = kernels::insert_bit(k, top, false);
+          const std::size_t j = i ^ flip_mask;
+          const Complex phase_i =
+              y_phase * ((std::popcount(i & z_mask) & 1) ? -1.0 : 1.0);
+          const Complex phase_j =
+              y_phase * ((std::popcount(j & z_mask) & 1) ? -1.0 : 1.0);
+          Complex& ai = amp(i);
+          Complex& aj = amp(j);
+          const Complex vi = ai;
+          const Complex vj = aj;
+          ai = c * vi + mis * phase_j * vj;
+          aj = c * vj + mis * phase_i * vi;
+        }
+      });
+}
+
+double ShardedStateVector::norm_state() const {
+  const std::size_t nl = local_bits();
+  const std::uint64_t lmask_local = (1ULL << nl) - 1;
+  std::vector<const Complex*> ptr(1U << active_log2());
+  for (unsigned w = 0; w < ptr.size(); ++w) ptr[w] = slices_[w].data();
+  const std::size_t n = 1ULL << num_qubits();
+  const double total = chunked_reduce<double>(
+      num_threads_, n, [&](std::size_t begin, std::size_t end) {
+        double p = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t ph = to_physical(i);
+          p += std::norm(ptr[ph >> nl][ph & lmask_local]);
+        }
+        return p;
+      });
+  return std::sqrt(total);
+}
+
+std::vector<Complex> ShardedStateVector::snapshot_state() const {
+  const std::size_t nl = local_bits();
+  const unsigned active = 1U << active_log2();
+  const std::size_t m = 1ULL << nl;
+  std::vector<Complex> out(1ULL << num_qubits());
+  for (unsigned w = 0; w < active; ++w) {
+    const Complex* s = slices_[w].data();
+    const std::uint64_t base = static_cast<std::uint64_t>(w) << nl;
+    for (std::size_t o = 0; o < m; ++o) {
+      out[to_logical(base | o)] = s[o];
+    }
+  }
+  return out;
+}
+
+}  // namespace qmpi::sim

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/backend.hpp"
+#include "sim/shard_exchange.hpp"
+
+namespace qmpi::sim {
+
+/// State-vector backend with the 2^n amplitudes partitioned into
+/// per-worker slices — the standard global/local qubit split of distributed
+/// quantum simulators, run in-process.
+///
+/// With S = 2^g shards, the top g *physical* bits of an amplitude index
+/// select the shard and the remaining n-g bits index within its slice, so
+/// every slice is a contiguous block of the flat state:
+///
+///   amplitude(i)  lives in  slice[i >> (n-g)]  at offset  i & (2^(n-g)-1)
+///
+/// Gates on *local* qubits (physical position < n-g) touch only intra-slice
+/// pairs and run embarrassingly parallel, one shard per worker lane, using
+/// the same specialized kernels as the serial backend. Gates on *global*
+/// qubits pair each shard w with w XOR target-bit: both shards post the
+/// needed slab to the partner through the ShardMesh (the in-process stand-in
+/// for the MPI exchange), then combine locally. Diagonal gates on global
+/// qubits need no exchange at all — the shard index determines the factor.
+///
+/// To keep hot qubits local, a gate on a global qubit can first run a
+/// qubit-relabeling swap pass (enabled by default): the global bit is
+/// swapped with the least-recently-used local bit via one pairwise
+/// permutation exchange, after which the gate — and subsequent gates on the
+/// same qubit — apply locally. The logical position of a qubit (what
+/// Backend and all observers see) never changes; the relabeling is purely a
+/// physical-layout concern tracked by an internal permutation.
+///
+/// Every observable result is bit-identical to the serial StateVector:
+/// elementwise sweeps perform the same arithmetic per logical basis state,
+/// and reductions enumerate logical indices in serial order with the shared
+/// chunked combine (sweep.hpp), so even measurement outcomes match draw for
+/// draw.
+class ShardedStateVector : public Backend {
+ public:
+  /// `num_shards` must be a power of two (1 degenerates to an unsharded
+  /// slice). Registers smaller than the shard count keep only 2^n shards
+  /// active until enough qubits exist to populate all slices.
+  explicit ShardedStateVector(unsigned num_shards,
+                              std::uint64_t seed = kDefaultSeed);
+
+  unsigned num_shards() const { return shards_; }
+
+  /// Enables/disables the relabeling swap pass for non-diagonal gates on
+  /// global qubits (default: enabled). When disabled such gates always go
+  /// through the pairwise exchange path — useful for benchmarking the raw
+  /// exchange cost and for forcing exchange traffic in tests.
+  void set_relabel_policy(bool on) { relabel_policy_ = on; }
+  bool relabel_policy() const { return relabel_policy_; }
+
+  /// White-box counters for tests and benchmarks.
+  std::uint64_t exchange_sweeps() const { return exchange_sweeps_; }
+  std::uint64_t relabel_swaps() const { return relabel_swaps_; }
+
+  /// Current number of local (intra-slice) qubit positions.
+  std::size_t local_bits() const;
+
+  const char* name() const override { return "sharded"; }
+
+ private:
+  void grow_state() override;
+  void remove_position_state(std::size_t pos, bool bit) override;
+  void apply_at(const Gate1Q& gate, std::size_t pos,
+                std::uint64_t ctrl_mask) const override;
+  double probability_one_at(std::size_t pos) const override;
+  void collapse_at(std::size_t pos, bool bit, double prob_bit) override;
+  double parity_odd_probability(std::uint64_t mask) const override;
+  void parity_collapse(std::uint64_t mask, bool outcome,
+                       double prob) override;
+  Complex amplitude_at(std::uint64_t index) const override;
+  double expectation_masks(const PauliMasks& masks) const override;
+  void pauli_rotation_masks(const PauliMasks& masks, double t) override;
+  double norm_state() const override;
+  std::vector<Complex> snapshot_state() const override;
+
+  /// log2 of the currently active shard count: min(gbits_, num_qubits()).
+  unsigned active_log2() const;
+
+  /// Logical index/mask -> physical via the relabeling permutation.
+  std::uint64_t to_physical(std::uint64_t logical) const;
+  std::uint64_t to_logical(std::uint64_t physical) const;
+
+  /// Runs `fn(shard)` for each listed shard, one shard per worker lane —
+  /// the "distributed sweep" dispatch.
+  template <typename Fn>
+  void for_shards(const std::vector<unsigned>& parts, Fn&& fn) const;
+
+  /// Shards among the active ones that satisfy the global control bits.
+  std::vector<unsigned> controlled_shards(unsigned shard_ctrl) const;
+
+  /// Elementwise sweep `fn(physical_index, amplitude&)` over the state.
+  template <typename Fn>
+  void for_each_amp(Fn&& fn) const;
+
+  void apply_local(const Gate1Q& gate, std::size_t pt, unsigned shard_ctrl,
+                   std::uint64_t local_mask) const;
+  void apply_global_diagonal(const Gate1Q& gate, unsigned target_bit,
+                             unsigned shard_ctrl,
+                             std::uint64_t local_mask) const;
+  void apply_global_exchange(const Gate1Q& gate, unsigned target_bit,
+                             unsigned shard_ctrl,
+                             std::uint64_t local_mask) const;
+
+  /// Swaps physical global bit `pg` with physical local bit `pl` by
+  /// permuting amplitudes between shard pairs, then updates the relabeling
+  /// maps. Pure data movement: no arithmetic, so exactness is trivial.
+  void relabel_swap(std::size_t pg, std::size_t pl) const;
+
+  /// Least-recently-targeted physical local bit (the relabel victim).
+  std::size_t pick_victim(std::size_t nl) const;
+
+  unsigned shards_;  ///< total slices (power of two)
+  unsigned gbits_;   ///< log2(shards_)
+
+  /// Slices are mutable for the same reason the serial amplitudes are:
+  /// lazy fusion makes logically-const observers materialize gates. The
+  /// layout/exchange bookkeeping below is mutable because the relabeling
+  /// pass runs inside (const) gate application and changes only the
+  /// physical layout, never the logical state.
+  mutable std::vector<std::vector<Complex>> slices_;
+  mutable std::vector<std::uint8_t> l2p_;  ///< logical pos -> physical bit
+  mutable std::vector<std::uint8_t> p2l_;  ///< physical bit -> logical pos
+  mutable bool identity_layout_ = true;
+  mutable ShardMesh mesh_;
+  mutable std::uint64_t op_tick_ = 0;  ///< message tags + LRU clock
+  mutable std::vector<std::uint64_t> local_last_use_;  ///< per local bit
+  mutable std::uint64_t exchange_sweeps_ = 0;
+  mutable std::uint64_t relabel_swaps_ = 0;
+  bool relabel_policy_ = true;
+};
+
+}  // namespace qmpi::sim

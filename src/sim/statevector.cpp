@@ -1,91 +1,20 @@
 #include "sim/statevector.hpp"
 
-#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "sim/kernels.hpp"
-#include "sim/thread_pool.hpp"
+#include "sim/sweep.hpp"
 
 namespace qmpi::sim {
 
-namespace {
-constexpr double kEps = 1e-10;
-/// Below this many loop iterations the pool dispatch overhead dominates;
-/// run serial inline. Thresholds are in units of touched amplitudes.
-constexpr std::size_t kMinParallel = 1ULL << 16;
-/// Reduction chunk size. Lane-independent, so chunk partial sums combined
-/// in chunk order give bit-identical results for any thread count.
-constexpr std::size_t kReduceChunk = 1ULL << 14;
-}  // namespace
-
-StateVector::StateVector(std::uint64_t seed) : rng_(seed) {
+StateVector::StateVector(std::uint64_t seed) : Backend(seed) {
   amplitudes_ = {Complex(1.0, 0.0)};  // the empty register: a scalar 1
 }
 
-template <typename Fn>
-void StateVector::parallel_for(std::size_t count, Fn&& fn) const {
-  const unsigned lanes = count >= kMinParallel ? num_threads_ : 1;
-  ThreadPool::instance().parallel_for(lanes, count, std::forward<Fn>(fn));
-}
-
-template <typename T, typename ChunkFn>
-T StateVector::chunked_reduce(std::size_t count, ChunkFn&& chunk_fn) const {
-  const std::size_t nchunks = (count + kReduceChunk - 1) / kReduceChunk;
-  if (nchunks <= 1) {
-    return count == 0 ? T{} : chunk_fn(std::size_t{0}, count);
-  }
-  std::vector<T> partials(nchunks);
-  const unsigned lanes = count >= kMinParallel ? num_threads_ : 1;
-  ThreadPool::instance().parallel_for(
-      lanes, nchunks, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t c = begin; c < end; ++c) {
-          const std::size_t lo = c * kReduceChunk;
-          const std::size_t hi = std::min(count, lo + kReduceChunk);
-          partials[c] = chunk_fn(lo, hi);
-        }
-      });
-  T total{};
-  for (const T& p : partials) total += p;
-  return total;
-}
-
-std::vector<QubitId> StateVector::allocate(std::size_t count) {
-  // No flush needed: pending 1Q gates commute with appending |0> factors
-  // (their target positions are unchanged), and they are keyed by id.
-  std::vector<QubitId> ids;
-  ids.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const QubitId id = next_id_++;
-    index_[id] = positions_.size();
-    positions_.push_back(id);
-    // Appending a |0> factor: amplitudes double, upper half is zero.
-    amplitudes_.resize(amplitudes_.size() * 2, Complex(0.0, 0.0));
-    ids.push_back(id);
-  }
-  return ids;
-}
-
-std::size_t StateVector::position_checked(QubitId qubit) const {
-  const auto it = index_.find(qubit);
-  if (it == index_.end()) {
-    throw SimulatorError("unknown qubit id " + std::to_string(qubit));
-  }
-  return it->second;
-}
-
-void StateVector::set_fusion_enabled(bool on) {
-  if (!on) flush_gates();
-  fusion_enabled_ = on;
-}
-
-void StateVector::flush_gates() const {
-  if (fusion_.empty()) return;
-  fusion_.drain([this](QubitId qubit, const Gate1Q& gate) {
-    // Ids were validated at push time and every deallocation path flushes
-    // before removing a qubit, so the entry must still be live.
-    apply_at(gate, index_.find(qubit)->second, /*ctrl_mask=*/0);
-  });
+void StateVector::grow_state() {
+  // Appending a |0> factor: amplitudes double, upper half is zero.
+  amplitudes_.resize(amplitudes_.size() * 2, Complex(0.0, 0.0));
 }
 
 double StateVector::probability_one_at(std::size_t pos) const {
@@ -94,7 +23,7 @@ double StateVector::probability_one_at(std::size_t pos) const {
   const std::size_t half = amplitudes_.size() / 2;
   const Complex* amp = amplitudes_.data();
   return chunked_reduce<double>(
-      half, [amp, pos](std::size_t begin, std::size_t end) {
+      num_threads_, half, [amp, pos](std::size_t begin, std::size_t end) {
         double p = 0.0;
         for (std::size_t k = begin; k < end; ++k) {
           p += std::norm(amp[kernels::insert_bit(k, pos, true)]);
@@ -103,209 +32,84 @@ double StateVector::probability_one_at(std::size_t pos) const {
       });
 }
 
-double StateVector::probability_one(QubitId qubit) const {
-  const std::size_t pos = position_checked(qubit);
-  flush_gates();
-  return probability_one_at(pos);
-}
-
-void StateVector::remove_position(std::size_t pos, bool bit) {
-  flush_gates();
+void StateVector::remove_position_state(std::size_t pos, bool bit) {
   const std::size_t n = amplitudes_.size();
   std::vector<Complex> reduced(n / 2);
   const Complex* src = amplitudes_.data();
   Complex* dst = reduced.data();
-  parallel_for(n / 2, [src, dst, pos, bit](std::size_t begin,
-                                           std::size_t end) {
-    for (std::size_t o = begin; o < end; ++o) {
-      dst[o] = src[kernels::insert_bit(o, pos, bit)];
-    }
-  });
+  parallel_sweep(num_threads_, n / 2,
+                 [src, dst, pos, bit](std::size_t begin, std::size_t end) {
+                   for (std::size_t o = begin; o < end; ++o) {
+                     dst[o] = src[kernels::insert_bit(o, pos, bit)];
+                   }
+                 });
   amplitudes_ = std::move(reduced);
-  // Fix the id<->position maps: qubits above `pos` shift down by one.
-  index_.erase(positions_[pos]);
-  positions_.erase(positions_.begin() + static_cast<std::ptrdiff_t>(pos));
-  for (std::size_t p = pos; p < positions_.size(); ++p) {
-    index_[positions_[p]] = p;
-  }
-}
-
-void StateVector::deallocate(QubitId qubit) {
-  const std::size_t pos = position_checked(qubit);
-  flush_gates();
-  const double p1 = probability_one_at(pos);
-  if (p1 > kEps) {
-    throw SimulatorError(
-        "deallocating qubit " + std::to_string(qubit) +
-        " that is not in |0> (P[1]=" + std::to_string(p1) +
-        "); uncompute it first or use release()");
-  }
-  remove_position(pos, /*bit=*/false);
-}
-
-void StateVector::deallocate_classical(QubitId qubit) {
-  const std::size_t pos = position_checked(qubit);
-  flush_gates();
-  const double p1 = probability_one_at(pos);
-  if (p1 > kEps && p1 < 1.0 - kEps) {
-    throw SimulatorError("deallocating qubit " + std::to_string(qubit) +
-                         " that is in superposition (P[1]=" +
-                         std::to_string(p1) + ")");
-  }
-  remove_position(pos, /*bit=*/p1 >= 0.5);
-}
-
-bool StateVector::release(QubitId qubit) {
-  const bool outcome = measure(qubit);
-  const std::size_t pos = position_checked(qubit);
-  remove_position(pos, outcome);
-  return outcome;
 }
 
 void StateVector::apply_at(const Gate1Q& gate, std::size_t pos,
                            std::uint64_t ctrl_mask) const {
-  kernels::apply_1q(
-      amplitudes_.data(), amplitudes_.size(), pos, gate, ctrl_mask,
-      [this](std::size_t count, auto&& fn) { parallel_for(count, fn); });
+  kernels::apply_1q(amplitudes_.data(), amplitudes_.size(), pos, gate,
+                    ctrl_mask, [this](std::size_t count, auto&& fn) {
+                      parallel_sweep(num_threads_, count, fn);
+                    });
 }
 
-void StateVector::apply(const Gate1Q& gate, QubitId target) {
-  const std::size_t pos = position_checked(target);  // validate eagerly
-  if (fusion_enabled_) {
-    fusion_.push(target, gate);
-    return;
-  }
-  apply_at(gate, pos, /*ctrl_mask=*/0);
-}
-
-void StateVector::apply_controlled(const Gate1Q& gate,
-                                   std::span<const QubitId> controls,
-                                   QubitId target) {
-  const std::size_t tpos = position_checked(target);
-  std::uint64_t mask = 0;
-  for (const QubitId c : controls) {
-    const std::size_t cpos = position_checked(c);
-    if (cpos == tpos) {
-      throw SimulatorError("control qubit equals target qubit");
-    }
-    mask |= 1ULL << cpos;
-  }
-  flush_gates();  // entangling boundary
-  apply_at(gate, tpos, mask);
-}
-
-void StateVector::collapse(std::size_t pos, bool bit, double prob_bit) {
+void StateVector::collapse_at(std::size_t pos, bool bit, double prob_bit) {
   const std::uint64_t stride = 1ULL << pos;
   const double scale = 1.0 / std::sqrt(prob_bit);
   Complex* amp = amplitudes_.data();
-  parallel_for(amplitudes_.size(), [amp, stride, bit, scale](
-                                       std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (static_cast<bool>(i & stride) == bit) {
-        amp[i] *= scale;
-      } else {
-        amp[i] = Complex(0.0, 0.0);
-      }
-    }
-  });
+  parallel_sweep(num_threads_, amplitudes_.size(),
+                 [amp, stride, bit, scale](std::size_t begin,
+                                           std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     if (static_cast<bool>(i & stride) == bit) {
+                       amp[i] *= scale;
+                     } else {
+                       amp[i] = Complex(0.0, 0.0);
+                     }
+                   }
+                 });
 }
 
-bool StateVector::measure(QubitId qubit) {
-  const std::size_t pos = position_checked(qubit);
-  flush_gates();
-  const double p1 = probability_one_at(pos);
-  std::uniform_real_distribution<double> dist(0.0, 1.0);
-  const bool outcome = dist(rng_) < p1;
-  collapse(pos, outcome, outcome ? p1 : 1.0 - p1);
-  return outcome;
-}
-
-bool StateVector::measure_x(QubitId qubit) {
-  h(qubit);
-  const bool outcome = measure(qubit);
-  h(qubit);  // map the collapsed |0>/|1> back to |+>/|->
-  return outcome;
-}
-
-bool StateVector::measure_parity(std::span<const QubitId> qubits) {
-  std::uint64_t mask = 0;
-  for (const QubitId q : qubits) mask |= 1ULL << position_checked(q);
-  flush_gates();
+double StateVector::parity_odd_probability(std::uint64_t mask) const {
   const std::size_t n = amplitudes_.size();
   const Complex* camp = amplitudes_.data();
-  const double p_odd = chunked_reduce<double>(
-      n, [camp, mask](std::size_t begin, std::size_t end) {
+  return chunked_reduce<double>(
+      num_threads_, n, [camp, mask](std::size_t begin, std::size_t end) {
         double p = 0.0;
         for (std::size_t i = begin; i < end; ++i) {
           if (std::popcount(i & mask) & 1U) p += std::norm(camp[i]);
         }
         return p;
       });
-  std::uniform_real_distribution<double> dist(0.0, 1.0);
-  const bool outcome = dist(rng_) < p_odd;
-  const double prob = outcome ? p_odd : 1.0 - p_odd;
+}
+
+void StateVector::parity_collapse(std::uint64_t mask, bool outcome,
+                                  double prob) {
   const double scale = 1.0 / std::sqrt(prob);
   Complex* amp = amplitudes_.data();
-  parallel_for(n, [amp, mask, outcome, scale](std::size_t begin,
-                                              std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const bool odd = std::popcount(i & mask) & 1U;
-      if (odd == outcome) {
-        amp[i] *= scale;
-      } else {
-        amp[i] = Complex(0.0, 0.0);
-      }
-    }
-  });
-  return outcome;
+  parallel_sweep(num_threads_, amplitudes_.size(),
+                 [amp, mask, outcome, scale](std::size_t begin,
+                                             std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     const bool odd = std::popcount(i & mask) & 1U;
+                     if (odd == outcome) {
+                       amp[i] *= scale;
+                     } else {
+                       amp[i] = Complex(0.0, 0.0);
+                     }
+                   }
+                 });
 }
 
-Complex StateVector::amplitude(std::span<const QubitId> order,
-                               std::span<const bool> bits) const {
-  if (order.size() != bits.size() || order.size() != positions_.size()) {
-    throw SimulatorError("amplitude() needs exactly one bit per qubit");
-  }
-  std::size_t idx = 0;
-  for (std::size_t k = 0; k < order.size(); ++k) {
-    if (bits[k]) idx |= 1ULL << position_checked(order[k]);
-  }
-  flush_gates();
-  return amplitudes_[idx];
+Complex StateVector::amplitude_at(std::uint64_t index) const {
+  return amplitudes_[index];
 }
 
-StateVector::PauliMasks StateVector::parse_pauli(
-    std::span<const std::pair<QubitId, char>> pauli) const {
-  // X flips a bit, Z adds a sign, Y does both with a factor i: the masks
-  // encode P's action per basis state for both observables paths.
-  PauliMasks masks;
-  for (const auto& [qubit, op] : pauli) {
-    const std::uint64_t bit = 1ULL << position_checked(qubit);
-    switch (op) {
-      case 'X':
-        masks.flip |= bit;
-        break;
-      case 'Y':
-        masks.flip |= bit;
-        masks.z |= bit;
-        ++masks.y_count;
-        break;
-      case 'Z':
-        masks.z |= bit;
-        break;
-      default:
-        throw SimulatorError(std::string("bad Pauli op '") + op + "'");
-    }
-  }
-  return masks;
-}
-
-double StateVector::expectation(
-    std::span<const std::pair<QubitId, char>> pauli) const {
+double StateVector::expectation_masks(const PauliMasks& masks) const {
   // <psi|P|psi> = <psi|phi> with |phi> = P|psi>.
-  const PauliMasks masks = parse_pauli(pauli);
   const std::uint64_t flip_mask = masks.flip;
   const std::uint64_t z_mask = masks.z;
-  flush_gates();
   // Y = i * X * Z (acting as |b> -> i^{?}): with convention
   // Y|0> = i|1>, Y|1> = -i|0>: phase = i * (-1)^b. We fold the per-Y global
   // i factor and the Z-type signs below.
@@ -313,8 +117,8 @@ double StateVector::expectation(
   const std::size_t n = amplitudes_.size();
   const Complex* amp = amplitudes_.data();
   const Complex acc = chunked_reduce<Complex>(
-      n, [amp, flip_mask, z_mask, y_phase](std::size_t begin,
-                                           std::size_t end) {
+      num_threads_, n,
+      [amp, flip_mask, z_mask, y_phase](std::size_t begin, std::size_t end) {
         Complex partial(0.0, 0.0);
         for (std::size_t i = begin; i < end; ++i) {
           const Complex a = amp[i];
@@ -329,15 +133,12 @@ double StateVector::expectation(
   return acc.real();
 }
 
-void StateVector::apply_pauli_rotation(
-    std::span<const std::pair<QubitId, char>> pauli, double t) {
+void StateVector::pauli_rotation_masks(const PauliMasks& masks, double t) {
   // exp(-i t P) = cos(t) I - i sin(t) P. Build P's action per basis state
-  // (see expectation() for the phase bookkeeping) and combine the paired
-  // amplitudes in place.
-  const PauliMasks masks = parse_pauli(pauli);
+  // (see expectation_masks for the phase bookkeeping) and combine the
+  // paired amplitudes in place.
   const std::uint64_t flip_mask = masks.flip;
   const std::uint64_t z_mask = masks.z;
-  flush_gates();
   const Complex y_phase = kernels::i_power(masks.y_count);
   const Complex c = std::cos(t);
   const Complex mis = Complex(0.0, -1.0) * std::sin(t);
@@ -347,12 +148,14 @@ void StateVector::apply_pauli_rotation(
     // Diagonal: phase e^{-it(+/-1)} per basis state.
     const Complex ph_even = c + mis;
     const Complex ph_odd = c - mis;
-    parallel_for(n, [amp, z_mask, ph_even, ph_odd](std::size_t begin,
-                                                   std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        amp[i] *= (std::popcount(i & z_mask) & 1) ? ph_odd : ph_even;
-      }
-    });
+    parallel_sweep(num_threads_, n,
+                   [amp, z_mask, ph_even, ph_odd](std::size_t begin,
+                                                  std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       amp[i] *=
+                           (std::popcount(i & z_mask) & 1) ? ph_odd : ph_even;
+                     }
+                   });
     return;
   }
   // Enumerate each pair (i, i ^ flip_mask) exactly once by splicing out the
@@ -360,34 +163,40 @@ void StateVector::apply_pauli_rotation(
   // seed's branch-rejecting `if (j < i) continue` sweep did 2x the work.
   const std::size_t top =
       static_cast<std::size_t>(std::bit_width(flip_mask) - 1);
-  parallel_for(n / 2, [amp, flip_mask, z_mask, y_phase, c, mis, top](
-                          std::size_t begin, std::size_t end) {
-    for (std::size_t k = begin; k < end; ++k) {
-      const std::size_t i = kernels::insert_bit(k, top, false);
-      const std::size_t j = i ^ flip_mask;
-      // P|i> = phase_i |j>, P|j> = phase_j |i>.
-      const Complex phase_i =
-          y_phase * ((std::popcount(i & z_mask) & 1) ? -1.0 : 1.0);
-      const Complex phase_j =
-          y_phase * ((std::popcount(j & z_mask) & 1) ? -1.0 : 1.0);
-      const Complex ai = amp[i];
-      const Complex aj = amp[j];
-      amp[i] = c * ai + mis * phase_j * aj;
-      amp[j] = c * aj + mis * phase_i * ai;
-    }
-  });
+  parallel_sweep(
+      num_threads_, n / 2,
+      [amp, flip_mask, z_mask, y_phase, c, mis, top](std::size_t begin,
+                                                     std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i = kernels::insert_bit(k, top, false);
+          const std::size_t j = i ^ flip_mask;
+          // P|i> = phase_i |j>, P|j> = phase_j |i>.
+          const Complex phase_i =
+              y_phase * ((std::popcount(i & z_mask) & 1) ? -1.0 : 1.0);
+          const Complex phase_j =
+              y_phase * ((std::popcount(j & z_mask) & 1) ? -1.0 : 1.0);
+          const Complex ai = amp[i];
+          const Complex aj = amp[j];
+          amp[i] = c * ai + mis * phase_j * aj;
+          amp[j] = c * aj + mis * phase_i * ai;
+        }
+      });
 }
 
-double StateVector::norm() const {
-  flush_gates();
+double StateVector::norm_state() const {
   const Complex* amp = amplitudes_.data();
   const double total = chunked_reduce<double>(
-      amplitudes_.size(), [amp](std::size_t begin, std::size_t end) {
+      num_threads_, amplitudes_.size(),
+      [amp](std::size_t begin, std::size_t end) {
         double p = 0.0;
         for (std::size_t i = begin; i < end; ++i) p += std::norm(amp[i]);
         return p;
       });
   return std::sqrt(total);
+}
+
+std::vector<Complex> StateVector::snapshot_state() const {
+  return amplitudes_;  // flat storage is already in logical order
 }
 
 }  // namespace qmpi::sim

@@ -1,146 +1,26 @@
 #pragma once
 
-#include <complex>
 #include <cstdint>
-#include <random>
-#include <span>
-#include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
-#include "sim/fusion.hpp"
-#include "sim/gates.hpp"
+#include "sim/backend.hpp"
 
 namespace qmpi::sim {
 
-/// Stable handle for a simulated qubit. Handles survive allocation and
-/// deallocation of other qubits (the underlying state-vector position is an
-/// implementation detail that shifts as qubits come and go).
-using QubitId = std::uint64_t;
-
-/// Error raised on misuse of the simulator (bad handle, dealloc of an
-/// entangled qubit, etc.).
-class SimulatorError : public std::runtime_error {
- public:
-  explicit SimulatorError(const std::string& what)
-      : std::runtime_error(what) {}
-};
-
-/// Full state-vector quantum simulator with dynamic qubit management.
+/// Full state-vector quantum simulator over one flat amplitude array.
 ///
 /// This is the substrate behind the QMPI prototype (paper §6): a single
 /// global state vector that faithfully represents the quantum state of the
-/// whole distributed machine. Qubits are addressed by stable QubitIds;
-/// allocation appends a |0> tensor factor, deallocation removes a factor
-/// (requiring it to be disentangled and in |0>, as in ProjectQ-style
-/// simulators).
-///
-/// Not thread-safe by itself; the SimServer serializes access, mirroring the
-/// paper's design where all ranks forward operations to rank 0.
-class StateVector {
+/// whole distributed machine. All register/protocol behavior (qubit ids,
+/// fusion, measurement flow) lives in Backend; this class implements only
+/// the flat-array representation hooks. Qubit allocation appends a |0>
+/// tensor factor, deallocation removes a factor (requiring it to be
+/// disentangled and in |0>, as in ProjectQ-style simulators).
+class StateVector : public Backend {
  public:
   /// Creates an empty register. `seed` fixes the measurement RNG so tests
   /// and experiments are reproducible.
-  explicit StateVector(std::uint64_t seed = 0x5EED5EED5EEDULL);
-
-  // ------------------------------------------------------------ qubits ---
-
-  /// Allocates `count` fresh qubits in |0>; returns their ids (contiguous).
-  std::vector<QubitId> allocate(std::size_t count);
-
-  /// Deallocates a qubit that must be disentangled and in state |0>.
-  /// Throws SimulatorError otherwise (catching uncomputation bugs early —
-  /// the same discipline the paper's reversible primitives rely on).
-  void deallocate(QubitId qubit);
-
-  /// Measures then deallocates, returning the outcome. Safe on any state.
-  bool release(QubitId qubit);
-
-  /// Deallocates a qubit that is in a classical basis state (|0> or |1>,
-  /// possibly after a measurement). Throws SimulatorError if the qubit is
-  /// still in superposition or entangled. This is the semantics of
-  /// QMPI_Free_qmem in the paper's prototype, whose examples free qubits
-  /// immediately after measuring them.
-  void deallocate_classical(QubitId qubit);
-
-  std::size_t num_qubits() const { return positions_.size(); }
-  bool is_valid(QubitId qubit) const { return index_.contains(qubit); }
-
-  // ------------------------------------------------------------- gates ---
-
-  /// Applies a single-qubit gate. With fusion enabled (the default) the
-  /// gate is queued and composed with later gates on the same qubit; the
-  /// O(2^n) sweep happens at the next flush boundary (entangling gate,
-  /// measurement, amplitude inspection, deallocation).
-  void apply(const Gate1Q& gate, QubitId target);
-
-  /// Applies `gate` on `target` controlled on all `controls` being |1>.
-  void apply_controlled(const Gate1Q& gate, std::span<const QubitId> controls,
-                        QubitId target);
-
-  void x(QubitId q) { apply(gate_x(), q); }
-  void y(QubitId q) { apply(gate_y(), q); }
-  void z(QubitId q) { apply(gate_z(), q); }
-  void h(QubitId q) { apply(gate_h(), q); }
-  void s(QubitId q) { apply(gate_s(), q); }
-  void sdg(QubitId q) { apply(gate_sdg(), q); }
-  void t(QubitId q) { apply(gate_t(), q); }
-  void tdg(QubitId q) { apply(gate_tdg(), q); }
-  void rx(QubitId q, double theta) { apply(gate_rx(theta), q); }
-  void ry(QubitId q, double theta) { apply(gate_ry(theta), q); }
-  void rz(QubitId q, double theta) { apply(gate_rz(theta), q); }
-
-  void cnot(QubitId control, QubitId target) {
-    const QubitId c[] = {control};
-    apply_controlled(gate_x(), c, target);
-  }
-  void cz(QubitId control, QubitId target) {
-    const QubitId c[] = {control};
-    apply_controlled(gate_z(), c, target);
-  }
-  void toffoli(QubitId c0, QubitId c1, QubitId target) {
-    const QubitId c[] = {c0, c1};
-    apply_controlled(gate_x(), c, target);
-  }
-  void swap(QubitId a, QubitId b) {
-    cnot(a, b);
-    cnot(b, a);
-    cnot(a, b);
-  }
-
-  // ------------------------------------------------------ measurements ---
-
-  /// Projective Z-basis measurement with collapse.
-  bool measure(QubitId qubit);
-
-  /// X-basis measurement (H, then Z measurement) with collapse. This is the
-  /// "measure after Hadamard" step of the paper's unfanout (Fig. 1b / 3b).
-  bool measure_x(QubitId qubit);
-
-  /// Joint parity measurement: projects onto the +1/-1 eigenspace of
-  /// Z x Z x ... x Z over `qubits` and returns the parity bit (1 = odd).
-  /// Unlike per-qubit measurement this does NOT collapse superpositions
-  /// within an eigenspace — the primitive behind cat-state assembly (Fig. 4).
-  bool measure_parity(std::span<const QubitId> qubits);
-
-  // ------------------------------------------------------- inspection ---
-
-  /// Probability that measuring `qubit` yields 1 (no collapse).
-  double probability_one(QubitId qubit) const;
-
-  /// Amplitude of the classical basis state given by `bits` (one bool per
-  /// currently allocated qubit, ordered by the ids in `order`).
-  Complex amplitude(std::span<const QubitId> order,
-                    std::span<const bool> bits) const;
-
-  /// <psi| P |psi> for a Pauli string P given as (qubit, 'X'/'Y'/'Z') pairs.
-  double expectation(
-      std::span<const std::pair<QubitId, char>> pauli) const;
-
-  /// Applies exp(-i t P) for a Pauli string P directly (reference
-  /// implementation for validating distributed Trotter circuits).
-  void apply_pauli_rotation(std::span<const std::pair<QubitId, char>> pauli,
-                            double t);
+  explicit StateVector(std::uint64_t seed = kDefaultSeed);
 
   /// Raw amplitudes, indexed by position bits (position of qubit id q is
   /// position_of(q)). Exposed for white-box tests and benchmarks. Flushes
@@ -149,81 +29,29 @@ class StateVector {
     flush_gates();
     return amplitudes_;
   }
-  std::size_t position_of(QubitId qubit) const { return position_checked(qubit); }
 
-  /// Global L2 norm (should always be 1 within rounding).
-  double norm() const;
-
-  /// Reseeds the measurement RNG.
-  void seed(std::uint64_t s) { rng_.seed(s); }
-
-  /// Enables multi-threaded gate application with `n` worker threads
-  /// (the paper's prototype "uses MPI and multi-threading"). Threads kick
-  /// in only for registers large enough to amortize the fork/join cost;
-  /// results are bit-identical to the serial path. Default: 1 (serial).
-  void set_num_threads(unsigned n) { num_threads_ = n == 0 ? 1 : n; }
-  unsigned num_threads() const { return num_threads_; }
-
-  /// Enables/disables lazy single-qubit gate fusion (default: enabled).
-  /// Disabling flushes anything still pending.
-  void set_fusion_enabled(bool on);
-  bool fusion_enabled() const { return fusion_enabled_; }
-
-  /// Applies all pending fused gates to the state vector. Called
-  /// automatically at every boundary that observes or couples qubits;
-  /// public so benchmarks can time gate application itself.
-  void flush_gates() const;
-
-  /// Number of 1Q gates currently queued (white-box for fusion tests).
-  std::size_t pending_gates() const { return fusion_.size(); }
+  const char* name() const override { return "serial"; }
 
  private:
-  /// P's per-basis-state action, shared by expectation() and
-  /// apply_pauli_rotation(): X-type ops flip bits in `flip`, Z-type ops
-  /// contribute signs via `z`, each Y adds a global factor i.
-  struct PauliMasks {
-    std::uint64_t flip = 0;
-    std::uint64_t z = 0;
-    int y_count = 0;
-  };
-  PauliMasks parse_pauli(
-      std::span<const std::pair<QubitId, char>> pauli) const;
-
-  std::size_t position_checked(QubitId qubit) const;
+  void grow_state() override;
+  void remove_position_state(std::size_t pos, bool bit) override;
   void apply_at(const Gate1Q& gate, std::size_t pos,
-                std::uint64_t ctrl_mask) const;
-  /// Collapses `pos` to `bit` with renormalization; returns nothing.
-  void collapse(std::size_t pos, bool bit, double prob_bit);
-  /// Removes the (classical, = `bit`) qubit at `pos` from the register.
-  void remove_position(std::size_t pos, bool bit);
-  double probability_one_at(std::size_t pos) const;
+                std::uint64_t ctrl_mask) const override;
+  double probability_one_at(std::size_t pos) const override;
+  void collapse_at(std::size_t pos, bool bit, double prob_bit) override;
+  double parity_odd_probability(std::uint64_t mask) const override;
+  void parity_collapse(std::uint64_t mask, bool outcome,
+                       double prob) override;
+  Complex amplitude_at(std::uint64_t index) const override;
+  double expectation_masks(const PauliMasks& masks) const override;
+  void pauli_rotation_masks(const PauliMasks& masks, double t) override;
+  double norm_state() const override;
+  std::vector<Complex> snapshot_state() const override;
 
-  /// Runs `fn(begin, end)` over [0, count) on the shared persistent
-  /// ThreadPool when the problem is large enough; serial inline otherwise.
-  /// Every index is handled by exactly one lane, so results are
-  /// bit-identical for any thread count.
-  template <typename Fn>
-  void parallel_for(std::size_t count, Fn&& fn) const;
-
-  /// Order-fixed parallel reduction: partitions [0, count) into chunks of a
-  /// lane-independent size, reduces each chunk with `chunk_fn(begin, end)`,
-  /// and combines partials in chunk order — so the sum is bit-identical for
-  /// any thread count, including the serial path.
-  template <typename T, typename ChunkFn>
-  T chunked_reduce(std::size_t count, ChunkFn&& chunk_fn) const;
-
-  /// amplitudes_ and fusion_ are mutable: fusion makes gate application
-  /// lazy, so logically-const observers (probability_one, expectation,
-  /// amplitudes) may have to materialize pending gates first. The class was
-  /// never thread-safe for concurrent use (see class comment).
+  /// amplitudes_ is mutable: fusion makes gate application lazy, so
+  /// logically-const observers may have to materialize pending gates first.
+  /// The class was never thread-safe for concurrent use (see Backend).
   mutable std::vector<Complex> amplitudes_;
-  mutable FusionQueue fusion_;
-  std::vector<QubitId> positions_;                    ///< pos -> id
-  std::unordered_map<QubitId, std::size_t> index_;    ///< id -> pos
-  QubitId next_id_ = 1;
-  std::mt19937_64 rng_;
-  unsigned num_threads_ = 1;
-  bool fusion_enabled_ = true;
 };
 
 }  // namespace qmpi::sim

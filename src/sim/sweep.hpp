@@ -1,0 +1,57 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+
+namespace qmpi::sim {
+
+/// Below this many loop iterations the pool dispatch overhead dominates;
+/// run serial inline. Thresholds are in units of touched amplitudes.
+inline constexpr std::size_t kMinParallel = 1ULL << 16;
+
+/// Reduction chunk size. Lane-independent, so chunk partial sums combined
+/// in chunk order give bit-identical results for any thread count.
+inline constexpr std::size_t kReduceChunk = 1ULL << 14;
+
+/// Runs `fn(begin, end)` over [0, count) on the shared persistent
+/// ThreadPool when the problem is large enough; serial inline otherwise.
+/// Every index is handled by exactly one lane, so elementwise loops are
+/// bit-identical for any thread count. Shared by every Backend
+/// implementation so serial and sharded sweeps obey the same thresholds.
+template <typename Fn>
+void parallel_sweep(unsigned num_threads, std::size_t count, Fn&& fn) {
+  const unsigned lanes = count >= kMinParallel ? num_threads : 1;
+  ThreadPool::instance().parallel_for(lanes, count, std::forward<Fn>(fn));
+}
+
+/// Order-fixed parallel reduction: partitions [0, count) into chunks of a
+/// lane-independent size, reduces each chunk with `chunk_fn(begin, end)`,
+/// and combines partials in chunk order — so the sum is bit-identical for
+/// any thread count, including the serial path. Both backends reduce with
+/// the same chunking, which is what makes sharded scalars exactly equal to
+/// serial ones.
+template <typename T, typename ChunkFn>
+T chunked_reduce(unsigned num_threads, std::size_t count, ChunkFn&& chunk_fn) {
+  const std::size_t nchunks = (count + kReduceChunk - 1) / kReduceChunk;
+  if (nchunks <= 1) {
+    return count == 0 ? T{} : chunk_fn(std::size_t{0}, count);
+  }
+  std::vector<T> partials(nchunks);
+  const unsigned lanes = count >= kMinParallel ? num_threads : 1;
+  ThreadPool::instance().parallel_for(
+      lanes, nchunks, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const std::size_t lo = c * kReduceChunk;
+          const std::size_t hi = std::min(count, lo + kReduceChunk);
+          partials[c] = chunk_fn(lo, hi);
+        }
+      });
+  T total{};
+  for (const T& p : partials) total += p;
+  return total;
+}
+
+}  // namespace qmpi::sim

@@ -38,11 +38,15 @@ void ThreadPool::run(unsigned lanes, std::size_t count, RangeFn fn,
                      void* ctx) {
   lanes = std::min(lanes, kMaxLanes);
 
-  // Slice size: even split rounded up to 8 complex doubles so adjacent lanes
-  // do not share a cache line. A slice can swallow the whole range for tiny
-  // counts, in which case we just run inline.
+  // Slice size: even split, rounded up to 8 complex doubles so adjacent
+  // lanes do not share a cache line — but only when the range is fine-
+  // grained enough that alignment doesn't eat lanes. Coarse jobs (one item
+  // per shard, one item per reduction chunk) must keep granularity 1 or a
+  // handful of items would all collapse onto the submitting thread.
   std::size_t slice = (count + lanes - 1) / lanes;
-  slice = (slice + 7) & ~std::size_t{7};
+  if (count >= static_cast<std::size_t>(lanes) * 8) {
+    slice = (slice + 7) & ~std::size_t{7};
+  }
   const unsigned used = static_cast<unsigned>((count + slice - 1) / slice);
   if (used <= 1) {
     fn(ctx, 0, count);

@@ -43,12 +43,12 @@ Observables run_method(int ranks, double t, apps::ParityMethod method,
       for (int i = 0; i < ranks; ++i) {
         const Qubit q = all[static_cast<std::size_t>(i)];
         obs.z[static_cast<std::size_t>(i)] =
-            ctx.server().call([q](sim::StateVector& sv) {
+            ctx.server().call([q](sim::Backend& sv) {
               const std::pair<sim::QubitId, char> pp[] = {{q.id, 'Z'}};
               return sv.expectation(pp);
             });
         obs.x[static_cast<std::size_t>(i)] =
-            ctx.server().call([q](sim::StateVector& sv) {
+            ctx.server().call([q](sim::Backend& sv) {
               const std::pair<sim::QubitId, char> pp[] = {{q.id, 'X'}};
               return sv.expectation(pp);
             });
@@ -56,7 +56,7 @@ Observables run_method(int ranks, double t, apps::ParityMethod method,
       std::vector<std::pair<sim::QubitId, char>> zz;
       for (const Qubit q : all) zz.emplace_back(q.id, 'Z');
       obs.zz_all = ctx.server().call(
-          [zz](sim::StateVector& sv) { return sv.expectation(zz); });
+          [zz](sim::Backend& sv) { return sv.expectation(zz); });
     } else {
       ctx.classical_comm().send(data[0], 0, 900);
     }
@@ -205,7 +205,7 @@ TEST(ParityRotation, DistributedCnotMatchesLocalCnot) {
         const std::pair<sim::QubitId, char> refp[] = {{ids[0], op},
                                                       {ids[1], op}};
         const double got = ctx.server().call(
-            [&mine](sim::StateVector& sv) { return sv.expectation(mine); });
+            [&mine](sim::Backend& sv) { return sv.expectation(mine); });
         EXPECT_NEAR(got, ref.expectation(refp), 1e-9) << op;
       }
     } else {

@@ -57,7 +57,7 @@ void check_term(int ranks, unsigned block, const std::string& pauli,
           const std::pair<sim::QubitId, char> mp[] = {{all[i].id, op}};
           const std::pair<sim::QubitId, char> rp[] = {{ids[i], op}};
           const double got = ctx.server().call(
-              [&mp](sim::StateVector& sv) { return sv.expectation(mp); });
+              [&mp](sim::Backend& sv) { return sv.expectation(mp); });
           EXPECT_NEAR(got, ref.expectation(rp), 1e-9)
               << pauli << " qubit " << i << " op " << op;
         }
@@ -139,7 +139,7 @@ TEST(PauliEvolution, TrotterStepOverSmallHamiltonian) {
         const std::pair<sim::QubitId, char> mp[] = {{all[i].id, 'Z'}};
         const std::pair<sim::QubitId, char> rp[] = {{ids[i], 'Z'}};
         const double got = ctx.server().call(
-            [&mp](sim::StateVector& sv) { return sv.expectation(mp); });
+            [&mp](sim::Backend& sv) { return sv.expectation(mp); });
         EXPECT_NEAR(got, ref.expectation(rp), 1e-9) << "spin " << i;
       }
     } else {

@@ -39,11 +39,11 @@ std::pair<std::vector<double>, std::vector<double>> distributed_observables(
         }
       }
       for (unsigned i = 0; i < n; ++i) {
-        z[i] = ctx.server().call([q = all[i]](sim::StateVector& sv) {
+        z[i] = ctx.server().call([q = all[i]](sim::Backend& sv) {
           const std::pair<sim::QubitId, char> pz[] = {{q.id, 'Z'}};
           return sv.expectation(pz);
         });
-        x[i] = ctx.server().call([q = all[i]](sim::StateVector& sv) {
+        x[i] = ctx.server().call([q = all[i]](sim::Backend& sv) {
           const std::pair<sim::QubitId, char> px[] = {{q.id, 'X'}};
           return sv.expectation(px);
         });

@@ -14,7 +14,7 @@ namespace qmpi::testing {
 /// Expectation value of a Pauli string over arbitrary qubits.
 inline double expectation(Context& ctx,
                           std::vector<std::pair<sim::QubitId, char>> paulis) {
-  return ctx.server().call([paulis = std::move(paulis)](sim::StateVector& sv) {
+  return ctx.server().call([paulis = std::move(paulis)](sim::Backend& sv) {
     return sv.expectation(paulis);
   });
 }
@@ -38,7 +38,7 @@ inline Qubit recv_handle(Context& ctx, int source, int tag = 900) {
 /// Number of currently allocated qubits in the global state vector.
 inline std::size_t total_qubits(Context& ctx) {
   return ctx.server().call(
-      [](sim::StateVector& sv) { return sv.num_qubits(); });
+      [](sim::Backend& sv) { return sv.num_qubits(); });
 }
 
 }  // namespace qmpi::testing

@@ -43,7 +43,7 @@ TEST(QmpiSubcomm, EprPairsWithinSubgroups) {
       sub.classical_comm().send(q[0], 0, 900);
     } else {
       const Qubit other = sub.classical_comm().recv<Qubit>(1, 900);
-      const double xx = sub.server().call([&](sim::StateVector& sv) {
+      const double xx = sub.server().call([&](sim::Backend& sv) {
         const std::pair<sim::QubitId, char> p[] = {{q[0].id, 'X'},
                                                    {other.id, 'X'}};
         return sv.expectation(p);

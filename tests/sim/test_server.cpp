@@ -13,26 +13,26 @@ namespace sim = qmpi::sim;
 TEST(SimServer, ExecutesSubmissionsInOrder) {
   sim::SimServer server;
   const auto q =
-      server.call([](sim::StateVector& sv) { return sv.allocate(1); });
-  server.call([&](sim::StateVector& sv) {
+      server.call([](sim::Backend& sv) { return sv.allocate(1); });
+  server.call([&](sim::Backend& sv) {
     sv.x(q[0]);
     return 0;
   });
   const bool one = server.call(
-      [&](sim::StateVector& sv) { return sv.probability_one(q[0]) > 0.5; });
+      [&](sim::Backend& sv) { return sv.probability_one(q[0]) > 0.5; });
   EXPECT_TRUE(one);
 }
 
 TEST(SimServer, FuturePropagatesExceptions) {
   sim::SimServer server;
-  auto future = server.submit([](sim::StateVector& sv) {
+  auto future = server.submit([](sim::Backend& sv) {
     sv.x(12345);  // unknown qubit
     return 0;
   });
   EXPECT_THROW(future.get(), sim::SimulatorError);
   // Server must survive the exception and keep serving.
   const auto q =
-      server.call([](sim::StateVector& sv) { return sv.allocate(1); });
+      server.call([](sim::Backend& sv) { return sv.allocate(1); });
   EXPECT_EQ(q.size(), 1u);
 }
 
@@ -47,10 +47,10 @@ TEST(SimServer, ConcurrentClientsSeeConsistentGlobalState) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&server, &ids, c] {
       ids[static_cast<std::size_t>(c)] =
-          server.call([](sim::StateVector& sv) { return sv.allocate(1); });
+          server.call([](sim::Backend& sv) { return sv.allocate(1); });
       const auto q = ids[static_cast<std::size_t>(c)][0];
       for (int i = 0; i < kOpsPerClient; ++i) {
-        server.call([q](sim::StateVector& sv) {
+        server.call([q](sim::Backend& sv) {
           sv.x(q);
           return 0;
         });
@@ -60,8 +60,35 @@ TEST(SimServer, ConcurrentClientsSeeConsistentGlobalState) {
   for (auto& t : clients) t.join();
   for (const auto& qs : ids) {
     const double p1 = server.call(
-        [q = qs[0]](sim::StateVector& sv) { return sv.probability_one(q); });
+        [q = qs[0]](sim::Backend& sv) { return sv.probability_one(q); });
     EXPECT_DOUBLE_EQ(p1, 0.0);  // 50 toggles = even
+  }
+}
+
+TEST(SimServer, HostsShardedBackendWithIdenticalResults) {
+  // The server is backend-agnostic: the same submissions against a sharded
+  // backend must produce bit-identical state to the serial default.
+  sim::SimServer serial;
+  sim::SimServer sharded(sim::kDefaultSeed, /*num_threads=*/1,
+                         sim::BackendKind::kSharded, /*num_shards=*/4);
+  EXPECT_STREQ(serial.backend_name(), "serial");
+  EXPECT_STREQ(sharded.backend_name(), "sharded");
+  auto program = [](sim::SimServer& server) {
+    const auto q =
+        server.call([](sim::Backend& sv) { return sv.allocate(6); });
+    return server.call([&q](sim::Backend& sv) {
+      sv.h(q[0]);
+      for (std::size_t i = 0; i + 1 < q.size(); ++i) sv.cnot(q[i], q[i + 1]);
+      sv.ry(q[5], 0.3);
+      (void)sv.measure(q[2]);
+      return sv.snapshot();
+    });
+  };
+  const auto a = program(serial);
+  const auto b = program(sharded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "amplitude " << i;
   }
 }
 
@@ -69,7 +96,7 @@ TEST(SimServer, ShutdownWithPendingWorkCompletes) {
   std::future<int> f;
   {
     sim::SimServer server;
-    f = server.submit([](sim::StateVector&) { return 7; });
+    f = server.submit([](sim::Backend&) { return 7; });
   }  // destructor joins the worker
   EXPECT_EQ(f.get(), 7);
 }

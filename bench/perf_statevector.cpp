@@ -102,12 +102,16 @@ void BM_RotationFused(benchmark::State& state) {
 BENCHMARK(BM_RotationFused)->Arg(10)->Arg(16)->Arg(20);
 
 void BM_Cnot(benchmark::State& state) {
+  // Entangling gates are lazy since cluster fusion landed; flush inside
+  // the timed region so this still measures the real sweep (a single
+  // queued CNOT flushes through the same specialized kernel as before).
   const auto n = static_cast<std::size_t>(state.range(0));
   sim::StateVector sv(g_seed);
   const auto q = sv.allocate(n);
   std::size_t i = 0;
   for (auto _ : state) {
     sv.cnot(q[i % n], q[(i + 1) % n]);  // permutation kernel: pure swaps
+    sv.flush_gates();
     ++i;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -125,6 +129,7 @@ void BM_MultiControlled(benchmark::State& state) {
                                      q.begin() + static_cast<long>(k));
   for (auto _ : state) {
     sv.apply_controlled(sim::gate_x(), controls, q[n - 1]);
+    sv.flush_gates();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -332,17 +337,111 @@ BENCHMARK(BM_CnotSharded)
     ->Args({22, 2})
     ->Args({22, 4});
 
+// ------------------------------------------------------ cluster fusion ---
+// The fused series: a first-order Trotter step of a 1-D TFIM-style circuit
+// (the examples/chemistry_trotter.cpp shape) — an Rx field layer plus a
+// CNOT·Rz·CNOT ladder per bond. With cluster fusion every overlapping run
+// of gates collapses into one k-qubit block sweep (k <= 4), so the step
+// costs a fraction of the unfused per-gate memory passes. This is the
+// BENCH_statevector.json "fused_series" record and the CI smoke series.
+
+template <typename SV>
+void trotter_step(SV& sv, const std::vector<sim::QubitId>& q, double dt) {
+  const std::size_t n = q.size();
+  for (std::size_t i = 0; i < n; ++i) sv.rx(q[i], 0.37 * dt);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    sv.cnot(q[i], q[i + 1]);
+    sv.rz(q[i + 1], 0.81 * dt);
+    sv.cnot(q[i], q[i + 1]);
+  }
+  sv.flush_gates();
+}
+
+void BM_TrotterStepFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(g_seed);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    trotter_step(sv, q, 0.05);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n - 3));
+}
+BENCHMARK(BM_TrotterStepFused)->Arg(16)->Arg(20)->Arg(22);
+
+void BM_TrotterStepUnfused(benchmark::State& state) {
+  // PR 1's per-gate path: one O(2^n) sweep per gate.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(g_seed);
+  sv.set_fusion_enabled(false);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    trotter_step(sv, q, 0.05);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n - 3));
+}
+BENCHMARK(BM_TrotterStepUnfused)->Arg(16)->Arg(20)->Arg(22);
+
+void BM_TrotterStepFusedSharded(benchmark::State& state) {
+  // Fused clusters against the global/local split: all-local clusters
+  // sweep per slice with zero exchanges; clusters touching global qubits
+  // are pulled local by the LRU relabel pass before the sweep.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    trotter_step(sv, q, 0.05);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n - 3));
+}
+BENCHMARK(BM_TrotterStepFusedSharded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
+void BM_TrotterStepUnfusedSharded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<unsigned>(state.range(1));
+  sim::ShardedStateVector sv(shards, g_seed);
+  sv.set_fusion_enabled(false);
+  sv.set_num_threads(shards);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    trotter_step(sv, q, 0.05);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n - 3));
+}
+BENCHMARK(BM_TrotterStepUnfusedSharded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
 // ------------------------------------------------------- parity check ---
 
-/// Runs one random circuit on both backends and compares every amplitude
-/// with operator== (the shard/serial contract is bit-identity, not
-/// tolerance). Returns false and prints the first divergence on mismatch.
+/// Runs one random circuit on both backends (both fused — entangling gates
+/// exercise the cluster path) and compares every amplitude with operator==
+/// (the shard/serial contract is bit-identity, not tolerance). A third,
+/// fusion-disabled serial run gates the fused-vs-gate-by-gate drift within
+/// 1e-9 — the cluster replay is designed to add no arithmetic of its own.
+/// Returns false and prints the first divergence on mismatch.
 bool parity_check(unsigned shards, std::uint64_t seed) {
   constexpr std::size_t kQubits = 12;
   sim::StateVector serial(seed);
+  sim::StateVector unfused(seed);
+  unfused.set_fusion_enabled(false);
   sim::ShardedStateVector sharded(shards, seed);
   sharded.set_num_threads(shards > 1 ? shards : 2);
   auto qs = serial.allocate(kQubits);
+  auto qu = unfused.allocate(kQubits);
   auto qt = sharded.allocate(kQubits);
   std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ULL);
   std::uniform_real_distribution<double> angle(-3.0, 3.0);
@@ -356,38 +455,52 @@ bool parity_check(unsigned shards, std::uint64_t seed) {
       case 0: {
         const double a = angle(rng);
         serial.ry(qs[i], a);
+        unfused.ry(qu[i], a);
         sharded.ry(qt[i], a);
         break;
       }
       case 1: {
         const double a = angle(rng);
         serial.rz(qs[j], a);
+        unfused.rz(qu[j], a);
         sharded.rz(qt[j], a);
         break;
       }
       case 2:
         serial.h(qs[i]);
+        unfused.h(qu[i]);
         sharded.h(qt[i]);
         break;
       case 3:
         serial.t(qs[j]);
+        unfused.t(qu[j]);
         sharded.t(qt[j]);
         break;
       case 4:
         serial.cnot(qs[i], qs[j]);
+        unfused.cnot(qu[i], qu[j]);
         sharded.cnot(qt[i], qt[j]);
         break;
-      default:
-        if (serial.measure(qs[i]) != sharded.measure(qt[i])) {
+      default: {
+        const bool ms = serial.measure(qs[i]);
+        const bool mu = unfused.measure(qu[i]);
+        if (ms != sharded.measure(qt[i]) || ms != mu) {
           std::cerr << "paritycheck: measurement diverged at step " << step
                     << " (shards=" << shards << ")\n";
           return false;
         }
         break;
+      }
     }
   }
+  // Finish with a fused Trotter step so the cluster block sweep itself is
+  // part of the gated circuit.
+  trotter_step(serial, qs, 0.05);
+  trotter_step(unfused, qu, 0.05);
+  trotter_step(sharded, qt, 0.05);
   const auto a = serial.snapshot();
   const auto b = sharded.snapshot();
+  const auto c = unfused.snapshot();
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].real() != b[i].real() || a[i].imag() != b[i].imag()) {
       std::cerr << "paritycheck: amplitude " << i << " diverged: serial=("
@@ -396,9 +509,16 @@ bool parity_check(unsigned shards, std::uint64_t seed) {
                 << "\n";
       return false;
     }
+    if (std::abs(a[i] - c[i]) > 1e-9) {
+      std::cerr << "paritycheck: fused amplitude " << i
+                << " drifted from gate-by-gate execution by "
+                << std::abs(a[i] - c[i]) << "\n";
+      return false;
+    }
   }
   std::cout << "paritycheck: " << a.size() << " amplitudes bit-identical at "
-            << shards << " shard(s), seed=" << seed << "\n";
+            << shards << " shard(s) and within 1e-9 of unfused, seed=" << seed
+            << "\n";
   return true;
 }
 

@@ -1,10 +1,16 @@
 #include "core/context.hpp"
 
+#include <bit>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 
 #include "core/protocol_tags.hpp"
+#include "sim/sharded_statevector.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace qmpi {
 
@@ -524,15 +530,36 @@ ResourceTracker::Counts Context::aggregate_total() {
 namespace {
 
 /// Strict numeric parse for the QMPI_* overrides: an explicit override
-/// that doesn't parse must fail loud, or a typo silently changes what the
-/// user thinks they are measuring.
-std::uint64_t parse_env_number(const char* name, const char* text,
-                               bool allow_zero) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 0);
-  if (end == text || *end != '\0' || (!allow_zero && v == 0)) {
+/// that doesn't parse, wraps negative, or overflows must fail loud, or a
+/// typo silently changes what the user thinks they are measuring.
+/// strtoull alone is not strict enough — it eats leading whitespace,
+/// wraps "-1" to 2^64-1, and saturates out-of-range input — so reject
+/// anything that does not start with a digit and check errno explicitly.
+std::uint64_t parse_env_number(
+    const char* name, const char* text, bool allow_zero,
+    std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max()) {
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
     throw QmpiError(std::string(name) + "=\"" + text + "\" is not a " +
                     (allow_zero ? "number" : "positive number"));
+  }
+  // Decimal unless explicitly 0x-prefixed: base 0 would silently read a
+  // leading-zero value ("010") as octal 8.
+  const bool hex = text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, hex ? 16 : 10);
+  if (end == text || *end != '\0') {
+    throw QmpiError(std::string(name) + "=\"" + text + "\" is not a " +
+                    (allow_zero ? "number" : "positive number"));
+  }
+  if (errno == ERANGE || v > max_value) {
+    throw QmpiError(std::string(name) + "=\"" + text +
+                    "\" is out of range (max " + std::to_string(max_value) +
+                    ")");
+  }
+  if (!allow_zero && v == 0) {
+    throw QmpiError(std::string(name) + "=\"" + text +
+                    "\" must be a positive number");
   }
   return v;
 }
@@ -554,12 +581,21 @@ JobOptions JobOptions::from_env(JobOptions base) {
     base.backend = kind;
   }
   if (const char* shards = std::getenv("QMPI_SHARDS")) {
-    base.num_shards = static_cast<unsigned>(
-        parse_env_number("QMPI_SHARDS", shards, /*allow_zero=*/false));
+    base.num_shards = static_cast<unsigned>(parse_env_number(
+        "QMPI_SHARDS", shards, /*allow_zero=*/false, sim::kMaxShards));
+    // Reject bad shard counts at parse time: deferring to backend
+    // construction would only trip when the sharded backend is actually
+    // selected, silently accepting the typo on serial runs.
+    if (!std::has_single_bit(base.num_shards)) {
+      throw QmpiError(std::string("QMPI_SHARDS=\"") + shards +
+                      "\" must be a power of two <= " +
+                      std::to_string(sim::kMaxShards));
+    }
   }
   if (const char* threads = std::getenv("QMPI_SIM_THREADS")) {
     base.sim_threads = static_cast<unsigned>(
-        parse_env_number("QMPI_SIM_THREADS", threads, /*allow_zero=*/false));
+        parse_env_number("QMPI_SIM_THREADS", threads, /*allow_zero=*/false,
+                         sim::ThreadPool::kMaxLanes));
   }
   return base;
 }

@@ -40,12 +40,50 @@ void Backend::set_fusion_enabled(bool on) {
 }
 
 void Backend::flush_gates() const {
-  if (fusion_.empty()) return;
-  fusion_.drain([this](QubitId qubit, const Gate1Q& gate) {
-    // Ids were validated at push time and every deallocation path flushes
-    // before removing a qubit, so the entry must still be live.
-    apply_at(gate, index_.find(qubit)->second, /*ctrl_mask=*/0);
-  });
+  // Loop until quiescent: if applying a cluster ever re-enqueues (it does
+  // not today, but the old single-pass drain silently deferred exactly
+  // that case past the flush boundary), the fresh batch flushes too.
+  while (!fusion_.empty()) {
+    for (const GateCluster& cluster : fusion_.take()) apply_cluster(cluster);
+  }
+}
+
+void Backend::apply_cluster(const GateCluster& cluster) const {
+  // Ids were validated at push time and every deallocation path flushes
+  // before removing a qubit, so all entries must still be live.
+  if (cluster.num_ops() == 1) {
+    const ClusterOp& op = cluster.ops().front();
+    std::uint64_t ctrl_mask = 0;
+    for (unsigned b = 0; b < cluster.num_qubits(); ++b) {
+      if (op.ctrl_mask & (1U << b)) {
+        ctrl_mask |= 1ULL << index_.find(cluster.qubits()[b])->second;
+      }
+    }
+    apply_at(op.gate, index_.find(cluster.qubits()[op.target])->second,
+             ctrl_mask);
+    return;
+  }
+  std::vector<std::size_t> pos(cluster.num_qubits());
+  for (std::size_t j = 0; j < pos.size(); ++j) {
+    pos[j] = index_.find(cluster.qubits()[j])->second;
+  }
+  // Compile the run once — precomputed index lists make the per-block
+  // replay branch-free — then hand the whole cluster to one block sweep.
+  const std::size_t block_size = 1ULL << pos.size();
+  std::vector<kernels::BlockOp> compiled;
+  compiled.reserve(cluster.num_ops());
+  for (const ClusterOp& op : cluster.ops()) {
+    kernels::compile_block_op(op.gate, op.target, op.ctrl_mask, block_size,
+                              compiled);
+  }
+  apply_cluster_at(pos, compiled);
+}
+
+void Backend::queue_gate(const Gate1Q& gate,
+                         std::span<const QubitId> controls, QubitId target) {
+  std::vector<GateCluster> evicted;
+  fusion_.push(gate, controls, target, evicted);
+  for (const GateCluster& cluster : evicted) apply_cluster(cluster);
 }
 
 void Backend::remove_position(std::size_t pos, bool bit) {
@@ -94,7 +132,7 @@ bool Backend::release(QubitId qubit) {
 void Backend::apply(const Gate1Q& gate, QubitId target) {
   const std::size_t pos = position_checked(target);  // validate eagerly
   if (fusion_enabled_) {
-    fusion_.push(target, gate);
+    queue_gate(gate, {}, target);
     return;
   }
   apply_at(gate, pos, /*ctrl_mask=*/0);
@@ -112,8 +150,51 @@ void Backend::apply_controlled(const Gate1Q& gate,
     }
     mask |= 1ULL << cpos;
   }
-  flush_gates();  // entangling boundary
+  if (fusion_enabled_ && controls.size() + 1 <= kMaxFusedQubits) {
+    queue_gate(gate, controls, target);
+    return;
+  }
+  flush_gates();  // too many qubits to fuse (or fusion off): apply eagerly
   apply_at(gate, tpos, mask);
+}
+
+void Backend::apply_matrix(std::span<const Complex> matrix,
+                           std::span<const QubitId> targets,
+                           std::span<const QubitId> controls) {
+  const std::size_t k = targets.size();
+  if (k == 0 || k > kMaxFusedQubits) {
+    throw SimulatorError("apply_matrix: target count must be in [1, " +
+                         std::to_string(kMaxFusedQubits) + "], got " +
+                         std::to_string(k));
+  }
+  const std::size_t dim = 1ULL << k;
+  if (matrix.size() != dim * dim) {
+    throw SimulatorError("apply_matrix: expected a " + std::to_string(dim) +
+                         "x" + std::to_string(dim) + " matrix, got " +
+                         std::to_string(matrix.size()) + " entries");
+  }
+  std::vector<std::size_t> pos(k);
+  std::uint64_t target_mask = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    pos[j] = position_checked(targets[j]);
+    const std::uint64_t bit = 1ULL << pos[j];
+    if (target_mask & bit) {
+      throw SimulatorError("apply_matrix: duplicate target qubit " +
+                           std::to_string(targets[j]));
+    }
+    target_mask |= bit;
+  }
+  std::uint64_t ctrl_mask = 0;
+  for (const QubitId c : controls) {
+    const std::uint64_t bit = 1ULL << position_checked(c);
+    if (target_mask & bit) {
+      throw SimulatorError("apply_matrix: control qubit " +
+                           std::to_string(c) + " is also a target");
+    }
+    ctrl_mask |= bit;
+  }
+  flush_gates();
+  apply_matrix_at(matrix, pos, ctrl_mask);
 }
 
 bool Backend::measure(QubitId qubit) {

@@ -12,6 +12,7 @@
 
 #include "sim/fusion.hpp"
 #include "sim/gates.hpp"
+#include "sim/kernels.hpp"
 
 namespace qmpi::sim {
 
@@ -37,8 +38,8 @@ class SimulatorError : public std::runtime_error {
 /// serial StateVector and the ShardedStateVector.
 ///
 /// Everything observable about a simulator that is *not* amplitude storage
-/// lives here exactly once: qubit id <-> position bookkeeping, the lazy 1Q
-/// fusion queue and its flush boundaries, the measurement RNG and
+/// lives here exactly once: qubit id <-> position bookkeeping, the lazy
+/// cluster-fusion queue and its flush boundaries, the measurement RNG and
 /// collapse/deallocation protocol, and Pauli-string parsing. Concrete
 /// backends only implement the representation hooks (grow/remove/apply/
 /// reduce over amplitudes), so every backend draws the same RNG sequence
@@ -89,14 +90,27 @@ class Backend {
   // ------------------------------------------------------------- gates ---
 
   /// Applies a single-qubit gate. With fusion enabled (the default) the
-  /// gate is queued and composed with later gates on the same qubit; the
-  /// O(2^n) sweep happens at the next flush boundary (entangling gate,
-  /// measurement, amplitude inspection, deallocation).
+  /// gate is queued into the cluster-fusion queue and merged with later
+  /// gates on overlapping qubit sets; the O(2^n) sweep happens at the next
+  /// flush boundary (measurement, amplitude inspection, deallocation, or a
+  /// gate too big to fuse).
   void apply(const Gate1Q& gate, QubitId target);
 
   /// Applies `gate` on `target` controlled on all `controls` being |1>.
+  /// Gates spanning at most kMaxFusedQubits qubits join the fusion queue
+  /// like 1Q gates (an entangling gate no longer forces a flush); bigger
+  /// gates flush and apply eagerly.
   void apply_controlled(const Gate1Q& gate, std::span<const QubitId> controls,
                         QubitId target);
+
+  /// Applies a dense 2^k x 2^k unitary (row-major; bit j of the matrix
+  /// index is targets[j]) on up to kMaxFusedQubits target qubits,
+  /// controlled on all `controls` being |1>. Flushes pending fused gates,
+  /// then runs the generic k-qubit matrix kernel once — the API for
+  /// callers that have already composed their own multi-qubit unitary.
+  void apply_matrix(std::span<const Complex> matrix,
+                    std::span<const QubitId> targets,
+                    std::span<const QubitId> controls = {});
 
   void x(QubitId q) { apply(gate_x(), q); }
   void y(QubitId q) { apply(gate_y(), q); }
@@ -178,18 +192,23 @@ class Backend {
   void set_num_threads(unsigned n) { num_threads_ = n == 0 ? 1 : n; }
   unsigned num_threads() const { return num_threads_; }
 
-  /// Enables/disables lazy single-qubit gate fusion (default: enabled).
-  /// Disabling flushes anything still pending.
+  /// Enables/disables lazy gate fusion (default: enabled). Disabling
+  /// flushes anything still pending.
   void set_fusion_enabled(bool on);
   bool fusion_enabled() const { return fusion_enabled_; }
 
-  /// Applies all pending fused gates to the state vector. Called
-  /// automatically at every boundary that observes or couples qubits;
-  /// public so benchmarks can time gate application itself.
+  /// Applies all pending fused clusters to the state vector. Called
+  /// automatically at every boundary that observes the state; public so
+  /// benchmarks can time gate application itself. Loops until the queue is
+  /// quiescent, so a reentrant push can never be deferred past the flush.
   void flush_gates() const;
 
-  /// Number of 1Q gates currently queued (white-box for fusion tests).
+  /// Number of gates currently queued across all pending clusters
+  /// (white-box for fusion tests; composed same-target runs count once).
   std::size_t pending_gates() const { return fusion_.size(); }
+
+  /// Number of pending fused clusters (white-box for fusion tests).
+  std::size_t pending_clusters() const { return fusion_.num_clusters(); }
 
   /// Short human-readable backend identifier ("serial", "sharded").
   virtual const char* name() const = 0;
@@ -213,6 +232,17 @@ class Backend {
   /// the state, and repairs the id <-> position maps.
   void remove_position(std::size_t pos, bool bit);
 
+  /// Routes a fusible gate into the cluster queue and applies any clusters
+  /// the push evicted to make room.
+  void queue_gate(const Gate1Q& gate, std::span<const QubitId> controls,
+                  QubitId target);
+
+  /// Applies one fused cluster. Single-op clusters go through the
+  /// specialized apply_at kernels — a lone CNOT/Toffoli costs exactly what
+  /// it did before cluster fusion — and multi-op clusters take one
+  /// apply_cluster_at block sweep.
+  void apply_cluster(const GateCluster& cluster) const;
+
   // ---------------------------------------------- representation hooks ---
   // All positions/masks/indices below are logical. Hooks are called with
   // the fusion queue already flushed (except apply_at, which IS the flush
@@ -232,6 +262,21 @@ class Backend {
   /// pending gates first (amplitude storage is mutable in backends).
   virtual void apply_at(const Gate1Q& gate, std::size_t pos,
                         std::uint64_t ctrl_mask) const = 0;
+
+  /// Applies a fused k-qubit cluster whose bit j lives at logical position
+  /// `pos[j]`, by replaying the compiled instructions on each gathered 2^k
+  /// block in one sweep. kernels::run_block_ops is arithmetic-identical to
+  /// applying each gate in its own apply_at sweep, so fusion changes how
+  /// often memory is walked, never what is computed.
+  virtual void apply_cluster_at(
+      std::span<const std::size_t> pos,
+      std::span<const kernels::BlockOp> ops) const = 0;
+
+  /// Applies a dense 2^k x 2^k unitary at logical positions `pos[0..k)`
+  /// with logical control mask `ctrl_mask` (the apply_matrix hook).
+  virtual void apply_matrix_at(std::span<const Complex> matrix,
+                               std::span<const std::size_t> pos,
+                               std::uint64_t ctrl_mask) const = 0;
 
   virtual double probability_one_at(std::size_t pos) const = 0;
   virtual void collapse_at(std::size_t pos, bool bit, double prob_bit) = 0;

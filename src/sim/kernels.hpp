@@ -4,7 +4,9 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "sim/gates.hpp"
 
@@ -160,6 +162,257 @@ void apply_1q(Complex* amp, std::size_t n, std::size_t tpos,
       amp[i1] = m10 * a0 + m11 * a1;
     }
   });
+}
+
+/// Applies a (possibly controlled) 2x2 unitary to a gathered block of
+/// 2^k amplitudes, where `target` and `ctrl_mask` are *block-local* bit
+/// indices. The classification and multiply/add order mirror apply_1q
+/// exactly, so replaying a fused cluster's gates block by block performs
+/// the same arithmetic per amplitude as applying each gate in its own
+/// full O(2^n) sweep — which is what makes cluster fusion bit-compatible
+/// with gate-by-gate execution.
+inline void apply_1q_in_block(Complex* block, std::size_t block_size,
+                              unsigned target, unsigned ctrl_mask,
+                              const Gate1Q& g) {
+  const std::size_t stride = 1ULL << target;
+  const GateKind kind = classify(g);
+  const Complex one(1.0, 0.0);
+
+  if (kind == GateKind::kDiagonal) {
+    const Complex m00 = g.m[0], m11 = g.m[3];
+    if (m00 == one) {
+      // Phase-type: only control-satisfying amplitudes with target=1 move.
+      for (std::size_t i = 0; i < block_size; ++i) {
+        if ((i & ctrl_mask) == ctrl_mask && (i & stride) != 0) {
+          block[i] *= m11;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < block_size; ++i) {
+        if ((i & ctrl_mask) == ctrl_mask) {
+          block[i] *= (i & stride) ? m11 : m00;
+        }
+      }
+    }
+    return;
+  }
+
+  for (std::size_t i0 = 0; i0 < block_size; ++i0) {
+    if ((i0 & stride) != 0 || (i0 & ctrl_mask) != ctrl_mask) continue;
+    const std::size_t i1 = i0 | stride;
+    if (kind == GateKind::kAntiDiagonal) {
+      const Complex m01 = g.m[1], m10 = g.m[2];
+      if (m01 == one && m10 == one) {
+        std::swap(block[i0], block[i1]);
+      } else {
+        const Complex a0 = block[i0];
+        block[i0] = m01 * block[i1];
+        block[i1] = m10 * a0;
+      }
+    } else {
+      const Complex a0 = block[i0];
+      const Complex a1 = block[i1];
+      block[i0] = g.m[0] * a0 + g.m[1] * a1;
+      block[i1] = g.m[2] * a0 + g.m[3] * a1;
+    }
+  }
+}
+
+/// Upper bound on block qubits the k-qubit kernels accept (16x16 matrix).
+inline constexpr std::size_t kMaxBlockQubits = 4;
+
+/// One compiled per-block instruction of a fused cluster: the same
+/// structural classification as apply_1q, with the control/target tests
+/// hoisted into precomputed index lists so the per-block replay runs
+/// branch-free, fixed-count inner loops. Compiled once per cluster flush,
+/// executed once per 2^k block — the compile cost is O(ops * 2^k) against
+/// an O(2^n) sweep.
+struct BlockOp {
+  enum class Kind : std::uint8_t {
+    kScale,     ///< block[idx[j]] *= m00 (diagonal halves, phase gates)
+    kSwap,      ///< swap(block[i0], block[i0|stride]) (X / CNOT / Toffoli)
+    kAntiDiag,  ///< paired cross-multiply (Y-like)
+    kDense,     ///< full 2x2 pair update (H, Rx, Ry, fused products)
+  };
+  Kind kind = Kind::kDense;
+  std::uint8_t stride = 0;  ///< target bit stride within the block
+  std::uint8_t count = 0;   ///< live entries in idx
+  std::uint8_t idx[1ULL << kMaxBlockQubits] = {};  ///< singles or pair-lows
+  Complex m00, m01, m10, m11;  ///< kScale keeps its factor in m00
+};
+
+/// Compiles one (gate, block-local target, block-local ctrl mask) into
+/// block instructions — one for pair kernels, one or two for diagonals —
+/// appending to `out`. The emitted arithmetic per amplitude is exactly
+/// apply_1q's for the same gate, so a compiled replay is bit-identical to
+/// gate-by-gate full sweeps.
+inline void compile_block_op(const Gate1Q& g, unsigned target,
+                             unsigned ctrl_mask, std::size_t block_size,
+                             std::vector<BlockOp>& out) {
+  const std::size_t stride = 1ULL << target;
+  const GateKind kind = classify(g);
+  const Complex one(1.0, 0.0);
+
+  if (kind == GateKind::kDiagonal) {
+    const Complex m00 = g.m[0], m11 = g.m[3];
+    BlockOp hi;
+    hi.kind = BlockOp::Kind::kScale;
+    hi.m00 = m11;
+    for (std::size_t i = 0; i < block_size; ++i) {
+      if ((i & ctrl_mask) == ctrl_mask && (i & stride) != 0) {
+        hi.idx[hi.count++] = static_cast<std::uint8_t>(i);
+      }
+    }
+    if (hi.count > 0) out.push_back(hi);
+    if (m00 != one) {
+      BlockOp lo;
+      lo.kind = BlockOp::Kind::kScale;
+      lo.m00 = m00;
+      for (std::size_t i = 0; i < block_size; ++i) {
+        if ((i & ctrl_mask) == ctrl_mask && (i & stride) == 0) {
+          lo.idx[lo.count++] = static_cast<std::uint8_t>(i);
+        }
+      }
+      if (lo.count > 0) out.push_back(lo);
+    }
+    return;
+  }
+
+  BlockOp op;
+  op.stride = static_cast<std::uint8_t>(stride);
+  op.m00 = g.m[0];
+  op.m01 = g.m[1];
+  op.m10 = g.m[2];
+  op.m11 = g.m[3];
+  for (std::size_t i0 = 0; i0 < block_size; ++i0) {
+    if ((i0 & stride) == 0 && (i0 & ctrl_mask) == ctrl_mask) {
+      op.idx[op.count++] = static_cast<std::uint8_t>(i0);
+    }
+  }
+  if (kind == GateKind::kAntiDiagonal) {
+    op.kind = (op.m01 == one && op.m10 == one) ? BlockOp::Kind::kSwap
+                                               : BlockOp::Kind::kAntiDiag;
+  } else {
+    op.kind = BlockOp::Kind::kDense;
+  }
+  if (op.count > 0) out.push_back(op);
+}
+
+/// Replays compiled instructions on one gathered 2^k block.
+inline void run_block_ops(Complex* block, std::span<const BlockOp> ops) {
+  for (const BlockOp& op : ops) {
+    switch (op.kind) {
+      case BlockOp::Kind::kScale:
+        for (unsigned j = 0; j < op.count; ++j) block[op.idx[j]] *= op.m00;
+        break;
+      case BlockOp::Kind::kSwap:
+        for (unsigned j = 0; j < op.count; ++j) {
+          const std::size_t i0 = op.idx[j];
+          std::swap(block[i0], block[i0 | op.stride]);
+        }
+        break;
+      case BlockOp::Kind::kAntiDiag:
+        for (unsigned j = 0; j < op.count; ++j) {
+          const std::size_t i0 = op.idx[j];
+          const std::size_t i1 = i0 | op.stride;
+          const Complex a0 = block[i0];
+          block[i0] = op.m01 * block[i1];
+          block[i1] = op.m10 * a0;
+        }
+        break;
+      case BlockOp::Kind::kDense:
+        for (unsigned j = 0; j < op.count; ++j) {
+          const std::size_t i0 = op.idx[j];
+          const std::size_t i1 = i0 | op.stride;
+          const Complex a0 = block[i0];
+          const Complex a1 = block[i1];
+          block[i0] = op.m00 * a0 + op.m01 * a1;
+          block[i1] = op.m10 * a0 + op.m11 * a1;
+        }
+        break;
+    }
+  }
+}
+
+/// Enumerates every aligned 2^k-amplitude block spanned by the state-index
+/// bits `pos[0..k)` (block-local bit j lives at state bit pos[j]; any
+/// order, need not be sorted) whose fixed control bits `ctrl_mask` are all
+/// set, gathers the block into a local buffer, runs `op(block)`, and
+/// scatters it back. Blocks are cosets of the span of the block bits, so
+/// every amplitude belongs to exactly one loop iteration and `pfor` may
+/// split the range across lanes with bit-identical results.
+///
+/// This is the index machinery behind both the generic k-qubit matrix
+/// kernel (apply_matrix_kq) and the fused-cluster replay sweep: a
+/// k-controlled k-qubit operator costs 2^(n-k-c) block visits instead of a
+/// branch-rejecting pass over all 2^n amplitudes.
+template <typename PFor, typename BlockOp>
+void sweep_kq(Complex* amp, std::size_t n, std::span<const std::size_t> pos,
+              std::uint64_t ctrl_mask, PFor&& pfor, BlockOp&& op) {
+  const std::size_t k = pos.size();
+  const std::size_t block_size = 1ULL << k;
+  IndexExpander ex;
+  for (const std::size_t p : pos) ex.add_position(p);
+  ex.add_mask(ctrl_mask);
+  ex.base = ctrl_mask;
+  const int nctrl = std::popcount(ctrl_mask);
+  const std::size_t blocks = n >> (k + static_cast<std::size_t>(nctrl));
+
+  // Gather offsets: block-local index b -> OR of the state bits it sets.
+  std::array<std::size_t, 1ULL << kMaxBlockQubits> offs{};
+  for (std::size_t b = 0; b < block_size; ++b) {
+    std::size_t o = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if ((b >> j) & 1ULL) o |= 1ULL << pos[j];
+    }
+    offs[b] = o;
+  }
+
+  pfor(blocks, [&](std::size_t begin, std::size_t end) {
+    std::array<Complex, 1ULL << kMaxBlockQubits> block;
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::size_t base = ex(t);
+      for (std::size_t b = 0; b < block_size; ++b) {
+        block[b] = amp[base | offs[b]];
+      }
+      op(block.data());
+      for (std::size_t b = 0; b < block_size; ++b) {
+        amp[base | offs[b]] = block[b];
+      }
+    }
+  });
+}
+
+/// Block functor multiplying each gathered 2^k block by a dense row-major
+/// 2^k x 2^k matrix. The one definition of this arithmetic — serial and
+/// sharded matrix paths must share it, or their results drift apart in
+/// the last bit and break the paritycheck contract.
+inline auto matrix_block_op(const Complex* matrix, std::size_t block_size) {
+  return [matrix, block_size](Complex* block) {
+    std::array<Complex, 1ULL << kMaxBlockQubits> out;
+    for (std::size_t r = 0; r < block_size; ++r) {
+      Complex acc(0.0, 0.0);
+      for (std::size_t c = 0; c < block_size; ++c) {
+        acc += matrix[r * block_size + c] * block[c];
+      }
+      out[r] = acc;
+    }
+    for (std::size_t r = 0; r < block_size; ++r) block[r] = out[r];
+  };
+}
+
+/// Applies a dense 2^k x 2^k unitary (row-major) on the state bits
+/// `pos[0..k)` of `amp[0..n)`, controlled on every bit of `ctrl_mask`
+/// being set — the generic k-qubit gate kernel behind Backend::
+/// apply_matrix and the composed-cluster white-box tests. Control-
+/// satisfying indices are enumerated, never branch-rejected, and `pfor`
+/// carries the ThreadPool chunking exactly as in apply_1q.
+template <typename PFor>
+void apply_matrix_kq(Complex* amp, std::size_t n,
+                     std::span<const std::size_t> pos, const Complex* matrix,
+                     std::uint64_t ctrl_mask, PFor&& pfor) {
+  sweep_kq(amp, n, pos, ctrl_mask, std::forward<PFor>(pfor),
+           matrix_block_op(matrix, 1ULL << pos.size()));
 }
 
 /// i^(k mod 4) without the slow, lossy std::pow on complex arguments.

@@ -8,6 +8,11 @@
 
 namespace qmpi::sim {
 
+/// Hard cap on slices: shard indices must fit the global-bit budget and
+/// nobody legitimately runs more in-process workers than this. Public so
+/// the env-override parser can reject bad QMPI_SHARDS values up front.
+inline constexpr unsigned kMaxShards = 256;
+
 /// State-vector backend with the 2^n amplitudes partitioned into
 /// per-worker slices — the standard global/local qubit split of distributed
 /// quantum simulators, run in-process.
@@ -56,9 +61,13 @@ class ShardedStateVector : public Backend {
   void set_relabel_policy(bool on) { relabel_policy_ = on; }
   bool relabel_policy() const { return relabel_policy_; }
 
-  /// White-box counters for tests and benchmarks.
+  /// White-box counters for tests and benchmarks. `cluster_sweeps` counts
+  /// fused multi-op cluster applications; with the relabel policy on, a
+  /// cluster whose qubits fit the local budget is pulled local first and
+  /// then sweeps with zero ShardMesh exchanges.
   std::uint64_t exchange_sweeps() const { return exchange_sweeps_; }
   std::uint64_t relabel_swaps() const { return relabel_swaps_; }
+  std::uint64_t cluster_sweeps() const { return cluster_sweeps_; }
 
   /// Current number of local (intra-slice) qubit positions.
   std::size_t local_bits() const;
@@ -70,6 +79,11 @@ class ShardedStateVector : public Backend {
   void remove_position_state(std::size_t pos, bool bit) override;
   void apply_at(const Gate1Q& gate, std::size_t pos,
                 std::uint64_t ctrl_mask) const override;
+  void apply_cluster_at(std::span<const std::size_t> pos,
+                        std::span<const kernels::BlockOp> ops) const override;
+  void apply_matrix_at(std::span<const Complex> matrix,
+                       std::span<const std::size_t> pos,
+                       std::uint64_t ctrl_mask) const override;
   double probability_one_at(std::size_t pos) const override;
   void collapse_at(std::size_t pos, bool bit, double prob_bit) override;
   double parity_odd_probability(std::uint64_t mask) const override;
@@ -114,8 +128,21 @@ class ShardedStateVector : public Backend {
   /// maps. Pure data movement: no arithmetic, so exactness is trivial.
   void relabel_swap(std::size_t pg, std::size_t pl) const;
 
-  /// Least-recently-targeted physical local bit (the relabel victim).
-  std::size_t pick_victim(std::size_t nl) const;
+  /// Least-recently-targeted physical local bit (the relabel victim),
+  /// skipping bits set in `exclude` — a cluster must not evict one of its
+  /// own qubits while pulling another one local.
+  std::size_t pick_victim(std::size_t nl, std::uint64_t exclude = 0) const;
+
+  /// Plans and runs one k-qubit block sweep: with the relabel policy on,
+  /// global block bits are first swapped local (LRU victims outside the
+  /// block); an all-local block then sweeps per slice with zero exchanges,
+  /// and anything that cannot be localized falls back to a cross-slice
+  /// gather that is still bit-identical to the serial enumeration.
+  /// `lmask` is the logical control mask; `op(block)` sees 2^k gathered
+  /// amplitudes with block bit j at pos[j].
+  template <typename BlockOp>
+  void sweep_blocks_planned(std::span<const std::size_t> pos,
+                            std::uint64_t lmask, BlockOp&& op) const;
 
   unsigned shards_;  ///< total slices (power of two)
   unsigned gbits_;   ///< log2(shards_)
@@ -134,6 +161,7 @@ class ShardedStateVector : public Backend {
   mutable std::vector<std::uint64_t> local_last_use_;  ///< per local bit
   mutable std::uint64_t exchange_sweeps_ = 0;
   mutable std::uint64_t relabel_swaps_ = 0;
+  mutable std::uint64_t cluster_sweeps_ = 0;
   bool relabel_policy_ = true;
 };
 

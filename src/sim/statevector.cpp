@@ -49,9 +49,28 @@ void StateVector::remove_position_state(std::size_t pos, bool bit) {
 void StateVector::apply_at(const Gate1Q& gate, std::size_t pos,
                            std::uint64_t ctrl_mask) const {
   kernels::apply_1q(amplitudes_.data(), amplitudes_.size(), pos, gate,
-                    ctrl_mask, [this](std::size_t count, auto&& fn) {
-                      parallel_sweep(num_threads_, count, fn);
+                    ctrl_mask, lanes_pfor(num_threads_));
+}
+
+void StateVector::apply_cluster_at(
+    std::span<const std::size_t> pos,
+    std::span<const kernels::BlockOp> ops) const {
+  // One memory pass for the whole fused run: gather each 2^k block, replay
+  // the compiled ops with the exact per-gate kernel arithmetic, scatter.
+  kernels::sweep_kq(amplitudes_.data(), amplitudes_.size(), pos,
+                    /*ctrl_mask=*/0,
+                    lanes_pfor(num_threads_),
+                    [ops](Complex* block) {
+                      kernels::run_block_ops(block, ops);
                     });
+}
+
+void StateVector::apply_matrix_at(std::span<const Complex> matrix,
+                                  std::span<const std::size_t> pos,
+                                  std::uint64_t ctrl_mask) const {
+  kernels::apply_matrix_kq(amplitudes_.data(), amplitudes_.size(), pos,
+                           matrix.data(), ctrl_mask,
+                           lanes_pfor(num_threads_));
 }
 
 void StateVector::collapse_at(std::size_t pos, bool bit, double prob_bit) {

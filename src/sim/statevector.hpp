@@ -37,6 +37,11 @@ class StateVector : public Backend {
   void remove_position_state(std::size_t pos, bool bit) override;
   void apply_at(const Gate1Q& gate, std::size_t pos,
                 std::uint64_t ctrl_mask) const override;
+  void apply_cluster_at(std::span<const std::size_t> pos,
+                        std::span<const kernels::BlockOp> ops) const override;
+  void apply_matrix_at(std::span<const Complex> matrix,
+                       std::span<const std::size_t> pos,
+                       std::uint64_t ctrl_mask) const override;
   double probability_one_at(std::size_t pos) const override;
   void collapse_at(std::size_t pos, bool bit, double prob_bit) override;
   double parity_odd_probability(std::uint64_t mask) const override;

@@ -27,6 +27,21 @@ void parallel_sweep(unsigned num_threads, std::size_t count, Fn&& fn) {
   ThreadPool::instance().parallel_for(lanes, count, std::forward<Fn>(fn));
 }
 
+/// Adapter binding a lane count to parallel_sweep, in the shape the
+/// kernels' `pfor` parameter expects — shared by every backend so the
+/// threshold logic lives in exactly one place.
+inline auto lanes_pfor(unsigned num_threads) {
+  return [num_threads](std::size_t count, auto&& fn) {
+    parallel_sweep(num_threads, count, std::forward<decltype(fn)>(fn));
+  };
+}
+
+/// Serial-inline `pfor` for sweeps that are already running on a worker
+/// lane (e.g. one shard per lane) and must not re-enter the pool.
+inline constexpr auto serial_pfor = [](std::size_t count, auto&& fn) {
+  if (count > 0) fn(std::size_t{0}, count);
+};
+
 /// Order-fixed parallel reduction: partitions [0, count) into chunks of a
 /// lane-independent size, reduces each chunk with `chunk_fn(begin, end)`,
 /// and combines partials in chunk order — so the sum is bit-identical for

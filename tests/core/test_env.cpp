@@ -1,0 +1,143 @@
+// Env-override contract for JobOptions::from_env(): an explicit QMPI_*
+// override that is malformed, negative, zero where zero is meaningless,
+// out of range, or structurally invalid (non-power-of-two shard count)
+// must fail with a clear QmpiError instead of silently falling back — a
+// typo in a benchmark invocation must never change what the user thinks
+// they are measuring.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/context.hpp"
+#include "sim/sharded_statevector.hpp"
+#include "sim/thread_pool.hpp"
+
+using qmpi::JobOptions;
+using qmpi::QmpiError;
+
+namespace {
+
+/// Scoped setter for the QMPI_* variables; clears all of them on entry and
+/// exit so tests cannot leak state into each other (or inherit CI's).
+class EnvGuard {
+ public:
+  EnvGuard() { clear(); }
+  ~EnvGuard() { clear(); }
+
+  void set(const char* name, const char* value) {
+    ASSERT_EQ(setenv(name, value, /*overwrite=*/1), 0);
+  }
+
+ private:
+  static void clear() {
+    unsetenv("QMPI_SEED");
+    unsetenv("QMPI_BACKEND");
+    unsetenv("QMPI_SHARDS");
+    unsetenv("QMPI_SIM_THREADS");
+  }
+};
+
+}  // namespace
+
+TEST(EnvOptions, DefaultsWhenUnset) {
+  EnvGuard env;
+  const JobOptions opts = JobOptions::from_env();
+  EXPECT_EQ(opts.seed, qmpi::sim::kDefaultSeed);
+  EXPECT_EQ(opts.backend, qmpi::sim::BackendKind::kSerial);
+  EXPECT_EQ(opts.num_shards, 1u);
+  EXPECT_EQ(opts.sim_threads, 1u);
+}
+
+TEST(EnvOptions, ValidOverridesParse) {
+  EnvGuard env;
+  env.set("QMPI_SEED", "42");
+  env.set("QMPI_BACKEND", "sharded");
+  env.set("QMPI_SHARDS", "4");
+  env.set("QMPI_SIM_THREADS", "8");
+  const JobOptions opts = JobOptions::from_env();
+  EXPECT_EQ(opts.seed, 42u);
+  EXPECT_EQ(opts.backend, qmpi::sim::BackendKind::kSharded);
+  EXPECT_EQ(opts.num_shards, 4u);
+  EXPECT_EQ(opts.sim_threads, 8u);
+}
+
+TEST(EnvOptions, HexSeedAndZeroSeedAllowed) {
+  EnvGuard env;
+  env.set("QMPI_SEED", "0x10");
+  EXPECT_EQ(JobOptions::from_env().seed, 16u);
+  env.set("QMPI_SEED", "0");
+  EXPECT_EQ(JobOptions::from_env().seed, 0u);
+}
+
+TEST(EnvOptions, LeadingZeroIsDecimalNotOctal) {
+  EnvGuard env;
+  env.set("QMPI_SIM_THREADS", "010");  // must be 10, not octal 8
+  EXPECT_EQ(JobOptions::from_env().sim_threads, 10u);
+  env.set("QMPI_SHARDS", "010");  // 10 is not a power of two -> rejected
+  EXPECT_THROW(JobOptions::from_env(), QmpiError);
+}
+
+TEST(EnvOptions, ShardsZeroRejected) {
+  EnvGuard env;
+  env.set("QMPI_SHARDS", "0");
+  EXPECT_THROW(JobOptions::from_env(), QmpiError);
+}
+
+TEST(EnvOptions, ShardsNonPowerOfTwoRejected) {
+  EnvGuard env;
+  for (const char* bad : {"3", "6", "12", "100"}) {
+    env.set("QMPI_SHARDS", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError) << "QMPI_SHARDS=" << bad;
+  }
+  env.set("QMPI_SHARDS", "256");  // kMaxShards itself is fine
+  EXPECT_EQ(JobOptions::from_env().num_shards, qmpi::sim::kMaxShards);
+}
+
+TEST(EnvOptions, ShardsBeyondCapRejected) {
+  EnvGuard env;
+  for (const char* bad : {"512", "4294967296", "18446744073709551616"}) {
+    env.set("QMPI_SHARDS", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError) << "QMPI_SHARDS=" << bad;
+  }
+}
+
+TEST(EnvOptions, GarbageRejectedInsteadOfSilentFallback) {
+  EnvGuard env;
+  for (const char* var : {"QMPI_SEED", "QMPI_SHARDS", "QMPI_SIM_THREADS"}) {
+    for (const char* bad : {"abc", "4x", "", " 4", "-1", "+2", "0x"}) {
+      EnvGuard inner;
+      inner.set(var, bad);
+      EXPECT_THROW(JobOptions::from_env(), QmpiError)
+          << var << "=\"" << bad << "\"";
+    }
+  }
+}
+
+TEST(EnvOptions, ThreadsZeroAndOverCapRejected) {
+  EnvGuard env;
+  env.set("QMPI_SIM_THREADS", "0");
+  EXPECT_THROW(JobOptions::from_env(), QmpiError);
+  env.set("QMPI_SIM_THREADS", "65");  // ThreadPool::kMaxLanes is 64
+  EXPECT_THROW(JobOptions::from_env(), QmpiError);
+  env.set("QMPI_SIM_THREADS", "64");
+  EXPECT_EQ(JobOptions::from_env().sim_threads,
+            qmpi::sim::ThreadPool::kMaxLanes);
+}
+
+TEST(EnvOptions, UnknownBackendRejected) {
+  EnvGuard env;
+  env.set("QMPI_BACKEND", "quantum");
+  EXPECT_THROW(JobOptions::from_env(), QmpiError);
+}
+
+TEST(EnvOptions, OverridesLayerOnTopOfBase) {
+  EnvGuard env;
+  JobOptions base;
+  base.num_ranks = 7;
+  base.sim_threads = 3;
+  env.set("QMPI_SEED", "9");
+  const JobOptions opts = JobOptions::from_env(base);
+  EXPECT_EQ(opts.num_ranks, 7);       // untouched by env
+  EXPECT_EQ(opts.sim_threads, 3u);    // no env override set
+  EXPECT_EQ(opts.seed, 9u);           // env wins where set
+}

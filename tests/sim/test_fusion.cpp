@@ -58,16 +58,22 @@ TEST(Fusion, FusedSequenceMatchesEagerApplication) {
   expect_close(lazy, eager);
 }
 
-TEST(Fusion, EntanglingGateFlushesQueue) {
+TEST(Fusion, EntanglingGateJoinsClusterInsteadOfFlushing) {
   sim::StateVector sv;
   const auto q = sv.allocate(2);
   sv.h(q[0]);
   sv.rz(q[1], 0.2);
   EXPECT_EQ(sv.pending_gates(), 2u);
+  EXPECT_EQ(sv.pending_clusters(), 2u);
+  // Cluster fusion: the CNOT merges both 1Q clusters into one 2-qubit
+  // cluster instead of forcing a flush — the whole run costs one sweep.
   sv.cnot(q[0], q[1]);
-  EXPECT_EQ(sv.pending_gates(), 0u);
-  // H then CNOT is a Bell pair; the H must have landed before the CNOT.
+  EXPECT_EQ(sv.pending_gates(), 3u);
+  EXPECT_EQ(sv.pending_clusters(), 1u);
+  // H then CNOT is a Bell pair; the flush at the inspection boundary must
+  // replay H before the CNOT.
   EXPECT_NEAR(sv.probability_one(q[1]), 0.5, 1e-12);
+  EXPECT_EQ(sv.pending_gates(), 0u);
 }
 
 TEST(Fusion, MeasurementFlushesAndCollapsesCorrectly) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Markdown link/reference checker for this repository.
+
+Checks, for every markdown file passed on the command line:
+  - [text](target) links with relative targets resolve to existing files
+    (anchors are stripped; http(s)/mailto links are skipped — CI must not
+    flake on the network);
+  - backtick-quoted repo paths like `src/sim/backend.hpp` or
+    `tests/core/test_env.cpp` point at real files, so docs cannot drift
+    from the tree they describe.
+
+Exits nonzero listing every broken reference.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Backticked tokens that look like repo paths: at least one '/', a known
+# top-level directory, and a file extension.
+PATH_RE = re.compile(
+    r"`((?:src|tests|bench|examples|docs|\.github)/[A-Za-z0-9_./\-]+"
+    r"\.[A-Za-z0-9_]+)`"
+)
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(md: Path, repo_root: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(f"{md}: broken link target: {target}")
+    for path in PATH_RE.findall(text):
+        if not (repo_root / path).exists():
+            errors.append(f"{md}: references missing file: {path}")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parents[2]
+    files = [Path(a) for a in sys.argv[1:]]
+    if not files:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    errors = []
+    for md in files:
+        if not md.exists():
+            errors.append(f"{md}: file does not exist")
+            continue
+        errors.extend(check_file(md, repo_root))
+    for e in errors:
+        print(f"error: {e}")
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

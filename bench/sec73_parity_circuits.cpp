@@ -46,8 +46,7 @@ std::pair<std::uint64_t, double> run_functional(int k,
         zz_got.emplace_back(all[static_cast<std::size_t>(r)].id, 'Z');
       }
       ref.apply_pauli_rotation(zz_ref, t);
-      const double got = ctx.server().call(
-          [&zz_got](sim::Backend& sv) { return sv.expectation(zz_got); });
+      const double got = ctx.sim().expectation(zz_got);
       err = std::abs(got - ref.expectation(zz_ref));
     } else {
       ctx.classical_comm().send(data[0], 0, 900);

@@ -43,8 +43,7 @@ JobReport run_bcast(int ranks, BcastAlg alg) {
       }
       std::vector<std::pair<sim::QubitId, char>> xs;
       for (const Qubit q : all) xs.emplace_back(q.id, 'X');
-      const double xx = ctx.server().call(
-          [&xs](sim::Backend& sv) { return sv.expectation(xs); });
+      const double xx = ctx.sim().expectation(xs);
       std::printf("   GHZ <X...X> = %+.6f (want +1)\n", xx);
     } else {
       ctx.classical_comm().send(target[0], 0, 900);

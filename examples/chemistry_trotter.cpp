@@ -31,8 +31,7 @@ double energy(Context& ctx, const pauli::DensePauliSum& h,
     for (const auto& [q, op] : term_string.ops()) {
       ops.emplace_back(all[q].id, pauli::to_char(op));
     }
-    const double ev = ctx.server().call(
-        [&ops](sim::Backend& sv) { return sv.expectation(ops); });
+    const double ev = ctx.sim().expectation(ops);
     total += term.coeff.real() * ev;
   }
   return total;

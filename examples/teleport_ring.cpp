@@ -28,10 +28,8 @@ int main() {
       ctx.barrier();
     }
     // After size() hops every state is back home.
-    const double z = ctx.server().call([qq = q[0]](sim::Backend& sv) {
-      const std::pair<sim::QubitId, char> pz[] = {{qq.id, 'Z'}};
-      return sv.expectation(pz);
-    });
+    const std::pair<sim::QubitId, char> pz[] = {{q[0].id, 'Z'}};
+    const double z = ctx.sim().expectation(pz);
     const double expected = std::cos(my_angle);
     if (ctx.rank() == 0) {
       std::printf("rank %d: <Z> = %+.6f (expected %+.6f) %s\n", ctx.rank(), z,

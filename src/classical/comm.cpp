@@ -5,10 +5,10 @@
 
 namespace qmpi::classical {
 
-Comm Comm::world(Universe& universe, int world_rank) {
-  std::vector<int> members(static_cast<std::size_t>(universe.world_size()));
+Comm Comm::world(Transport& transport, int world_rank) {
+  std::vector<int> members(static_cast<std::size_t>(transport.world_size()));
   std::iota(members.begin(), members.end(), 0);
-  return Comm(&universe, /*context=*/0, std::move(members), world_rank);
+  return Comm(&transport, /*context=*/0, std::move(members), world_rank);
 }
 
 void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag) {
@@ -19,18 +19,18 @@ void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag) {
   msg.channel = Channel::kPointToPoint;
   msg.context = context_;
   msg.payload.assign(bytes.begin(), bytes.end());
-  universe_->mailbox(world_rank_of(dest)).post(std::move(msg));
+  transport_->post(world_rank_of(dest), std::move(msg));
 }
 
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource) check_rank(source);
-  return universe_->mailbox(world_rank_of(rank_))
+  return transport_->mailbox(world_rank_of(rank_))
       .match(source, tag, Channel::kPointToPoint, context_);
 }
 
 bool Comm::iprobe(int source, int tag, Status* status) {
   if (source != kAnySource) check_rank(source);
-  return universe_->mailbox(world_rank_of(rank_))
+  return transport_->mailbox(world_rank_of(rank_))
       .probe(source, tag, Channel::kPointToPoint, context_, status);
 }
 
@@ -43,11 +43,11 @@ void Comm::coll_send_bytes(std::span<const std::byte> bytes, int dest,
   msg.channel = Channel::kCollective;
   msg.context = context_;
   msg.payload.assign(bytes.begin(), bytes.end());
-  universe_->mailbox(world_rank_of(dest)).post(std::move(msg));
+  transport_->post(world_rank_of(dest), std::move(msg));
 }
 
 Message Comm::coll_recv_message(int source, int tag) {
-  return universe_->mailbox(world_rank_of(rank_))
+  return transport_->mailbox(world_rank_of(rank_))
       .match(source, tag, Channel::kCollective, context_);
 }
 
@@ -70,9 +70,9 @@ Comm Comm::dup() {
   // Rank 0 allocates the fresh context and broadcasts it; this keeps the
   // universe counter the single source of truth without inter-rank races.
   std::uint64_t ctx = 0;
-  if (rank_ == 0) ctx = universe_->allocate_context();
+  if (rank_ == 0) ctx = transport_->allocate_context();
   ctx = bcast(ctx, 0);
-  Comm out(universe_, ctx, members_, rank_);
+  Comm out(transport_, ctx, members_, rank_);
   return out;
 }
 
@@ -107,7 +107,7 @@ Comm Comm::split(int color, int key) {
       std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
         return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
       });
-      const std::uint64_t ctx = universe_->allocate_context();
+      const std::uint64_t ctx = transport_->allocate_context();
       std::vector<int> world_members;
       world_members.reserve(group.size());
       for (const auto& e : group) {
@@ -131,13 +131,13 @@ Comm Comm::split(int color, int key) {
       coll_send(std::span<const int>(groups[idx]), r, tag);
     }
     if (color < 0) return Comm();
-    return Comm(universe_, contexts[0], groups[0], new_ranks[0]);
+    return Comm(transport_, contexts[0], groups[0], new_ranks[0]);
   }
   const auto ctx = coll_recv<std::uint64_t>(0, tag);
   const auto new_rank = coll_recv<int>(0, tag);
   auto group = coll_recv_vector<int>(0, tag);
   if (color < 0) return Comm();
-  return Comm(universe_, ctx, std::move(group), new_rank);
+  return Comm(transport_, ctx, std::move(group), new_rank);
 }
 
 }  // namespace qmpi::classical

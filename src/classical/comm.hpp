@@ -9,7 +9,7 @@
 
 #include "classical/error.hpp"
 #include "classical/message.hpp"
-#include "classical/universe.hpp"
+#include "classical/transport.hpp"
 
 namespace qmpi::classical {
 
@@ -19,12 +19,14 @@ namespace qmpi::classical {
 /// context, collectives must be entered by all members in the same order,
 /// and dup()/split() derive new, non-interfering communicators.
 ///
-/// Each rank thread owns its own Comm instances (they are cheap handles over
-/// the shared Universe); Comm itself is not shared across threads.
+/// Each rank owns its own Comm instances (they are cheap handles over the
+/// shared Transport); Comm itself is not shared across threads. Comm is
+/// transport-agnostic: the same code drives the in-memory Universe and the
+/// multi-process SocketTransport.
 class Comm {
  public:
-  /// Builds the world communicator for `world_rank` of `universe`.
-  static Comm world(Universe& universe, int world_rank);
+  /// Builds the world communicator for `world_rank` of `transport`.
+  static Comm world(Transport& transport, int world_rank);
 
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(members_.size()); }
@@ -163,14 +165,14 @@ class Comm {
   Comm split(int color, int key);
 
   /// True for default-constructed / MPI_COMM_NULL-like handles.
-  bool is_null() const { return universe_ == nullptr; }
+  bool is_null() const { return transport_ == nullptr; }
 
   Comm() = default;
 
  private:
-  Comm(Universe* universe, std::uint64_t context, std::vector<int> members,
+  Comm(Transport* transport, std::uint64_t context, std::vector<int> members,
        int rank)
-      : universe_(universe),
+      : transport_(transport),
         context_(context),
         members_(std::move(members)),
         rank_(rank) {}
@@ -232,7 +234,7 @@ class Comm {
     return t;
   }
 
-  Universe* universe_ = nullptr;
+  Transport* transport_ = nullptr;
   std::uint64_t context_ = 0;
   std::vector<int> members_;  ///< comm rank -> world rank
   int rank_ = -1;

@@ -3,6 +3,19 @@
 #include <stdexcept>
 #include <string>
 
+namespace qmpi {
+
+/// Error raised on misuse of the QMPI API and on transport-level failures
+/// that the user must act on (connect refusal, peer death, oversized
+/// frames). Defined here — below the core layer — so the socket transport
+/// can raise it directly; re-exported to users via core/context.hpp.
+class QmpiError : public std::runtime_error {
+ public:
+  explicit QmpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace qmpi
+
 namespace qmpi::classical {
 
 /// Base class for all errors raised by the classical transport layer.

@@ -1,0 +1,1048 @@
+#include "classical/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace qmpi::classical {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x51'4d'50'49;  // "QMPI"
+constexpr std::uint16_t kWireVersion = 1;
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Marks a socket close-on-exec so forked rank processes never inherit
+/// the hub's listener or connections (an inherited bound port would keep
+/// the address in use after the launcher dies).
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// read(2) exactly `len` bytes. Returns false on clean EOF at offset 0;
+/// EOF mid-buffer is a peer that died between frames' halves.
+bool read_all(int fd, std::byte* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw QmpiError(std::string("transport read failed: ") + errno_text());
+    }
+    if (n == 0) {
+      if (off == 0) return false;
+      throw QmpiError(
+          "transport peer died mid-message (connection closed after " +
+          std::to_string(off) + " of " + std::to_string(len) +
+          " expected bytes)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Encodes the shared routed-message layout used by kPost and kDeliver:
+/// (epoch, dest, source, tag, channel, context, payload). The epoch pins
+/// the message to one run, so a delivery that races an abort broadcast can
+/// never be mistaken for the next run's traffic; the hub forwards the body
+/// verbatim after peeking at the (epoch, dest) prefix.
+std::vector<std::byte> encode_routed(std::uint64_t epoch, int dest,
+                                     const Message& msg) {
+  WireWriter w;
+  w.u64(epoch);
+  w.i32(dest);
+  w.i32(msg.source);
+  w.i32(msg.tag);
+  w.u8(static_cast<std::uint8_t>(msg.channel));
+  w.u64(msg.context);
+  w.bytes(msg.payload);
+  return w.take();
+}
+
+/// Decodes the fields after the epoch (the caller has already read it).
+std::pair<int, Message> decode_routed_after_epoch(WireReader& r) {
+  const int dest = r.i32();
+  Message msg;
+  msg.source = r.i32();
+  msg.tag = r.i32();
+  msg.channel = static_cast<Channel>(r.u8());
+  msg.context = r.u64();
+  const auto payload = r.rest();
+  msg.payload.assign(payload.begin(), payload.end());
+  return {dest, std::move(msg)};
+}
+
+void encode_run_config(WireWriter& w, const RunConfig& cfg) {
+  w.u32(cfg.num_ranks);
+  w.u64(cfg.seed);
+  w.u8(cfg.backend);
+  w.u32(cfg.num_shards);
+  w.u32(cfg.sim_threads);
+}
+
+RunConfig decode_run_config(WireReader& r) {
+  RunConfig cfg;
+  cfg.num_ranks = r.u32();
+  cfg.seed = r.u64();
+  cfg.backend = r.u8();
+  cfg.num_shards = r.u32();
+  cfg.sim_threads = r.u32();
+  return cfg;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- framing ---
+
+void write_frame(int fd, FrameType type, std::span<const std::byte> body) {
+  if (body.size() + 1 > kMaxFrameBytes) {
+    throw QmpiError("refusing to send oversized transport frame: " +
+                    std::to_string(body.size()) + " bytes exceeds the " +
+                    std::to_string(kMaxFrameBytes) +
+                    "-byte frame limit (split the payload)");
+  }
+  WireWriter header;
+  header.u32(static_cast<std::uint32_t>(body.size() + 1));
+  header.u8(static_cast<std::uint8_t>(type));
+  const auto& head = header.data();
+  // Gather write: header and body leave in one sendmsg with no copy of
+  // the (possibly multi-megabyte) body, and TCP_NODELAY cannot split the
+  // 5-byte header into its own segment.
+  iovec iov[2];
+  iov[0].iov_base = const_cast<std::byte*>(head.data());
+  iov[0].iov_len = head.size();
+  iov[1].iov_base = const_cast<std::byte*>(body.data());
+  iov[1].iov_len = body.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = body.empty() ? 1 : 2;
+  std::size_t sent = 0;
+  const std::size_t total = head.size() + body.size();
+  while (sent < total) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw QmpiError(std::string("transport write failed: ") + errno_text() +
+                      " (peer process likely died mid-message)");
+    }
+    sent += static_cast<std::size_t>(n);
+    // Advance the iovecs past the bytes the kernel took (partial writes
+    // are rare on loopback but must not corrupt the stream).
+    std::size_t consumed = static_cast<std::size_t>(n);
+    while (consumed > 0 && msg.msg_iovlen > 0) {
+      if (consumed >= msg.msg_iov[0].iov_len) {
+        consumed -= msg.msg_iov[0].iov_len;
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<std::byte*>(msg.msg_iov[0].iov_base) + consumed;
+        msg.msg_iov[0].iov_len -= consumed;
+        consumed = 0;
+      }
+    }
+  }
+}
+
+Frame read_frame(int fd) {
+  std::byte len_bytes[4];
+  if (!read_all(fd, len_bytes, 4)) {
+    throw QmpiError("transport peer closed the connection");
+  }
+  WireReader len_reader(std::span<const std::byte>(len_bytes, 4));
+  const std::uint32_t len = len_reader.u32();
+  if (len == 0) {
+    throw QmpiError("malformed transport frame: zero-length frame");
+  }
+  if (len > kMaxFrameBytes) {
+    throw QmpiError(
+        "oversized transport frame rejected: header announces " +
+        std::to_string(len) + " bytes, limit is " +
+        std::to_string(kMaxFrameBytes) +
+        " (corrupt stream or non-QMPI peer on this port)");
+  }
+  // Read the type byte, then the body straight into its final buffer —
+  // no intermediate copy on the routing hot path.
+  std::byte type_byte;
+  if (!read_all(fd, &type_byte, 1)) {
+    throw QmpiError("transport peer died mid-message (frame header "
+                    "arrived, body never did)");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_byte);
+  frame.body.resize(len - 1);
+  if (!frame.body.empty() &&
+      !read_all(fd, frame.body.data(), frame.body.size())) {
+    throw QmpiError("transport peer died mid-message (frame header "
+                    "arrived, body never did)");
+  }
+  return frame;
+}
+
+// ------------------------------------------------------------ placement ---
+
+RankBlock rank_block(int num_ranks, int nprocs, int proc) {
+  const int base = num_ranks / nprocs;
+  const int rem = num_ranks % nprocs;
+  RankBlock b;
+  b.first = proc * base + std::min(proc, rem);
+  b.count = base + (proc < rem ? 1 : 0);
+  return b;
+}
+
+int rank_owner(int num_ranks, int nprocs, int world_rank) {
+  const int base = num_ranks / nprocs;
+  const int rem = num_ranks % nprocs;
+  const int fat = rem * (base + 1);  // ranks living in (base+1)-sized blocks
+  if (world_rank < fat) return world_rank / (base + 1);
+  return rem + (world_rank - fat) / base;
+}
+
+// ------------------------------------------------------------------ hub ---
+
+Hub::Hub(int nprocs, std::uint16_t port, Services services)
+    : nprocs_(nprocs), services_(std::move(services)) {
+  conns_.reserve(static_cast<std::size_t>(nprocs));
+  for (int p = 0; p < nprocs; ++p) conns_.push_back(std::make_unique<Conn>());
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw QmpiError("hub: cannot create socket: " + errno_text());
+  }
+  set_cloexec(listen_fd_);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string what = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw QmpiError("hub: cannot bind 127.0.0.1:" + std::to_string(port) +
+                    ": " + what);
+  }
+  if (::listen(listen_fd_, nprocs) < 0) {
+    const std::string what = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw QmpiError("hub: listen failed: " + what);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+}
+
+Hub::~Hub() {
+  stop();
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Hub::serve() {
+  while (true) {
+    {
+      const std::lock_guard lock(mu_);
+      if (stopping_ || connected_ == nprocs_) break;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      const std::lock_guard lock(mu_);
+      if (stopping_) break;
+      throw QmpiError("hub: accept failed: " + errno_text());
+    }
+    set_cloexec(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // HELLO handshake identifies which process this connection is. A
+    // receive timeout bounds it: a connection that never speaks (port
+    // scanner, rank crashed right after connect) must not wedge the
+    // accept loop and with it the whole job launch.
+    timeval hello_timeout{};
+    hello_timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &hello_timeout,
+                 sizeof(hello_timeout));
+    int proc = -1;
+    try {
+      const Frame hello = read_frame(fd);
+      WireReader r(hello.body);
+      const std::uint32_t magic = r.u32();
+      const std::uint16_t version = r.u16();
+      const int claimed = r.u16();
+      if (hello.type != FrameType::kHello || magic != kHelloMagic ||
+          version != kWireVersion || claimed < 0 || claimed >= nprocs_) {
+        throw QmpiError("hub: bad HELLO (not a QMPI rank process, or "
+                        "version/proc-id mismatch)");
+      }
+      proc = claimed;
+    } catch (const QmpiError&) {
+      ::close(fd);
+      continue;  // a port scanner or a malformed peer; keep serving
+    }
+
+    {
+      const std::lock_guard lock(mu_);
+      if (stopping_) {
+        // stop() already swept the registered connections; anything
+        // accepted after that must not spawn an unstoppable reader.
+        ::close(fd);
+        break;
+      }
+      Conn& conn = *conns_[static_cast<std::size_t>(proc)];
+      if (conn.claimed) {
+        // Duplicate proc id (first connection wins) or a reconnect after
+        // that process already left the job — either way it must not
+        // count toward connected_, or serve() would stop accepting while
+        // a real process is still on its way.
+        ::close(fd);
+        continue;
+      }
+      const timeval no_timeout{};  // handshake is over; reads block again
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &no_timeout,
+                   sizeof(no_timeout));
+      {
+        // fd/open are read under write_mu by stop() and send_to(); take
+        // it here too so registration is visible under either guard.
+        const std::lock_guard wlock(conn.write_mu);
+        conn.fd = fd;
+        conn.open = true;
+      }
+      conn.claimed = true;
+      ++connected_;
+      ++alive_;
+      conn.reader = std::thread([this, proc] { reader_loop(proc); });
+    }
+    WireWriter ack;
+    ack.u16(static_cast<std::uint16_t>(nprocs_));
+    try {
+      send_to(proc, FrameType::kHelloAck, ack.data());
+    } catch (const QmpiError&) {
+      // reader_loop will observe the dead socket and clean up.
+    }
+  }
+  // All processes connected (or stop requested): wait for them to leave.
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return alive_ == 0 || stopping_; });
+}
+
+int Hub::connected_count() {
+  const std::lock_guard lock(mu_);
+  return connected_;
+}
+
+void Hub::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Only shutdown() here — the fd stays valid (and un-recyclable) until
+    // the destructor closes it after serve() has returned, so a racing
+    // accept() can never operate on a reused descriptor number.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  // Shut each connection down under its write mutex: on_disconnect closes
+  // fds under the same mutex, so we can never SHUT_RDWR a descriptor the
+  // kernel has already recycled for another socket.
+  for (auto& conn : conns_) {
+    const std::lock_guard wlock(conn->write_mu);
+    if (conn->open) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  done_cv_.notify_all();
+}
+
+void Hub::send_to(int proc, FrameType type, std::span<const std::byte> body) {
+  Conn& conn = *conns_[static_cast<std::size_t>(proc)];
+  const std::lock_guard lock(conn.write_mu);
+  if (!conn.open) return;  // already gone; routing noticed separately
+  write_frame(conn.fd, type, body);
+}
+
+void Hub::reader_loop(int proc) {
+  // Catch std::exception, not just QmpiError: anything escaping a frame
+  // handler (bad_alloc on a huge frame, an unexpected service error) must
+  // fail this connection's job, never std::terminate the whole launcher.
+  try {
+    while (true) {
+      Frame frame = read_frame(conns_[static_cast<std::size_t>(proc)]->fd);
+      handle_frame(proc, std::move(frame));
+    }
+  } catch (const std::exception& e) {
+    const std::lock_guard lock(mu_);
+    // A process leaving mid-run kills the job; between runs it is a normal
+    // exit (the gtest binary finished).
+    if (run_active_ || begin_count_ > 0 || end_count_ > 0) {
+      abort_run_locked(proc,
+                       "rank process " + std::to_string(proc) +
+                           " left the job mid-run: " + e.what());
+    }
+    on_disconnect(proc);
+  }
+}
+
+void Hub::on_disconnect(int proc) {
+  Conn& conn = *conns_[static_cast<std::size_t>(proc)];
+  {
+    const std::lock_guard wlock(conn.write_mu);
+    if (conn.open) {
+      ::close(conn.fd);
+      conn.open = false;
+    }
+  }
+  --alive_;
+  ++departed_;  // a process never reconnects; later begin barriers must fail
+  if (alive_ == 0) done_cv_.notify_all();
+}
+
+void Hub::abort_run_locked(int origin_proc, const std::string& reason) {
+  // A failed begin barrier still consumes its epoch so the next run's
+  // RUN_BEGINs line up (clients already incremented their counters).
+  const bool begin_phase = pending_cfg_.has_value();
+  const std::uint64_t epoch = begin_phase ? hub_epoch_ + 1 : hub_epoch_;
+  // One broadcast per failed epoch — scoped to the epoch, not "until the
+  // next run goes live", so a failure in the very next begin phase still
+  // broadcasts instead of hanging every process in begin_run.
+  if (aborted_epoch_ == epoch) return;
+  aborted_epoch_ = epoch;
+  if (begin_phase) hub_epoch_ = epoch;
+  run_active_ = false;
+  pending_cfg_.reset();
+  begin_count_ = 0;
+  begin_req_ids_.clear();
+  end_count_ = 0;
+  end_req_ids_.clear();
+  end_totals_.clear();
+
+  WireWriter w;
+  w.u64(epoch);
+  w.str(reason);
+  for (int p = 0; p < nprocs_; ++p) {
+    if (p == origin_proc) continue;  // the origin already knows
+    try {
+      send_to(p, FrameType::kAbort, w.data());
+    } catch (const QmpiError&) {
+      // That peer is dying too; its reader will clean up.
+    }
+  }
+}
+
+void Hub::handle_frame(int proc, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPost: {
+      // Peek only at the routing prefix (epoch + dest); the body is
+      // forwarded verbatim as the kDeliver body, so routing never copies
+      // or re-encodes the payload.
+      WireReader r(frame.body);
+      const std::uint64_t epoch = r.u64();
+      const int dest = r.i32();
+      int owner = -1;
+      {
+        const std::lock_guard lock(mu_);
+        if (!run_active_ || epoch != hub_epoch_ || dest < 0 ||
+            dest >= static_cast<int>(active_cfg_.num_ranks)) {
+          return;  // stale traffic from an aborted/finished run
+        }
+        owner = rank_owner(static_cast<int>(active_cfg_.num_ranks), nprocs_,
+                           dest);
+      }
+      // The epoch check above can race an abort broadcast (mu_ is released
+      // before the write), but the delivery still carries its epoch, so the
+      // receiving client drops it if its run has moved on.
+      try {
+        send_to(owner, FrameType::kDeliver, frame.body);
+      } catch (const QmpiError& e) {
+        const std::lock_guard lock(mu_);
+        abort_run_locked(-1, "cannot deliver to rank process " +
+                                 std::to_string(owner) + ": " + e.what());
+      }
+      return;
+    }
+
+    case FrameType::kSim: {
+      WireReader r(frame.body);
+      const std::uint64_t req_id = r.u64();
+      const auto request = r.rest();
+      WireWriter reply;
+      reply.u64(req_id);
+      FrameType reply_type = FrameType::kSimResult;
+      try {
+        std::vector<std::byte> result;
+        {
+          // The sim mutex is the quantum serialization point: ops from all
+          // ranks execute in arrival order, exactly like the in-process
+          // SimServer command thread. It is separate from mu_ so an
+          // O(2^n) sweep never stalls classical routing.
+          const std::lock_guard sim_lock(sim_mu_);
+          if (!services_.sim) {
+            throw QmpiError("hub has no quantum service configured");
+          }
+          result = services_.sim(request);
+        }
+        reply.bytes(result);
+      } catch (const std::exception& e) {
+        reply_type = FrameType::kSimError;
+        reply.str(e.what());
+      }
+      send_to(proc, reply_type, reply.data());
+      return;
+    }
+
+    case FrameType::kCtxAlloc: {
+      WireReader r(frame.body);
+      const std::uint64_t req_id = r.u64();
+      std::uint64_t ctx = 0;
+      {
+        const std::lock_guard lock(mu_);
+        ctx = next_context_++;
+      }
+      WireWriter reply;
+      reply.u64(req_id);
+      reply.u64(ctx);
+      send_to(proc, FrameType::kCtxId, reply.data());
+      return;
+    }
+
+    case FrameType::kRunBegin: {
+      WireReader r(frame.body);
+      const std::uint64_t req_id = r.u64();
+      const std::uint64_t epoch = r.u64();
+      const RunConfig cfg = decode_run_config(r);
+      const std::lock_guard lock(mu_);
+      if (departed_ > 0) {
+        // A peer left the job for good between runs; this barrier can
+        // never complete, so fail it immediately instead of hanging.
+        const std::string reason =
+            std::to_string(departed_) + " rank process(es) already left "
+            "the job; a new run cannot start";
+        if (!pending_cfg_.has_value()) hub_epoch_ = epoch;  // consume it
+        WireWriter abort_body;
+        abort_body.u64(epoch);
+        abort_body.str(reason);
+        try {
+          send_to(proc, FrameType::kAbort, abort_body.data());
+        } catch (const QmpiError&) {
+        }
+        return;
+      }
+      if (epoch != hub_epoch_ + 1) {
+        // This process is re-beginning an epoch the hub already consumed
+        // (its previous begin raced an abort whose broadcast it ignored
+        // because it had not entered the barrier yet). The epoch-scoped
+        // broadcast dedup may suppress a re-broadcast, so tell this
+        // process directly.
+        const std::string reason =
+            "process " + std::to_string(proc) + " began run epoch " +
+            std::to_string(epoch) + " but the hub is at epoch " +
+            std::to_string(hub_epoch_) + " (a previous run was aborted)";
+        WireWriter abort_body;
+        abort_body.u64(epoch);
+        abort_body.str(reason);
+        try {
+          send_to(proc, FrameType::kAbort, abort_body.data());
+        } catch (const QmpiError&) {
+        }
+        abort_run_locked(proc, reason);
+        return;
+      }
+      if (!pending_cfg_.has_value()) {
+        pending_cfg_ = cfg;
+        begin_req_ids_.assign(static_cast<std::size_t>(nprocs_), 0);
+      } else if (!(cfg == *pending_cfg_)) {
+        abort_run_locked(-1,
+                         "QMPI run configuration differs across processes "
+                         "(check that every process sees the same QMPI_* "
+                         "environment)");
+        return;
+      }
+      begin_req_ids_[static_cast<std::size_t>(proc)] = req_id;
+      if (++begin_count_ < nprocs_) return;
+
+      // Barrier complete: reset the backend, then go live before any
+      // RUN_READY leaves, so early kPost traffic is routable. A reset
+      // failure (e.g. a shard count the backend rejects) fails this run
+      // for every process instead of killing the hub.
+      if (services_.reset) {
+        try {
+          services_.reset(*pending_cfg_);
+        } catch (const std::exception& e) {
+          abort_run_locked(-1, std::string("cannot start run, backend "
+                                           "reset failed: ") +
+                                   e.what());
+          return;
+        }
+      }
+      active_cfg_ = *pending_cfg_;
+      pending_cfg_.reset();
+      begin_count_ = 0;
+      hub_epoch_ = epoch;
+      next_context_ = 1;  // fresh Universe semantics per run
+      run_active_ = true;
+      for (int p = 0; p < nprocs_; ++p) {
+        WireWriter ready;
+        ready.u64(begin_req_ids_[static_cast<std::size_t>(p)]);
+        try {
+          send_to(p, FrameType::kRunReady, ready.data());
+        } catch (const QmpiError& e) {
+          abort_run_locked(p, std::string("cannot start run: ") + e.what());
+          return;
+        }
+      }
+      return;
+    }
+
+    case FrameType::kRunEnd: {
+      WireReader r(frame.body);
+      const std::uint64_t req_id = r.u64();
+      const std::uint64_t epoch = r.u64();
+      const std::uint32_t n = r.u32();
+      const std::lock_guard lock(mu_);
+      if (!run_active_ || epoch != hub_epoch_) return;  // aborted already
+      if (end_count_ == 0) {  // first RUN_END of this barrier
+        end_totals_.assign(n, 0);
+        end_req_ids_.assign(static_cast<std::size_t>(nprocs_), 0);
+      } else if (n != end_totals_.size()) {
+        // Heterogeneous binaries (one process built with a different
+        // resource-counter layout): summing would silently corrupt the
+        // world totals, so fail the run loudly instead.
+        abort_run_locked(-1,
+                         "resource totals layout differs across processes "
+                         "(are all ranks running the same binary?)");
+        return;
+      }
+      for (std::uint32_t i = 0; i < n && i < end_totals_.size(); ++i) {
+        end_totals_[i] += r.u64();
+      }
+      end_req_ids_[static_cast<std::size_t>(proc)] = req_id;
+      if (++end_count_ < nprocs_) return;
+
+      run_active_ = false;
+      for (int p = 0; p < nprocs_; ++p) {
+        WireWriter ack;
+        ack.u64(end_req_ids_[static_cast<std::size_t>(p)]);
+        ack.u32(static_cast<std::uint32_t>(end_totals_.size()));
+        for (const auto v : end_totals_) ack.u64(v);
+        try {
+          send_to(p, FrameType::kRunEndAck, ack.data());
+        } catch (const QmpiError&) {
+          // Peer died at the very end; its reader aborts the (now
+          // finished) run, which is a no-op.
+        }
+      }
+      end_count_ = 0;
+      end_req_ids_.clear();
+      end_totals_.clear();
+      return;
+    }
+
+    case FrameType::kAbort: {
+      WireReader r(frame.body);
+      const std::uint64_t epoch = r.u64();
+      const std::string reason = r.str();
+      const std::lock_guard lock(mu_);
+      const std::uint64_t current =
+          pending_cfg_.has_value() ? hub_epoch_ + 1 : hub_epoch_;
+      if (epoch == current && (run_active_ || pending_cfg_.has_value() ||
+                               end_count_ > 0)) {
+        abort_run_locked(proc, reason);
+      }
+      return;
+    }
+
+    default:
+      // Unknown or out-of-place frame: a protocol bug. Fail loudly.
+      throw QmpiError("hub: unexpected frame type " +
+                      std::to_string(static_cast<int>(frame.type)) +
+                      " from process " + std::to_string(proc));
+  }
+}
+
+// --------------------------------------------------------------- client ---
+
+HubClient::HubClient(const std::string& host, std::uint16_t port, int proc_id,
+                     int connect_attempts)
+    : proc_id_(proc_id) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw QmpiError("QMPI_TCP_HOST=\"" + host +
+                    "\" is not a valid IPv4 address");
+  }
+
+  std::string last_error;
+  for (int attempt = 0; attempt < connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw QmpiError("cannot create socket: " + errno_text());
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    last_error = errno_text();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (fd_ < 0) {
+    throw QmpiError("cannot connect to QMPI hub at " + host + ":" +
+                    std::to_string(port) + ": " + last_error +
+                    " (is qmpirun running, and do QMPI_TCP_HOST/"
+                    "QMPI_TCP_PORT match its listener?)");
+  }
+  set_cloexec(fd_);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Synchronous HELLO before the receiver thread exists: nothing else can
+  // be in flight yet. Bounded by a receive timeout, mirroring the hub's
+  // handshake guard: a listener that accepts but never answers (wrong
+  // service on QMPI_TCP_PORT, wedged hub) must fail loud, not hang.
+  timeval hello_timeout{};
+  hello_timeout.tv_sec = 5;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &hello_timeout,
+               sizeof(hello_timeout));
+  WireWriter hello;
+  hello.u32(kHelloMagic);
+  hello.u16(kWireVersion);
+  hello.u16(static_cast<std::uint16_t>(proc_id));
+  write_frame(fd_, FrameType::kHello, hello.data());
+  Frame ack;
+  try {
+    ack = read_frame(fd_);
+  } catch (const QmpiError& e) {
+    ::close(fd_);
+    throw QmpiError("no HELLO_ACK from " + host + ":" +
+                    std::to_string(port) +
+                    " within 5s — is that really a qmpirun hub? (" +
+                    e.what() + ")");
+  }
+  const timeval no_timeout{};  // handshake over; reads block again
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &no_timeout,
+               sizeof(no_timeout));
+  if (ack.type != FrameType::kHelloAck) {
+    ::close(fd_);
+    throw QmpiError("hub handshake failed: expected HELLO_ACK, got frame "
+                    "type " +
+                    std::to_string(static_cast<int>(ack.type)));
+  }
+  WireReader r(ack.body);
+  nprocs_ = r.u16();
+  if (proc_id_ >= nprocs_) {
+    ::close(fd_);
+    throw QmpiError("QMPI_PROC_ID=" + std::to_string(proc_id_) +
+                    " out of range for a " + std::to_string(nprocs_) +
+                    "-process job");
+  }
+  receiver_ = std::thread([this] { receiver_loop(); });
+}
+
+HubClient::~HubClient() {
+  {
+    const std::lock_guard lock(mu_);
+    fatal_ = true;
+  }
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (receiver_.joinable()) receiver_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void HubClient::fail_locked(const std::string& reason, bool fatal) {
+  run_dead_ = true;
+  if (fatal) fatal_ = true;
+  if (dead_reason_.empty()) dead_reason_ = reason;
+  if (on_abort_) on_abort_(dead_reason_);
+  cv_.notify_all();
+}
+
+void HubClient::receiver_loop() {
+  try {
+    while (true) {
+      Frame frame = read_frame(fd_);
+      std::unique_lock lock(mu_);
+      switch (frame.type) {
+        case FrameType::kDeliver: {
+          WireReader r(frame.body);
+          const std::uint64_t epoch = r.u64();
+          // Drop anything not addressed to the run we are currently in:
+          // a delivery that raced an abort at the hub carries the dead
+          // run's epoch and must never reach the next run's mailboxes.
+          if (epoch != epoch_ || run_dead_ || !deliver_) break;
+          auto [dest, msg] = decode_routed_after_epoch(r);
+          deliver_(dest, std::move(msg));
+          break;
+        }
+        case FrameType::kRunReady:
+        case FrameType::kCtxId:
+        case FrameType::kSimResult:
+        case FrameType::kSimError:
+        case FrameType::kRunEndAck: {
+          WireReader r(frame.body);
+          const std::uint64_t req_id = r.u64();
+          if (req_id != waiting_req_id_) break;  // stale reply; drop
+          if (frame.type == FrameType::kRunEndAck) epoch_done_ = true;
+          reply_ = std::move(frame);
+          cv_.notify_all();
+          break;
+        }
+        case FrameType::kAbort: {
+          WireReader r(frame.body);
+          const std::uint64_t epoch = r.u64();
+          const std::string reason = r.str();
+          if (epoch == epoch_ && !epoch_done_) {
+            fail_locked(reason, /*fatal=*/false);
+          }
+          break;
+        }
+        default:
+          throw QmpiError("unexpected frame type " +
+                          std::to_string(static_cast<int>(frame.type)) +
+                          " from hub");
+      }
+    }
+  } catch (const std::exception& e) {
+    const std::lock_guard lock(mu_);
+    if (!fatal_) {
+      fail_locked(std::string("lost connection to QMPI hub: ") + e.what(),
+                  /*fatal=*/true);
+    } else {
+      // Deliberate local close (destructor); wake any remaining waiter.
+      cv_.notify_all();
+    }
+  }
+}
+
+void HubClient::check_alive_locked() {
+  if (fatal_ || run_dead_) {
+    // Secondary failure: the run is already dead; blocked callers must
+    // unwind the same way mailbox waiters do so the harness can prefer the
+    // root cause.
+    throw ShutdownError();
+  }
+}
+
+std::vector<std::byte> HubClient::request(FrameType type, FrameType expect,
+                                          std::span<const std::byte> body) {
+  const std::lock_guard req_lock(req_mu_);
+  std::uint64_t req_id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    check_alive_locked();
+    req_id = next_req_id_++;
+    waiting_req_id_ = req_id;
+    reply_.reset();
+  }
+  WireWriter w;
+  w.u64(req_id);
+  w.bytes(body);
+  {
+    const std::lock_guard wlock(wr_mu_);
+    write_frame(fd_, type, w.data());
+  }
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return reply_.has_value() || run_dead_ || fatal_; });
+  waiting_req_id_ = 0;
+  if (!reply_.has_value()) throw ShutdownError();
+  Frame reply = std::move(*reply_);
+  reply_.reset();
+  if (reply.type == FrameType::kSimError) {
+    WireReader r(reply.body);
+    r.u64();  // req id
+    throw RemoteSimError(r.str());
+  }
+  if (reply.type != expect) {
+    throw QmpiError("hub protocol error: expected frame type " +
+                    std::to_string(static_cast<int>(expect)) + ", got " +
+                    std::to_string(static_cast<int>(reply.type)));
+  }
+  // Strip the request-id echo; callers see only the semantic body.
+  WireReader r(reply.body);
+  r.u64();
+  const auto rest = r.rest();
+  return std::vector<std::byte>(rest.begin(), rest.end());
+}
+
+void HubClient::begin_run(const RunConfig& cfg) {
+  std::uint64_t epoch = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (fatal_) {
+      throw QmpiError("cannot start a run: " + dead_reason_);
+    }
+    epoch = ++epoch_;
+    epoch_done_ = false;
+    run_dead_ = false;
+    dead_reason_.clear();
+  }
+  WireWriter w;
+  w.u64(epoch);
+  encode_run_config(w, cfg);
+  try {
+    request(FrameType::kRunBegin, FrameType::kRunReady, w.data());
+  } catch (const ShutdownError&) {
+    // A begin-barrier failure is always primary (config mismatch, peer
+    // death): nothing user-visible has started yet, so report the reason.
+    throw QmpiError("cannot start a run: " + dead_reason());
+  }
+}
+
+std::vector<std::uint64_t> HubClient::end_run(
+    std::span<const std::uint64_t> totals) {
+  WireWriter w;
+  {
+    const std::lock_guard lock(mu_);
+    w.u64(epoch_);
+  }
+  w.u32(static_cast<std::uint32_t>(totals.size()));
+  for (const auto v : totals) w.u64(v);
+  std::vector<std::byte> body;
+  try {
+    body = request(FrameType::kRunEnd, FrameType::kRunEndAck, w.data());
+  } catch (const ShutdownError&) {
+    // A peer failed while we waited at the end barrier; surface the
+    // job-level cause (peer death, config mismatch) instead of the
+    // secondary shutdown.
+    const std::string reason = dead_reason();
+    throw QmpiError("QMPI job aborted" +
+                    (reason.empty() ? std::string(" by a peer process")
+                                    : ": " + reason));
+  }
+  WireReader r(body);
+  const std::uint32_t n = r.u32();
+  std::vector<std::uint64_t> sums(n);
+  for (std::uint32_t i = 0; i < n; ++i) sums[i] = r.u64();
+  return sums;
+}
+
+void HubClient::abort_run(const std::string& reason) {
+  std::uint64_t epoch = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (fatal_ || run_dead_) return;  // already failed; first reason wins
+    epoch = epoch_;
+    fail_locked(reason, /*fatal=*/false);
+  }
+  WireWriter w;
+  w.u64(epoch);
+  w.str(reason);
+  try {
+    const std::lock_guard wlock(wr_mu_);
+    write_frame(fd_, FrameType::kAbort, w.data());
+  } catch (const QmpiError&) {
+    // Hub is gone too; local ranks are already unblocked.
+  }
+}
+
+std::uint64_t HubClient::allocate_context() {
+  const auto body =
+      request(FrameType::kCtxAlloc, FrameType::kCtxId, {});
+  WireReader r(body);
+  return r.u64();
+}
+
+std::vector<std::byte> HubClient::sim_call(
+    std::span<const std::byte> request_body) {
+  return request(FrameType::kSim, FrameType::kSimResult, request_body);
+}
+
+void HubClient::post_remote(int dest_world_rank, const Message& msg) {
+  std::uint64_t epoch = 0;
+  {
+    const std::lock_guard lock(mu_);
+    check_alive_locked();
+    epoch = epoch_;
+  }
+  const auto body = encode_routed(epoch, dest_world_rank, msg);
+  const std::lock_guard wlock(wr_mu_);
+  write_frame(fd_, FrameType::kPost, body);
+}
+
+void HubClient::set_sinks(
+    std::function<void(int, Message)> deliver,
+    std::function<void(const std::string&)> on_abort) {
+  const std::lock_guard lock(mu_);
+  deliver_ = std::move(deliver);
+  on_abort_ = std::move(on_abort);
+}
+
+std::string HubClient::dead_reason() {
+  const std::lock_guard lock(mu_);
+  return dead_reason_;
+}
+
+// ------------------------------------------------------------ transport ---
+
+SocketTransport::SocketTransport(HubClient& hub, int num_ranks)
+    : hub_(&hub), num_ranks_(num_ranks) {
+  local_ = rank_block(num_ranks, hub.nprocs(), hub.proc_id());
+  boxes_.reserve(static_cast<std::size_t>(local_.count));
+  for (int i = 0; i < local_.count; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+  hub_->set_sinks(
+      [this](int dest, Message msg) {
+        if (is_local(dest)) {
+          boxes_[static_cast<std::size_t>(dest - local_.first)]->post(
+              std::move(msg));
+        }
+        // Non-local: a routing bug upstream; dropping is safe (the sender
+        // will block and the job times out visibly rather than corrupting
+        // another rank's stream).
+      },
+      [this](const std::string&) { shutdown_local(); });
+}
+
+SocketTransport::~SocketTransport() { hub_->set_sinks(nullptr, nullptr); }
+
+void SocketTransport::post(int dest_world_rank, Message msg) {
+  if (is_local(dest_world_rank)) {
+    boxes_[static_cast<std::size_t>(dest_world_rank - local_.first)]->post(
+        std::move(msg));
+    return;
+  }
+  hub_->post_remote(dest_world_rank, msg);
+}
+
+Mailbox& SocketTransport::mailbox(int world_rank) {
+  if (!is_local(world_rank)) {
+    throw QmpiError("rank " + std::to_string(world_rank) +
+                    " is not hosted by this process (local block is [" +
+                    std::to_string(local_.first) + ", " +
+                    std::to_string(local_.first + local_.count) + "))");
+  }
+  return *boxes_[static_cast<std::size_t>(world_rank - local_.first)];
+}
+
+std::uint64_t SocketTransport::allocate_context() {
+  return hub_->allocate_context();
+}
+
+void SocketTransport::shutdown_local() {
+  for (auto& box : boxes_) box->shutdown();
+}
+
+void SocketTransport::fail(const std::string& reason) {
+  shutdown_local();
+  hub_->abort_run(reason);
+}
+
+}  // namespace qmpi::classical

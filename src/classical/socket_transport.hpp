@@ -1,0 +1,299 @@
+#pragma once
+
+/// \file socket_transport.hpp
+/// TCP transport for multi-process QMPI jobs: hub, per-process client,
+/// and the Transport implementation. See docs/ARCHITECTURE.md §3.
+
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classical/mailbox.hpp"
+#include "classical/message.hpp"
+#include "classical/transport.hpp"
+#include "classical/wire.hpp"
+
+namespace qmpi::classical {
+
+/// TCP transport for QMPI ranks running as separate OS processes.
+///
+/// Topology: a star. One *hub* (hosted by the `qmpirun` launcher) accepts
+/// one TCP connection per rank process and provides three services over
+/// length-prefixed frames (wire.hpp):
+///
+///   1. Classical routing: a kPost frame names a destination world rank;
+///      the hub forwards it as kDeliver to the process hosting that rank.
+///      Per-connection FIFO plus single-threaded routing preserves the
+///      MPI non-overtaking order Comm relies on.
+///   2. Quantum forwarding: kSim frames carry opaque simulator commands to
+///      the hub's backend — the paper's §6 design ("all ranks forward
+///      quantum operations to rank 0") made literal across processes.
+///   3. Job control: RUN_BEGIN/RUN_READY and RUN_END/RUN_END_ACK barriers
+///      bracket every qmpi::run() call so all processes agree on the run
+///      configuration, the backend is reset exactly once per run, and
+///      resource totals are world-summed; kAbort propagates any rank
+///      failure so no process deadlocks on a dead peer.
+///
+/// Rank placement: the requested `num_ranks` are split into contiguous
+/// blocks over the `nprocs` connected processes (rank_block()); a process
+/// runs one thread per hosted rank. With nprocs == num_ranks this is one
+/// process per rank; with fewer processes the job oversubscribes like
+/// `mpirun --oversubscribe`; processes beyond num_ranks host zero ranks
+/// but still participate in the run barriers.
+///
+/// All transport failures (connect refusal, peer death mid-message,
+/// oversized frames, configuration mismatch) surface as QmpiError with the
+/// failing endpoint in the message.
+
+/// Configuration one run() call must agree on across every process. The
+/// classical layer treats `backend` as an opaque token; the core layer maps
+/// it to sim::BackendKind.
+struct RunConfig {
+  std::uint32_t num_ranks = 0;
+  std::uint64_t seed = 0;
+  std::uint8_t backend = 0;
+  std::uint32_t num_shards = 1;
+  std::uint32_t sim_threads = 1;
+  bool operator==(const RunConfig&) const = default;
+};
+
+/// The contiguous block of world ranks hosted by one process.
+struct RankBlock {
+  int first = 0;
+  int count = 0;
+};
+
+/// Deterministic rank placement shared by hub and clients: contiguous
+/// blocks, earlier processes take the remainder.
+RankBlock rank_block(int num_ranks, int nprocs, int proc);
+/// Inverse mapping: which process hosts `world_rank`.
+int rank_owner(int num_ranks, int nprocs, int world_rank);
+
+// ---------------------------------------------------------------- hub ---
+
+/// The routing/quantum server at the center of a multi-process job.
+/// Binds and listens in the constructor (so clients may connect as soon as
+/// the launcher forks them); serve() accepts `nprocs` connections and runs
+/// until every process has disconnected.
+class Hub {
+ public:
+  struct Services {
+    /// Executes one opaque quantum request (sim_wire.hpp encodes these) and
+    /// returns the reply body; exceptions are marshalled to the caller as
+    /// remote simulator errors. Null: quantum ops are rejected.
+    std::function<std::vector<std::byte>(std::span<const std::byte>)> sim;
+    /// Resets backend state for a new run with the given configuration.
+    std::function<void(const RunConfig&)> reset;
+  };
+
+  /// Throws QmpiError when the port cannot be bound. Port 0 picks an
+  /// ephemeral port; read it back with port().
+  Hub(int nprocs, std::uint16_t port, Services services);
+  ~Hub();
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// How many of the expected processes have completed their HELLO
+  /// handshake. The launcher compares this with its child count to detect
+  /// a child that died before ever joining a partially formed job (the
+  /// begin barrier could otherwise wait forever).
+  int connected_count();
+
+  /// Accepts connections and serves until all processes disconnect (or
+  /// stop() is called). Run this on the launcher's main thread or a
+  /// dedicated thread in tests.
+  void serve();
+
+  /// Force-closes the listener and all connections; serve() returns.
+  void stop();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+    bool open = false;     ///< connection currently live (write_mu + mu_)
+    bool claimed = false;  ///< proc id was ever taken; reconnects rejected
+  };
+
+  void reader_loop(int proc);
+  void handle_frame(int proc, Frame frame);
+  void send_to(int proc, FrameType type, std::span<const std::byte> body);
+  void abort_run_locked(int origin_proc, const std::string& reason);
+  void on_disconnect(int proc);
+
+  int nprocs_;
+  Services services_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  /// Serializes quantum operations only (kept separate from mu_ so a long
+  /// state-vector sweep never blocks classical routing).
+  std::mutex sim_mu_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  int connected_ = 0;
+  int alive_ = 0;
+  bool stopping_ = false;
+
+  // Run lifecycle (guarded by mu_). hub_epoch_ counts completed RUN_BEGIN
+  // barriers; a run is live between the RUN_READY broadcast and either the
+  // RUN_END_ACK broadcast or an abort.
+  std::uint64_t hub_epoch_ = 0;
+  bool run_active_ = false;
+  std::uint64_t aborted_epoch_ = 0;  ///< last epoch whose abort broadcast ran
+  int departed_ = 0;                 ///< processes that left the job for good
+  RunConfig active_cfg_;
+  std::optional<RunConfig> pending_cfg_;
+  int begin_count_ = 0;
+  std::vector<std::uint64_t> begin_req_ids_;
+  int end_count_ = 0;
+  std::vector<std::uint64_t> end_req_ids_;
+  std::vector<std::uint64_t> end_totals_;
+  std::uint64_t next_context_ = 1;
+};
+
+// --------------------------------------------------------------- client ---
+
+/// One process's connection to the hub. Created once per process and
+/// reused across run() calls; the receiver thread dispatches deliveries
+/// into the active SocketTransport and request replies to the single
+/// outstanding requester (requests are serialized and correlated by id, so
+/// a reply delayed across an abort can never satisfy the wrong caller).
+class HubClient {
+ public:
+  /// Connects and performs the HELLO handshake. Throws QmpiError when the
+  /// hub is unreachable (after `connect_attempts` x 100 ms retries).
+  HubClient(const std::string& host, std::uint16_t port, int proc_id,
+            int connect_attempts = 50);
+  ~HubClient();
+
+  HubClient(const HubClient&) = delete;
+  HubClient& operator=(const HubClient&) = delete;
+
+  int nprocs() const { return nprocs_; }
+  int proc_id() const { return proc_id_; }
+
+  /// RUN_BEGIN barrier: blocks until every process has begun this run with
+  /// an identical config and the hub has reset the backend.
+  void begin_run(const RunConfig& cfg);
+
+  /// RUN_END barrier: contributes this process's resource totals, returns
+  /// the world-wide element-wise sum (identical in every process). Throws
+  /// QmpiError naming the cause when the run was aborted (peer death,
+  /// config mismatch) instead of completing.
+  std::vector<std::uint64_t> end_run(std::span<const std::uint64_t> totals);
+
+  /// Fails the current run everywhere: peers' blocked receives wake with
+  /// ShutdownError. Idempotent; no-op when no run is live.
+  void abort_run(const std::string& reason);
+
+  /// Globally fresh communicator context id (hub-allocated).
+  std::uint64_t allocate_context();
+
+  /// Round-trips one opaque quantum request to the hub backend. Throws
+  /// RemoteSimError when the remote simulator rejected the op, QmpiError
+  /// when the transport failed.
+  std::vector<std::byte> sim_call(std::span<const std::byte> request);
+
+  /// Posts a classical message toward `dest_world_rank` (one-way, eager).
+  void post_remote(int dest_world_rank, const Message& msg);
+
+  /// Registers the delivery sink for incoming kDeliver frames and the
+  /// abort hook (both invoked on the receiver thread). Pass nulls to
+  /// unregister between runs.
+  void set_sinks(std::function<void(int dest, Message)> deliver,
+                 std::function<void(const std::string& reason)> on_abort);
+
+  /// Why the current run is dead, or empty. The run harness uses this to
+  /// turn secondary ShutdownErrors into one actionable QmpiError.
+  std::string dead_reason();
+
+ private:
+  void receiver_loop();
+  void fail_locked(const std::string& reason, bool fatal);
+  std::vector<std::byte> request(FrameType type, FrameType expect,
+                                 std::span<const std::byte> body);
+  void check_alive_locked();
+
+  int fd_ = -1;
+  int proc_id_ = 0;
+  int nprocs_ = 0;
+  std::thread receiver_;
+
+  std::mutex req_mu_;   ///< serializes request/reply users
+  std::mutex wr_mu_;    ///< serializes frame writes
+  std::mutex mu_;       ///< guards everything below
+  std::condition_variable cv_;
+  std::uint64_t next_req_id_ = 1;
+  std::uint64_t waiting_req_id_ = 0;  ///< 0 = nobody waiting
+  std::optional<Frame> reply_;
+  std::uint64_t epoch_ = 0;
+  bool epoch_done_ = true;
+  bool run_dead_ = false;   ///< current run failed (cleared by begin_run)
+  bool fatal_ = false;      ///< connection gone for good
+  std::string dead_reason_;
+  std::function<void(int, Message)> deliver_;
+  std::function<void(const std::string&)> on_abort_;
+};
+
+/// Remote simulator rejected an operation (the hub-side Backend threw).
+/// The core layer rethrows this as sim::SimulatorError so error handling
+/// is identical in-process and across processes.
+class RemoteSimError : public TransportError {
+ public:
+  explicit RemoteSimError(const std::string& what) : TransportError(what) {}
+};
+
+// ------------------------------------------------------------ transport ---
+
+/// Transport implementation over a HubClient: world_size() is the number
+/// of *ranks* in the run (not processes); locally hosted ranks get real
+/// mailboxes, everything else is framed to the hub. Construct before
+/// HubClient::begin_run() so no delivery can race registration; destroy
+/// after end_run() returns (the RUN_END_ACK guarantees no further
+/// deliveries are in flight).
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(HubClient& hub, int num_ranks);
+  ~SocketTransport() override;
+
+  int world_size() const override { return num_ranks_; }
+  void post(int dest_world_rank, Message msg) override;
+  Mailbox& mailbox(int world_rank) override;
+  std::uint64_t allocate_context() override;
+  void shutdown() override { fail("a local rank failed"); }
+  const char* name() const override { return "tcp"; }
+
+  /// The world ranks this process hosts.
+  RankBlock local_ranks() const { return local_; }
+
+  /// shutdown() with a reason that peers will see in their QmpiError.
+  void fail(const std::string& reason);
+
+ private:
+  bool is_local(int world_rank) const {
+    return world_rank >= local_.first &&
+           world_rank < local_.first + local_.count;
+  }
+  void shutdown_local();
+
+  HubClient* hub_;
+  int num_ranks_;
+  RankBlock local_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+}  // namespace qmpi::classical

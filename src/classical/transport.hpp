@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file transport.hpp
+/// The pluggable classical-transport seam the Comm layer is written
+/// against. See docs/ARCHITECTURE.md §2.
+
+
+#include <cstdint>
+
+#include "classical/mailbox.hpp"
+#include "classical/message.hpp"
+
+namespace qmpi::classical {
+
+/// Pluggable message fabric connecting the ranks of one QMPI job.
+///
+/// A Transport owns (a) delivery of envelope-addressed messages to any rank
+/// in the world and (b) the inbox of every rank that is *hosted locally*
+/// (in this process). The Comm layer is written entirely against this
+/// interface, so point-to-point matching, collectives, and communicator
+/// algebra work identically over any implementation:
+///
+///   - Universe (universe.hpp): the in-memory implementation — every rank
+///     is a thread of this process and post() is a mailbox push.
+///   - SocketTransport (socket_transport.hpp): ranks live in separate OS
+///     processes; post() frames the message onto a TCP connection to the
+///     job's hub, which routes it to the process hosting the destination.
+///
+/// Selection is plumbed through the job harness via QMPI_TRANSPORT
+/// (core/context.cpp); user code never names a concrete transport.
+///
+/// Contract (what Comm and Request rely on):
+///   - post() is eager and non-blocking: it never waits for the receiver.
+///     Distributed transports may bound one message's size (the TCP
+///     transport rejects frames above wire.hpp's kMaxFrameBytes with a
+///     QmpiError); split payloads that could exceed it.
+///   - Per (source, destination) pair, messages arrive in post() order on
+///     each (tag, channel, context) stream — MPI's non-overtaking rule.
+///     The Mailbox enforces matching; the transport must not reorder.
+///   - mailbox(r) is valid only for locally hosted ranks; Comm only ever
+///     asks for the inbox of the rank it belongs to.
+///   - allocate_context() returns globally fresh ids: no two calls anywhere
+///     in the world may observe the same id (communicator isolation).
+///   - shutdown() wakes every locally blocked rank with ShutdownError and,
+///     for distributed transports, propagates the failure to all peer
+///     processes so the whole job fails fast instead of deadlocking.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of ranks in the world this transport connects.
+  virtual int world_size() const = 0;
+
+  /// Delivers `msg` to the inbox of `dest_world_rank` (eager, non-blocking;
+  /// the destination may be hosted by another process).
+  virtual void post(int dest_world_rank, Message msg) = 0;
+
+  /// The local inbox of `world_rank`. Only valid for ranks hosted in this
+  /// process; implementations throw on a non-local rank.
+  virtual Mailbox& mailbox(int world_rank) = 0;
+
+  /// Allocates a communicator context id that is fresh across the whole
+  /// world (thread-safe; distributed transports delegate to the hub).
+  virtual std::uint64_t allocate_context() = 0;
+
+  /// Fails the job fast: wakes local blocked ranks with ShutdownError and
+  /// propagates the abort to remote peers where applicable.
+  virtual void shutdown() = 0;
+
+  /// Human-readable transport name ("inproc", "tcp") for diagnostics.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace qmpi::classical

@@ -6,39 +6,53 @@
 #include <vector>
 
 #include "classical/mailbox.hpp"
+#include "classical/transport.hpp"
 
 namespace qmpi::classical {
 
-/// Shared state of a threads-as-ranks "MPI job".
+/// In-process Transport: the shared state of a threads-as-ranks "MPI job".
 ///
 /// The Universe owns one mailbox per world rank and hands out fresh context
 /// ids for communicator duplication/splitting. It is created once by the
 /// Runtime and shared (by reference) with every rank thread; all members are
-/// thread-safe.
-class Universe {
+/// thread-safe. Because every rank is local, post() is a direct mailbox
+/// push — this is the zero-copy fast path the socket transport falls back
+/// to for co-hosted ranks.
+class Universe final : public Transport {
  public:
   explicit Universe(int world_size)
       : mailboxes_(static_cast<std::size_t>(world_size)) {
     for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
   }
 
-  int world_size() const { return static_cast<int>(mailboxes_.size()); }
+  int world_size() const override {
+    return static_cast<int>(mailboxes_.size());
+  }
 
-  Mailbox& mailbox(int world_rank) {
+  /// Every rank is hosted here, so any world rank has a local inbox.
+  Mailbox& mailbox(int world_rank) override {
     return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+
+  void post(int dest_world_rank, Message msg) override {
+    mailbox(dest_world_rank).post(std::move(msg));
   }
 
   /// Allocates a fresh communicator context id. Ranks must call this
   /// collectively in the same order so they agree on the id; the Comm layer
   /// guarantees that by electing rank 0 to allocate and broadcasting.
-  std::uint64_t allocate_context() { return next_context_.fetch_add(1); }
+  std::uint64_t allocate_context() override {
+    return next_context_.fetch_add(1);
+  }
 
   /// Wakes every rank blocked in a receive with ShutdownError. Called when a
   /// rank thread dies with an exception so the job fails fast instead of
   /// deadlocking.
-  void shutdown() {
+  void shutdown() override {
     for (auto& box : mailboxes_) box->shutdown();
   }
+
+  const char* name() const override { return "inproc"; }
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -1,14 +1,20 @@
 #include "core/context.hpp"
 
+#include <array>
 #include <bit>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 
+#include "classical/socket_transport.hpp"
 #include "core/protocol_tags.hpp"
+#include "core/sim_wire.hpp"
 #include "sim/sharded_statevector.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -16,9 +22,14 @@ namespace qmpi {
 
 Context::Context(classical::Comm user_comm, sim::SimServer& server,
                  Trace* trace)
+    : Context(std::move(user_comm),
+              std::make_shared<sim::LocalSimClient>(server), trace) {}
+
+Context::Context(classical::Comm user_comm,
+                 std::shared_ptr<sim::SimClient> sim, Trace* trace)
     : user_comm_(std::move(user_comm)),
       protocol_comm_(user_comm_.dup()),
-      server_(&server),
+      sim_(std::move(sim)),
       trace_(trace),
       tracker_(std::make_shared<ResourceTracker>()) {}
 
@@ -32,14 +43,14 @@ Context Context::split(int color, int key) {
                    tracker_);
   }
   classical::Comm sub_protocol = sub_user.dup();
-  return Context(std::move(sub_user), std::move(sub_protocol), server_,
+  return Context(std::move(sub_user), std::move(sub_protocol), sim_,
                  trace_, tracker_);
 }
 
 Context Context::duplicate() {
   classical::Comm dup_user = user_comm_.dup();
   classical::Comm dup_protocol = dup_user.dup();
-  return Context(std::move(dup_user), std::move(dup_protocol), server_,
+  return Context(std::move(dup_user), std::move(dup_protocol), sim_,
                  trace_, tracker_);
 }
 
@@ -50,8 +61,7 @@ void Context::trace_event(TraceEvent e) {
 // ---------------------------------------------------------------- qubits ---
 
 QubitArray Context::alloc_qmem(std::size_t count) {
-  auto ids = server_->call(
-      [count](sim::Backend& sv) { return sv.allocate(count); });
+  auto ids = sim_->allocate(count);
   std::vector<Qubit> qubits;
   qubits.reserve(count);
   for (const auto id : ids) qubits.push_back(Qubit{id});
@@ -63,10 +73,7 @@ void Context::free_qmem(const Qubit* qubits, std::size_t count) {
   ids.reserve(count);
   for (std::size_t i = 0; i < count; ++i) ids.push_back(qubits[i].id);
   try {
-    server_->call([ids](sim::Backend& sv) {
-      for (const auto id : ids) sv.deallocate_classical(id);
-      return 0;
-    });
+    sim_->deallocate_classical(ids);
   } catch (const sim::SimulatorError& e) {
     throw QmpiError(std::string("free_qmem: ") + e.what());
   }
@@ -75,55 +82,38 @@ void Context::free_qmem(const Qubit* qubits, std::size_t count) {
 // ----------------------------------------------------------------- gates ---
 
 void Context::gate1(const char* name, Qubit q, const sim::Gate1Q& gate) {
-  server_->call([&gate, q](sim::Backend& sv) {
-    sv.apply(gate, q.id);
-    return 0;
-  });
+  sim_->apply(gate, q.id);
   trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, name});
 }
 
 void Context::rotation(const char* name, Qubit q, const sim::Gate1Q& gate) {
-  server_->call([&gate, q](sim::Backend& sv) {
-    sv.apply(gate, q.id);
-    return 0;
-  });
+  sim_->apply(gate, q.id);
   trace_event({TraceEvent::Kind::kRotation, rank(), -1, 0, name});
 }
 
 void Context::cnot(Qubit control, Qubit target) {
-  server_->call([control, target](sim::Backend& sv) {
-    sv.cnot(control.id, target.id);
-    return 0;
-  });
+  sim_->cnot(control.id, target.id);
   trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, "CNOT"});
 }
 
 void Context::cz(Qubit control, Qubit target) {
-  server_->call([control, target](sim::Backend& sv) {
-    sv.cz(control.id, target.id);
-    return 0;
-  });
+  sim_->cz(control.id, target.id);
   trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, "CZ"});
 }
 
 void Context::toffoli(Qubit c0, Qubit c1, Qubit target) {
-  server_->call([c0, c1, target](sim::Backend& sv) {
-    sv.toffoli(c0.id, c1.id, target.id);
-    return 0;
-  });
+  sim_->toffoli(c0.id, c1.id, target.id);
   trace_event({TraceEvent::Kind::kLocalGate, rank(), -1, 0, "CCX"});
 }
 
 bool Context::measure(Qubit q) {
-  const bool r =
-      server_->call([q](sim::Backend& sv) { return sv.measure(q.id); });
+  const bool r = sim_->measure(q.id);
   trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "M"});
   return r;
 }
 
 bool Context::measure_x(Qubit q) {
-  const bool r =
-      server_->call([q](sim::Backend& sv) { return sv.measure_x(q.id); });
+  const bool r = sim_->measure_x(q.id);
   trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "MX"});
   return r;
 }
@@ -132,16 +122,13 @@ bool Context::measure_parity(std::span<const Qubit> qubits) {
   std::vector<sim::QubitId> ids;
   ids.reserve(qubits.size());
   for (const Qubit q : qubits) ids.push_back(q.id);
-  const bool r = server_->call([ids](sim::Backend& sv) {
-    return sv.measure_parity(ids);
-  });
+  const bool r = sim_->measure_parity(ids);
   trace_event({TraceEvent::Kind::kMeasurement, rank(), -1, 0, "MZZ"});
   return r;
 }
 
 double Context::probability_one(Qubit q) {
-  return server_->call(
-      [q](sim::Backend& sv) { return sv.probability_one(q.id); });
+  return sim_->probability_one(q.id);
 }
 
 // ------------------------------------------------------------------- EPR ---
@@ -170,11 +157,8 @@ void Context::epr_complete(Qubit qubit, int peer, int ptag) {
   // the higher-ranked endpoint may not touch its half before the ack.
   if (rank() < peer) {
     const auto peer_id = protocol_comm_.recv<sim::QubitId>(peer, ptag);
-    server_->call([qubit, peer_id](sim::Backend& sv) {
-      sv.h(qubit.id);
-      sv.cnot(qubit.id, peer_id);
-      return 0;
-    });
+    sim_->apply(sim::gate_h(), qubit.id);
+    sim_->cnot(qubit.id, peer_id);
     protocol_comm_.send(std::uint8_t{1}, peer, ptag);  // ack
     tracker_->count_epr_pair();
     trace_event({TraceEvent::Kind::kEprEstablish, rank(), peer, 0, "EPR"});
@@ -597,11 +581,166 @@ JobOptions JobOptions::from_env(JobOptions base) {
         parse_env_number("QMPI_SIM_THREADS", threads, /*allow_zero=*/false,
                          sim::ThreadPool::kMaxLanes));
   }
+  if (const char* transport = std::getenv("QMPI_TRANSPORT")) {
+    const std::string_view t(transport);
+    if (t == "inproc") {
+      base.transport = TransportKind::kInproc;
+    } else if (t == "tcp") {
+      base.transport = TransportKind::kTcp;
+    } else {
+      throw QmpiError(std::string("QMPI_TRANSPORT=\"") + transport +
+                      "\" is not a transport (use \"inproc\" or \"tcp\")");
+    }
+  }
   return base;
 }
 
+namespace {
+
+/// The process-wide hub connection for QMPI_TRANSPORT=tcp jobs. Created
+/// lazily on the first tcp run() and reused for every run in this process
+/// (the hub brackets each run with its own begin/end barriers).
+classical::HubClient& tcp_hub_client() {
+  static std::unique_ptr<classical::HubClient> client = [] {
+    const char* port_text = std::getenv("QMPI_TCP_PORT");
+    if (port_text == nullptr) {
+      throw QmpiError(
+          "QMPI_TRANSPORT=tcp requires QMPI_TCP_PORT (qmpirun sets it; for "
+          "a manual launch export the hub's port)");
+    }
+    const auto port = static_cast<std::uint16_t>(
+        parse_env_number("QMPI_TCP_PORT", port_text, /*allow_zero=*/false,
+                         65535));
+    const char* host = std::getenv("QMPI_TCP_HOST");
+    int proc_id = 0;
+    if (const char* proc_text = std::getenv("QMPI_PROC_ID")) {
+      proc_id = static_cast<int>(parse_env_number(
+          "QMPI_PROC_ID", proc_text, /*allow_zero=*/true, 65535));
+    }
+    return std::make_unique<classical::HubClient>(
+        host != nullptr ? host : "127.0.0.1", port, proc_id);
+  }();
+  return *client;
+}
+
+/// One run() under QMPI_TRANSPORT=tcp: this process hosts a contiguous
+/// block of the job's ranks as threads, every quantum operation is
+/// forwarded to the hub's backend, and resource totals are world-summed at
+/// the end barrier so the JobReport *totals* are identical in all
+/// processes. The trace (when enabled) deliberately stays per-process:
+/// it covers only locally hosted ranks and is not merged.
+JobReport run_tcp(const JobOptions& options,
+                  const std::function<void(Context&)>& fn) {
+  if (options.num_ranks < 1) {
+    throw QmpiError("run: num_ranks must be >= 1");
+  }
+  classical::HubClient& hub = tcp_hub_client();
+  classical::RunConfig cfg;
+  cfg.num_ranks = static_cast<std::uint32_t>(options.num_ranks);
+  cfg.seed = options.seed;
+  cfg.backend = static_cast<std::uint8_t>(options.backend);
+  cfg.num_shards = options.num_shards;
+  cfg.sim_threads = options.sim_threads;
+
+  // Order matters: register the transport's delivery sinks before the
+  // begin barrier so no peer's first message can race the registration,
+  // and keep the transport alive until after end_run (the RUN_END_ACK
+  // guarantees no further deliveries are in flight).
+  classical::SocketTransport transport(hub, options.num_ranks);
+  hub.begin_run(cfg);
+
+  auto sim = std::make_shared<RemoteSimClient>(hub);
+  Trace trace;
+  Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
+  const classical::RankBlock block = transport.local_ranks();
+
+  constexpr auto kCategories = static_cast<std::size_t>(OpCategory::kCount_);
+  std::vector<std::array<ResourceTracker::Counts, kCategories>> per_rank(
+      static_cast<std::size_t>(block.count));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(block.count));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(block.count));
+  for (int i = 0; i < block.count; ++i) {
+    threads.emplace_back([&, i]() {
+      try {
+        classical::Comm world =
+            classical::Comm::world(transport, block.first + i);
+        Context ctx(world, sim, trace_ptr);
+        fn(ctx);
+        ctx.classical_comm().barrier();
+        for (std::size_t c = 0; c < kCategories; ++c) {
+          per_rank[static_cast<std::size_t>(i)][c] =
+              ctx.tracker()[static_cast<OpCategory>(c)];
+        }
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+        transport.fail(std::string("rank ") + std::to_string(block.first + i) +
+                       " failed: " + e.what());
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+        transport.fail("rank " + std::to_string(block.first + i) +
+                       " failed with an unknown error");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Prefer the root-cause exception over secondary ShutdownErrors, as the
+  // in-process Runtime does; when every local failure is secondary the
+  // hub's abort reason carries the actual cause from the failing process.
+  std::exception_ptr first;
+  bool any_shutdown = false;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const classical::ShutdownError&) {
+      any_shutdown = true;
+    } catch (...) {
+      if (!first) first = e;
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  if (any_shutdown) {
+    const std::string reason = hub.dead_reason();
+    throw QmpiError("QMPI job aborted" +
+                    (reason.empty() ? std::string(" by a peer process")
+                                    : ": " + reason));
+  }
+
+  // End barrier: flatten local totals, receive the world-wide sums. The
+  // wire layout is [epr_pairs, classical_bits] per category; if Counts
+  // ever grows a field, this assert forces the tcp path to learn about it
+  // (or inproc and tcp reports would silently diverge).
+  static_assert(sizeof(ResourceTracker::Counts) == 2 * sizeof(std::uint64_t),
+                "update the RUN_END totals layout for the new Counts field");
+  std::vector<std::uint64_t> totals(kCategories * 2, 0);
+  for (const auto& rank_counts : per_rank) {
+    for (std::size_t c = 0; c < kCategories; ++c) {
+      totals[2 * c] += rank_counts[c].epr_pairs;
+      totals[2 * c + 1] += rank_counts[c].classical_bits;
+    }
+  }
+  // end_run translates a peer failure at the end barrier into a QmpiError
+  // carrying the job-level cause (possible even with zero local ranks).
+  const auto world_totals = hub.end_run(totals);
+
+  JobReport report;
+  for (std::size_t c = 0;
+       c < kCategories && 2 * c + 1 < world_totals.size(); ++c) {
+    report.totals_by_category[c].epr_pairs = world_totals[2 * c];
+    report.totals_by_category[c].classical_bits = world_totals[2 * c + 1];
+  }
+  report.trace = trace.snapshot();
+  return report;
+}
+
+}  // namespace
+
 JobReport run(const JobOptions& options,
               const std::function<void(Context&)>& fn) {
+  if (options.transport == TransportKind::kTcp) return run_tcp(options, fn);
   sim::SimServer server(options.seed, options.sim_threads, options.backend,
                         options.num_shards);
   Trace trace;

@@ -14,14 +14,13 @@
 #include "core/resource_tracker.hpp"
 #include "core/trace.hpp"
 #include "sim/server.hpp"
+#include "sim/sim_client.hpp"
 
 namespace qmpi {
 
-/// Error raised on misuse of the QMPI API.
-class QmpiError : public std::runtime_error {
- public:
-  explicit QmpiError(const std::string& what) : std::runtime_error(what) {}
-};
+// QmpiError (the error type raised on API misuse and transport failures)
+// lives in classical/error.hpp so the socket transport can raise it; it is
+// available here through the include chain as qmpi::QmpiError.
 
 /// Algorithm selector for QMPI_Bcast (paper §7.1).
 enum class BcastAlg {
@@ -122,7 +121,14 @@ struct PersistentHandle {
 /// with their inverses (§4.4, §4.5) plus resource accounting.
 class Context {
  public:
+  /// In-process construction: quantum operations go to the shared
+  /// SimServer through a LocalSimClient.
   Context(classical::Comm user_comm, sim::SimServer& server, Trace* trace);
+
+  /// Transport-agnostic construction: quantum operations go wherever
+  /// `sim` points (the in-process server or a remote hub backend).
+  Context(classical::Comm user_comm, std::shared_ptr<sim::SimClient> sim,
+          Trace* trace);
 
   /// Splits this context into disjoint sub-contexts by `color`, ordered by
   /// (key, rank) — MPI_Comm_split lifted to QMPI. All QMPI operations of
@@ -138,7 +144,7 @@ class Context {
   Context duplicate();
 
   /// True for contexts created with a negative split color.
-  bool is_null() const { return server_ == nullptr; }
+  bool is_null() const { return sim_ == nullptr; }
 
   int rank() const { return user_comm_.rank(); }
   int size() const { return user_comm_.size(); }
@@ -420,7 +426,11 @@ class Context {
 
   // ----------------------------------------------------- introspection ---
 
-  sim::SimServer& server() { return *server_; }
+  /// The quantum operation surface of this rank. Typed and
+  /// transport-agnostic: under QMPI_TRANSPORT=tcp the calls are forwarded
+  /// to the launcher-hosted backend, so use this (never a raw SimServer)
+  /// for state assertions in tests and examples.
+  sim::SimClient& sim() { return *sim_; }
 
   /// Probability of measuring 1 (no collapse); test/debug helper.
   double probability_one(Qubit q);
@@ -474,22 +484,31 @@ class Context {
                               const ReduceOp& op, int root, int tag);
   void unreduce_tree(ReductionHandle& handle, const Qubit* qubits);
 
-  /// Sub-context constructor: shares the simulation server, trace, and
+  /// Sub-context constructor: shares the simulation client, trace, and
   /// resource tracker with the parent.
   Context(classical::Comm user_comm, classical::Comm protocol_comm,
-          sim::SimServer* server, Trace* trace,
+          std::shared_ptr<sim::SimClient> sim, Trace* trace,
           std::shared_ptr<ResourceTracker> tracker)
       : user_comm_(std::move(user_comm)),
         protocol_comm_(std::move(protocol_comm)),
-        server_(server),
+        sim_(std::move(sim)),
         trace_(trace),
         tracker_(std::move(tracker)) {}
 
   classical::Comm user_comm_;
   classical::Comm protocol_comm_;
-  sim::SimServer* server_;
+  std::shared_ptr<sim::SimClient> sim_;
   Trace* trace_;
   std::shared_ptr<ResourceTracker> tracker_;
+};
+
+/// Which classical fabric connects the ranks of a job (see
+/// classical/transport.hpp). kInproc runs ranks as threads of this
+/// process; kTcp joins a multi-process job through the qmpirun hub named
+/// by QMPI_TCP_HOST/QMPI_TCP_PORT.
+enum class TransportKind {
+  kInproc,
+  kTcp,
 };
 
 /// Options for a QMPI job.
@@ -505,11 +524,13 @@ struct JobOptions {
   unsigned num_shards = 1;
   /// Worker lanes for the backend's O(2^n) sweeps.
   unsigned sim_threads = 1;
+  /// Classical fabric connecting the ranks (QMPI_TRANSPORT=inproc|tcp).
+  TransportKind transport = TransportKind::kInproc;
 
-  /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS
-  /// environment overrides on top of `base`, so any benchmark or example
-  /// binary is reproducible and backend-selectable from the command line
-  /// without recompiling.
+  /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS /
+  /// QMPI_TRANSPORT environment overrides on top of `base`, so any
+  /// benchmark or example binary is reproducible and backend/transport-
+  /// selectable from the command line without recompiling.
   static JobOptions from_env();
   static JobOptions from_env(JobOptions base);
 };
@@ -533,9 +554,14 @@ struct JobReport {
   }
 };
 
-/// Runs `fn` as a QMPI job on `options.num_ranks` rank threads sharing one
-/// simulation server (the mpirun of this prototype). Returns aggregated
-/// resource counts and the trace.
+/// Runs `fn` as a QMPI job on `options.num_ranks` ranks. With the default
+/// in-process transport every rank is a thread sharing one simulation
+/// server (the mpirun of this prototype). Under QMPI_TRANSPORT=tcp this
+/// process joins a qmpirun-launched multi-process job instead: it hosts
+/// its contiguous block of ranks (one thread each), forwards quantum
+/// operations to the hub's backend, and returns a JobReport whose resource
+/// totals are world-summed — i.e. identical in every process. The trace,
+/// when enabled, only covers locally hosted ranks under tcp.
 JobReport run(const JobOptions& options,
               const std::function<void(Context&)>& fn);
 

@@ -1,0 +1,247 @@
+#include "core/sim_wire.hpp"
+
+#include <string>
+
+namespace qmpi {
+
+using classical::RemoteSimError;
+using classical::WireReader;
+using classical::WireWriter;
+
+namespace {
+
+void put_gate(WireWriter& w, const sim::Gate1Q& gate) {
+  for (const auto& amp : gate.m) {
+    w.f64(amp.real());
+    w.f64(amp.imag());
+  }
+  w.str(gate.name);
+}
+
+sim::Gate1Q get_gate(WireReader& r) {
+  sim::Gate1Q gate;
+  for (auto& amp : gate.m) {
+    const double re = r.f64();
+    const double im = r.f64();
+    amp = sim::Complex(re, im);
+  }
+  gate.name = r.str();
+  return gate;
+}
+
+void put_ids(WireWriter& w, std::span<const sim::QubitId> ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const auto id : ids) w.u64(id);
+}
+
+std::vector<sim::QubitId> get_ids(WireReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<sim::QubitId> ids(n);
+  for (auto& id : ids) id = r.u64();
+  return ids;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- client ---
+
+std::vector<std::byte> RemoteSimClient::call(const WireWriter& w) {
+  try {
+    return hub_->sim_call(w.data());
+  } catch (const RemoteSimError& e) {
+    // Same type the local path throws, same message the remote Backend
+    // produced: error handling is location-transparent.
+    throw sim::SimulatorError(e.what());
+  }
+}
+
+std::vector<sim::QubitId> RemoteSimClient::allocate(std::size_t count) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kAllocate));
+  w.u64(count);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return get_ids(r);
+}
+
+void RemoteSimClient::deallocate_classical(
+    std::span<const sim::QubitId> ids) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kDeallocateClassical));
+  put_ids(w, ids);
+  call(w);
+}
+
+void RemoteSimClient::apply(const sim::Gate1Q& gate, sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kApply1));
+  w.u64(qubit);
+  put_gate(w, gate);
+  call(w);
+}
+
+void RemoteSimClient::cnot(sim::QubitId control, sim::QubitId target) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kCnot));
+  w.u64(control);
+  w.u64(target);
+  call(w);
+}
+
+void RemoteSimClient::cz(sim::QubitId control, sim::QubitId target) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kCz));
+  w.u64(control);
+  w.u64(target);
+  call(w);
+}
+
+void RemoteSimClient::toffoli(sim::QubitId c0, sim::QubitId c1,
+                              sim::QubitId target) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kToffoli));
+  w.u64(c0);
+  w.u64(c1);
+  w.u64(target);
+  call(w);
+}
+
+bool RemoteSimClient::measure(sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kMeasure));
+  w.u64(qubit);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.u8() != 0;
+}
+
+bool RemoteSimClient::measure_x(sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kMeasureX));
+  w.u64(qubit);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.u8() != 0;
+}
+
+bool RemoteSimClient::measure_parity(std::span<const sim::QubitId> qubits) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kMeasureParity));
+  put_ids(w, qubits);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.u8() != 0;
+}
+
+double RemoteSimClient::probability_one(sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kProbabilityOne));
+  w.u64(qubit);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.f64();
+}
+
+double RemoteSimClient::expectation(
+    std::span<const std::pair<sim::QubitId, char>> paulis) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kExpectation));
+  w.u32(static_cast<std::uint32_t>(paulis.size()));
+  for (const auto& [id, p] : paulis) {
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(p));
+  }
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.f64();
+}
+
+std::size_t RemoteSimClient::num_qubits() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kNumQubits));
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return static_cast<std::size_t>(r.u64());
+}
+
+// ------------------------------------------------------------------ hub ---
+
+std::vector<std::byte> apply_sim_request(sim::Backend& backend,
+                                         std::span<const std::byte> request) {
+  WireReader r(request);
+  const auto op = static_cast<SimOp>(r.u8());
+  WireWriter reply;
+  switch (op) {
+    case SimOp::kAllocate: {
+      const auto count = static_cast<std::size_t>(r.u64());
+      put_ids(reply, backend.allocate(count));
+      break;
+    }
+    case SimOp::kDeallocateClassical: {
+      for (const auto id : get_ids(r)) backend.deallocate_classical(id);
+      break;
+    }
+    case SimOp::kApply1: {
+      const sim::QubitId qubit = r.u64();
+      const sim::Gate1Q gate = get_gate(r);
+      backend.apply(gate, qubit);
+      break;
+    }
+    case SimOp::kCnot: {
+      const sim::QubitId control = r.u64();
+      const sim::QubitId target = r.u64();
+      backend.cnot(control, target);
+      break;
+    }
+    case SimOp::kCz: {
+      const sim::QubitId control = r.u64();
+      const sim::QubitId target = r.u64();
+      backend.cz(control, target);
+      break;
+    }
+    case SimOp::kToffoli: {
+      const sim::QubitId c0 = r.u64();
+      const sim::QubitId c1 = r.u64();
+      const sim::QubitId target = r.u64();
+      backend.toffoli(c0, c1, target);
+      break;
+    }
+    case SimOp::kMeasure: {
+      reply.u8(backend.measure(r.u64()) ? 1 : 0);
+      break;
+    }
+    case SimOp::kMeasureX: {
+      reply.u8(backend.measure_x(r.u64()) ? 1 : 0);
+      break;
+    }
+    case SimOp::kMeasureParity: {
+      const auto ids = get_ids(r);
+      reply.u8(backend.measure_parity(ids) ? 1 : 0);
+      break;
+    }
+    case SimOp::kProbabilityOne: {
+      reply.f64(backend.probability_one(r.u64()));
+      break;
+    }
+    case SimOp::kExpectation: {
+      const std::uint32_t n = r.u32();
+      std::vector<std::pair<sim::QubitId, char>> paulis(n);
+      for (auto& [id, p] : paulis) {
+        id = r.u64();
+        p = static_cast<char>(r.u8());
+      }
+      reply.f64(backend.expectation(paulis));
+      break;
+    }
+    case SimOp::kNumQubits: {
+      reply.u64(backend.num_qubits());
+      break;
+    }
+    default:
+      throw sim::SimulatorError("unknown remote quantum opcode " +
+                                std::to_string(static_cast<int>(op)));
+  }
+  return reply.take();
+}
+
+}  // namespace qmpi

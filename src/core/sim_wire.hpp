@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "classical/socket_transport.hpp"
+#include "classical/wire.hpp"
+#include "sim/backend.hpp"
+#include "sim/sim_client.hpp"
+
+namespace qmpi {
+
+/// Wire protocol for forwarding quantum operations to the hub's backend.
+///
+/// Each SimClient call becomes one kSim frame whose body is
+/// (u8 opcode, operands); the hub executes it on its Backend under the
+/// same serialization as classical routing and replies with the result.
+/// Backend exceptions travel back as kSimError and are rethrown locally
+/// as sim::SimulatorError, so protocol code behaves identically whether
+/// the state vector is in-process or three processes away.
+///
+/// The opcode values are part of the wire format; append only.
+enum class SimOp : std::uint8_t {
+  kAllocate = 1,
+  kDeallocateClassical = 2,
+  kApply1 = 3,
+  kCnot = 4,
+  kCz = 5,
+  kToffoli = 6,
+  kMeasure = 7,
+  kMeasureX = 8,
+  kMeasureParity = 9,
+  kProbabilityOne = 10,
+  kExpectation = 11,
+  kNumQubits = 12,
+};
+
+/// SimClient that ships every call through `hub.sim_call()`. Used by rank
+/// processes under QMPI_TRANSPORT=tcp; thread-safe because HubClient
+/// serializes and correlates requests.
+class RemoteSimClient final : public sim::SimClient {
+ public:
+  explicit RemoteSimClient(classical::HubClient& hub) : hub_(&hub) {}
+
+  std::vector<sim::QubitId> allocate(std::size_t count) override;
+  void deallocate_classical(std::span<const sim::QubitId> ids) override;
+  void apply(const sim::Gate1Q& gate, sim::QubitId qubit) override;
+  void cnot(sim::QubitId control, sim::QubitId target) override;
+  void cz(sim::QubitId control, sim::QubitId target) override;
+  void toffoli(sim::QubitId c0, sim::QubitId c1, sim::QubitId target) override;
+  bool measure(sim::QubitId qubit) override;
+  bool measure_x(sim::QubitId qubit) override;
+  bool measure_parity(std::span<const sim::QubitId> qubits) override;
+  double probability_one(sim::QubitId qubit) override;
+  double expectation(
+      std::span<const std::pair<sim::QubitId, char>> paulis) override;
+  std::size_t num_qubits() override;
+
+ private:
+  std::vector<std::byte> call(const classical::WireWriter& w);
+  classical::HubClient* hub_;
+};
+
+/// Executes one encoded SimOp against `backend` and returns the encoded
+/// reply. This is the hub side of the protocol: the launcher installs
+/// `[&](req) { return apply_sim_request(*backend, req); }` as the hub's
+/// sim service. Throws sim::SimulatorError on misuse (marshalled to the
+/// requesting rank by the hub).
+std::vector<std::byte> apply_sim_request(sim::Backend& backend,
+                                         std::span<const std::byte> request);
+
+}  // namespace qmpi

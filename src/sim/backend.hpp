@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file backend.hpp
+/// The abstract simulation Backend: register/protocol bookkeeping shared
+/// by every amplitude representation (serial and sharded), plus backend
+/// construction and selection helpers. See docs/ARCHITECTURE.md §4.
+
+
 #include <cstdint>
 #include <memory>
 #include <random>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file fusion.hpp
+/// Lazy cluster gate fusion: adjacent overlapping gates merge into
+/// k-qubit units applied in one state-vector sweep. See
+/// docs/ARCHITECTURE.md §5.
+
+
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file thread_pool.hpp
+/// Persistent worker-lane pool behind every O(2^n) sweep. See
+/// docs/ARCHITECTURE.md §7.
+
+
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>

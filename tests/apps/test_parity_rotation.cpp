@@ -42,21 +42,14 @@ Observables run_method(int ranks, double t, apps::ParityMethod method,
       }
       for (int i = 0; i < ranks; ++i) {
         const Qubit q = all[static_cast<std::size_t>(i)];
-        obs.z[static_cast<std::size_t>(i)] =
-            ctx.server().call([q](sim::Backend& sv) {
-              const std::pair<sim::QubitId, char> pp[] = {{q.id, 'Z'}};
-              return sv.expectation(pp);
-            });
-        obs.x[static_cast<std::size_t>(i)] =
-            ctx.server().call([q](sim::Backend& sv) {
-              const std::pair<sim::QubitId, char> pp[] = {{q.id, 'X'}};
-              return sv.expectation(pp);
-            });
+        const std::pair<sim::QubitId, char> pz[] = {{q.id, 'Z'}};
+        const std::pair<sim::QubitId, char> px[] = {{q.id, 'X'}};
+        obs.z[static_cast<std::size_t>(i)] = ctx.sim().expectation(pz);
+        obs.x[static_cast<std::size_t>(i)] = ctx.sim().expectation(px);
       }
       std::vector<std::pair<sim::QubitId, char>> zz;
       for (const Qubit q : all) zz.emplace_back(q.id, 'Z');
-      obs.zz_all = ctx.server().call(
-          [zz](sim::Backend& sv) { return sv.expectation(zz); });
+      obs.zz_all = ctx.sim().expectation(zz);
     } else {
       ctx.classical_comm().send(data[0], 0, 900);
     }
@@ -204,8 +197,7 @@ TEST(ParityRotation, DistributedCnotMatchesLocalCnot) {
                                                       {target.id, op}};
         const std::pair<sim::QubitId, char> refp[] = {{ids[0], op},
                                                       {ids[1], op}};
-        const double got = ctx.server().call(
-            [&mine](sim::Backend& sv) { return sv.expectation(mine); });
+        const double got = ctx.sim().expectation(mine);
         EXPECT_NEAR(got, ref.expectation(refp), 1e-9) << op;
       }
     } else {

@@ -56,8 +56,7 @@ void check_term(int ranks, unsigned block, const std::string& pauli,
         for (const char op : {'Z', 'X', 'Y'}) {
           const std::pair<sim::QubitId, char> mp[] = {{all[i].id, op}};
           const std::pair<sim::QubitId, char> rp[] = {{ids[i], op}};
-          const double got = ctx.server().call(
-              [&mp](sim::Backend& sv) { return sv.expectation(mp); });
+          const double got = ctx.sim().expectation(mp);
           EXPECT_NEAR(got, ref.expectation(rp), 1e-9)
               << pauli << " qubit " << i << " op " << op;
         }
@@ -138,8 +137,7 @@ TEST(PauliEvolution, TrotterStepOverSmallHamiltonian) {
       for (unsigned i = 0; i < n; ++i) {
         const std::pair<sim::QubitId, char> mp[] = {{all[i].id, 'Z'}};
         const std::pair<sim::QubitId, char> rp[] = {{ids[i], 'Z'}};
-        const double got = ctx.server().call(
-            [&mp](sim::Backend& sv) { return sv.expectation(mp); });
+        const double got = ctx.sim().expectation(mp);
         EXPECT_NEAR(got, ref.expectation(rp), 1e-9) << "spin " << i;
       }
     } else {

@@ -39,14 +39,10 @@ std::pair<std::vector<double>, std::vector<double>> distributed_observables(
         }
       }
       for (unsigned i = 0; i < n; ++i) {
-        z[i] = ctx.server().call([q = all[i]](sim::Backend& sv) {
-          const std::pair<sim::QubitId, char> pz[] = {{q.id, 'Z'}};
-          return sv.expectation(pz);
-        });
-        x[i] = ctx.server().call([q = all[i]](sim::Backend& sv) {
-          const std::pair<sim::QubitId, char> px[] = {{q.id, 'X'}};
-          return sv.expectation(px);
-        });
+        const std::pair<sim::QubitId, char> pz[] = {{all[i].id, 'Z'}};
+        const std::pair<sim::QubitId, char> px[] = {{all[i].id, 'X'}};
+        z[i] = ctx.sim().expectation(pz);
+        x[i] = ctx.sim().expectation(px);
       }
     } else {
       for (unsigned i = 0; i < local; ++i) {

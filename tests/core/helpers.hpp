@@ -11,12 +11,12 @@
 
 namespace qmpi::testing {
 
-/// Expectation value of a Pauli string over arbitrary qubits.
+/// Expectation value of a Pauli string over arbitrary qubits. Goes through
+/// ctx.sim() so the assertion works over any transport (in-process or a
+/// qmpirun-hosted backend).
 inline double expectation(Context& ctx,
                           std::vector<std::pair<sim::QubitId, char>> paulis) {
-  return ctx.server().call([paulis = std::move(paulis)](sim::Backend& sv) {
-    return sv.expectation(paulis);
-  });
+  return ctx.sim().expectation(paulis);
 }
 
 inline double exp1(Context& ctx, Qubit q, char p) {
@@ -37,8 +37,7 @@ inline Qubit recv_handle(Context& ctx, int source, int tag = 900) {
 
 /// Number of currently allocated qubits in the global state vector.
 inline std::size_t total_qubits(Context& ctx) {
-  return ctx.server().call(
-      [](sim::Backend& sv) { return sv.num_qubits(); });
+  return ctx.sim().num_qubits();
 }
 
 }  // namespace qmpi::testing

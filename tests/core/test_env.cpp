@@ -14,6 +14,7 @@
 
 using qmpi::JobOptions;
 using qmpi::QmpiError;
+using qmpi::TransportKind;
 
 namespace {
 
@@ -34,6 +35,7 @@ class EnvGuard {
     unsetenv("QMPI_BACKEND");
     unsetenv("QMPI_SHARDS");
     unsetenv("QMPI_SIM_THREADS");
+    unsetenv("QMPI_TRANSPORT");
   }
 };
 
@@ -46,6 +48,22 @@ TEST(EnvOptions, DefaultsWhenUnset) {
   EXPECT_EQ(opts.backend, qmpi::sim::BackendKind::kSerial);
   EXPECT_EQ(opts.num_shards, 1u);
   EXPECT_EQ(opts.sim_threads, 1u);
+  EXPECT_EQ(opts.transport, TransportKind::kInproc);
+}
+
+TEST(EnvOptions, TransportParsesStrictly) {
+  EnvGuard env;
+  env.set("QMPI_TRANSPORT", "inproc");
+  EXPECT_EQ(JobOptions::from_env().transport, TransportKind::kInproc);
+  env.set("QMPI_TRANSPORT", "tcp");
+  EXPECT_EQ(JobOptions::from_env().transport, TransportKind::kTcp);
+  // Anything else must fail loud: a typo silently falling back to inproc
+  // would run a "distributed" job single-process without a word.
+  for (const char* bad : {"TCP", "socket", "tcp ", "", "inproc,tcp"}) {
+    env.set("QMPI_TRANSPORT", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError)
+        << "QMPI_TRANSPORT=\"" << bad << "\"";
+  }
 }
 
 TEST(EnvOptions, ValidOverridesParse) {

@@ -28,10 +28,11 @@ TEST(QmpiEpr, PreparedPairIsMaximallyEntangled) {
 }
 
 TEST(QmpiEpr, PaperSection6ExampleBothRanksMeasureSameValue) {
-  // The exact program from the paper's §6 listing, in the compat API.
+  // The exact program from the paper's §6 listing, in the compat API. The
+  // outcomes are compared through the classical layer (not shared memory)
+  // so the test also holds when the two ranks are separate OS processes
+  // under QMPI_TRANSPORT=tcp.
   using namespace qmpi::compat;
-  std::array<int, 2> results{-1, -1};
-  std::mutex mu;
   qmpi::compat::run(2, [&] {
     auto qubit = QMPI_Alloc_qmem(1);
     int rank;
@@ -39,15 +40,16 @@ TEST(QmpiEpr, PaperSection6ExampleBothRanksMeasureSameValue) {
     const int dest = rank == 0 ? 1 : 0;
     QMPI_Prepare_EPR(qubit, dest, 0, QMPI_COMM_WORLD);
     const bool res = Measure(qubit);
-    {
-      const std::lock_guard lock(mu);
-      results[static_cast<std::size_t>(rank)] = res ? 1 : 0;
+    if (rank == 1) {
+      current().classical_comm().send(static_cast<std::uint8_t>(res), 0, 42);
+    } else {
+      const auto peer_res =
+          current().classical_comm().recv<std::uint8_t>(1, 42);
+      EXPECT_EQ(res ? 1 : 0, static_cast<int>(peer_res));
     }
     // Measured -> classical; Free accepts it.
     QMPI_Free_qmem(qubit, 1);
   });
-  EXPECT_NE(results[0], -1);
-  EXPECT_EQ(results[0], results[1]);
 }
 
 TEST(QmpiEpr, ManyPairsInFlightBetweenSameRanksStayPaired) {

@@ -43,11 +43,9 @@ TEST(QmpiSubcomm, EprPairsWithinSubgroups) {
       sub.classical_comm().send(q[0], 0, 900);
     } else {
       const Qubit other = sub.classical_comm().recv<Qubit>(1, 900);
-      const double xx = sub.server().call([&](sim::Backend& sv) {
-        const std::pair<sim::QubitId, char> p[] = {{q[0].id, 'X'},
-                                                   {other.id, 'X'}};
-        return sv.expectation(p);
-      });
+      const std::pair<sim::QubitId, char> p[] = {{q[0].id, 'X'},
+                                                 {other.id, 'X'}};
+      const double xx = sub.sim().expectation(p);
       EXPECT_NEAR(xx, 1.0, 1e-9);
     }
     ctx.barrier();

@@ -14,6 +14,14 @@ namespace qmpi::classical {
 /// are born complete; irecv requests carry a deferred match that wait()/
 /// test() drive. Requests are move-only RAII handles; destroying an
 /// incomplete receive request abandons it (MPI_Request_free semantics).
+///
+/// A default-constructed or moved-from handle is *null* (the analogue of
+/// MPI_REQUEST_NULL): it has no operation to drive, so test() returns
+/// true and wait() returns immediately — exactly how MPI defines
+/// MPI_Test/MPI_Wait on a null request — instead of invoking an empty
+/// callback. Either call marks the handle complete (completion is
+/// terminal, so poll loops over it terminate). message() on a null
+/// request is the empty Message.
 class Request {
  public:
   Request() = default;
@@ -39,9 +47,20 @@ class Request {
     return r;
   }
 
+  /// True when this handle drives no operation (default-constructed or
+  /// moved-from); the MPI_REQUEST_NULL state.
+  bool is_null() const { return !complete_ && !poll_ && !block_; }
+
   /// Returns true and captures the message if the operation has completed.
+  /// On a null handle: true immediately (MPI_Test on MPI_REQUEST_NULL),
+  /// and the handle becomes complete — completion is terminal, so a
+  /// test-then-poll loop over it terminates.
   bool test() {
     if (complete_) return true;
+    if (!poll_) {  // null handle: nothing to wait for
+      complete_ = true;
+      return true;
+    }
     if (auto msg = poll_()) {
       message_ = std::move(*msg);
       complete_ = true;
@@ -50,9 +69,14 @@ class Request {
     return false;
   }
 
-  /// Blocks until completion.
+  /// Blocks until completion. On a null handle: returns immediately and
+  /// marks the handle complete (MPI_Wait on MPI_REQUEST_NULL).
   void wait() {
     if (complete_) return;
+    if (!block_) {  // null handle: nothing to wait for
+      complete_ = true;
+      return;
+    }
     message_ = block_();
     complete_ = true;
   }

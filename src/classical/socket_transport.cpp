@@ -211,6 +211,7 @@ int rank_owner(int num_ranks, int nprocs, int world_rank) {
 
 Hub::Hub(int nprocs, std::uint16_t port, Services services)
     : nprocs_(nprocs), services_(std::move(services)) {
+  sim_failed_.assign(static_cast<std::size_t>(nprocs), std::string());
   conns_.reserve(static_cast<std::size_t>(nprocs));
   for (int p = 0; p < nprocs; ++p) conns_.push_back(std::make_unique<Conn>());
 
@@ -423,6 +424,7 @@ void Hub::abort_run_locked(int origin_proc, const std::string& reason) {
   aborted_epoch_ = epoch;
   if (begin_phase) hub_epoch_ = epoch;
   run_active_ = false;
+  for (auto& failed : sim_failed_) failed.clear();
   pending_cfg_.reset();
   begin_count_ = 0;
   begin_req_ids_.clear();
@@ -475,12 +477,64 @@ void Hub::handle_frame(int proc, Frame frame) {
       return;
     }
 
+    case FrameType::kSimBatch: {
+      // One-way pipelined quantum ops: epoch-tagged like kPost (a batch
+      // from an aborted run must never execute against the next run's
+      // backend), executed synchronously on this reader thread so
+      // per-connection FIFO makes "batch frame before classical frame"
+      // mean "ops applied before the message is routed". No reply on
+      // success; a failure travels back as a req-id-0 kSimError, which
+      // the client surfaces at its next synchronization point.
+      WireReader r(frame.body);
+      const std::uint64_t epoch = r.u64();
+      {
+        const std::lock_guard lock(mu_);
+        if (!run_active_ || epoch != hub_epoch_) return;  // stale batch
+        // This process's op stream already broke: later batches may be
+        // in flight ahead of the error notice, and executing them would
+        // apply ops "after" the failure. Drop them.
+        if (!sim_failed_[static_cast<std::size_t>(proc)].empty()) return;
+      }
+      const auto request = r.rest();
+      try {
+        const std::lock_guard sim_lock(sim_mu_);
+        if (!services_.sim) {
+          throw QmpiError("hub has no quantum service configured");
+        }
+        (void)services_.sim(request);
+      } catch (const std::exception& e) {
+        {
+          const std::lock_guard lock(mu_);
+          auto& reason = sim_failed_[static_cast<std::size_t>(proc)];
+          if (reason.empty()) reason = e.what();
+        }
+        WireWriter err;
+        err.u64(0);  // req id 0: asynchronous batch error
+        err.str(e.what());
+        send_to(proc, FrameType::kSimError, err.data());
+      }
+      return;
+    }
+
     case FrameType::kSim: {
       WireReader r(frame.body);
       const std::uint64_t req_id = r.u64();
       const auto request = r.rest();
       WireWriter reply;
       reply.u64(req_id);
+      {
+        // A request behind a failed batch from the same process must not
+        // observe the broken state; answer it with the root cause (this
+        // also makes the deferred error deterministic: even if the
+        // req-id-0 notice races, the next round trip reports it).
+        const std::lock_guard lock(mu_);
+        const auto& reason = sim_failed_[static_cast<std::size_t>(proc)];
+        if (!reason.empty()) {
+          reply.str(reason);
+          send_to(proc, FrameType::kSimError, reply.data());
+          return;
+        }
+      }
       FrameType reply_type = FrameType::kSimResult;
       try {
         std::vector<std::byte> result;
@@ -593,6 +647,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       begin_count_ = 0;
       hub_epoch_ = epoch;
       next_context_ = 1;  // fresh Universe semantics per run
+      for (auto& failed : sim_failed_) failed.clear();  // fresh backend too
       run_active_ = true;
       for (int p = 0; p < nprocs_; ++p) {
         WireWriter ready;
@@ -798,6 +853,14 @@ void HubClient::receiver_loop() {
         case FrameType::kRunEndAck: {
           WireReader r(frame.body);
           const std::uint64_t req_id = r.u64();
+          if (frame.type == FrameType::kSimError && req_id == 0) {
+            // Deferred failure of a one-way sim_post batch. First error
+            // wins (later ones are downstream of the same broken state);
+            // it is rethrown from the next sim_post/sim_call.
+            const std::string reason = r.str();
+            if (sim_post_error_.empty()) sim_post_error_ = reason;
+            break;
+          }
           if (req_id != waiting_req_id_) break;  // stale reply; drop
           if (frame.type == FrameType::kRunEndAck) epoch_done_ = true;
           reply_ = std::move(frame);
@@ -838,6 +901,24 @@ void HubClient::check_alive_locked() {
     // root cause.
     throw ShutdownError();
   }
+}
+
+void HubClient::throw_sim_post_error_locked() {
+  if (sim_post_error_.empty()) return;
+  std::string reason;
+  reason.swap(sim_post_error_);
+  throw RemoteSimError(reason);
+}
+
+void HubClient::run_sim_flush() {
+  std::function<void()> flush;
+  {
+    const std::lock_guard lock(mu_);
+    flush = sim_flush_;
+  }
+  // Invoked without any HubClient lock held: the hook calls back into
+  // sim_post, which takes mu_ and wr_mu_ itself.
+  if (flush) flush();
 }
 
 std::vector<std::byte> HubClient::request(FrameType type, FrameType expect,
@@ -892,6 +973,9 @@ void HubClient::begin_run(const RunConfig& cfg) {
     epoch_done_ = false;
     run_dead_ = false;
     dead_reason_.clear();
+    // A deferred batch error from an aborted run must not poison this
+    // one: the hub's backend is reset at the begin barrier.
+    sim_post_error_.clear();
   }
   WireWriter w;
   w.u64(epoch);
@@ -907,6 +991,9 @@ void HubClient::begin_run(const RunConfig& cfg) {
 
 std::vector<std::uint64_t> HubClient::end_run(
     std::span<const std::uint64_t> totals) {
+  // Flush-before-barrier: buffered quantum ops must be on the wire (and
+  // thus executed, by connection FIFO) before the run can complete.
+  run_sim_flush();
   WireWriter w;
   {
     const std::lock_guard lock(mu_);
@@ -961,10 +1048,44 @@ std::uint64_t HubClient::allocate_context() {
 
 std::vector<std::byte> HubClient::sim_call(
     std::span<const std::byte> request_body) {
-  return request(FrameType::kSim, FrameType::kSimResult, request_body);
+  {
+    // An already-known batch failure is the root cause of whatever this
+    // call would observe; throw it instead of issuing the request.
+    const std::lock_guard lock(mu_);
+    throw_sim_post_error_locked();
+  }
+  auto reply = request(FrameType::kSim, FrameType::kSimResult, request_body);
+  {
+    // Both directions of the connection are FIFO, so an error frame for
+    // any batch that executed before this request has been processed by
+    // the receiver before our reply woke us: if the flag is set now, the
+    // reply was computed on post-failure state and must not be returned.
+    const std::lock_guard lock(mu_);
+    throw_sim_post_error_locked();
+  }
+  return reply;
+}
+
+void HubClient::sim_post(std::span<const std::byte> request) {
+  std::uint64_t epoch = 0;
+  {
+    const std::lock_guard lock(mu_);
+    check_alive_locked();
+    throw_sim_post_error_locked();
+    epoch = epoch_;
+  }
+  WireWriter w;
+  w.u64(epoch);
+  w.bytes(request);
+  const std::lock_guard wlock(wr_mu_);
+  write_frame(fd_, FrameType::kSimBatch, w.data());
 }
 
 void HubClient::post_remote(int dest_world_rank, const Message& msg) {
+  // Flush buffered quantum ops onto the connection first: FIFO then
+  // guarantees the receiving rank can never observe this message before
+  // the hub has executed every op that preceded it on this process.
+  run_sim_flush();
   std::uint64_t epoch = 0;
   {
     const std::lock_guard lock(mu_);
@@ -982,6 +1103,11 @@ void HubClient::set_sinks(
   const std::lock_guard lock(mu_);
   deliver_ = std::move(deliver);
   on_abort_ = std::move(on_abort);
+}
+
+void HubClient::set_sim_flush(std::function<void()> flush) {
+  const std::lock_guard lock(mu_);
+  sim_flush_ = std::move(flush);
 }
 
 std::string HubClient::dead_reason() {

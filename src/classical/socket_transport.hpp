@@ -156,6 +156,13 @@ class Hub {
   std::uint64_t aborted_epoch_ = 0;  ///< last epoch whose abort broadcast ran
   int departed_ = 0;                 ///< processes that left the job for good
   RunConfig active_cfg_;
+  /// Per-process broken-op-stream marker: once a batched op from process
+  /// p fails, later sim frames from p in the same run are refused with
+  /// this reason (batches dropped, requests answered with kSimError), so
+  /// "ops after the failing one never execute" holds across batch
+  /// boundaries exactly as the RPC path's throw stops the op stream.
+  /// Cleared when a run goes live or aborts.
+  std::vector<std::string> sim_failed_;
   std::optional<RunConfig> pending_cfg_;
   int begin_count_ = 0;
   std::vector<std::uint64_t> begin_req_ids_;
@@ -204,11 +211,31 @@ class HubClient {
   std::uint64_t allocate_context();
 
   /// Round-trips one opaque quantum request to the hub backend. Throws
-  /// RemoteSimError when the remote simulator rejected the op, QmpiError
-  /// when the transport failed.
+  /// RemoteSimError when the remote simulator rejected the op — or when an
+  /// earlier sim_post()ed batch failed (the deferred error is surfaced at
+  /// the next round trip, before and after which it is checked, so a
+  /// reply computed on post-failure state is never returned). Throws
+  /// QmpiError when the transport failed.
   std::vector<std::byte> sim_call(std::span<const std::byte> request);
 
+  /// Ships one opaque quantum request to the hub backend as a one-way,
+  /// epoch-tagged kSimBatch frame: no req-id correlation, no reply, no
+  /// blocking. The hub executes it in per-connection FIFO order (i.e.
+  /// before any classical frame written after it); a failure comes back
+  /// asynchronously as a req-id-0 kSimError and is rethrown as
+  /// RemoteSimError from the next sim_post/sim_call on this client.
+  void sim_post(std::span<const std::byte> request);
+
+  /// Registers a hook invoked right before a kPost or kRunEnd frame is
+  /// written, so a quantum-op pipeline can drain its buffer onto the
+  /// connection first — per-connection FIFO then guarantees every peer
+  /// that receives the classical message observes those ops as already
+  /// executed. Pass nullptr to unregister. The hook may call sim_post()
+  /// but must not post classical messages (it would recurse).
+  void set_sim_flush(std::function<void()> flush);
+
   /// Posts a classical message toward `dest_world_rank` (one-way, eager).
+  /// Invokes the sim-flush hook first (see set_sim_flush).
   void post_remote(int dest_world_rank, const Message& msg);
 
   /// Registers the delivery sink for incoming kDeliver frames and the
@@ -227,6 +254,8 @@ class HubClient {
   std::vector<std::byte> request(FrameType type, FrameType expect,
                                  std::span<const std::byte> body);
   void check_alive_locked();
+  void throw_sim_post_error_locked();
+  void run_sim_flush();
 
   int fd_ = -1;
   int proc_id_ = 0;
@@ -245,8 +274,10 @@ class HubClient {
   bool run_dead_ = false;   ///< current run failed (cleared by begin_run)
   bool fatal_ = false;      ///< connection gone for good
   std::string dead_reason_;
+  std::string sim_post_error_;  ///< deferred failure of a one-way sim batch
   std::function<void(int, Message)> deliver_;
   std::function<void(const std::string&)> on_abort_;
+  std::function<void()> sim_flush_;
 };
 
 /// Remote simulator rejected an operation (the hub-side Backend threw).

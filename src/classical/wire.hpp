@@ -128,6 +128,9 @@ enum class FrameType : std::uint8_t {
   kRunEnd = 12,    ///< client->hub: req id, epoch, resource totals
   kRunEndAck = 13, ///< hub->client: req id, world-summed totals
   kAbort = 14,     ///< either way: epoch, human-readable reason
+  kSimBatch = 15,  ///< client->hub: epoch, opaque batched quantum ops
+                   ///< (one-way: no req id, no reply on success; a
+                   ///< failure comes back as kSimError with req id 0)
 };
 
 struct Frame {

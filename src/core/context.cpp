@@ -592,6 +592,20 @@ JobOptions JobOptions::from_env(JobOptions base) {
                       "\" is not a transport (use \"inproc\" or \"tcp\")");
     }
   }
+  if (const char* batch = std::getenv("QMPI_SIM_BATCH")) {
+    const std::string_view b(batch);
+    if (b == "on") {
+      base.sim_batch_ops = sim::kDefaultSimBatchOps;
+    } else if (b == "off") {
+      base.sim_batch_ops = 0;
+    } else {
+      // An explicit size must be a positive number within the cap;
+      // "0" is rejected on purpose — disabling is spelled "off".
+      base.sim_batch_ops = static_cast<std::size_t>(
+          parse_env_number("QMPI_SIM_BATCH", batch, /*allow_zero=*/false,
+                           sim::kMaxSimBatchOps));
+    }
+  }
   return base;
 }
 
@@ -649,7 +663,11 @@ JobReport run_tcp(const JobOptions& options,
   classical::SocketTransport transport(hub, options.num_ranks);
   hub.begin_run(cfg);
 
-  auto sim = std::make_shared<RemoteSimClient>(hub);
+  // All locally hosted rank threads share one RemoteSimClient (and thus
+  // one op pipeline): the buffer preserves per-process issue order, and
+  // the transport's flush-before-post hook extends that order across
+  // processes. Destroyed before `transport` goes away, after end_run.
+  auto sim = std::make_shared<RemoteSimClient>(hub, options.sim_batch_ops);
   Trace trace;
   Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
   const classical::RankBlock block = transport.local_ranks();
@@ -668,6 +686,11 @@ JobReport run_tcp(const JobOptions& options,
             classical::Comm::world(transport, block.first + i);
         Context ctx(world, sim, trace_ptr);
         fn(ctx);
+        // Run boundary: every op this rank issued must execute (and any
+        // deferred batch error must surface *here*, attributed to a rank,
+        // where the harness's root-cause reporting can see it) before the
+        // job is allowed to complete.
+        ctx.sim().fence();
         ctx.classical_comm().barrier();
         for (std::size_t c = 0; c < kCategories; ++c) {
           per_rank[static_cast<std::size_t>(i)][c] =

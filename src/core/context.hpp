@@ -69,24 +69,45 @@ struct ReductionHandle {
 /// immediately at post time for operations that cannot block). This
 /// preserves MPI completion semantics — a program is correct under this
 /// implementation iff it is correct under a fully asynchronous one.
+///
+/// State machine (mirroring MPI request semantics and the paper's Table 2
+/// note (b) on QMPI_Cancel):
+///
+///   pending --wait()--> completed        (the protocol ran)
+///   pending --cancel()--> cancelled      (the protocol will never run)
+///
+/// Both completed and cancelled are terminal, and both report
+/// is_complete() == true — a cancelled request *completes without
+/// running*, exactly as MPI_Cancel + MPI_Wait completes the request. A
+/// wait()-then-poll loop over a cancelled request therefore terminates
+/// instead of spinning on a handle that can never make progress.
 class QRequest {
  public:
   QRequest() = default;
   explicit QRequest(std::function<void()> run) : run_(std::move(run)) {}
 
-  /// Completes the operation (runs the deferred protocol).
+  /// Completes the operation (runs the deferred protocol). On a cancelled
+  /// request this is a no-op: the request is already complete-by-cancel.
+  /// On a default-constructed (protocol-free) handle it completes without
+  /// doing anything instead of invoking an empty std::function.
   void wait() {
     if (cancelled_ || complete_) return;
-    run_();
+    if (run_) run_();
     complete_ = true;
   }
 
-  /// True once the operation has completed.
-  bool is_complete() const { return complete_; }
+  /// True once the operation has completed — by running (wait) or by
+  /// cancellation. Terminal either way.
+  bool is_complete() const { return complete_ || cancelled_; }
+
+  /// True iff the operation was cancelled before it ran.
+  bool is_cancelled() const { return cancelled_; }
 
   /// QMPI_Cancel: abandons a not-yet-started operation. Per the paper's
-  /// Table 2 note (b), resources may already have been used; cancelling a
-  /// completed request is a no-op and returns false.
+  /// Table 2 note (b), resources may already have been used; the protocol
+  /// itself never runs. Returns true while the request is cancelled
+  /// (idempotent) and false when the operation already ran — a completed
+  /// request cannot be cancelled.
   bool cancel() {
     if (complete_) return false;
     cancelled_ = true;
@@ -526,11 +547,19 @@ struct JobOptions {
   unsigned sim_threads = 1;
   /// Classical fabric connecting the ranks (QMPI_TRANSPORT=inproc|tcp).
   TransportKind transport = TransportKind::kInproc;
+  /// Max reply-free quantum ops the tcp transport coalesces into one
+  /// batch frame (QMPI_SIM_BATCH: on/off/<n>); 0 disables batching and
+  /// round-trips every op. Ignored by the in-process transport, and
+  /// deliberately not part of the hub's RunConfig barrier: batching is a
+  /// per-process pipelining choice with bit-identical observable
+  /// semantics, so processes may legally disagree on it.
+  std::size_t sim_batch_ops = sim::kDefaultSimBatchOps;
 
   /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS /
-  /// QMPI_TRANSPORT environment overrides on top of `base`, so any
-  /// benchmark or example binary is reproducible and backend/transport-
-  /// selectable from the command line without recompiling.
+  /// QMPI_TRANSPORT / QMPI_SIM_BATCH environment overrides on top of
+  /// `base`, so any benchmark or example binary is reproducible and
+  /// backend/transport-selectable from the command line without
+  /// recompiling.
   static JobOptions from_env();
   static JobOptions from_env(JobOptions base);
 };

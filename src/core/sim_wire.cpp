@@ -1,12 +1,27 @@
 #include "core/sim_wire.hpp"
 
+#include <limits>
 #include <string>
+#include <utility>
 
 namespace qmpi {
 
 using classical::RemoteSimError;
 using classical::WireReader;
 using classical::WireWriter;
+
+namespace wire_detail {
+
+void check_u32_count(std::size_t n, const char* what) {
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw sim::SimulatorError(
+        std::string(what) + " count " + std::to_string(n) +
+        " does not fit the wire format (max " +
+        std::to_string(std::numeric_limits<std::uint32_t>::max()) + ")");
+  }
+}
+
+}  // namespace wire_detail
 
 namespace {
 
@@ -30,6 +45,7 @@ sim::Gate1Q get_gate(WireReader& r) {
 }
 
 void put_ids(WireWriter& w, std::span<const sim::QubitId> ids) {
+  wire_detail::check_u32_count(ids.size(), "qubit id");
   w.u32(static_cast<std::uint32_t>(ids.size()));
   for (const auto id : ids) w.u64(id);
 }
@@ -41,11 +57,81 @@ std::vector<sim::QubitId> get_ids(WireReader& r) {
   return ids;
 }
 
+/// Executes one reply-free op (the only kind a batch may carry). Keeping
+/// this separate from the reply-producing switch means the kBatch replay
+/// loop and the one-op-per-frame path run the exact same decode + apply
+/// code, so batching cannot drift semantically.
+void apply_replyfree_op(sim::Backend& backend, SimOp op, WireReader& r) {
+  switch (op) {
+    case SimOp::kDeallocateClassical: {
+      for (const auto id : get_ids(r)) backend.deallocate_classical(id);
+      return;
+    }
+    case SimOp::kApply1: {
+      const sim::QubitId qubit = r.u64();
+      const sim::Gate1Q gate = get_gate(r);
+      backend.apply(gate, qubit);
+      return;
+    }
+    case SimOp::kCnot: {
+      const sim::QubitId control = r.u64();
+      const sim::QubitId target = r.u64();
+      backend.cnot(control, target);
+      return;
+    }
+    case SimOp::kCz: {
+      const sim::QubitId control = r.u64();
+      const sim::QubitId target = r.u64();
+      backend.cz(control, target);
+      return;
+    }
+    case SimOp::kToffoli: {
+      const sim::QubitId c0 = r.u64();
+      const sim::QubitId c1 = r.u64();
+      const sim::QubitId target = r.u64();
+      backend.toffoli(c0, c1, target);
+      return;
+    }
+    default:
+      // A reply-producing (or unknown) opcode inside a batch is a protocol
+      // bug: its reply would have nowhere to go, so reject it loudly.
+      throw sim::SimulatorError("opcode " +
+                                std::to_string(static_cast<int>(op)) +
+                                " is not batchable");
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- client ---
 
+RemoteSimClient::RemoteSimClient(classical::HubClient& hub,
+                                 std::size_t max_batch_ops)
+    : hub_(&hub), max_batch_ops_(max_batch_ops) {
+  if (max_batch_ops_ > 0) {
+    // The hook drains this buffer right before any classical post or
+    // run-end barrier leaves the process: the batch frame hits the hub
+    // connection first, and per-connection FIFO plus the hub's synchronous
+    // op execution turn that write order into happens-before for every
+    // peer that receives the classical message.
+    hub_->set_sim_flush([this] { flush(); });
+  }
+}
+
+RemoteSimClient::~RemoteSimClient() {
+  if (max_batch_ops_ > 0) {
+    hub_->set_sim_flush(nullptr);
+    try {
+      flush();
+    } catch (...) {
+      // The run is already dead (that is why ops are still buffered);
+      // the harness has reported the cause.
+    }
+  }
+}
+
 std::vector<std::byte> RemoteSimClient::call(const WireWriter& w) {
+  flush();
   try {
     return hub_->sim_call(w.data());
   } catch (const RemoteSimError& e) {
@@ -53,6 +139,74 @@ std::vector<std::byte> RemoteSimClient::call(const WireWriter& w) {
     // produced: error handling is location-transparent.
     throw sim::SimulatorError(e.what());
   }
+}
+
+void RemoteSimClient::submit_replyfree(const WireWriter& op) {
+  if (max_batch_ops_ == 0) {
+    (void)call(op);  // flush() inside is an immediate no-op return
+    return;
+  }
+  const std::lock_guard lock(batch_mu_);
+  batch_.bytes(op.data());
+  ++batch_count_;
+  if (batch_count_ >= max_batch_ops_ ||
+      batch_.data().size() >= kMaxSimBatchBytes) {
+    flush_locked();
+  }
+}
+
+void RemoteSimClient::flush() {
+  if (max_batch_ops_ == 0) return;
+  const std::lock_guard lock(batch_mu_);
+  flush_locked();
+}
+
+void RemoteSimClient::flush_locked() {
+  if (batch_count_ == 0) return;
+  WireWriter body;
+  body.u8(static_cast<std::uint8_t>(SimOp::kBatch));
+  body.u32(batch_count_);
+  body.bytes(batch_.data());
+  const std::uint32_t count = batch_count_;
+  // Reset before the send: if the transport is dead these ops can never be
+  // delivered, and retrying them on the next flush would be a lie.
+  batch_ = WireWriter();
+  batch_count_ = 0;
+  try {
+    hub_->sim_post(body.data());
+  } catch (const RemoteSimError& e) {
+    // A previously posted batch failed at the hub; surface it here, at
+    // this process's next synchronization point.
+    throw sim::SimulatorError(e.what());
+  }
+  // Count only frames that actually left: a dead-transport throw above
+  // must not inflate the statistics tests and the bench assert on.
+  ops_batched_ += count;
+  ++batches_sent_;
+}
+
+void RemoteSimClient::fence() {
+  flush();
+  // A reply op round-trips behind every posted batch on the same FIFO
+  // connection, so its reply (checked for a deferred batch error inside
+  // sim_call) proves all earlier batches have executed.
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kNumQubits));
+  try {
+    (void)hub_->sim_call(w.data());
+  } catch (const RemoteSimError& e) {
+    throw sim::SimulatorError(e.what());
+  }
+}
+
+std::uint64_t RemoteSimClient::batches_sent() const {
+  const std::lock_guard lock(batch_mu_);
+  return batches_sent_;
+}
+
+std::uint64_t RemoteSimClient::ops_batched() const {
+  const std::lock_guard lock(batch_mu_);
+  return ops_batched_;
 }
 
 std::vector<sim::QubitId> RemoteSimClient::allocate(std::size_t count) {
@@ -69,7 +223,7 @@ void RemoteSimClient::deallocate_classical(
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(SimOp::kDeallocateClassical));
   put_ids(w, ids);
-  call(w);
+  submit_replyfree(w);
 }
 
 void RemoteSimClient::apply(const sim::Gate1Q& gate, sim::QubitId qubit) {
@@ -77,7 +231,7 @@ void RemoteSimClient::apply(const sim::Gate1Q& gate, sim::QubitId qubit) {
   w.u8(static_cast<std::uint8_t>(SimOp::kApply1));
   w.u64(qubit);
   put_gate(w, gate);
-  call(w);
+  submit_replyfree(w);
 }
 
 void RemoteSimClient::cnot(sim::QubitId control, sim::QubitId target) {
@@ -85,7 +239,7 @@ void RemoteSimClient::cnot(sim::QubitId control, sim::QubitId target) {
   w.u8(static_cast<std::uint8_t>(SimOp::kCnot));
   w.u64(control);
   w.u64(target);
-  call(w);
+  submit_replyfree(w);
 }
 
 void RemoteSimClient::cz(sim::QubitId control, sim::QubitId target) {
@@ -93,7 +247,7 @@ void RemoteSimClient::cz(sim::QubitId control, sim::QubitId target) {
   w.u8(static_cast<std::uint8_t>(SimOp::kCz));
   w.u64(control);
   w.u64(target);
-  call(w);
+  submit_replyfree(w);
 }
 
 void RemoteSimClient::toffoli(sim::QubitId c0, sim::QubitId c1,
@@ -103,7 +257,7 @@ void RemoteSimClient::toffoli(sim::QubitId c0, sim::QubitId c1,
   w.u64(c0);
   w.u64(c1);
   w.u64(target);
-  call(w);
+  submit_replyfree(w);
 }
 
 bool RemoteSimClient::measure(sim::QubitId qubit) {
@@ -146,6 +300,7 @@ double RemoteSimClient::expectation(
     std::span<const std::pair<sim::QubitId, char>> paulis) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(SimOp::kExpectation));
+  wire_detail::check_u32_count(paulis.size(), "Pauli term");
   w.u32(static_cast<std::uint32_t>(paulis.size()));
   for (const auto& [id, p] : paulis) {
     w.u64(id);
@@ -177,33 +332,12 @@ std::vector<std::byte> apply_sim_request(sim::Backend& backend,
       put_ids(reply, backend.allocate(count));
       break;
     }
-    case SimOp::kDeallocateClassical: {
-      for (const auto id : get_ids(r)) backend.deallocate_classical(id);
-      break;
-    }
-    case SimOp::kApply1: {
-      const sim::QubitId qubit = r.u64();
-      const sim::Gate1Q gate = get_gate(r);
-      backend.apply(gate, qubit);
-      break;
-    }
-    case SimOp::kCnot: {
-      const sim::QubitId control = r.u64();
-      const sim::QubitId target = r.u64();
-      backend.cnot(control, target);
-      break;
-    }
-    case SimOp::kCz: {
-      const sim::QubitId control = r.u64();
-      const sim::QubitId target = r.u64();
-      backend.cz(control, target);
-      break;
-    }
+    case SimOp::kDeallocateClassical:
+    case SimOp::kApply1:
+    case SimOp::kCnot:
+    case SimOp::kCz:
     case SimOp::kToffoli: {
-      const sim::QubitId c0 = r.u64();
-      const sim::QubitId c1 = r.u64();
-      const sim::QubitId target = r.u64();
-      backend.toffoli(c0, c1, target);
+      apply_replyfree_op(backend, op, r);
       break;
     }
     case SimOp::kMeasure: {
@@ -235,6 +369,26 @@ std::vector<std::byte> apply_sim_request(sim::Backend& backend,
     }
     case SimOp::kNumQubits: {
       reply.u64(backend.num_qubits());
+      break;
+    }
+    case SimOp::kBatch: {
+      // Replay loop: sub-ops execute in encoding order against the same
+      // backend, exactly as if each had arrived in its own frame. A
+      // failure stops the batch (ops N+1..M never run, matching the
+      // per-op path where the thrown error stops the rank's op stream)
+      // and is re-raised with its position so "op 3 of 7" is debuggable
+      // from the requesting process.
+      const std::uint32_t count = r.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto sub = static_cast<SimOp>(r.u8());
+        try {
+          apply_replyfree_op(backend, sub, r);
+        } catch (const sim::SimulatorError& e) {
+          throw sim::SimulatorError("batched op " + std::to_string(i + 1) +
+                                    " of " + std::to_string(count) + ": " +
+                                    e.what());
+        }
+      }
       break;
     }
     default:

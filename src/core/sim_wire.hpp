@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -13,12 +15,22 @@ namespace qmpi {
 
 /// Wire protocol for forwarding quantum operations to the hub's backend.
 ///
-/// Each SimClient call becomes one kSim frame whose body is
+/// Each SimClient call with a reply becomes one kSim frame whose body is
 /// (u8 opcode, operands); the hub executes it on its Backend under the
 /// same serialization as classical routing and replies with the result.
 /// Backend exceptions travel back as kSimError and are rethrown locally
 /// as sim::SimulatorError, so protocol code behaves identically whether
 /// the state vector is in-process or three processes away.
+///
+/// Reply-free operations (gates, classical deallocation) additionally
+/// have a *batched* form: a kBatch body is (u8 kBatch, u32 count, then
+/// `count` concatenated reply-free op encodings). The hub replays the
+/// sub-ops in order against the same Backend; a sub-op failure is
+/// rethrown as "batched op N of M: <original message>" and breaks the
+/// rest of the sending process's op stream for the run (the hub drops
+/// its later batches and refuses its later requests with the same
+/// reason), so a pipelined stream attributes failures — and stops at
+/// them — exactly like the one-op-per-frame path.
 ///
 /// The opcode values are part of the wire format; append only.
 enum class SimOp : std::uint8_t {
@@ -34,14 +46,44 @@ enum class SimOp : std::uint8_t {
   kProbabilityOne = 10,
   kExpectation = 11,
   kNumQubits = 12,
+  kBatch = 13,
 };
 
-/// SimClient that ships every call through `hub.sim_call()`. Used by rank
-/// processes under QMPI_TRANSPORT=tcp; thread-safe because HubClient
-/// serializes and correlates requests.
+/// A batch auto-flushes once its encoded body reaches this size, so one
+/// batch frame (body + epoch/frame overhead) stays far below the 64 MiB
+/// classical::kMaxFrameBytes wire cap: an arbitrarily gate-dense stream
+/// splits into more frames instead of ever tripping the cap.
+inline constexpr std::size_t kMaxSimBatchBytes = 1u << 20;  // 1 MiB
+
+namespace wire_detail {
+/// Guards every count the sim-wire encoders narrow to u32: a count that
+/// does not fit must throw (SimulatorError naming the field), never wrap
+/// — a silently truncated id list would deallocate the wrong qubits.
+void check_u32_count(std::size_t n, const char* what);
+}  // namespace wire_detail
+
+/// SimClient that ships every call over the rank process's hub
+/// connection. Used under QMPI_TRANSPORT=tcp; thread-safe (all locally
+/// hosted rank threads share one instance) because the batch buffer has
+/// its own mutex and HubClient serializes and correlates requests.
+///
+/// With `max_batch_ops` > 0, reply-free operations are buffered and
+/// shipped as one kBatch body in a one-way kSimBatch frame — no
+/// per-gate round trip. The buffer flushes at every synchronization
+/// point: any op with a reply, flush()/fence(), `max_batch_ops` buffered
+/// ops, a kMaxSimBatchBytes-sized body, and (via the HubClient sim-flush
+/// hook) right before any classical post or run-end barrier leaves this
+/// process, which is what keeps cross-process happens-before intact (see
+/// docs/ARCHITECTURE.md §4). With `max_batch_ops` == 0 every call is a
+/// blocking round trip (the pre-batching behavior).
 class RemoteSimClient final : public sim::SimClient {
  public:
-  explicit RemoteSimClient(classical::HubClient& hub) : hub_(&hub) {}
+  explicit RemoteSimClient(classical::HubClient& hub,
+                           std::size_t max_batch_ops = sim::kDefaultSimBatchOps);
+  ~RemoteSimClient() override;
+
+  RemoteSimClient(const RemoteSimClient&) = delete;
+  RemoteSimClient& operator=(const RemoteSimClient&) = delete;
 
   std::vector<sim::QubitId> allocate(std::size_t count) override;
   void deallocate_classical(std::span<const sim::QubitId> ids) override;
@@ -57,9 +99,29 @@ class RemoteSimClient final : public sim::SimClient {
       std::span<const std::pair<sim::QubitId, char>> paulis) override;
   std::size_t num_qubits() override;
 
+  void flush() override;
+  void fence() override;
+
+  /// Pipeline statistics (tests and the remote bench assert on these):
+  /// how many kSimBatch frames left, and how many ops they carried.
+  std::uint64_t batches_sent() const;
+  std::uint64_t ops_batched() const;
+
  private:
+  /// Buffers one encoded reply-free op (batching on) or round-trips it
+  /// immediately (batching off).
+  void submit_replyfree(const classical::WireWriter& op);
+  void flush_locked();
   std::vector<std::byte> call(const classical::WireWriter& w);
+
   classical::HubClient* hub_;
+  std::size_t max_batch_ops_;
+
+  mutable std::mutex batch_mu_;  ///< guards everything below
+  classical::WireWriter batch_;  ///< concatenated buffered op encodings
+  std::uint32_t batch_count_ = 0;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t ops_batched_ = 0;
 };
 
 /// Executes one encoded SimOp against `backend` and returns the encoded

@@ -30,9 +30,22 @@ namespace qmpi::sim {
 /// vector actually lives. Anything added here needs a wire encoding in
 /// core/sim_wire.hpp; keep the surface small and typed.
 ///
+/// Pipelining contract: reply-free operations (gates, classical
+/// deallocation) MAY be buffered by an implementation and shipped to the
+/// backend later in issue order. Every operation that returns a value
+/// (allocate, measure*, probability/expectation queries, num_qubits) is a
+/// synchronization point: it observes all previously issued operations.
+/// flush() forces buffered operations onto their way to the backend;
+/// fence() additionally waits until they have executed, surfacing any
+/// deferred error. For the in-process client both are free no-ops — every
+/// call executes synchronously.
+///
 /// Error contract: misuse (bad handle, deallocating an entangled qubit)
 /// throws SimulatorError from every implementation — remote failures are
 /// marshalled back and rethrown as SimulatorError with the original text.
+/// A buffered operation's error may surface at a later synchronization
+/// point (the next reply op, flush(), or fence()) instead of at the call
+/// that issued it; the message always identifies the failing operation.
 class SimClient {
  public:
   virtual ~SimClient() = default;
@@ -62,7 +75,24 @@ class SimClient {
       std::span<const std::pair<QubitId, char>> paulis) = 0;
   /// Number of currently allocated qubits in the global state.
   virtual std::size_t num_qubits() = 0;
+
+  /// Forces any locally buffered reply-free operations onto their way to
+  /// the backend (asynchronously; see the pipelining contract above).
+  /// No-op when nothing is buffered or nothing ever buffers.
+  virtual void flush() {}
+
+  /// flush(), then wait until every operation issued through this client
+  /// has executed, rethrowing any deferred backend error as
+  /// SimulatorError. The job harness fences at run end so a program that
+  /// finishes with buffered gates still executes (and error-checks) them.
+  virtual void fence() { flush(); }
 };
+
+/// Default number of reply-free ops RemoteSimClient coalesces into one
+/// batch frame before flushing on its own (QMPI_SIM_BATCH=on), and the
+/// hard ceiling an explicit QMPI_SIM_BATCH=<n> may request.
+inline constexpr std::size_t kDefaultSimBatchOps = 1024;
+inline constexpr std::size_t kMaxSimBatchOps = 1u << 20;
 
 /// SimClient over the in-process SimServer: each call is one serialized
 /// command on the server's worker thread, preserving the strict arrival

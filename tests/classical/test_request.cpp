@@ -1,6 +1,7 @@
 // Tests for nonblocking requests (isend/irecv/wait/test/waitall).
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "classical/request.hpp"
@@ -60,6 +61,60 @@ TEST(ClassicalRequest, WaitAllDrainsMultipleReceives) {
       EXPECT_EQ(cl::recv_value<int>(reqs[1]), 200);
     } else {
       comm.send(comm.rank() * 100, 0, 0);
+    }
+  });
+}
+
+// ---------------------------------------------------------- null handles ---
+// Regression: test()/wait() on a default-constructed or moved-from handle
+// used to invoke an empty std::function and die with std::bad_function_call.
+// A null handle is MPI_REQUEST_NULL: test() is true, wait() returns.
+
+TEST(ClassicalRequest, DefaultConstructedHandleIsANoOpNotACrash) {
+  cl::Request req;
+  EXPECT_TRUE(req.is_null());
+  EXPECT_FALSE(req.is_complete());
+  EXPECT_TRUE(req.test());       // MPI_Test on MPI_REQUEST_NULL: flag=true
+  // Completion is terminal: a test-then-poll loop must terminate.
+  EXPECT_TRUE(req.is_complete());
+  EXPECT_NO_THROW(req.wait());   // MPI_Wait on MPI_REQUEST_NULL: returns
+  EXPECT_TRUE(req.message().payload.empty());
+}
+
+TEST(ClassicalRequest, NullHandleWaitMarksCompletion) {
+  cl::Request req;
+  req.wait();
+  EXPECT_TRUE(req.is_complete());
+}
+
+TEST(ClassicalRequest, MovedFromHandleIsANoOpNotACrash) {
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(4, 1, 0);
+    } else {
+      cl::Request req = cl::irecv(comm, 0, 0);
+      cl::Request taken = std::move(req);
+      // The moved-from handle must be inert...
+      EXPECT_TRUE(req.test());
+      EXPECT_NO_THROW(req.wait());
+      // ...while the move target drives the operation as usual.
+      taken.wait();
+      EXPECT_EQ(cl::recv_value<int>(taken), 4);
+    }
+  });
+}
+
+TEST(ClassicalRequest, WaitAllToleratesNullEntries) {
+  // An MPI_Waitall over an array containing MPI_REQUEST_NULL entries is
+  // legal; the same must hold here (e.g. a request vector with gaps).
+  cl::Runtime::run(2, [](cl::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<cl::Request> reqs(3);  // all null
+      reqs[1] = cl::irecv(comm, 1, 0);
+      EXPECT_NO_THROW(cl::wait_all(reqs));
+      EXPECT_EQ(cl::recv_value<int>(reqs[1]), 11);
+    } else {
+      comm.send(11, 0, 0);
     }
   });
 }

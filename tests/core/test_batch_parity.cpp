@@ -1,0 +1,166 @@
+// Batched-vs-unbatched parity at the full-job level: the same program run
+// with op batching on, off, and at size 1 must record identical
+// measurement outcomes and world resource totals, and matching
+// probabilities/expectations. Standalone this exercises the in-process
+// transport (where flush() is a no-op); under `qmpirun -n 2` / `-n 4` —
+// which CI does — the exact same binary exercises the remote pipeline,
+// including the flush-before-post ordering every EPR rendezvous depends
+// on.
+//
+// Note on tolerances: measurement *outcomes* and resource totals compare
+// exactly (RNG draw order is serialized by rank below). Probabilities
+// compare to 1e-9: two ranks drive the shared backend concurrently, so
+// gate interleaving (and with it fusion clustering and collapse
+// renormalization rounding) varies run-to-run on every transport — that
+// last-bit float nondeterminism predates batching and is not what this
+// test polices.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/qmpi.hpp"
+
+using namespace qmpi;
+
+namespace {
+
+struct Observed {
+  std::map<int, std::vector<int>> outcomes;    ///< exact, per local rank
+  std::map<int, std::vector<double>> values;   ///< 1e-9, per local rank
+};
+
+/// A gate-dense two-rank program touching every batching-relevant seam:
+/// local gate streams, EPR establishment (whose classical ack must not
+/// overtake the buffered entangling gates), copy/move p2p, joint parity
+/// measurement, and qubit deallocation.
+Observed run_program(std::size_t sim_batch_ops, JobReport* report) {
+  Observed observed;
+  std::mutex mu;
+  JobOptions opts = JobOptions::from_env();  // tcp + coords under qmpirun
+  opts.num_ranks = 2;
+  opts.seed = 99;
+  opts.sim_batch_ops = sim_batch_ops;
+  const JobReport r = run(opts, [&](Context& ctx) {
+    std::vector<int> outs;
+    std::vector<double> vals;
+    QubitArray q = ctx.alloc_qmem(2);
+    // A gate-dense local stream (Trotter-step shaped).
+    for (int step = 0; step < 8; ++step) {
+      ctx.h(q[0]);
+      ctx.rz(q[0], 0.1 * (step + 1));
+      ctx.cnot(q[0], q[1]);
+      ctx.rz(q[1], 0.05 * (step + 1));
+      ctx.cnot(q[0], q[1]);
+      ctx.h(q[0]);
+    }
+    vals.push_back(ctx.probability_one(q[1]));
+    // Cross-rank protocols: copies out and back, then a teleport hop.
+    QubitArray m = ctx.alloc_qmem(1);
+    if (ctx.rank() == 0) {
+      ctx.ry(m[0], 0.7);
+      ctx.send(m, 1, 1, 3);
+      ctx.unsend(m, 1, 1, 3);
+      ctx.send_move(m, 1, 1, 4);
+    } else {
+      ctx.recv(m, 1, 0, 3);
+      ctx.unrecv(m, 1, 0, 3);
+      ctx.recv_move(m, 1, 0, 4);
+      vals.push_back(ctx.probability_one(m[0]));
+    }
+    // The shared backend RNG serves both ranks, so concurrent measures
+    // would race for draw order and differ run-to-run on ANY transport —
+    // masking (or faking) a batching bug. Order them: rank 0 draws all
+    // its outcomes strictly before rank 1 draws any.
+    if (ctx.rank() == 1) ctx.barrier();
+    outs.push_back(ctx.measure_parity(std::vector<Qubit>{q[0], q[1]}) ? 1
+                                                                      : 0);
+    outs.push_back(ctx.measure(q[0]) ? 1 : 0);
+    outs.push_back(ctx.measure(q[1]) ? 1 : 0);
+    ctx.free_qmem(q, 2);  // batched kDeallocateClassical on the tcp path
+    if (ctx.rank() == 1) outs.push_back(ctx.measure(m[0]) ? 1 : 0);
+    if (ctx.rank() == 0) ctx.barrier();
+    const std::lock_guard lock(mu);
+    observed.outcomes[ctx.rank()] = std::move(outs);
+    observed.values[ctx.rank()] = std::move(vals);
+  });
+  if (report != nullptr) *report = r;
+  return observed;
+}
+
+void expect_same(const Observed& a, const Observed& b, const char* label) {
+  // Under qmpirun each process only hosts (and records for) its local
+  // ranks, but every run shares the same placement, so the keys match.
+  EXPECT_EQ(a.outcomes, b.outcomes) << label;
+  ASSERT_EQ(a.values.size(), b.values.size()) << label;
+  for (const auto& [rank, vals] : a.values) {
+    const auto it = b.values.find(rank);
+    ASSERT_NE(it, b.values.end()) << label;
+    ASSERT_EQ(vals.size(), it->second.size()) << label;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      EXPECT_NEAR(vals[i], it->second[i], 1e-9)
+          << label << ": rank " << rank << " value " << i;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(BatchParity, BatchedOffSizeOneAndDefaultMatch) {
+  JobReport off_report, one_report, on_report;
+  const Observed off = run_program(0, &off_report);
+  const Observed one = run_program(1, &one_report);
+  const Observed on = run_program(sim::kDefaultSimBatchOps, &on_report);
+  expect_same(off, one, "off vs size-1");
+  expect_same(off, on, "off vs default");
+  // World-summed resource totals are part of the observable contract too.
+  EXPECT_EQ(off_report.total().epr_pairs, on_report.total().epr_pairs);
+  EXPECT_EQ(off_report.total().classical_bits,
+            on_report.total().classical_bits);
+  EXPECT_EQ(one_report.total().epr_pairs, on_report.total().epr_pairs);
+}
+
+TEST(BatchParity, BufferedOpErrorSurfacesAsSimulatorError) {
+  // A gate on a bogus qubit handle: immediate SimulatorError in-process,
+  // deferred "batched op N of M"-attributed SimulatorError on the tcp
+  // path — the job must fail with the backend's message either way.
+  JobOptions opts = JobOptions::from_env();
+  opts.num_ranks = 2;
+  opts.sim_batch_ops = sim::kDefaultSimBatchOps;
+  try {
+    run(opts, [](Context& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.x(Qubit{424242});                      // buffered on tcp
+        (void)ctx.probability_one(Qubit{424242});  // sync point
+      }
+      ctx.barrier();
+    });
+    FAIL() << "a bad qubit handle must fail the job";
+  } catch (const sim::SimulatorError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown qubit id"),
+              std::string::npos)
+        << e.what();
+  } catch (const QmpiError& e) {
+    // Under qmpirun a peer process may observe the abort instead of the
+    // root cause; the reason must still carry the simulator's message.
+    EXPECT_NE(std::string(e.what()).find("unknown qubit id"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BatchParity, FlushAndFenceAreSafeOnEveryTransport) {
+  JobOptions opts = JobOptions::from_env();
+  opts.num_ranks = 2;
+  run(opts, [](Context& ctx) {
+    QubitArray q = ctx.alloc_qmem(1);
+    ctx.h(q[0]);
+    ctx.sim().flush();   // no-op in-process; drains the pipeline on tcp
+    ctx.sim().fence();
+    ctx.h(q[0]);
+    EXPECT_NEAR(ctx.probability_one(q[0]), 0.0, 1e-12);
+    (void)ctx.measure(q[0]);
+  });
+}

@@ -36,6 +36,7 @@ class EnvGuard {
     unsetenv("QMPI_SHARDS");
     unsetenv("QMPI_SIM_THREADS");
     unsetenv("QMPI_TRANSPORT");
+    unsetenv("QMPI_SIM_BATCH");
   }
 };
 
@@ -140,6 +141,37 @@ TEST(EnvOptions, ThreadsZeroAndOverCapRejected) {
   env.set("QMPI_SIM_THREADS", "64");
   EXPECT_EQ(JobOptions::from_env().sim_threads,
             qmpi::sim::ThreadPool::kMaxLanes);
+}
+
+TEST(EnvOptions, SimBatchDefaultsToOn) {
+  EnvGuard env;
+  EXPECT_EQ(JobOptions::from_env().sim_batch_ops,
+            qmpi::sim::kDefaultSimBatchOps);
+}
+
+TEST(EnvOptions, SimBatchParsesOnOffAndSize) {
+  EnvGuard env;
+  env.set("QMPI_SIM_BATCH", "on");
+  EXPECT_EQ(JobOptions::from_env().sim_batch_ops,
+            qmpi::sim::kDefaultSimBatchOps);
+  env.set("QMPI_SIM_BATCH", "off");
+  EXPECT_EQ(JobOptions::from_env().sim_batch_ops, 0u);
+  env.set("QMPI_SIM_BATCH", "256");
+  EXPECT_EQ(JobOptions::from_env().sim_batch_ops, 256u);
+  env.set("QMPI_SIM_BATCH", "1048576");  // kMaxSimBatchOps itself is fine
+  EXPECT_EQ(JobOptions::from_env().sim_batch_ops, qmpi::sim::kMaxSimBatchOps);
+}
+
+TEST(EnvOptions, SimBatchRejectsGarbageZeroAndOverCap) {
+  EnvGuard env;
+  // "0" is rejected on purpose: disabling is spelled "off", so a typoed
+  // size cannot silently turn the pipeline off.
+  for (const char* bad :
+       {"0", "ON", "true", "yes", "-1", "1k", "", " 8", "1048577"}) {
+    env.set("QMPI_SIM_BATCH", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError)
+        << "QMPI_SIM_BATCH=\"" << bad << "\"";
+  }
 }
 
 TEST(EnvOptions, UnknownBackendRejected) {

@@ -165,20 +165,25 @@ TEST(QmpiP2PCopy, NonblockingIsendIrecvCompleteAtWait) {
   });
 }
 
-TEST(QmpiP2PCopy, CancelledRequestNeverRuns) {
+TEST(QmpiP2PCopy, CancelledRequestNeverRunsButCompletes) {
   const JobReport report = run(2, [](Context& ctx) {
     QubitArray q = ctx.alloc_qmem(1);
     if (ctx.rank() == 0) {
       QRequest req = ctx.isend(q, 1, 1, 4);
       EXPECT_TRUE(req.cancel());
-      req.wait();  // no-op
-      EXPECT_FALSE(req.is_complete());
+      req.wait();  // no-op: the protocol must not run
+      // Cancellation is terminal completion (MPI_Cancel + MPI_Wait): a
+      // wait-then-poll loop over this handle must terminate, not spin.
+      EXPECT_TRUE(req.is_complete());
+      EXPECT_TRUE(req.is_cancelled());
     } else {
       QRequest req = ctx.irecv(q, 1, 0, 4);
       EXPECT_TRUE(req.cancel());
       req.wait();
+      EXPECT_TRUE(req.is_complete());
     }
   });
+  // The protocols never ran: no EPR pair was consumed anywhere.
   EXPECT_EQ(report.total().epr_pairs, 0u);
 }
 

@@ -1,0 +1,71 @@
+// The QRequest cancel/complete state machine (paper Table 2 note (b)):
+// pending -> completed via wait(), pending -> cancelled via cancel(),
+// both terminal, both reporting is_complete() == true. Regression for the
+// bug where a cancelled request stayed is_complete() == false forever,
+// so wait()-then-poll loops spun without ever terminating.
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+
+using qmpi::QRequest;
+
+TEST(QRequestStateMachine, WaitRunsTheProtocolExactlyOnce) {
+  int runs = 0;
+  QRequest req([&runs] { ++runs; });
+  EXPECT_FALSE(req.is_complete());
+  req.wait();
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(req.is_complete());
+  EXPECT_FALSE(req.is_cancelled());
+  req.wait();  // idempotent
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(QRequestStateMachine, CancelledRequestCompletesWithoutRunning) {
+  int runs = 0;
+  QRequest req([&runs] { ++runs; });
+  EXPECT_TRUE(req.cancel());
+  // The regression: cancellation must be *terminal completion*, or this
+  // standard MPI-style completion loop spins forever.
+  int polls = 0;
+  while (!req.is_complete()) {
+    req.wait();
+    ASSERT_LT(++polls, 3) << "cancelled request never became complete";
+  }
+  EXPECT_TRUE(req.is_complete());
+  EXPECT_TRUE(req.is_cancelled());
+  EXPECT_EQ(runs, 0) << "a cancelled protocol must never run";
+}
+
+TEST(QRequestStateMachine, CancelAfterCompletionIsRefused) {
+  QRequest req([] {});
+  req.wait();
+  EXPECT_FALSE(req.cancel()) << "a completed operation cannot be cancelled";
+  EXPECT_FALSE(req.is_cancelled());
+  EXPECT_TRUE(req.is_complete());
+}
+
+TEST(QRequestStateMachine, CancelIsIdempotent) {
+  QRequest req([] { FAIL() << "must never run"; });
+  EXPECT_TRUE(req.cancel());
+  EXPECT_TRUE(req.cancel());  // still cancelled; still reports success
+  EXPECT_TRUE(req.is_cancelled());
+  req.wait();                 // still a no-op
+  EXPECT_TRUE(req.is_complete());
+}
+
+TEST(QRequestStateMachine, DefaultConstructedRequestIsInert) {
+  // A default-constructed QRequest has no protocol; wait() must complete
+  // it (it would otherwise call an empty std::function and crash).
+  QRequest req;
+  EXPECT_NO_THROW(req.wait());
+  EXPECT_TRUE(req.is_complete());
+}
+
+TEST(QRequestStateMachine, DefaultConstructedRequestCanBeCancelled) {
+  QRequest req;
+  EXPECT_TRUE(req.cancel());
+  req.wait();
+  EXPECT_TRUE(req.is_complete());
+  EXPECT_TRUE(req.is_cancelled());
+}

@@ -20,6 +20,16 @@
 // --paritycheck runs a random circuit on the serial StateVector and the
 // ShardedStateVector and exits non-zero unless every amplitude matches
 // with operator== on the raw doubles; CI uses it as the bench smoke gate.
+// The whole check repeats once per SIMD tier the host CPU supports
+// (scalar, AVX2, AVX-512 forced via simd::set_active), and the serial
+// snapshot must additionally be bit-identical *across* tiers — the
+// vectorized kernels promise the same doubles as the scalar reference,
+// not merely the same distribution.
+//
+// The per-ISA series (BM_*Isa/<tier>, registered at startup for each
+// available tier) is the BENCH_statevector.json "simd_series" record:
+// the same headline kernels with the dispatch pinned, so the recorded
+// speedup is attributable to the vector width and nothing else.
 
 #include <benchmark/benchmark.h>
 
@@ -27,12 +37,15 @@
 #include <cstring>
 #include <iostream>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "sim/sharded_statevector.hpp"
+#include "sim/simd.hpp"
 #include "sim/statevector.hpp"
 
 namespace sim = qmpi::sim;
+namespace simd = qmpi::sim::simd;
 
 namespace {
 
@@ -383,6 +396,29 @@ void BM_TrotterStepUnfused(benchmark::State& state) {
 }
 BENCHMARK(BM_TrotterStepUnfused)->Arg(16)->Arg(20)->Arg(22);
 
+void BM_TrotterStepFusedThreaded(benchmark::State& state) {
+  // The lane-scaling series for CI's multicore runner: the fused step is
+  // compute-dense enough (k-qubit block replay, not a bare memory sweep)
+  // that it keeps scaling where single-gate sweeps hit bandwidth. Args are
+  // {qubits, threads}; the 1-lane row is the scaling denominator.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(g_seed);
+  sv.set_num_threads(static_cast<unsigned>(state.range(1)));
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    trotter_step(sv, q, 0.05);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n - 3));
+}
+BENCHMARK(BM_TrotterStepFusedThreaded)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({22, 1})
+    ->Args({22, 2})
+    ->Args({22, 4});
+
 void BM_TrotterStepFusedSharded(benchmark::State& state) {
   // Fused clusters against the global/local split: all-local clusters
   // sweep per slice with zero exchanges; clusters touching global qubits
@@ -433,7 +469,12 @@ BENCHMARK(BM_TrotterStepUnfusedSharded)
 /// fusion-disabled serial run gates the fused-vs-gate-by-gate drift within
 /// 1e-9 — the cluster replay is designed to add no arithmetic of its own.
 /// Returns false and prints the first divergence on mismatch.
-bool parity_check(unsigned shards, std::uint64_t seed) {
+///
+/// cross_tier_ref carries the serial snapshot across SIMD tiers: the first
+/// tier (always scalar) fills it, every later tier must reproduce it bit
+/// for bit — the vectorized kernels' numerical contract.
+bool parity_check(unsigned shards, std::uint64_t seed,
+                  std::vector<sim::Complex>* cross_tier_ref = nullptr) {
   constexpr std::size_t kQubits = 12;
   sim::StateVector serial(seed);
   sim::StateVector unfused(seed);
@@ -516,10 +557,129 @@ bool parity_check(unsigned shards, std::uint64_t seed) {
       return false;
     }
   }
-  std::cout << "paritycheck: " << a.size() << " amplitudes bit-identical at "
-            << shards << " shard(s) and within 1e-9 of unfused, seed=" << seed
-            << "\n";
+  const char* tier = simd::to_string(simd::active());
+  if (cross_tier_ref != nullptr) {
+    if (cross_tier_ref->empty()) {
+      *cross_tier_ref = a;
+    } else {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const sim::Complex r = (*cross_tier_ref)[i];
+        if (a[i].real() != r.real() || a[i].imag() != r.imag()) {
+          std::cerr << "paritycheck: amplitude " << i << " diverged across "
+                    << "SIMD tiers: scalar=(" << r.real() << "," << r.imag()
+                    << ") " << tier << "=(" << a[i].real() << ","
+                    << a[i].imag() << ") shards=" << shards << "\n";
+          return false;
+        }
+      }
+    }
+  }
+  std::cout << "paritycheck[" << tier << "]: " << a.size()
+            << " amplitudes bit-identical at " << shards
+            << " shard(s) and within 1e-9 of unfused, seed=" << seed << "\n";
   return true;
+}
+
+/// The full --paritycheck gate for one shard count: the circuit above, once
+/// per SIMD tier this CPU can run. Scalar is always first (it seeds the
+/// cross-tier reference); unavailable tiers are reported, never silently
+/// skipped, so a CI log always shows which ISAs were actually exercised.
+bool parity_check_tiers(unsigned shards, std::uint64_t seed) {
+  std::vector<sim::Complex> cross_tier_ref;
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!simd::available(isa)) {
+      std::cout << "paritycheck[" << simd::to_string(isa)
+                << "]: not available on this CPU, skipped\n";
+      continue;
+    }
+    simd::set_active(isa);
+    if (!parity_check(shards, seed, &cross_tier_ref)) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------ per-ISA series ---
+// Forced-dispatch variants of the headline kernels, registered (in main,
+// after the static BENCHMARK()s) once per tier the CPU supports. Each run
+// pins the tier itself, so the series is self-contained under any
+// --benchmark_filter. The ambient benchmarks above run first and keep the
+// QMPI_SIMD / auto-dispatched tier.
+
+void bench_isa_dense(benchmark::State& state, simd::Isa isa, std::size_t n) {
+  simd::set_active(isa);
+  sim::StateVector sv(g_seed);
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.h(q[i % n]);
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bench_isa_diagonal(benchmark::State& state, simd::Isa isa,
+                        std::size_t n) {
+  simd::set_active(isa);
+  sim::StateVector sv(g_seed);
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.rz(q[i % n], 0.1);
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bench_isa_phase(benchmark::State& state, simd::Isa isa, std::size_t n) {
+  simd::set_active(isa);
+  sim::StateVector sv(g_seed);
+  const auto q = sv.allocate(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.t(q[i % n]);
+    sv.flush_gates();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bench_isa_trotter(benchmark::State& state, simd::Isa isa,
+                       std::size_t n) {
+  simd::set_active(isa);
+  sim::StateVector sv(g_seed);
+  const auto q = sv.allocate(n);
+  for (auto _ : state) {
+    trotter_step(sv, q, 0.05);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n - 3));
+}
+
+void register_isa_series() {
+  constexpr std::size_t kIsaQubits = 20;
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (!simd::available(isa)) continue;
+    const std::string tag = simd::to_string(isa);
+    benchmark::RegisterBenchmark(
+        ("BM_SingleQubitGateIsa/" + tag).c_str(),
+        [isa](benchmark::State& st) { bench_isa_dense(st, isa, kIsaQubits); });
+    benchmark::RegisterBenchmark(
+        ("BM_RotationIsa/" + tag).c_str(), [isa](benchmark::State& st) {
+          bench_isa_diagonal(st, isa, kIsaQubits);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_PhaseGateIsa/" + tag).c_str(),
+        [isa](benchmark::State& st) { bench_isa_phase(st, isa, kIsaQubits); });
+    benchmark::RegisterBenchmark(
+        ("BM_TrotterStepFusedIsa/" + tag).c_str(),
+        [isa](benchmark::State& st) {
+          bench_isa_trotter(st, isa, kIsaQubits);
+        });
+  }
 }
 
 }  // namespace
@@ -544,13 +704,16 @@ int main(int argc, char** argv) {
   }
   if (parity_shards == 0) {
     for (const unsigned s : {1U, 2U, 4U, 8U}) {
-      if (!parity_check(s, g_seed)) return 1;
+      if (!parity_check_tiers(s, g_seed)) return 1;
     }
     return 0;
   }
   if (parity_shards > 0) {
-    return parity_check(static_cast<unsigned>(parity_shards), g_seed) ? 0 : 1;
+    return parity_check_tiers(static_cast<unsigned>(parity_shards), g_seed)
+               ? 0
+               : 1;
   }
+  register_isa_series();
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {

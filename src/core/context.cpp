@@ -606,6 +606,13 @@ JobOptions JobOptions::from_env(JobOptions base) {
                            sim::kMaxSimBatchOps));
     }
   }
+  if (const char* simd = std::getenv("QMPI_SIMD")) {
+    if (!sim::simd::parse_request(simd, base.simd)) {
+      throw QmpiError(std::string("QMPI_SIMD=\"") + simd +
+                      "\" is not a SIMD tier (use \"auto\", \"scalar\", "
+                      "\"avx2\", or \"avx512\")");
+    }
+  }
   return base;
 }
 
@@ -756,6 +763,11 @@ JobReport run_tcp(const JobOptions& options,
     report.totals_by_category[c].classical_bits = world_totals[2 * c + 1];
   }
   report.trace = trace.snapshot();
+  // Under tcp the sweep kernels run in the hub process (qmpirun), which
+  // reads its own QMPI_SIMD; resolving locally still records the fallback
+  // notice this node would hit, keeping reports honest either way.
+  const sim::simd::Selection simd_sel = sim::simd::resolve(options.simd);
+  if (!simd_sel.notice.empty()) report.notices.push_back(simd_sel.notice);
   return report;
 }
 
@@ -764,6 +776,11 @@ JobReport run_tcp(const JobOptions& options,
 JobReport run(const JobOptions& options,
               const std::function<void(Context&)>& fn) {
   if (options.transport == TransportKind::kTcp) return run_tcp(options, fn);
+  // Resolve the SIMD tier before the backend exists so every sweep of this
+  // job runs the selected kernels. Unavailable-ISA fallback is a notice,
+  // not an error — the report records what actually executed.
+  const sim::simd::Selection simd_sel = sim::simd::resolve(options.simd);
+  sim::simd::set_active(simd_sel.isa);
   sim::SimServer server(options.seed, options.sim_threads, options.backend,
                         options.num_shards);
   Trace trace;
@@ -793,6 +810,7 @@ JobReport run(const JobOptions& options,
     }
   }
   report.trace = trace.snapshot();
+  if (!simd_sel.notice.empty()) report.notices.push_back(simd_sel.notice);
   return report;
 }
 

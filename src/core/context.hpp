@@ -15,6 +15,7 @@
 #include "core/trace.hpp"
 #include "sim/server.hpp"
 #include "sim/sim_client.hpp"
+#include "sim/simd.hpp"
 
 namespace qmpi {
 
@@ -554,10 +555,16 @@ struct JobOptions {
   /// per-process pipelining choice with bit-identical observable
   /// semantics, so processes may legally disagree on it.
   std::size_t sim_batch_ops = sim::kDefaultSimBatchOps;
+  /// SIMD tier for the backend's sweep kernels
+  /// (QMPI_SIMD=auto|scalar|avx2|avx512). kAuto picks the best tier this
+  /// CPU supports; naming an unavailable ISA is not an error — the job
+  /// falls back and records a notice in the JobReport, so the same job
+  /// script runs on any node without silently lying about what executed.
+  sim::simd::Request simd = sim::simd::Request::kAuto;
 
   /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS /
-  /// QMPI_TRANSPORT / QMPI_SIM_BATCH environment overrides on top of
-  /// `base`, so any benchmark or example binary is reproducible and
+  /// QMPI_TRANSPORT / QMPI_SIM_BATCH / QMPI_SIMD environment overrides on
+  /// top of `base`, so any benchmark or example binary is reproducible and
   /// backend/transport-selectable from the command line without
   /// recompiling.
   static JobOptions from_env();
@@ -569,6 +576,11 @@ struct JobReport {
   ResourceTracker::Counts totals_by_category[static_cast<std::size_t>(
       OpCategory::kCount_)];
   std::vector<TraceEvent> trace;
+  /// Human-readable run notices — e.g. "QMPI_SIMD=avx512 is not available
+  /// on this CPU; kernels fell back to avx2". Empty on a clean run; a perf
+  /// harness should surface these so a record never claims hardware that
+  /// never executed.
+  std::vector<std::string> notices;
 
   ResourceTracker::Counts total() const {
     ResourceTracker::Counts t;

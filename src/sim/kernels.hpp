@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstddef>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "sim/gates.hpp"
+#include "sim/simd.hpp"
 
 namespace qmpi::sim::kernels {
 
@@ -73,6 +75,34 @@ inline std::size_t insert_bit(std::size_t k, std::size_t pos, bool bit) {
                                   (bit ? (1ULL << pos) : 0ULL));
 }
 
+/// The run structure the SIMD sweeps exploit: an IndexExpander passes the
+/// bits of `k` below its lowest fixed position straight through, so
+/// compressed indices within an aligned window of this length map to
+/// *contiguous* state addresses — ex(k) = ex(k0) + (k - k0). Every
+/// vectorized sweep decomposes its compressed range into such runs and
+/// hands each one to a simd primitive; below simd::kMinRun per run the
+/// pointer-call overhead wins and the sweeps keep their scalar loops.
+inline std::size_t contiguous_run(const IndexExpander& ex) {
+  return ex.npos == 0 ? ~std::size_t{0} : std::size_t{1} << ex.pos[0];
+}
+
+/// Scales the contiguous amplitude run at `addr` (length `len`) by m00 or
+/// m11 according to each address's target bit, splitting the run at
+/// `stride` boundaries so every simd call covers one factor-constant
+/// stretch. Elementwise, so any decomposition yields identical bits.
+inline void scale_run_by_target(const simd::Ops& vo, Complex* amp,
+                                std::size_t addr, std::size_t len,
+                                std::uint64_t stride, Complex m00,
+                                Complex m11) {
+  while (len > 0) {
+    const std::size_t upto = std::min<std::size_t>(
+        len, stride - (addr & (stride - 1)));
+    vo.scale(amp + addr, upto, (addr & stride) ? m11 : m00);
+    addr += upto;
+    len -= upto;
+  }
+}
+
 /// Applies a (possibly controlled) single-qubit gate to `amp[0..n)`,
 /// dispatching to a specialized kernel by gate structure. `pfor` is a
 /// callable `pfor(count, fn)` running `fn(begin, end)` over [0, count),
@@ -85,6 +115,8 @@ void apply_1q(Complex* amp, std::size_t n, std::size_t tpos,
   const int nctrl = std::popcount(ctrl_mask);
   const GateKind kind = classify(g);
   const Complex one(1.0, 0.0);
+  const simd::Ops& vo = simd::ops();
+  const bool vector = vo.isa != simd::Isa::kScalar;
 
   if (kind == GateKind::kDiagonal) {
     const Complex m00 = g.m[0], m11 = g.m[3];
@@ -95,46 +127,104 @@ void apply_1q(Complex* amp, std::size_t n, std::size_t tpos,
       ex.add_mask(ctrl_mask);
       ex.add_position(tpos);
       ex.base = ctrl_mask | stride;
-      pfor(n >> (nctrl + 1), [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k) amp[ex(k)] *= m11;
-      });
+      const std::size_t run = contiguous_run(ex);
+      if (vector && run >= simd::kMinRun) {
+        pfor(n >> (nctrl + 1), [&](std::size_t begin, std::size_t end) {
+          std::size_t k = begin;
+          while (k < end) {
+            const std::size_t rend = std::min(end, (k / run + 1) * run);
+            vo.scale(amp + ex(k), rend - k, m11);
+            k = rend;
+          }
+        });
+      } else {
+        pfor(n >> (nctrl + 1), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) amp[ex(k)] *= m11;
+        });
+      }
     } else if (ctrl_mask == 0) {
       // General diagonal (Rz): one multiply per amplitude, no pairing.
-      pfor(n, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          amp[i] *= (i & stride) ? m11 : m00;
-        }
-      });
+      if (vector && stride >= simd::kMinRun) {
+        pfor(n, [&](std::size_t begin, std::size_t end) {
+          scale_run_by_target(vo, amp, begin, end - begin, stride, m00, m11);
+        });
+      } else {
+        pfor(n, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            amp[i] *= (i & stride) ? m11 : m00;
+          }
+        });
+      }
     } else {
       // Controlled diagonal: enumerate control-satisfying indices only.
       IndexExpander ex;
       ex.add_mask(ctrl_mask);
       ex.base = ctrl_mask;
-      pfor(n >> nctrl, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k) {
-          const std::size_t i = ex(k);
-          amp[i] *= (i & stride) ? m11 : m00;
-        }
-      });
+      const std::size_t run = contiguous_run(ex);
+      if (vector && run >= simd::kMinRun && stride >= simd::kMinRun) {
+        pfor(n >> nctrl, [&](std::size_t begin, std::size_t end) {
+          std::size_t k = begin;
+          while (k < end) {
+            const std::size_t rend = std::min(end, (k / run + 1) * run);
+            scale_run_by_target(vo, amp, ex(k), rend - k, stride, m00, m11);
+            k = rend;
+          }
+        });
+      } else {
+        pfor(n >> nctrl, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t i = ex(k);
+            amp[i] *= (i & stride) ? m11 : m00;
+          }
+        });
+      }
     }
     return;
   }
 
-  // Pair kernels: fixed bits are the target plus all controls.
+  // Pair kernels: fixed bits are the target plus all controls. The i0
+  // addresses of an aligned compressed-index run are contiguous, and
+  // i1 = i0 + stride always (the target bit is fixed 0 in i0), so one run
+  // is exactly two parallel amplitude spans — the simd pair primitives'
+  // shape.
   IndexExpander ex;
   ex.add_mask(ctrl_mask);
   ex.add_position(tpos);
   ex.base = ctrl_mask;  // target bit stays 0 in i0
   const std::size_t pairs = n >> (nctrl + 1);
+  const std::size_t run = contiguous_run(ex);
+  const bool vrun = vector && run >= simd::kMinRun;
 
   if (kind == GateKind::kAntiDiagonal) {
     const Complex m01 = g.m[1], m10 = g.m[2];
     if (m01 == one && m10 == one) {
       // X / CNOT / Toffoli: a pure permutation — swap, no arithmetic.
+      if (vrun) {
+        pfor(pairs, [&](std::size_t begin, std::size_t end) {
+          std::size_t k = begin;
+          while (k < end) {
+            const std::size_t rend = std::min(end, (k / run + 1) * run);
+            const std::size_t i0 = ex(k);
+            vo.swap_halves(amp + i0, amp + i0 + stride, rend - k);
+            k = rend;
+          }
+        });
+      } else {
+        pfor(pairs, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t i0 = ex(k);
+            std::swap(amp[i0], amp[i0 | stride]);
+          }
+        });
+      }
+    } else if (vrun) {
       pfor(pairs, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k) {
+        std::size_t k = begin;
+        while (k < end) {
+          const std::size_t rend = std::min(end, (k / run + 1) * run);
           const std::size_t i0 = ex(k);
-          std::swap(amp[i0], amp[i0 | stride]);
+          vo.pair_antidiag(amp + i0, amp + i0 + stride, rend - k, m01, m10);
+          k = rend;
         }
       });
     } else {
@@ -152,16 +242,29 @@ void apply_1q(Complex* amp, std::size_t n, std::size_t tpos,
   }
 
   const Complex m00 = g.m[0], m01 = g.m[1], m10 = g.m[2], m11 = g.m[3];
-  pfor(pairs, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t k = begin; k < end; ++k) {
-      const std::size_t i0 = ex(k);
-      const std::size_t i1 = i0 | stride;
-      const Complex a0 = amp[i0];
-      const Complex a1 = amp[i1];
-      amp[i0] = m00 * a0 + m01 * a1;
-      amp[i1] = m10 * a0 + m11 * a1;
-    }
-  });
+  if (vrun) {
+    pfor(pairs, [&](std::size_t begin, std::size_t end) {
+      std::size_t k = begin;
+      while (k < end) {
+        const std::size_t rend = std::min(end, (k / run + 1) * run);
+        const std::size_t i0 = ex(k);
+        vo.pair_dense(amp + i0, amp + i0 + stride, rend - k, m00, m01, m10,
+                      m11);
+        k = rend;
+      }
+    });
+  } else {
+    pfor(pairs, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t i0 = ex(k);
+        const std::size_t i1 = i0 | stride;
+        const Complex a0 = amp[i0];
+        const Complex a1 = amp[i1];
+        amp[i0] = m00 * a0 + m01 * a1;
+        amp[i1] = m10 * a0 + m11 * a1;
+      }
+    });
+  }
 }
 
 /// Applies a (possibly controlled) 2x2 unitary to a gathered block of
@@ -383,6 +486,106 @@ void sweep_kq(Complex* amp, std::size_t n, std::span<const std::size_t> pos,
   });
 }
 
+/// Amplitudes per streaming chunk of the cache-blocked cluster replay: all
+/// 2^k rows of one chunk total at most this many amplitudes (32 KiB), so
+/// a chunk is loaded into L1 once and every replayed op hits cache instead
+/// of re-streaming the state per op.
+inline constexpr std::size_t kStreamAmps = 2048;
+
+/// The lowest state bit fixed by a block sweep (block bits plus controls);
+/// compressed block indices within an aligned window of 1 << that bit map
+/// to contiguous addresses for *every* block-local offset — the property
+/// the streaming replay below vectorizes across.
+inline std::size_t block_sweep_run(std::span<const std::size_t> pos,
+                                   std::uint64_t ctrl_mask) {
+  std::uint64_t fixed = ctrl_mask;
+  for (const std::size_t p : pos) fixed |= 1ULL << p;
+  return std::size_t{1} << std::countr_zero(fixed);
+}
+
+/// Fused-cluster replay over the whole state: semantically identical to
+/// sweep_kq + run_block_ops per gathered block, but when a SIMD tier is
+/// active and the blocks come in contiguous runs, the replay streams in
+/// place instead — no gather/scatter copies, each compiled op applied
+/// across a cache-blocked chunk of consecutive blocks with the vector
+/// primitives. Per amplitude the op sequence and arithmetic are exactly
+/// the gather path's, so fused-vs-unfused and shard-vs-serial contracts
+/// are unchanged.
+template <typename PFor>
+void run_block_ops_sweep(Complex* amp, std::size_t n,
+                         std::span<const std::size_t> pos,
+                         std::uint64_t ctrl_mask, PFor&& pfor,
+                         std::span<const BlockOp> ops) {
+  const simd::Ops& vo = simd::ops();
+  const std::size_t run = block_sweep_run(pos, ctrl_mask);
+  if (vo.isa == simd::Isa::kScalar || run < simd::kMinRun) {
+    sweep_kq(amp, n, pos, ctrl_mask, std::forward<PFor>(pfor),
+             [ops](Complex* block) { run_block_ops(block, ops); });
+    return;
+  }
+
+  const std::size_t k = pos.size();
+  IndexExpander ex;
+  for (const std::size_t p : pos) ex.add_position(p);
+  ex.add_mask(ctrl_mask);
+  ex.base = ctrl_mask;
+  const int nctrl = std::popcount(ctrl_mask);
+  const std::size_t blocks = n >> (k + static_cast<std::size_t>(nctrl));
+  std::array<std::size_t, 1ULL << kMaxBlockQubits> offs{};
+  for (std::size_t b = 0; b < (1ULL << k); ++b) {
+    std::size_t o = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if ((b >> j) & 1ULL) o |= 1ULL << pos[j];
+    }
+    offs[b] = o;
+  }
+  const std::size_t chunk =
+      std::max<std::size_t>(simd::kMinRun, kStreamAmps >> k);
+
+  pfor(blocks, [&](std::size_t begin, std::size_t end) {
+    std::size_t t = begin;
+    while (t < end) {
+      const std::size_t rend = std::min(end, (t / run + 1) * run);
+      const std::size_t base = ex(t);
+      const std::size_t len = rend - t;
+      for (std::size_t done = 0; done < len; done += chunk) {
+        Complex* p = amp + base + done;
+        const std::size_t c = std::min(chunk, len - done);
+        for (const BlockOp& op : ops) {
+          switch (op.kind) {
+            case BlockOp::Kind::kScale:
+              for (unsigned j = 0; j < op.count; ++j) {
+                vo.scale(p + offs[op.idx[j]], c, op.m00);
+              }
+              break;
+            case BlockOp::Kind::kSwap:
+              for (unsigned j = 0; j < op.count; ++j) {
+                vo.swap_halves(p + offs[op.idx[j]],
+                               p + offs[op.idx[j] | op.stride], c);
+              }
+              break;
+            case BlockOp::Kind::kAntiDiag:
+              for (unsigned j = 0; j < op.count; ++j) {
+                vo.pair_antidiag(p + offs[op.idx[j]],
+                                 p + offs[op.idx[j] | op.stride], c, op.m01,
+                                 op.m10);
+              }
+              break;
+            case BlockOp::Kind::kDense:
+              for (unsigned j = 0; j < op.count; ++j) {
+                vo.pair_dense(p + offs[op.idx[j]],
+                              p + offs[op.idx[j] | op.stride], c, op.m00,
+                              op.m01, op.m10, op.m11);
+              }
+              break;
+          }
+        }
+      }
+      t = rend;
+    }
+  });
+}
+
 /// Block functor multiplying each gathered 2^k block by a dense row-major
 /// 2^k x 2^k matrix. The one definition of this arithmetic — serial and
 /// sharded matrix paths must share it, or their results drift apart in
@@ -407,12 +610,70 @@ inline auto matrix_block_op(const Complex* matrix, std::size_t block_size) {
 /// apply_matrix and the composed-cluster white-box tests. Control-
 /// satisfying indices are enumerated, never branch-rejected, and `pfor`
 /// carries the ThreadPool chunking exactly as in apply_1q.
+/// Streaming chunk (in amplitudes per block-local row) of the vectorized
+/// dense-matrix path: 2^k rows of 64 amplitudes are 16 KiB of scratch,
+/// small enough for a lane's stack and L1.
+inline constexpr std::size_t kMatrixChunk = 64;
+
 template <typename PFor>
 void apply_matrix_kq(Complex* amp, std::size_t n,
                      std::span<const std::size_t> pos, const Complex* matrix,
                      std::uint64_t ctrl_mask, PFor&& pfor) {
-  sweep_kq(amp, n, pos, ctrl_mask, std::forward<PFor>(pfor),
-           matrix_block_op(matrix, 1ULL << pos.size()));
+  const simd::Ops& vo = simd::ops();
+  const std::size_t run = block_sweep_run(pos, ctrl_mask);
+  const std::size_t block_size = 1ULL << pos.size();
+  if (vo.isa == simd::Isa::kScalar || run < simd::kMinRun) {
+    sweep_kq(amp, n, pos, ctrl_mask, std::forward<PFor>(pfor),
+             matrix_block_op(matrix, block_size));
+    return;
+  }
+
+  // Streaming variant: gather a chunk of consecutive blocks row-major into
+  // scratch (one contiguous copy per block-local index), then produce each
+  // output row with a scale_copy + axpy sweep over the scratch rows — the
+  // same column order and multiply/add sequence per amplitude as
+  // matrix_block_op, vectorized across the chunk's blocks.
+  const std::size_t k = pos.size();
+  IndexExpander ex;
+  for (const std::size_t p : pos) ex.add_position(p);
+  ex.add_mask(ctrl_mask);
+  ex.base = ctrl_mask;
+  const int nctrl = std::popcount(ctrl_mask);
+  const std::size_t blocks = n >> (k + static_cast<std::size_t>(nctrl));
+  std::array<std::size_t, 1ULL << kMaxBlockQubits> offs{};
+  for (std::size_t b = 0; b < block_size; ++b) {
+    std::size_t o = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if ((b >> j) & 1ULL) o |= 1ULL << pos[j];
+    }
+    offs[b] = o;
+  }
+
+  pfor(blocks, [&](std::size_t begin, std::size_t end) {
+    std::array<std::array<Complex, kMatrixChunk>, 1ULL << kMaxBlockQubits>
+        rows;
+    std::size_t t = begin;
+    while (t < end) {
+      const std::size_t rend = std::min(end, (t / run + 1) * run);
+      const std::size_t base = ex(t);
+      const std::size_t len = rend - t;
+      for (std::size_t done = 0; done < len; done += kMatrixChunk) {
+        Complex* p = amp + base + done;
+        const std::size_t c = std::min(kMatrixChunk, len - done);
+        for (std::size_t b = 0; b < block_size; ++b) {
+          std::copy_n(p + offs[b], c, rows[b].data());
+        }
+        for (std::size_t r = 0; r < block_size; ++r) {
+          Complex* out = p + offs[r];
+          vo.scale_copy(out, rows[0].data(), c, matrix[r * block_size]);
+          for (std::size_t col = 1; col < block_size; ++col) {
+            vo.axpy(out, rows[col].data(), c, matrix[r * block_size + col]);
+          }
+        }
+      }
+      t = rend;
+    }
+  });
 }
 
 /// i^(k mod 4) without the slow, lossy std::pow on complex arguments.

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "sim/kernels.hpp"
+#include "sim/simd.hpp"
 #include "sim/sweep.hpp"
 
 namespace qmpi::sim {
@@ -224,10 +225,10 @@ void ShardedStateVector::apply_at(const Gate1Q& gate, std::size_t pos,
   apply_global_exchange(gate, target_bit, shard_ctrl, local_mask);
 }
 
-template <typename BlockOp>
+template <typename LocalFn, typename BlockFn>
 void ShardedStateVector::sweep_blocks_planned(
     std::span<const std::size_t> pos, std::uint64_t lmask,
-    BlockOp&& op) const {
+    LocalFn&& local_fn, BlockFn&& block_fn) const {
   const std::size_t k = pos.size();
   const std::size_t nl = local_bits();
 
@@ -269,15 +270,14 @@ void ShardedStateVector::sweep_blocks_planned(
     for (std::size_t j = 0; j < k; ++j) local_last_use_[pt[j]] = tick;
     const std::vector<unsigned> parts = controlled_shards(shard_ctrl);
     if (parts.size() == 1) {
-      kernels::sweep_kq(slices_[parts[0]].data(), m, pt, local_mask,
-                        lanes_pfor(num_threads_),
-                        op);
+      local_fn(slices_[parts[0]].data(), m,
+               std::span<const std::size_t>(pt), local_mask,
+               lanes_pfor(num_threads_));
       return;
     }
     for_shards(parts, [&](unsigned w) {
-      kernels::sweep_kq(slices_[w].data(), m, pt, local_mask,
-                        serial_pfor,
-                        op);
+      local_fn(slices_[w].data(), m, std::span<const std::size_t>(pt),
+               local_mask, serial_pfor);
     });
     return;
   }
@@ -318,7 +318,7 @@ void ShardedStateVector::sweep_blocks_planned(
         const std::size_t i = base | offs[b];
         block[b] = ptr[i >> nl][i & lmask_local];
       }
-      op(block.data());
+      block_fn(block.data());
       for (std::size_t b = 0; b < block_size; ++b) {
         const std::size_t i = base | offs[b];
         ptr[i >> nl][i & lmask_local] = block[b];
@@ -331,18 +331,29 @@ void ShardedStateVector::apply_cluster_at(
     std::span<const std::size_t> pos,
     std::span<const kernels::BlockOp> ops) const {
   ++cluster_sweeps_;
-  sweep_blocks_planned(pos, /*lmask=*/0, [ops](Complex* block) {
-    kernels::run_block_ops(block, ops);
-  });
+  sweep_blocks_planned(
+      pos, /*lmask=*/0,
+      [ops](Complex* amp, std::size_t m, std::span<const std::size_t> pt,
+            std::uint64_t local_mask, auto&& pfor) {
+        kernels::run_block_ops_sweep(amp, m, pt, local_mask,
+                                     std::forward<decltype(pfor)>(pfor), ops);
+      },
+      [ops](Complex* block) { kernels::run_block_ops(block, ops); });
 }
 
 void ShardedStateVector::apply_matrix_at(std::span<const Complex> matrix,
                                          std::span<const std::size_t> pos,
                                          std::uint64_t ctrl_mask) const {
   ++cluster_sweeps_;
+  const Complex* mat = matrix.data();
   sweep_blocks_planned(
       pos, ctrl_mask,
-      kernels::matrix_block_op(matrix.data(), 1ULL << pos.size()));
+      [mat](Complex* amp, std::size_t m, std::span<const std::size_t> pt,
+            std::uint64_t local_mask, auto&& pfor) {
+        kernels::apply_matrix_kq(amp, m, pt, mat, local_mask,
+                                 std::forward<decltype(pfor)>(pfor));
+      },
+      kernels::matrix_block_op(mat, 1ULL << pos.size()));
 }
 
 void ShardedStateVector::apply_local(const Gate1Q& gate, std::size_t pt,
@@ -382,12 +393,17 @@ void ShardedStateVector::apply_global_diagonal(
   const std::size_t cnt = m >> std::popcount(local_mask);
   // One slice sweeping alone gets the worker lanes itself (like
   // apply_local); with several slices each one is a lane's whole job.
+  const simd::Ops& vo = simd::ops();
   const auto scale_slice = [&](unsigned w, std::size_t begin,
                                std::size_t end) {
     const Complex factor = (w & target_bit) ? m11 : m00;
     Complex* s = slices_[w].data();
     if (local_mask == 0) {
-      for (std::size_t i = begin; i < end; ++i) s[i] *= factor;
+      if (vo.isa != simd::Isa::kScalar) {
+        vo.scale(s + begin, end - begin, factor);
+      } else {
+        for (std::size_t i = begin; i < end; ++i) s[i] *= factor;
+      }
     } else {
       for (std::size_t k = begin; k < end; ++k) s[ex(k)] *= factor;
     }
@@ -436,6 +452,13 @@ void ShardedStateVector::apply_global_exchange(
   const Complex one(1.0, 0.0);
   const Complex g00 = gate.m[0], g01 = gate.m[1];
   const Complex g10 = gate.m[2], g11 = gate.m[3];
+  // With no local controls the slab is the whole contiguous slice, so the
+  // combine runs through the vector primitives (IEEE addition commutes, so
+  // f_dst*dst + f_src*src matches the scalar sum bit for bit).
+  const simd::Ops& vo = simd::ops();
+  const bool vcontig = local_mask == 0 &&
+                       vo.isa != simd::Isa::kScalar &&
+                       cnt >= simd::kMinRun;
   for_shards(parts, [&](unsigned w) {
     ShardMessage msg = mesh_.take(w, w ^ target_bit, tag);
     const Complex* theirs = msg.amplitudes.data();
@@ -444,14 +467,23 @@ void ShardedStateVector::apply_global_exchange(
     if (kind == kernels::GateKind::kAntiDiagonal) {
       if (g01 == one && g10 == one) {
         // X / CNOT / Toffoli: a pure permutation — adopt the partner slab.
-        for (std::size_t k = 0; k < cnt; ++k) mine[ex(k)] = theirs[k];
+        if (vcontig) {
+          std::copy_n(theirs, cnt, mine);
+        } else {
+          for (std::size_t k = 0; k < cnt; ++k) mine[ex(k)] = theirs[k];
+        }
+      } else if (vcontig) {
+        vo.scale_copy(mine, theirs, cnt, hi ? g10 : g01);
       } else {
         const Complex f = hi ? g10 : g01;
         for (std::size_t k = 0; k < cnt; ++k) mine[ex(k)] = f * theirs[k];
       }
       return;
     }
-    if (hi) {
+    if (vcontig) {
+      vo.combine(mine, theirs, cnt, /*f_dst=*/hi ? g11 : g00,
+                 /*f_src=*/hi ? g10 : g01);
+    } else if (hi) {
       for (std::size_t k = 0; k < cnt; ++k) {
         const std::size_t i = ex(k);
         mine[i] = g10 * theirs[k] + g11 * mine[i];

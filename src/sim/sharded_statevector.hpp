@@ -138,11 +138,15 @@ class ShardedStateVector : public Backend {
   /// block); an all-local block then sweeps per slice with zero exchanges,
   /// and anything that cannot be localized falls back to a cross-slice
   /// gather that is still bit-identical to the serial enumeration.
-  /// `lmask` is the logical control mask; `op(block)` sees 2^k gathered
-  /// amplitudes with block bit j at pos[j].
-  template <typename BlockOp>
+  /// `lmask` is the logical control mask. The all-local hot path calls
+  /// `local_fn(amp, m, pt, local_mask, pfor)` once per participating slice
+  /// so backends can hand it the same streaming SIMD sweeps the serial
+  /// StateVector uses; the cross-slice gather calls `block_fn(block)` with
+  /// 2^k gathered amplitudes, block bit j at pos[j].
+  template <typename LocalFn, typename BlockFn>
   void sweep_blocks_planned(std::span<const std::size_t> pos,
-                            std::uint64_t lmask, BlockOp&& op) const;
+                            std::uint64_t lmask, LocalFn&& local_fn,
+                            BlockFn&& block_fn) const;
 
   unsigned shards_;  ///< total slices (power of two)
   unsigned gbits_;   ///< log2(shards_)

@@ -55,14 +55,12 @@ void StateVector::apply_at(const Gate1Q& gate, std::size_t pos,
 void StateVector::apply_cluster_at(
     std::span<const std::size_t> pos,
     std::span<const kernels::BlockOp> ops) const {
-  // One memory pass for the whole fused run: gather each 2^k block, replay
-  // the compiled ops with the exact per-gate kernel arithmetic, scatter.
-  kernels::sweep_kq(amplitudes_.data(), amplitudes_.size(), pos,
-                    /*ctrl_mask=*/0,
-                    lanes_pfor(num_threads_),
-                    [ops](Complex* block) {
-                      kernels::run_block_ops(block, ops);
-                    });
+  // One memory pass for the whole fused run: replay the compiled ops with
+  // the exact per-gate kernel arithmetic — streaming cache-blocked chunks
+  // in place when a SIMD tier is active, gather/scatter otherwise.
+  kernels::run_block_ops_sweep(amplitudes_.data(), amplitudes_.size(), pos,
+                               /*ctrl_mask=*/0, lanes_pfor(num_threads_),
+                               ops);
 }
 
 void StateVector::apply_matrix_at(std::span<const Complex> matrix,

@@ -37,6 +37,7 @@ class EnvGuard {
     unsetenv("QMPI_SIM_THREADS");
     unsetenv("QMPI_TRANSPORT");
     unsetenv("QMPI_SIM_BATCH");
+    unsetenv("QMPI_SIMD");
   }
 };
 
@@ -171,6 +172,76 @@ TEST(EnvOptions, SimBatchRejectsGarbageZeroAndOverCap) {
     env.set("QMPI_SIM_BATCH", bad);
     EXPECT_THROW(JobOptions::from_env(), QmpiError)
         << "QMPI_SIM_BATCH=\"" << bad << "\"";
+  }
+}
+
+TEST(EnvOptions, SimdDefaultsToAuto) {
+  EnvGuard env;
+  EXPECT_EQ(JobOptions::from_env().simd, qmpi::sim::simd::Request::kAuto);
+}
+
+TEST(EnvOptions, SimdParsesStrictly) {
+  EnvGuard env;
+  env.set("QMPI_SIMD", "auto");
+  EXPECT_EQ(JobOptions::from_env().simd, qmpi::sim::simd::Request::kAuto);
+  env.set("QMPI_SIMD", "scalar");
+  EXPECT_EQ(JobOptions::from_env().simd, qmpi::sim::simd::Request::kScalar);
+  env.set("QMPI_SIMD", "avx2");
+  EXPECT_EQ(JobOptions::from_env().simd, qmpi::sim::simd::Request::kAvx2);
+  env.set("QMPI_SIMD", "avx512");
+  EXPECT_EQ(JobOptions::from_env().simd, qmpi::sim::simd::Request::kAvx512);
+  // Garbage must fail loud: a typo silently measuring the wrong kernels
+  // would poison every perf number recorded from that run.
+  for (const char* bad :
+       {"AVX2", "sse", "avx", "avx-512", "avx512 ", "", "scalar,avx2",
+        "none", "best"}) {
+    env.set("QMPI_SIMD", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError)
+        << "QMPI_SIMD=\"" << bad << "\"";
+  }
+}
+
+TEST(EnvOptions, SimdUnavailableIsaFallsBackWithNotice) {
+  // Requesting an ISA the CPU lacks is not an error at resolve time — the
+  // same job script must run on any node — but the fallback is recorded so
+  // a JobReport can surface it. On hosts that do support the tier the
+  // resolution is exact and the notice stays empty.
+  namespace simd = qmpi::sim::simd;
+  const simd::Selection sel = simd::resolve(simd::Request::kAvx512);
+  if (simd::available(simd::Isa::kAvx512)) {
+    EXPECT_EQ(sel.isa, simd::Isa::kAvx512);
+    EXPECT_TRUE(sel.notice.empty());
+  } else {
+    EXPECT_LT(static_cast<int>(sel.isa),
+              static_cast<int>(simd::Isa::kAvx512));
+    EXPECT_NE(sel.notice.find("QMPI_SIMD=avx512"), std::string::npos);
+    EXPECT_NE(sel.notice.find("fell back"), std::string::npos);
+  }
+  // kScalar and kAuto always resolve cleanly, on every CPU.
+  EXPECT_EQ(simd::resolve(simd::Request::kScalar).isa, simd::Isa::kScalar);
+  EXPECT_TRUE(simd::resolve(simd::Request::kAuto).notice.empty());
+}
+
+TEST(EnvOptions, SimdFallbackNoticeLandsInJobReport) {
+  // End-to-end: run a tiny job requesting every tier. Whatever the host
+  // CPU, the report's notices must match what resolve() promised — present
+  // exactly when the request fell back, absent otherwise.
+  namespace simd = qmpi::sim::simd;
+  EnvGuard env;
+  for (const char* tier : {"scalar", "avx2", "avx512"}) {
+    env.set("QMPI_SIMD", tier);
+    const JobOptions opts = JobOptions::from_env();
+    const qmpi::JobReport report =
+        qmpi::run(opts, [](qmpi::Context& ctx) { (void)ctx; });
+    simd::Request req{};
+    ASSERT_TRUE(simd::parse_request(tier, req));
+    const simd::Selection sel = simd::resolve(req);
+    if (sel.notice.empty()) {
+      EXPECT_TRUE(report.notices.empty()) << "QMPI_SIMD=" << tier;
+    } else {
+      ASSERT_EQ(report.notices.size(), 1u) << "QMPI_SIMD=" << tier;
+      EXPECT_EQ(report.notices[0], sel.notice);
+    }
   }
 }
 

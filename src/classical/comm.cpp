@@ -16,22 +16,22 @@ void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag) {
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
-  msg.channel = Channel::kPointToPoint;
+  msg.channel = ChannelKind::kPointToPoint;
   msg.context = context_;
   msg.payload.assign(bytes.begin(), bytes.end());
-  transport_->post(world_rank_of(dest), std::move(msg));
+  transport_->channel(world_rank_of(dest)).send(std::move(msg));
 }
 
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource) check_rank(source);
   return transport_->mailbox(world_rank_of(rank_))
-      .match(source, tag, Channel::kPointToPoint, context_);
+      .match(source, tag, ChannelKind::kPointToPoint, context_);
 }
 
 bool Comm::iprobe(int source, int tag, Status* status) {
   if (source != kAnySource) check_rank(source);
   return transport_->mailbox(world_rank_of(rank_))
-      .probe(source, tag, Channel::kPointToPoint, context_, status);
+      .probe(source, tag, ChannelKind::kPointToPoint, context_, status);
 }
 
 void Comm::coll_send_bytes(std::span<const std::byte> bytes, int dest,
@@ -40,15 +40,15 @@ void Comm::coll_send_bytes(std::span<const std::byte> bytes, int dest,
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
-  msg.channel = Channel::kCollective;
+  msg.channel = ChannelKind::kCollective;
   msg.context = context_;
   msg.payload.assign(bytes.begin(), bytes.end());
-  transport_->post(world_rank_of(dest), std::move(msg));
+  transport_->channel(world_rank_of(dest)).send(std::move(msg));
 }
 
 Message Comm::coll_recv_message(int source, int tag) {
   return transport_->mailbox(world_rank_of(rank_))
-      .match(source, tag, Channel::kCollective, context_);
+      .match(source, tag, ChannelKind::kCollective, context_);
 }
 
 void Comm::barrier() {

@@ -32,6 +32,14 @@ class Comm {
   int size() const { return static_cast<int>(members_.size()); }
   std::uint64_t context() const { return context_; }
 
+  /// True when the underlying transport delivers rank-to-rank messages over
+  /// direct per-pair channels rather than a central relay. Collectives use
+  /// this to pick between distributed (ring, recursive-doubling) and
+  /// centralized (root-funnelled) schedules.
+  bool peer_to_peer() const {
+    return transport_ != nullptr && transport_->peer_to_peer();
+  }
+
   // ---------------------------------------------------------------- p2p ---
 
   /// Sends raw bytes to `dest` with `tag` (eager, buffered; never blocks).
@@ -121,7 +129,10 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   T scatter(std::span<const T> values, int root);
 
-  /// All-gathers one value per rank to every rank.
+  /// All-gathers one value per rank to every rank. On a peer-to-peer
+  /// transport this is a ring (N-1 neighbor exchanges, no rank hosts more
+  /// than 2 messages per step); on a hub-routed transport it falls back to
+  /// gather + bcast (fewest total messages through the single relay).
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   std::vector<T> allgather(const T& value);
@@ -137,7 +148,12 @@ class Comm {
     requires std::is_trivially_copyable_v<T>
   T reduce(const T& value, Op op, int root);
 
-  /// Reduction whose result is available on every rank.
+  /// Reduction whose result is available on every rank. On a peer-to-peer
+  /// transport with a power-of-two size this runs recursive doubling
+  /// (log N rounds of pairwise exchange, no root bottleneck); otherwise it
+  /// falls back to reduce-to-0 + bcast. Both paths fold operands in the
+  /// same balanced ascending-rank association, so even non-commutative or
+  /// floating-point ops produce bit-identical results across transports.
   template <typename T, typename Op>
     requires std::is_trivially_copyable_v<T>
   T allreduce(const T& value, Op op);
@@ -364,12 +380,34 @@ T Comm::scatter(std::span<const T> values, int root) {
 template <typename T>
   requires std::is_trivially_copyable_v<T>
 std::vector<T> Comm::allgather(const T& value) {
-  // Gather to rank 0, then broadcast; two binomial phases keep this at
-  // O(log N) latency for the small payloads QMPI exchanges.
-  auto gathered = gather(value, 0);
-  if (rank() != 0) gathered.resize(static_cast<std::size_t>(size()));
-  bcast(std::span<T>(gathered), 0);
-  return gathered;
+  const int n = size();
+  if (!transport_->peer_to_peer() || n <= 2) {
+    // Hub-routed transport: every message crosses the relay anyway, so the
+    // two binomial phases (fewest total messages) win. At n <= 2 the ring
+    // degenerates to the same single exchange.
+    auto gathered = gather(value, 0);
+    if (rank() != 0) gathered.resize(static_cast<std::size_t>(n));
+    bcast(std::span<T>(gathered), 0);
+    return gathered;
+  }
+  // Ring allgather over direct links: step k sends block (rank - k) to the
+  // right neighbor and receives block (rank - k - 1) from the left one, so
+  // each block travels one hop per step and no rank ever carries more than
+  // two messages at once. Sends are eager (never block), which makes the
+  // ring deadlock-free; a single tag suffices because per-source FIFO
+  // delivery keeps the N-1 messages from `prev` in step order.
+  const int tag = next_collective_tag();
+  const int next = (rank() + 1) % n;
+  const int prev = (rank() - 1 + n) % n;
+  std::vector<T> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(rank())] = value;
+  for (int k = 0; k < n - 1; ++k) {
+    const auto send_idx = static_cast<std::size_t>((rank() - k + n) % n);
+    const auto recv_idx = static_cast<std::size_t>((rank() - k - 1 + n) % n);
+    coll_send(out[send_idx], next, tag);
+    out[recv_idx] = coll_recv<T>(prev, tag);
+  }
+  return out;
 }
 
 template <typename T>
@@ -428,8 +466,28 @@ T Comm::reduce(const T& value, Op op, int root) {
 template <typename T, typename Op>
   requires std::is_trivially_copyable_v<T>
 T Comm::allreduce(const T& value, Op op) {
-  T result = reduce(value, op, 0);
-  return bcast(result, 0);
+  const int n = size();
+  const bool pow2 = (n & (n - 1)) == 0;
+  if (!transport_->peer_to_peer() || !pow2 || n == 1) {
+    T result = reduce(value, op, 0);
+    return bcast(result, 0);
+  }
+  // Recursive doubling: round k exchanges partial results with the rank
+  // whose k-th address bit differs, halving the remaining distance each
+  // round. Both sides fold lower-rank-group op higher-rank-group, which is
+  // exactly the balanced association the binomial reduce above uses — so
+  // the fallback path and this path agree bit-for-bit even for
+  // floating-point ops, keeping runs reproducible across transports.
+  const int tag = next_collective_tag();
+  T acc = value;
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int partner = rank() ^ dist;
+    coll_send(acc, partner, tag + round);
+    T other = coll_recv<T>(partner, tag + round);
+    acc = rank() < partner ? op(acc, other) : op(other, acc);
+  }
+  return acc;
 }
 
 template <typename T, typename Op>

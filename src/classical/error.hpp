@@ -59,4 +59,17 @@ class ShutdownError : public TransportError {
   ShutdownError() : TransportError("transport universe was shut down") {}
 };
 
+/// A direct peer data-plane link broke mid-run (the remote rank process
+/// died or reset the connection). A typed QmpiError — it is a primary,
+/// user-actionable failure, not a secondary shutdown — that names the
+/// failing edge, so a collective that dies on one of its O(log n)
+/// exchanges points at the broken pair, not just "the job failed".
+class PeerLinkError : public QmpiError {
+ public:
+  PeerLinkError(int from_proc, int to_proc, const std::string& detail)
+      : QmpiError("peer link proc " + std::to_string(from_proc) +
+                  " -> proc " + std::to_string(to_proc) +
+                  " broken: " + detail) {}
+};
+
 }  // namespace qmpi::classical

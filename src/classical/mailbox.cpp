@@ -10,7 +10,7 @@ void Mailbox::post(Message msg) {
   cv_.notify_all();
 }
 
-bool Mailbox::matches(const Message& msg, int source, int tag, Channel channel,
+bool Mailbox::matches(const Message& msg, int source, int tag, ChannelKind channel,
                       std::uint64_t context) const {
   if (msg.channel != channel || msg.context != context) return false;
   if (source != kAnySource && msg.source != source) return false;
@@ -19,7 +19,7 @@ bool Mailbox::matches(const Message& msg, int source, int tag, Channel channel,
 }
 
 std::optional<Message> Mailbox::extract_locked(int source, int tag,
-                                               Channel channel,
+                                               ChannelKind channel,
                                                std::uint64_t context) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (matches(*it, source, tag, channel, context)) {
@@ -31,7 +31,7 @@ std::optional<Message> Mailbox::extract_locked(int source, int tag,
   return std::nullopt;
 }
 
-Message Mailbox::match(int source, int tag, Channel channel,
+Message Mailbox::match(int source, int tag, ChannelKind channel,
                        std::uint64_t context) {
   std::unique_lock lock(mutex_);
   for (;;) {
@@ -43,14 +43,14 @@ Message Mailbox::match(int source, int tag, Channel channel,
   }
 }
 
-std::optional<Message> Mailbox::try_match(int source, int tag, Channel channel,
+std::optional<Message> Mailbox::try_match(int source, int tag, ChannelKind channel,
                                           std::uint64_t context) {
   const std::lock_guard lock(mutex_);
   if (shutdown_) throw ShutdownError();
   return extract_locked(source, tag, channel, context);
 }
 
-bool Mailbox::probe(int source, int tag, Channel channel,
+bool Mailbox::probe(int source, int tag, ChannelKind channel,
                     std::uint64_t context, Status* status) {
   const std::lock_guard lock(mutex_);
   if (shutdown_) throw ShutdownError();

@@ -27,25 +27,25 @@ class Mailbox {
   /// available and removes it from the inbox. Wildcards are honoured only on
   /// the point-to-point channel; collective protocol traffic always names its
   /// peer explicitly.
-  Message match(int source, int tag, Channel channel, std::uint64_t context);
+  Message match(int source, int tag, ChannelKind channel, std::uint64_t context);
 
   /// Non-blocking variant of match(); returns std::nullopt when no message
   /// matches right now.
-  std::optional<Message> try_match(int source, int tag, Channel channel,
+  std::optional<Message> try_match(int source, int tag, ChannelKind channel,
                                    std::uint64_t context);
 
   /// Returns true when a matching message is queued (MPI_Iprobe equivalent).
-  bool probe(int source, int tag, Channel channel, std::uint64_t context,
+  bool probe(int source, int tag, ChannelKind channel, std::uint64_t context,
              Status* status = nullptr);
 
   /// Wakes all waiters with ShutdownError; subsequent calls also throw.
   void shutdown();
 
  private:
-  bool matches(const Message& msg, int source, int tag, Channel channel,
+  bool matches(const Message& msg, int source, int tag, ChannelKind channel,
                std::uint64_t context) const;
   /// Scans the queue under the lock; extracts and returns the first match.
-  std::optional<Message> extract_locked(int source, int tag, Channel channel,
+  std::optional<Message> extract_locked(int source, int tag, ChannelKind channel,
                                         std::uint64_t context);
 
   std::mutex mutex_;

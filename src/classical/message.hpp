@@ -18,7 +18,7 @@ inline constexpr int kAnyTag = -1;
 /// internal collective traffic are kept separate so that a user posting a
 /// receive with kAnyTag can never steal a protocol message belonging to a
 /// collective operation that is in flight on the same communicator.
-enum class Channel : std::uint8_t {
+enum class ChannelKind : std::uint8_t {
   kPointToPoint = 0,
   kCollective = 1,
 };
@@ -28,7 +28,7 @@ enum class Channel : std::uint8_t {
 struct Message {
   int source = kAnySource;      ///< Sending rank within the communicator.
   int tag = kAnyTag;            ///< User tag (or internal collective tag).
-  Channel channel = Channel::kPointToPoint;
+  ChannelKind channel = ChannelKind::kPointToPoint;
   std::uint64_t context = 0;    ///< Communicator context id (dup/split safe).
   std::vector<std::byte> payload;
 };

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -19,7 +20,11 @@ namespace qmpi::classical {
 namespace {
 
 constexpr std::uint32_t kHelloMagic = 0x51'4d'50'49;  // "QMPI"
-constexpr std::uint16_t kWireVersion = 1;
+// v2: kRunBegin advertises a peer-listener address, kRunReady returns the
+// brokered address table, and the kPeerHello/kPeerPost/kSimFence frames
+// exist. The HELLO version check keeps mixed-version jobs from silently
+// misparsing the new barrier bodies.
+constexpr std::uint16_t kWireVersion = 2;
 
 std::string errno_text() { return std::strerror(errno); }
 
@@ -74,7 +79,7 @@ std::pair<int, Message> decode_routed_after_epoch(WireReader& r) {
   Message msg;
   msg.source = r.i32();
   msg.tag = r.i32();
-  msg.channel = static_cast<Channel>(r.u8());
+  msg.channel = static_cast<ChannelKind>(r.u8());
   msg.context = r.u64();
   const auto payload = r.rest();
   msg.payload.assign(payload.begin(), payload.end());
@@ -97,6 +102,47 @@ RunConfig decode_run_config(WireReader& r) {
   cfg.num_shards = r.u32();
   cfg.sim_threads = r.u32();
   return cfg;
+}
+
+/// Bounded peer dial: non-blocking connect with a poll() deadline, so a
+/// peer whose listener wedged (accepts nothing, answers nothing) costs at
+/// most `timeout_ms` before this pair falls back to hub routing — a
+/// blocking connect() to a dead-but-routed address could hang for minutes.
+/// Returns a blocking, TCP_NODELAY, CLOEXEC fd, or -1 on any failure.
+int dial_peer(const PeerAddr& addr, int timeout_ms) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_cloexec(fd);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    if (::poll(&p, 1, timeout_ms) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
 }
 
 }  // namespace
@@ -428,6 +474,7 @@ void Hub::abort_run_locked(int origin_proc, const std::string& reason) {
   pending_cfg_.reset();
   begin_count_ = 0;
   begin_req_ids_.clear();
+  begin_addrs_.clear();
   end_count_ = 0;
   end_req_ids_.clear();
   end_totals_.clear();
@@ -573,11 +620,33 @@ void Hub::handle_frame(int proc, Frame frame) {
       return;
     }
 
+    case FrameType::kSimFence: {
+      // Pure ack. kSimBatch frames execute synchronously on this reader
+      // thread, so by the time this frame is handled every batch written
+      // before it has already run (or been recorded as failed — the
+      // req-id-0 kSimError precedes this ack on the FIFO connection, so
+      // the client sees the failure before the fence completes).
+      WireReader r(frame.body);
+      const std::uint64_t req_id = r.u64();
+      WireWriter reply;
+      reply.u64(req_id);
+      send_to(proc, FrameType::kSimFenceAck, reply.data());
+      return;
+    }
+
     case FrameType::kRunBegin: {
       WireReader r(frame.body);
       const std::uint64_t req_id = r.u64();
       const std::uint64_t epoch = r.u64();
       const RunConfig cfg = decode_run_config(r);
+      // Peer-listener advertisement (wire v2). Tolerate its absence so a
+      // minimal client (tests driving the barrier directly) just reads
+      // back a table of port-0 entries, i.e. all-hub routing.
+      PeerAddr addr;
+      if (r.remaining() > 0) {
+        addr.host = r.str();
+        addr.port = r.u16();
+      }
       const std::lock_guard lock(mu_);
       if (departed_ > 0) {
         // A peer left the job for good between runs; this barrier can
@@ -618,6 +687,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       if (!pending_cfg_.has_value()) {
         pending_cfg_ = cfg;
         begin_req_ids_.assign(static_cast<std::size_t>(nprocs_), 0);
+        begin_addrs_.assign(static_cast<std::size_t>(nprocs_), PeerAddr{});
       } else if (!(cfg == *pending_cfg_)) {
         abort_run_locked(-1,
                          "QMPI run configuration differs across processes "
@@ -626,6 +696,7 @@ void Hub::handle_frame(int proc, Frame frame) {
         return;
       }
       begin_req_ids_[static_cast<std::size_t>(proc)] = req_id;
+      begin_addrs_[static_cast<std::size_t>(proc)] = std::move(addr);
       if (++begin_count_ < nprocs_) return;
 
       // Barrier complete: reset the backend, then go live before any
@@ -652,6 +723,13 @@ void Hub::handle_frame(int proc, Frame frame) {
       for (int p = 0; p < nprocs_; ++p) {
         WireWriter ready;
         ready.u64(begin_req_ids_[static_cast<std::size_t>(p)]);
+        // The brokered data plane: every process learns where every other
+        // process accepts direct peer connections (port 0 = hub-route it).
+        ready.u32(static_cast<std::uint32_t>(begin_addrs_.size()));
+        for (const auto& a : begin_addrs_) {
+          ready.str(a.host);
+          ready.u16(a.port);
+        }
         try {
           send_to(p, FrameType::kRunReady, ready.data());
         } catch (const QmpiError& e) {
@@ -659,6 +737,7 @@ void Hub::handle_frame(int proc, Frame frame) {
           return;
         }
       }
+      begin_addrs_.clear();
       return;
     }
 
@@ -850,6 +929,7 @@ void HubClient::receiver_loop() {
         case FrameType::kCtxId:
         case FrameType::kSimResult:
         case FrameType::kSimError:
+        case FrameType::kSimFenceAck:
         case FrameType::kRunEndAck: {
           WireReader r(frame.body);
           const std::uint64_t req_id = r.u64();
@@ -964,6 +1044,7 @@ std::vector<std::byte> HubClient::request(FrameType type, FrameType expect,
 
 void HubClient::begin_run(const RunConfig& cfg) {
   std::uint64_t epoch = 0;
+  PeerAddr endpoint;
   {
     const std::lock_guard lock(mu_);
     if (fatal_) {
@@ -976,16 +1057,78 @@ void HubClient::begin_run(const RunConfig& cfg) {
     // A deferred batch error from an aborted run must not poison this
     // one: the hub's backend is reset at the begin barrier.
     sim_post_error_.clear();
+    // A stale table must not outlive the run that brokered it.
+    peers_.clear();
+    endpoint = endpoint_;
   }
   WireWriter w;
   w.u64(epoch);
   encode_run_config(w, cfg);
+  w.str(endpoint.host);
+  w.u16(endpoint.port);
+  std::vector<std::byte> body;
   try {
-    request(FrameType::kRunBegin, FrameType::kRunReady, w.data());
+    body = request(FrameType::kRunBegin, FrameType::kRunReady, w.data());
   } catch (const ShutdownError&) {
     // A begin-barrier failure is always primary (config mismatch, peer
     // death): nothing user-visible has started yet, so report the reason.
     throw QmpiError("cannot start a run: " + dead_reason());
+  }
+  // The brokered peer address table (one entry per process).
+  WireReader r(body);
+  std::vector<PeerAddr> peers;
+  if (r.remaining() > 0) {
+    const std::uint32_t n = r.u32();
+    peers.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      PeerAddr a;
+      a.host = r.str();
+      a.port = r.u16();
+      peers.push_back(std::move(a));
+    }
+  }
+  const std::lock_guard lock(mu_);
+  peers_ = std::move(peers);
+}
+
+void HubClient::set_peer_endpoint(std::string host, std::uint16_t port) {
+  const std::lock_guard lock(mu_);
+  endpoint_ = PeerAddr{std::move(host), port};
+}
+
+std::vector<PeerAddr> HubClient::peer_addresses() {
+  const std::lock_guard lock(mu_);
+  return peers_;
+}
+
+std::uint64_t HubClient::run_epoch() {
+  const std::lock_guard lock(mu_);
+  check_alive_locked();
+  return epoch_;
+}
+
+bool HubClient::run_epoch_live(std::uint64_t epoch) {
+  const std::lock_guard lock(mu_);
+  return epoch == epoch_ && !run_dead_ && !fatal_;
+}
+
+void HubClient::sim_fence() {
+  // Put any buffered batches on the wire first, so "seq" covers them.
+  run_sim_flush();
+  const std::uint64_t target = batch_seq_.load(std::memory_order_acquire);
+  if (target == batch_synced_.load(std::memory_order_acquire)) return;
+  (void)request(FrameType::kSimFence, FrameType::kSimFenceAck, {});
+  {
+    // The FIFO hub->client stream delivered any req-id-0 batch error
+    // before the fence ack; surface it now, exactly like sim_call does.
+    const std::lock_guard lock(mu_);
+    throw_sim_post_error_locked();
+  }
+  // Monotonic max: a concurrent fence may already have advanced it.
+  std::uint64_t cur = batch_synced_.load(std::memory_order_relaxed);
+  while (cur < target &&
+         !batch_synced_.compare_exchange_weak(cur, target,
+                                              std::memory_order_release)) {
   }
 }
 
@@ -1078,6 +1221,10 @@ void HubClient::sim_post(std::span<const std::byte> request) {
   w.u64(epoch);
   w.bytes(request);
   const std::lock_guard wlock(wr_mu_);
+  // Number the batch under the write lock, before it hits the wire: wire
+  // order and seq order then agree, which is what sim_fence()'s "ack
+  // covers every batch <= target" argument rests on.
+  batch_seq_.fetch_add(1, std::memory_order_release);
   write_frame(fd_, FrameType::kSimBatch, w.data());
 }
 
@@ -1115,9 +1262,225 @@ std::string HubClient::dead_reason() {
   return dead_reason_;
 }
 
+// ----------------------------------------------------------- peer mesh ---
+
+PeerMesh::PeerMesh(HubClient& hub,
+                   std::function<void(int dest, Message)> deliver)
+    : hub_(&hub), deliver_(std::move(deliver)) {
+  links_.reserve(static_cast<std::size_t>(hub.nprocs()));
+  for (int p = 0; p < hub.nprocs(); ++p) {
+    links_.push_back(std::make_unique<Link>());
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw QmpiError("peer mesh: cannot create socket: " + errno_text());
+  }
+  set_cloexec(listen_fd_);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: many rank processes share this host
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, hub.nprocs()) < 0) {
+    const std::string what = errno_text();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw QmpiError("peer mesh: cannot listen on loopback: " + what);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+PeerMesh::~PeerMesh() {
+  {
+    const std::lock_guard lock(mu_);
+    stopping_ = true;
+    // shutdown(), never close(), while threads may still use the fds: a
+    // closed descriptor number could be recycled by an unrelated socket
+    // before the reader notices. close happens after the joins.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const int fd : peer_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  for (const int fd : peer_fds_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& link : links_) {
+    if (link->fd >= 0) ::close(link->fd);
+  }
+}
+
+void PeerMesh::break_listener_for_test() {
+  const std::lock_guard lock(mu_);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void PeerMesh::break_links_for_test() {
+  const std::lock_guard lock(mu_);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (const int fd : peer_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void PeerMesh::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (destructor or test hook)
+    }
+    set_cloexec(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // Same bounded-handshake discipline as the hub: a connection that
+    // never identifies itself must not wedge the accept loop.
+    timeval hello_timeout{};
+    hello_timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &hello_timeout,
+                 sizeof(hello_timeout));
+    try {
+      const Frame hello = read_frame(fd);
+      WireReader r(hello.body);
+      const std::uint32_t magic = r.u32();
+      const std::uint16_t version = r.u16();
+      if (hello.type != FrameType::kPeerHello || magic != kHelloMagic ||
+          version != kWireVersion) {
+        throw QmpiError("peer mesh: bad peer hello");
+      }
+      (void)r.u16();  // dialer's proc id (diagnostics only)
+      (void)r.u64();  // dialer's epoch; each kPeerPost carries its own
+    } catch (const QmpiError&) {
+      ::close(fd);
+      continue;
+    }
+    const timeval no_timeout{};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &no_timeout,
+                 sizeof(no_timeout));
+
+    const std::lock_guard lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    peer_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { peer_reader(fd); });
+  }
+}
+
+void PeerMesh::peer_reader(int fd) {
+  try {
+    while (true) {
+      Frame frame = read_frame(fd);
+      if (frame.type != FrameType::kPeerPost) {
+        throw QmpiError("peer mesh: unexpected frame type " +
+                        std::to_string(static_cast<int>(frame.type)));
+      }
+      WireReader r(frame.body);
+      const std::uint64_t epoch = r.u64();
+      auto [dest, msg] = decode_routed_after_epoch(r);
+      // Receiver-side stale-epoch defense: frames stamped by a run that
+      // is no longer this process's live run (aborted, finished, or
+      // raced by an abort broadcast) are dropped, mirroring the kDeliver
+      // check in HubClient::receiver_loop.
+      if (!hub_->run_epoch_live(epoch)) continue;
+      deliver_(dest, std::move(msg));
+    }
+  } catch (const std::exception&) {
+    // Dialer closed (its process exited or its run died) or we are being
+    // torn down. Peer death mid-run is detected and propagated by the
+    // hub's connection tracking; nothing to do here.
+  }
+}
+
+void PeerMesh::resolve_locked(Link& link, int dest_proc,
+                              std::uint64_t epoch) {
+  // Pessimistic default: anything short of a completed dial+hello makes
+  // this pair hub-routed for the whole run. The route must never change
+  // again — flipping to direct later could overtake messages already
+  // queued at the hub.
+  link.state = Link::State::kHubRouted;
+  PeerAddr addr;
+  const auto peers = hub_->peer_addresses();
+  if (dest_proc >= 0 && dest_proc < static_cast<int>(peers.size())) {
+    addr = peers[static_cast<std::size_t>(dest_proc)];
+  }
+  if (addr.port == 0 || addr.host.empty()) return;  // peer opted out
+  const int fd = dial_peer(addr, /*timeout_ms=*/2000);
+  if (fd < 0) return;  // unreachable peer: permanent hub fallback
+  WireWriter hello;
+  hello.u32(kHelloMagic);
+  hello.u16(kWireVersion);
+  hello.u16(static_cast<std::uint16_t>(hub_->proc_id()));
+  hello.u64(epoch);
+  try {
+    write_frame(fd, FrameType::kPeerHello, hello.data());
+  } catch (const QmpiError&) {
+    ::close(fd);
+    return;
+  }
+  link.fd = fd;
+  link.state = Link::State::kDirect;
+}
+
+bool PeerMesh::try_send(int dest_proc, int dest_world_rank,
+                        const Message& msg) {
+  // Stamp before locking the link: throws ShutdownError when the run is
+  // already dead (the sender-side stale-epoch defense).
+  const std::uint64_t epoch = hub_->run_epoch();
+  Link& link = *links_[static_cast<std::size_t>(dest_proc)];
+  const std::lock_guard lock(link.mu);
+  if (link.state == Link::State::kUnresolved) {
+    resolve_locked(link, dest_proc, epoch);
+  }
+  if (link.state == Link::State::kHubRouted) return false;
+  if (link.state == Link::State::kBroken) {
+    throw PeerLinkError(hub_->proc_id(), dest_proc,
+                        "an earlier send on this link already failed");
+  }
+  try {
+    write_frame(link.fd, FrameType::kPeerPost,
+                encode_routed(epoch, dest_world_rank, msg));
+  } catch (const QmpiError& e) {
+    link.state = Link::State::kBroken;
+    throw PeerLinkError(hub_->proc_id(), dest_proc, e.what());
+  }
+  return true;
+}
+
 // ------------------------------------------------------------ transport ---
 
-SocketTransport::SocketTransport(HubClient& hub, int num_ranks)
+/// Data-plane channel toward one world rank: co-hosted destinations are a
+/// mailbox push, cross-process ones go through the mesh (direct link with
+/// permanent hub fallback) or straight to the hub when p2p is off.
+class SocketTransport::RankChannel final : public Channel {
+ public:
+  RankChannel(SocketTransport& transport, int dest)
+      : transport_(transport),
+        dest_(dest),
+        owner_(rank_owner(transport.num_ranks_, transport.hub_->nprocs(),
+                          dest)) {}
+
+  void send(Message msg) override {
+    transport_.send_to_rank(dest_, owner_, std::move(msg));
+  }
+
+  bool direct() const override {
+    return transport_.is_local(dest_) || transport_.mesh_ != nullptr;
+  }
+
+ private:
+  SocketTransport& transport_;
+  int dest_;
+  int owner_;  ///< process hosting dest_
+};
+
+SocketTransport::SocketTransport(HubClient& hub, int num_ranks, bool p2p)
     : hub_(&hub), num_ranks_(num_ranks) {
   local_ = rank_block(num_ranks, hub.nprocs(), hub.proc_id());
   boxes_.reserve(static_cast<std::size_t>(local_.count));
@@ -1135,17 +1498,68 @@ SocketTransport::SocketTransport(HubClient& hub, int num_ranks)
         // another rank's stream).
       },
       [this](const std::string&) { shutdown_local(); });
+  if (p2p && hub.nprocs() > 1) {
+    // The mesh delivers through the same local-mailbox sink as hub
+    // deliveries (epoch checking already done by the mesh reader).
+    mesh_ = std::make_unique<PeerMesh>(hub, [this](int dest, Message msg) {
+      if (is_local(dest)) {
+        boxes_[static_cast<std::size_t>(dest - local_.first)]->post(
+            std::move(msg));
+      }
+    });
+    hub_->set_peer_endpoint("127.0.0.1", mesh_->port());
+  } else {
+    // Advertise "no listener" so peers hub-route toward this process;
+    // this also clears any endpoint a previous run's transport set.
+    hub_->set_peer_endpoint("", 0);
+  }
+  channels_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    channels_.push_back(std::make_unique<RankChannel>(*this, r));
+  }
 }
 
-SocketTransport::~SocketTransport() { hub_->set_sinks(nullptr, nullptr); }
+SocketTransport::~SocketTransport() {
+  // Join the mesh's reader threads before the mailboxes they deliver
+  // into (and the sinks) go away.
+  mesh_.reset();
+  hub_->set_sinks(nullptr, nullptr);
+}
 
-void SocketTransport::post(int dest_world_rank, Message msg) {
+Channel& SocketTransport::channel(int dest_world_rank) {
+  return *channels_[static_cast<std::size_t>(dest_world_rank)];
+}
+
+void SocketTransport::send_to_rank(int dest_world_rank, int owner_proc,
+                                   Message msg) {
   if (is_local(dest_world_rank)) {
     boxes_[static_cast<std::size_t>(dest_world_rank - local_.first)]->post(
         std::move(msg));
     return;
   }
+  if (mesh_ != nullptr) {
+    // Restore the ops-before-message order hub routing gives for free:
+    // any buffered quantum ops must be known executed before a message
+    // that bypasses the hub can announce their effects to the receiver.
+    hub_->sim_fence();
+    try {
+      if (mesh_->try_send(owner_proc, dest_world_rank, msg)) return;
+    } catch (const PeerLinkError& e) {
+      // A broken direct link fails the whole job (peers blocked on this
+      // process must wake), then surfaces the named edge to the caller.
+      fail(e.what());
+      throw;
+    }
+  }
   hub_->post_remote(dest_world_rank, msg);
+}
+
+void SocketTransport::break_peer_listener_for_test() {
+  if (mesh_) mesh_->break_listener_for_test();
+}
+
+void SocketTransport::break_peer_links_for_test() {
+  if (mesh_) mesh_->break_links_for_test();
 }
 
 Mailbox& SocketTransport::mailbox(int world_rank) {

@@ -5,6 +5,7 @@
 /// and the Transport implementation. See docs/ARCHITECTURE.md §3.
 
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -25,22 +26,37 @@ namespace qmpi::classical {
 
 /// TCP transport for QMPI ranks running as separate OS processes.
 ///
-/// Topology: a star. One *hub* (hosted by the `qmpirun` launcher) accepts
-/// one TCP connection per rank process and provides three services over
-/// length-prefixed frames (wire.hpp):
+/// Topology: a star control plane with an optional peer-to-peer data
+/// plane. One *hub* (hosted by the `qmpirun` launcher) accepts one TCP
+/// connection per rank process and provides the control-plane services
+/// over length-prefixed frames (wire.hpp):
 ///
-///   1. Classical routing: a kPost frame names a destination world rank;
-///      the hub forwards it as kDeliver to the process hosting that rank.
-///      Per-connection FIFO plus single-threaded routing preserves the
-///      MPI non-overtaking order Comm relies on.
-///   2. Quantum forwarding: kSim frames carry opaque simulator commands to
-///      the hub's backend — the paper's §6 design ("all ranks forward
-///      quantum operations to rank 0") made literal across processes.
-///   3. Job control: RUN_BEGIN/RUN_READY and RUN_END/RUN_END_ACK barriers
+///   1. Job control: RUN_BEGIN/RUN_READY and RUN_END/RUN_END_ACK barriers
 ///      bracket every qmpi::run() call so all processes agree on the run
 ///      configuration, the backend is reset exactly once per run, and
 ///      resource totals are world-summed; kAbort propagates any rank
-///      failure so no process deadlocks on a dead peer.
+///      failure so no process deadlocks on a dead peer. The RUN_BEGIN
+///      barrier doubles as the p2p broker: each process advertises its
+///      peer-listener address in its kRunBegin frame and receives the
+///      full per-process address table back in the kRunReady reply.
+///   2. Quantum forwarding: kSim frames carry opaque simulator commands to
+///      the hub's backend — the paper's §6 design ("all ranks forward
+///      quantum operations to rank 0") made literal across processes.
+///   3. Classical routing fallback: a kPost frame names a destination
+///      world rank; the hub forwards it as kDeliver to the process
+///      hosting that rank. Per-connection FIFO plus single-threaded
+///      routing preserves the MPI non-overtaking order Comm relies on.
+///
+/// The data plane (PeerMesh, enabled unless QMPI_P2P=off): cross-process
+/// classical messages travel on direct rank-process <-> rank-process TCP
+/// connections, dialed lazily on first send using the brokered address
+/// table and framed with the same epoch-tagged kPost body layout
+/// (kPeerPost). Each (sender process, receiver process) pair's route —
+/// direct or hub — is fixed at first use and never changes mid-run, so
+/// MPI non-overtaking order is preserved per pair; an unreachable peer
+/// (or one that advertised no listener) permanently falls back to hub
+/// routing for the run. Quantum ops, barriers, aborts and context
+/// allocation always stay on the hub connection.
 ///
 /// Rank placement: the requested `num_ranks` are split into contiguous
 /// blocks over the `nprocs` connected processes (rank_block()); a process
@@ -69,6 +85,14 @@ struct RunConfig {
 struct RankBlock {
   int first = 0;
   int count = 0;
+};
+
+/// Where one rank process accepts direct peer connections. Port 0 means
+/// "no listener": the process opted out of the p2p data plane
+/// (QMPI_P2P=off) and every message toward it must go through the hub.
+struct PeerAddr {
+  std::string host;
+  std::uint16_t port = 0;
 };
 
 /// Deterministic rank placement shared by hub and clients: contiguous
@@ -166,6 +190,9 @@ class Hub {
   std::optional<RunConfig> pending_cfg_;
   int begin_count_ = 0;
   std::vector<std::uint64_t> begin_req_ids_;
+  /// Peer-listener addresses collected from this run's kRunBegin frames
+  /// and echoed back to every process in its kRunReady (the broker step).
+  std::vector<PeerAddr> begin_addrs_;
   int end_count_ = 0;
   std::vector<std::uint64_t> end_req_ids_;
   std::vector<std::uint64_t> end_totals_;
@@ -194,8 +221,40 @@ class HubClient {
   int proc_id() const { return proc_id_; }
 
   /// RUN_BEGIN barrier: blocks until every process has begun this run with
-  /// an identical config and the hub has reset the backend.
+  /// an identical config and the hub has reset the backend. Advertises
+  /// this process's peer endpoint (set_peer_endpoint) and stores the
+  /// brokered address table the hub returns (peer_addresses).
   void begin_run(const RunConfig& cfg);
+
+  /// Registers the peer-listener address advertised by the next
+  /// begin_run(). Port 0 (the default) advertises "no listener" and makes
+  /// every peer hub-route its traffic toward this process.
+  void set_peer_endpoint(std::string host, std::uint16_t port);
+
+  /// The per-process peer address table brokered by the last successful
+  /// begin_run() (index = proc id). Empty before the first run.
+  std::vector<PeerAddr> peer_addresses();
+
+  /// The epoch of the run this client is currently in. Direct peer frames
+  /// carry it so stale traffic from an aborted run is droppable on the
+  /// receiving side. Throws ShutdownError when the run is dead, so a
+  /// sender can never stamp (and ship) a frame for a run that already
+  /// failed — the sender-side half of the stale-epoch defense.
+  std::uint64_t run_epoch();
+
+  /// True while `epoch` names the live, un-failed run this client is in.
+  /// The receiving side of the stale-epoch defense: peer readers drop any
+  /// frame for which this is false, mirroring the kDeliver check.
+  bool run_epoch_live(std::uint64_t epoch);
+
+  /// Quantum-op fence: flushes any buffered one-way op batches (see
+  /// set_sim_flush) and, if batches went out since the last fence,
+  /// round-trips the hub so they are known executed. A direct peer send
+  /// must fence first: on the hub path, connection FIFO guarantees the
+  /// receiver observes prior quantum ops as executed, and the fence
+  /// restores exactly that guarantee when the classical message bypasses
+  /// the hub. No-op (two atomic loads) when nothing is pending.
+  void sim_fence();
 
   /// RUN_END barrier: contributes this process's resource totals, returns
   /// the world-wide element-wise sum (identical in every process). Throws
@@ -278,6 +337,14 @@ class HubClient {
   std::function<void(int, Message)> deliver_;
   std::function<void(const std::string&)> on_abort_;
   std::function<void()> sim_flush_;
+  PeerAddr endpoint_;             ///< advertised by the next begin_run
+  std::vector<PeerAddr> peers_;   ///< brokered table from the last begin_run
+  /// One-way batches written (seq) vs. known executed by the hub
+  /// (synced); seq is incremented under wr_mu_ immediately before each
+  /// kSimBatch write so wire order and numbering agree, which is what
+  /// lets sim_fence() trust "ack received => every batch <= target ran".
+  std::atomic<std::uint64_t> batch_seq_{0};
+  std::atomic<std::uint64_t> batch_synced_{0};
 };
 
 /// Remote simulator rejected an operation (the hub-side Backend threw).
@@ -288,25 +355,101 @@ class RemoteSimError : public TransportError {
   explicit RemoteSimError(const std::string& what) : TransportError(what) {}
 };
 
+// ----------------------------------------------------------- peer mesh ---
+
+/// The direct data plane of one rank process: a loopback listener that
+/// accepts kPeerHello/kPeerPost streams from peer processes, plus lazily
+/// dialed outgoing links to each peer (one simplex connection per
+/// direction, so two simultaneous first-sends can never race a shared
+/// socket). Created per run by SocketTransport when p2p is enabled; the
+/// constructor registers the listener address with the HubClient so the
+/// run-begin barrier can broker it to every peer.
+///
+/// Route stability: an outgoing link resolves exactly once — to kDirect
+/// if the dial succeeds, to kHubRouted (permanently, for this run) if
+/// the peer advertised no listener or refused the connection. A kDirect
+/// link that later breaks becomes kBroken and every further send on it
+/// raises PeerLinkError naming the edge; it never silently degrades to
+/// hub routing, which could reorder messages behind ones already sent
+/// directly.
+class PeerMesh {
+ public:
+  /// Opens the listener and starts the accept thread. `deliver` receives
+  /// decoded, epoch-checked messages on mesh reader threads (same
+  /// contract as HubClient's delivery sink).
+  PeerMesh(HubClient& hub, std::function<void(int dest, Message)> deliver);
+  ~PeerMesh();
+
+  PeerMesh(const PeerMesh&) = delete;
+  PeerMesh& operator=(const PeerMesh&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Ships `msg` toward the process hosting `dest_world_rank` over the
+  /// direct link, dialing it first if this is the pair's first send.
+  /// Returns false when the pair is (permanently) hub-routed. Throws
+  /// PeerLinkError when an established link broke, and ShutdownError when
+  /// the run is already dead.
+  bool try_send(int dest_proc, int dest_world_rank, const Message& msg);
+
+  /// Test hooks: make this process refuse new peer connections, or
+  /// additionally sever already-accepted ones (simulating a peer whose
+  /// data plane died while its hub connection lives on).
+  void break_listener_for_test();
+  void break_links_for_test();
+
+ private:
+  struct Link {
+    std::mutex mu;  ///< serializes dial + frame writes to this peer
+    enum class State { kUnresolved, kDirect, kHubRouted, kBroken };
+    State state = State::kUnresolved;
+    int fd = -1;
+  };
+
+  void resolve_locked(Link& link, int dest_proc, std::uint64_t epoch);
+  void accept_loop();
+  void peer_reader(int fd);
+
+  HubClient* hub_;
+  std::function<void(int, Message)> deliver_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Link>> links_;  ///< outgoing, per proc id
+
+  std::mutex mu_;  ///< guards the accepted-connection bookkeeping below
+  std::vector<int> peer_fds_;       ///< accepted (incoming) connections
+  std::vector<std::thread> readers_;
+  bool stopping_ = false;
+};
+
 // ------------------------------------------------------------ transport ---
 
 /// Transport implementation over a HubClient: world_size() is the number
 /// of *ranks* in the run (not processes); locally hosted ranks get real
-/// mailboxes, everything else is framed to the hub. Construct before
-/// HubClient::begin_run() so no delivery can race registration; destroy
-/// after end_run() returns (the RUN_END_ACK guarantees no further
-/// deliveries are in flight).
+/// mailboxes, co-hosted destinations short-circuit to a mailbox push, and
+/// cross-process channels use the PeerMesh's direct links with the hub as
+/// fallback (or exclusively the hub when constructed with p2p off).
+/// Construct before HubClient::begin_run() so no delivery can race
+/// registration and so the peer listener's address is advertised in the
+/// begin barrier; destroy after end_run() returns (the RUN_END_ACK
+/// guarantees no further deliveries are in flight).
 class SocketTransport final : public Transport {
  public:
-  SocketTransport(HubClient& hub, int num_ranks);
+  /// `p2p` enables the direct data plane (QMPI_P2P; default on). With it
+  /// off this transport advertises no listener and routes every
+  /// cross-process message through the hub — byte-identical to the
+  /// pre-p2p wire behavior.
+  SocketTransport(HubClient& hub, int num_ranks, bool p2p = true);
   ~SocketTransport() override;
 
   int world_size() const override { return num_ranks_; }
-  void post(int dest_world_rank, Message msg) override;
+  Channel& channel(int dest_world_rank) override;
   Mailbox& mailbox(int world_rank) override;
   std::uint64_t allocate_context() override;
   void shutdown() override { fail("a local rank failed"); }
   const char* name() const override { return "tcp"; }
+  bool peer_to_peer() const override { return mesh_ != nullptr; }
 
   /// The world ranks this process hosts.
   RankBlock local_ranks() const { return local_; }
@@ -314,17 +457,26 @@ class SocketTransport final : public Transport {
   /// shutdown() with a reason that peers will see in their QmpiError.
   void fail(const std::string& reason);
 
+  /// Test hooks (no-ops when p2p is off): see PeerMesh.
+  void break_peer_listener_for_test();
+  void break_peer_links_for_test();
+
  private:
+  class RankChannel;
+
   bool is_local(int world_rank) const {
     return world_rank >= local_.first &&
            world_rank < local_.first + local_.count;
   }
+  void send_to_rank(int dest_world_rank, int owner_proc, Message msg);
   void shutdown_local();
 
   HubClient* hub_;
   int num_ranks_;
   RankBlock local_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::unique_ptr<PeerMesh> mesh_;  ///< null when p2p is off
+  std::vector<std::unique_ptr<RankChannel>> channels_;
 };
 
 }  // namespace qmpi::classical

@@ -131,6 +131,16 @@ enum class FrameType : std::uint8_t {
   kSimBatch = 15,  ///< client->hub: epoch, opaque batched quantum ops
                    ///< (one-way: no req id, no reply on success; a
                    ///< failure comes back as kSimError with req id 0)
+  // Peer data-plane frames (direct rank-process <-> rank-process links
+  // brokered by the hub at the run-begin barrier; never seen by the hub).
+  kPeerHello = 16, ///< dialer->listener: magic, version, proc id, epoch
+  kPeerPost = 17,  ///< dialer->listener: routed classical message
+                   ///< (same epoch-tagged body layout as kPost)
+  kSimFence = 18,  ///< client->hub: req id; reply proves every earlier
+                   ///< one-way op batch on this connection has executed
+                   ///< (a direct peer send fences first, restoring the
+                   ///< ops-before-message order hub routing gave for free)
+  kSimFenceAck = 19,  ///< hub->client: req id
 };
 
 struct Frame {

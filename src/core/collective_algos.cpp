@@ -1,0 +1,324 @@
+#include "core/collective_algos.hpp"
+
+#include <string>
+
+#include "core/protocol_tags.hpp"
+
+namespace qmpi::algos {
+
+using detail::kCollTag;
+using detail::kMaxReduceTag;
+using detail::kReduceTagBase;
+
+CollectiveEnv env_of(Context& ctx) {
+  return CollectiveEnv{ctx.size(), ctx.classical_comm().peer_to_peer()};
+}
+
+// ------------------------------------------------------------- broadcast ---
+
+void bcast_binomial_tree(Context& ctx, const Qubit* qubits, std::size_t count,
+                         int root) {
+  // kCollTag lives above the user band, so the schedule speaks the
+  // per-qubit protocol directly (the public send/recv reject reserved
+  // tags by design).
+  const int n = ctx.size();
+  const int rel = (ctx.rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % n;
+      for (std::size_t i = 0; i < count; ++i)
+        ContextOps::recv_one(ctx, qubits[i], src, kCollTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n && (rel & (mask - 1)) == 0 && !(rel & mask)) {
+      const int dst = (rel + mask + root) % n;
+      for (std::size_t i = 0; i < count; ++i)
+        ContextOps::send_one(ctx, qubits[i], dst, kCollTag);
+    }
+    mask >>= 1;
+  }
+}
+
+void bcast_cat_state(Context& ctx, const Qubit* qubits, std::size_t count,
+                     int root) {
+  // Constant-quantum-depth broadcast (paper Fig. 4 and §7.1, after Watts et
+  // al.): EPR pairs along the edges of a spanning chain (all creations are
+  // independent => constant time 2E in SENDQ), local parity measurements,
+  // then a classical exscan to compute each node's Pauli-X fix-up. Quantum
+  // communication is O(1); the log factor is purely classical.
+  const int n = ctx.size();
+  // Work in root-relative position space: pos 0 = root.
+  const int pos = (ctx.rank() - root + n) % n;
+  const int left_peer = (ctx.rank() - 1 + n) % n;   // pos-1 neighbour
+  const int right_peer = (ctx.rank() + 1) % n;      // pos+1 neighbour
+
+  for (std::size_t i = 0; i < count; ++i) {
+    // `incoming` is this node's cat qubit: the user-provided qubit on
+    // non-root ranks. `outgoing` is the EPR half shared with pos+1.
+    Qubit outgoing{};
+    const bool has_right = pos < n - 1;
+    QubitArray outgoing_store;
+    if (has_right) {
+      outgoing_store = ctx.alloc_qmem(1);
+      outgoing = outgoing_store[0];
+    }
+    // EPR establishment on chain edges (even edges then odd edges would be
+    // simultaneous on hardware; rendezvous order is irrelevant here).
+    if (has_right) {
+      ContextOps::establish_epr(ctx, outgoing, right_peer,
+                                detail::encode_tag(kCollTag, 0));
+    }
+    if (pos > 0) {
+      ContextOps::establish_epr(ctx, qubits[i], left_peer,
+                                detail::encode_tag(kCollTag, 0));
+    }
+
+    // Local parity measurements.
+    std::uint8_t m = 0;
+    if (pos == 0) {
+      if (has_right) {
+        const Qubit pair[] = {qubits[i], outgoing};
+        m = ctx.measure_parity(pair) ? 1 : 0;
+      }
+    } else if (has_right) {
+      const Qubit pair[] = {qubits[i], outgoing};
+      m = ctx.measure_parity(pair) ? 1 : 0;
+    }
+    // Classical exscan of parity outcomes in position order gives each
+    // node s_pos = m_0 xor ... xor m_{pos-1}.
+    // (The protocol communicator's exscan runs in rank order; map via a
+    // gather-based approach: ranks are a rotation of positions, so we use
+    // allgather and fold locally — O(log N) classical time either way.)
+    const auto all_m = ContextOps::protocol_comm(ctx).allgather(m);
+    std::uint8_t prefix = 0;
+    for (int p = 0; p < pos; ++p) {
+      prefix ^= all_m[static_cast<std::size_t>((p + root) % n)];
+    }
+    if (has_right) {
+      ctx.tracker().count_classical_bits(1);
+      ContextOps::trace_event(
+          ctx, {TraceEvent::Kind::kClassicalSend, ctx.rank(), root, 1, "cat"});
+    }
+
+    // Fix-ups: the incoming qubit carries correction s_pos, the outgoing
+    // EPR half carries s_{pos+1} = s_pos xor m_pos.
+    if (pos > 0 && (prefix & 1)) ctx.x(qubits[i]);
+    if (has_right && ((prefix ^ m) & 1)) ctx.x(outgoing);
+
+    // Cleanup: the outgoing half is now a redundant cat copy on this node;
+    // fold it into the kept qubit (local CNOT, Fig. 1b applies locally).
+    if (has_right) {
+      ctx.cnot(qubits[i], outgoing);
+      ctx.free_qmem(&outgoing, 1);
+    }
+  }
+}
+
+namespace {
+void bcast_noop(Context&, const Qubit*, std::size_t, int) {}
+}  // namespace
+
+BcastStrategy select_bcast(BcastAlg requested, const CollectiveEnv& env) {
+  if (env.world_size <= 1) return {"noop", bcast_noop};
+  switch (requested) {
+    case BcastAlg::kBinomialTree:
+      return {"binomial-tree", bcast_binomial_tree};
+    case BcastAlg::kCatState:
+      return {"cat-state", bcast_cat_state};
+  }
+  return {"binomial-tree", bcast_binomial_tree};
+}
+
+// ------------------------------------------------------------- reduction ---
+
+namespace {
+int reduce_protocol_tag(int tag) {
+  if (tag < 0 || tag > kMaxReduceTag) {
+    throw QmpiError("reduction tag " + std::to_string(tag) +
+                    " is outside [0, " + std::to_string(kMaxReduceTag) +
+                    "] (the reduction band of the reserved tag space; see "
+                    "core/protocol_tags.hpp)");
+  }
+  return kReduceTagBase + tag;
+}
+}  // namespace
+
+std::vector<int> chain_order(int root, int world_size) {
+  // Linear communication schedule (paper §4.6): a chain ending at the
+  // root, so the result materializes in the root's accumulator while every
+  // node holds exactly one extra output register.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(world_size));
+  for (int k = 1; k <= world_size; ++k) order.push_back((root + k) % world_size);
+  return order;
+}
+
+ReductionHandle reduce_chain(Context& ctx, const Qubit* qubits,
+                             std::size_t width, const ReduceOp& op, int root,
+                             int tag) {
+  const ResourceTracker::Scope scope(ctx.tracker(), OpCategory::kReduce);
+  const auto order = chain_order(root, ctx.size());
+  const int n = ctx.size();
+  int pos = 0;
+  while (order[static_cast<std::size_t>(pos)] != ctx.rank()) ++pos;
+
+  ReductionHandle handle;
+  handle.root = root;
+  handle.width = width;
+  handle.op = &op;
+  handle.tag = tag;
+  handle.kind = ReductionHandle::Kind::kReduce;
+  QubitArray acc = ctx.alloc_qmem(width);
+  handle.acc.assign(acc.begin(), acc.end());
+
+  const int rtag = reduce_protocol_tag(tag);
+  if (pos > 0) {
+    // Receive the running prefix as an entangled copy.
+    const int prev = order[static_cast<std::size_t>(pos - 1)];
+    for (std::size_t i = 0; i < width; ++i)
+      ContextOps::recv_one(ctx, handle.acc[i], prev, rtag);
+  }
+  // Fold this rank's data into the accumulator.
+  op.apply(ctx, std::span<const Qubit>(qubits, width),
+           std::span<Qubit>(handle.acc));
+  if (pos < n - 1) {
+    const int next = order[static_cast<std::size_t>(pos + 1)];
+    for (std::size_t i = 0; i < width; ++i)
+      ContextOps::send_one(ctx, handle.acc[i], next, rtag);
+  }
+  handle.active = true;
+  return handle;
+}
+
+void unreduce_chain(Context& ctx, ReductionHandle& handle,
+                    const Qubit* qubits) {
+  const ResourceTracker::Scope scope(ctx.tracker(), OpCategory::kUnreduce);
+  const auto order = chain_order(handle.root, ctx.size());
+  const int n = ctx.size();
+  int pos = 0;
+  while (order[static_cast<std::size_t>(pos)] != ctx.rank()) ++pos;
+  const int rtag = reduce_protocol_tag(handle.tag);
+
+  if (pos < n - 1) {
+    // Apply the Z fix-ups produced by the next node's X-basis measurement
+    // while our accumulator still holds the value it copied.
+    const int next = order[static_cast<std::size_t>(pos + 1)];
+    for (std::size_t i = 0; i < handle.width; ++i)
+      ContextOps::unsend_one(ctx, handle.acc[i], next, rtag);
+  }
+  handle.op->unapply(ctx, std::span<const Qubit>(qubits, handle.width),
+                     std::span<Qubit>(handle.acc));
+  if (pos > 0) {
+    const int prev = order[static_cast<std::size_t>(pos - 1)];
+    for (std::size_t i = 0; i < handle.width; ++i)
+      ContextOps::unrecv_one(ctx, handle.acc[i], prev, rtag);
+  }
+  ctx.free_qmem(handle.acc.data(), handle.acc.size());
+  handle.acc.clear();
+  handle.active = false;
+}
+
+ReductionHandle reduce_binary_tree(Context& ctx, const Qubit* qubits,
+                                   std::size_t width, const ReduceOp& op,
+                                   int root, int tag) {
+  // Binary-tree schedule (§4.6's alternative): O(log N) communication
+  // rounds. Intermediate copies are uncomputed immediately after folding
+  // (one output register per node is still enough), at the price of
+  // *recomputing* them during unreduce — doubling total EPR usage.
+  const ResourceTracker::Scope scope(ctx.tracker(), OpCategory::kReduce);
+  const int n = ctx.size();
+  const int rel = (ctx.rank() - root + n) % n;
+
+  ReductionHandle handle;
+  handle.root = root;
+  handle.width = width;
+  handle.op = &op;
+  handle.tag = tag;
+  handle.kind = ReductionHandle::Kind::kReduceTree;
+  QubitArray acc = ctx.alloc_qmem(width);
+  handle.acc.assign(acc.begin(), acc.end());
+  const int rtag = reduce_protocol_tag(tag);
+
+  // Local fold: acc <- op(0, data).
+  op.apply(ctx, std::span<const Qubit>(qubits, width),
+           std::span<Qubit>(handle.acc));
+
+  for (int dist = 1; dist < n; dist <<= 1) {
+    if (rel % (2 * dist) == 0 && rel + dist < n) {
+      // Survivor: fold the partner's accumulator in via an entangled copy
+      // that is uncomputed right away (classical-only).
+      const int partner = (rel + dist + root) % n;
+      QubitArray tmp = ctx.alloc_qmem(width);
+      for (std::size_t i = 0; i < width; ++i)
+        ContextOps::recv_one(ctx, tmp[i], partner, rtag);
+      op.apply(ctx, std::span<const Qubit>(tmp.data(), width),
+               std::span<Qubit>(handle.acc));
+      for (std::size_t i = 0; i < width; ++i)
+        ContextOps::unrecv_one(ctx, tmp[i], partner, rtag);
+      ctx.free_qmem(tmp, width);
+    } else if (rel % (2 * dist) == dist) {
+      const int partner = (rel - dist + root) % n;
+      for (std::size_t i = 0; i < width; ++i)
+        ContextOps::send_one(ctx, handle.acc[i], partner, rtag);
+      for (std::size_t i = 0; i < width; ++i)
+        ContextOps::unsend_one(ctx, handle.acc[i], partner, rtag);
+    }
+  }
+  handle.active = true;
+  return handle;
+}
+
+void unreduce_binary_tree(Context& ctx, ReductionHandle& handle,
+                          const Qubit* qubits) {
+  // Reverse rounds; every fold's copy must be re-established (recomputed),
+  // hence the doubled EPR usage relative to the chain schedule.
+  const ResourceTracker::Scope scope(ctx.tracker(), OpCategory::kUnreduce);
+  const int n = ctx.size();
+  const int root = handle.root;
+  const int rel = (ctx.rank() - root + n) % n;
+  const int rtag = reduce_protocol_tag(handle.tag);
+
+  int start = 1;
+  while (start < n) start <<= 1;
+  for (int dist = start >> 1; dist >= 1; dist >>= 1) {
+    if (rel % (2 * dist) == 0 && rel + dist < n) {
+      const int partner = (rel + dist + root) % n;
+      QubitArray tmp = ctx.alloc_qmem(handle.width);
+      for (std::size_t i = 0; i < handle.width; ++i)
+        ContextOps::recv_one(ctx, tmp[i], partner, rtag);
+      handle.op->unapply(ctx,
+                         std::span<const Qubit>(tmp.data(), handle.width),
+                         std::span<Qubit>(handle.acc));
+      for (std::size_t i = 0; i < handle.width; ++i)
+        ContextOps::unrecv_one(ctx, tmp[i], partner, rtag);
+      ctx.free_qmem(tmp, handle.width);
+    } else if (rel % (2 * dist) == dist) {
+      const int partner = (rel - dist + root) % n;
+      for (std::size_t i = 0; i < handle.width; ++i)
+        ContextOps::send_one(ctx, handle.acc[i], partner, rtag);
+      for (std::size_t i = 0; i < handle.width; ++i)
+        ContextOps::unsend_one(ctx, handle.acc[i], partner, rtag);
+    }
+  }
+  handle.op->unapply(ctx, std::span<const Qubit>(qubits, handle.width),
+                     std::span<Qubit>(handle.acc));
+  ctx.free_qmem(handle.acc.data(), handle.acc.size());
+  handle.acc.clear();
+  handle.active = false;
+}
+
+ReduceStrategy select_reduce(ReduceAlg requested, const CollectiveEnv& env) {
+  // A single rank degenerates both schedules to a pure local fold; the
+  // chain handles that with zero communication and no recompute debt.
+  if (env.world_size <= 1 || requested == ReduceAlg::kChain) {
+    return {"chain", reduce_chain, unreduce_chain};
+  }
+  return {"binary-tree", reduce_binary_tree, unreduce_binary_tree};
+}
+
+}  // namespace qmpi::algos

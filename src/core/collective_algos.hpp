@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/context.hpp"
+
+/// Collective algorithm layer: the communication schedules behind the
+/// QMPI collectives (paper §4.5-4.6, §7.1), lifted out of Context into
+/// free functions so that (a) each schedule is testable and benchmarkable
+/// in isolation and (b) the per-call choice of schedule is an explicit,
+/// documented policy (select_bcast / select_reduce) instead of a switch
+/// buried in a member function.
+///
+/// Selection policy. Strategies are chosen from the world size and — for
+/// purely classical steps — the transport's peer-to-peer capability.
+/// Deliberately, the *quantum* schedule never depends on the transport:
+/// a different gate/measurement sequence would consume the measurement RNG
+/// differently and break bit-for-bit reproducibility between QMPI_P2P=on
+/// and =off runs. The transport capability still shapes the classical
+/// traffic inside these schedules transparently, because the classical
+/// Comm collectives they call (allgather, allreduce) branch on it
+/// internally.
+namespace qmpi::algos {
+
+/// Inputs to strategy selection, captured per call.
+struct CollectiveEnv {
+  int world_size = 1;
+  /// Classical transport capability (see Comm::peer_to_peer). Affects only
+  /// classical sub-steps; never the quantum schedule (see file comment).
+  bool peer_to_peer = false;
+};
+
+/// Snapshot of the selection inputs for `ctx`.
+CollectiveEnv env_of(Context& ctx);
+
+/// Narrow bridge through which the algorithm layer reaches Context's
+/// per-qubit copy protocol and protocol communicator. Everything else a
+/// schedule needs (gates, measurement, qubit management, the resource
+/// tracker) is public Context API; keeping this surface at six calls
+/// documents exactly what a collective schedule may touch.
+class ContextOps {
+ public:
+  static void send_one(Context& ctx, Qubit q, int dest, int tag) {
+    ctx.send_one(q, dest, tag);
+  }
+  static void recv_one(Context& ctx, Qubit q, int source, int tag) {
+    ctx.recv_one(q, source, tag);
+  }
+  static void unsend_one(Context& ctx, Qubit q, int dest, int tag) {
+    ctx.unsend_one(q, dest, tag);
+  }
+  static void unrecv_one(Context& ctx, Qubit q, int source, int tag) {
+    ctx.unrecv_one(q, source, tag);
+  }
+  /// EPR establishment under an exact protocol tag. The public
+  /// prepare_epr rejects reserved tags (they are user-facing), so internal
+  /// schedules come through here with their kCollTag-band tags.
+  static void establish_epr(Context& ctx, Qubit q, int peer, int ptag) {
+    ctx.establish_epr(q, peer, ptag);
+  }
+  static classical::Comm& protocol_comm(Context& ctx) {
+    return ctx.protocol_comm_;
+  }
+  static void trace_event(Context& ctx, TraceEvent e) {
+    ctx.trace_event(std::move(e));
+  }
+};
+
+// ------------------------------------------------------------- broadcast ---
+
+/// Binomial tree of Send/Recv (paper §7.1): in step k, 2^k ranks forward
+/// the message; runtime E * ceil(log2 N) in the SENDQ model. S=1 suffices.
+void bcast_binomial_tree(Context& ctx, const Qubit* qubits, std::size_t count,
+                         int root);
+
+/// Constant-quantum-depth broadcast via a cat state (paper Fig. 4, §7.1):
+/// EPR pairs along a spanning chain, local parity measurements, classical
+/// prefix fix-ups. Needs S>=2 on interior nodes.
+void bcast_cat_state(Context& ctx, const Qubit* qubits, std::size_t count,
+                     int root);
+
+/// A selected broadcast schedule.
+struct BcastStrategy {
+  const char* name;
+  void (*run)(Context&, const Qubit*, std::size_t, int root);
+};
+
+/// Picks the broadcast schedule for `requested` under `env`. World size 1
+/// selects a no-op (nothing to communicate); otherwise the request is
+/// honoured exactly — see the file comment for why capability never
+/// changes the quantum schedule.
+BcastStrategy select_bcast(BcastAlg requested, const CollectiveEnv& env);
+
+// ------------------------------------------------------------- reduction ---
+
+/// Chain order for reductions rooted at `root`: root is last.
+std::vector<int> chain_order(int root, int world_size);
+
+/// Linear chain schedule (paper §4.6): N-1 EPR pairs per qubit, one output
+/// register per node, classical-only inverse.
+ReductionHandle reduce_chain(Context& ctx, const Qubit* qubits,
+                             std::size_t width, const ReduceOp& op, int root,
+                             int tag);
+void unreduce_chain(Context& ctx, ReductionHandle& handle,
+                    const Qubit* qubits);
+
+/// Binary-tree schedule (§4.6's alternative): O(log N) communication
+/// rounds, at the price of recomputing intermediate copies on the inverse
+/// (doubling EPR usage).
+ReductionHandle reduce_binary_tree(Context& ctx, const Qubit* qubits,
+                                   std::size_t width, const ReduceOp& op,
+                                   int root, int tag);
+void unreduce_binary_tree(Context& ctx, ReductionHandle& handle,
+                          const Qubit* qubits);
+
+/// A selected reduction schedule and its inverse.
+struct ReduceStrategy {
+  const char* name;
+  ReductionHandle (*run)(Context&, const Qubit*, std::size_t, const ReduceOp&,
+                         int root, int tag);
+  void (*undo)(Context&, ReductionHandle&, const Qubit*);
+};
+
+/// Picks the reduction schedule for `requested` under `env`. World size 1
+/// collapses both algorithms onto the chain (a pure local fold — the tree's
+/// recompute bookkeeping buys nothing); larger sizes honour the request.
+ReduceStrategy select_reduce(ReduceAlg requested, const CollectiveEnv& env);
+
+}  // namespace qmpi::algos

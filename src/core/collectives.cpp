@@ -1,126 +1,22 @@
+#include "core/collective_algos.hpp"
 #include "core/context.hpp"
 #include "core/protocol_tags.hpp"
 
 namespace qmpi {
 
 using detail::encode_tag;
-
-namespace {
-/// Internal tag space for collectives; user tags share the protocol
-/// communicator but QMPI collectives (like MPI's) are matched by call
-/// order, so a fixed tag is sufficient — p2p traffic inside a collective
-/// uses this tag to stay out of the user's tag space.
-constexpr int kCollTag = 1 << 20;
-}  // namespace
+using detail::kCollTag;
 
 void Context::barrier() { user_comm_.barrier(); }
 
 // ------------------------------------------------------------------ bcast ---
 
-void Context::bcast_tree(const Qubit* qubits, std::size_t count, int root) {
-  // Binomial tree of Send/Recv (paper §7.1): in step k, 2^k ranks forward
-  // the message; runtime E * ceil(log2 N) in the SENDQ model.
-  const int n = size();
-  const int rel = (rank() - root + n) % n;
-  int mask = 1;
-  while (mask < n) {
-    if (rel & mask) {
-      const int src = (rel - mask + root) % n;
-      recv(qubits, count, src, kCollTag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < n && (rel & (mask - 1)) == 0 && !(rel & mask)) {
-      const int dst = (rel + mask + root) % n;
-      send(qubits, count, dst, kCollTag);
-    }
-    mask >>= 1;
-  }
-}
-
-void Context::bcast_cat(const Qubit* qubits, std::size_t count, int root) {
-  // Constant-quantum-depth broadcast via a cat state (paper Fig. 4 and
-  // §7.1, after Watts et al.): EPR pairs along the edges of a spanning
-  // chain (all creations are independent => constant time 2E in SENDQ),
-  // local parity measurements, then a classical exscan to compute each
-  // node's Pauli-X fix-up. Quantum communication is O(1); the log factor
-  // is purely classical.
-  const int n = size();
-  // Work in root-relative position space: pos 0 = root.
-  const int pos = (rank() - root + n) % n;
-  const int left_peer = (rank() - 1 + n) % n;   // pos-1 neighbour
-  const int right_peer = (rank() + 1) % n;      // pos+1 neighbour
-
-  for (std::size_t i = 0; i < count; ++i) {
-    // `incoming` is this node's cat qubit: the user-provided qubit on
-    // non-root ranks. `outgoing` is the EPR half shared with pos+1.
-    Qubit outgoing{};
-    const bool has_right = pos < n - 1;
-    QubitArray outgoing_store;
-    if (has_right) {
-      outgoing_store = alloc_qmem(1);
-      outgoing = outgoing_store[0];
-    }
-    // EPR establishment on chain edges (even edges then odd edges would be
-    // simultaneous on hardware; rendezvous order is irrelevant here).
-    if (has_right) prepare_epr(outgoing, right_peer, kCollTag);
-    if (pos > 0) prepare_epr(qubits[i], left_peer, kCollTag);
-
-    // Local parity measurements.
-    std::uint8_t m = 0;
-    if (pos == 0) {
-      if (has_right) {
-        const Qubit pair[] = {qubits[i], outgoing};
-        m = measure_parity(pair) ? 1 : 0;
-      }
-    } else if (has_right) {
-      const Qubit pair[] = {qubits[i], outgoing};
-      m = measure_parity(pair) ? 1 : 0;
-    }
-    // Classical exscan of parity outcomes in position order gives each
-    // node s_pos = m_0 xor ... xor m_{pos-1}.
-    // (The protocol communicator's exscan runs in rank order; map via a
-    // gather-based approach: ranks are a rotation of positions, so we use
-    // allgather and fold locally — O(log N) classical time either way.)
-    const auto all_m = protocol_comm_.allgather(m);
-    std::uint8_t prefix = 0;
-    for (int p = 0; p < pos; ++p) {
-      prefix ^= all_m[static_cast<std::size_t>((p + root) % n)];
-    }
-    if (has_right) {
-      tracker_->count_classical_bits(1);
-      trace_event({TraceEvent::Kind::kClassicalSend, rank(), root, 1, "cat"});
-    }
-
-    // Fix-ups: the incoming qubit carries correction s_pos, the outgoing
-    // EPR half carries s_{pos+1} = s_pos xor m_pos.
-    if (pos > 0 && (prefix & 1)) x(qubits[i]);
-    if (has_right && ((prefix ^ m) & 1)) x(outgoing);
-
-    // Cleanup: the outgoing half is now a redundant cat copy on this node;
-    // fold it into the kept qubit (local CNOT, Fig. 1b applies locally).
-    if (has_right) {
-      cnot(qubits[i], outgoing);
-      free_qmem(&outgoing, 1);
-    }
-  }
-}
-
 void Context::bcast(const Qubit* qubits, std::size_t count, int root,
                     BcastAlg alg) {
   if (size() == 1) return;
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
-  switch (alg) {
-    case BcastAlg::kBinomialTree:
-      bcast_tree(qubits, count, root);
-      break;
-    case BcastAlg::kCatState:
-      bcast_cat(qubits, count, root);
-      break;
-  }
+  const auto strategy = algos::select_bcast(alg, algos::env_of(*this));
+  strategy.run(*this, qubits, count, root);
 }
 
 void Context::unbcast(const Qubit* qubits, std::size_t count, int root) {
@@ -340,7 +236,7 @@ void Context::allgather(const Qubit* send_qubits, std::size_t count,
     if (rank() == r) {
       for (std::size_t i = 0; i < count; ++i) cnot(send_qubits[i], slot[i]);
     }
-    bcast_tree(slot, count, r);
+    algos::bcast_binomial_tree(*this, slot, count, r);
   }
 }
 

@@ -136,6 +136,24 @@ double Context::probability_one(Qubit q) {
 using detail::direction_sub;
 using detail::encode_tag;
 
+namespace {
+
+/// User-facing tags must stay below the reserved band (see
+/// core/protocol_tags.hpp): a tag at or above kCollTag would let a user
+/// receive steal a collective's EPR rendezvous or fix-up bits — corrupting
+/// quantum state far from the offending call — so reject it up front.
+void check_user_tag(int tag, const char* where) {
+  if (tag < 0 || tag > detail::kMaxUserTag) {
+    throw QmpiError(std::string(where) + ": tag " + std::to_string(tag) +
+                    " is outside the user tag range [0, " +
+                    std::to_string(detail::kMaxUserTag) +
+                    "]; tags >= 2^20 are reserved for internal collective "
+                    "and reduction protocols (core/protocol_tags.hpp)");
+  }
+}
+
+}  // namespace
+
 void Context::epr_begin(Qubit qubit, int peer, int ptag) {
   if (peer == rank() || peer < 0 || peer >= size()) {
     throw QmpiError("prepare_epr: peer must be a different, valid rank");
@@ -173,10 +191,12 @@ void Context::establish_epr(Qubit qubit, int peer, int ptag) {
 }
 
 void Context::prepare_epr(Qubit qubit, int peer, int tag) {
+  check_user_tag(tag, "prepare_epr");
   establish_epr(qubit, peer, encode_tag(tag, 0));
 }
 
 QRequest Context::iprepare_epr(Qubit qubit, int peer, int tag) {
+  check_user_tag(tag, "iprepare_epr");
   return QRequest([this, qubit, peer, tag] { prepare_epr(qubit, peer, tag); });
 }
 
@@ -237,24 +257,28 @@ void Context::unrecv_one(Qubit q, int source, int tag) {
 }
 
 void Context::send(const Qubit* qubits, std::size_t count, int dest, int tag) {
+  check_user_tag(tag, "send");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
   for (std::size_t i = 0; i < count; ++i) send_one(qubits[i], dest, tag);
 }
 
 void Context::recv(const Qubit* qubits, std::size_t count, int source,
                    int tag) {
+  check_user_tag(tag, "recv");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
   for (std::size_t i = 0; i < count; ++i) recv_one(qubits[i], source, tag);
 }
 
 void Context::unsend(const Qubit* qubits, std::size_t count, int dest,
                      int tag) {
+  check_user_tag(tag, "unsend");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kUncopy);
   for (std::size_t i = 0; i < count; ++i) unsend_one(qubits[i], dest, tag);
 }
 
 void Context::unrecv(const Qubit* qubits, std::size_t count, int source,
                      int tag) {
+  check_user_tag(tag, "unrecv");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kUncopy);
   for (std::size_t i = 0; i < count; ++i) unrecv_one(qubits[i], source, tag);
 }
@@ -265,6 +289,8 @@ void Context::sendrecv(const Qubit* send_qubits, std::size_t send_count,
   // Implemented with split begin/complete phases (as MPI implements
   // Sendrecv over nonblocking primitives) so cyclic exchange patterns —
   // both peers "sending first" — cannot deadlock in the EPR rendezvous.
+  check_user_tag(send_tag, "sendrecv");
+  check_user_tag(recv_tag, "sendrecv");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
   const int stag = encode_tag(send_tag, direction_sub(rank(), dest));
   const int rtag = encode_tag(recv_tag, direction_sub(source, rank()));
@@ -327,12 +353,14 @@ void Context::recv_move_one(Qubit q, int source, int tag) {
 
 void Context::send_move(const Qubit* qubits, std::size_t count, int dest,
                         int tag) {
+  check_user_tag(tag, "send_move");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kMove);
   for (std::size_t i = 0; i < count; ++i) send_move_one(qubits[i], dest, tag);
 }
 
 void Context::recv_move(const Qubit* qubits, std::size_t count, int source,
                         int tag) {
+  check_user_tag(tag, "recv_move");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kMove);
   for (std::size_t i = 0; i < count; ++i) recv_move_one(qubits[i], source, tag);
 }
@@ -340,12 +368,14 @@ void Context::recv_move(const Qubit* qubits, std::size_t count, int source,
 void Context::unsend_move(const Qubit* qubits, std::size_t count, int dest,
                           int tag) {
   // Teleport the qubits back: the original sender receives.
+  check_user_tag(tag, "unsend_move");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnmove);
   for (std::size_t i = 0; i < count; ++i) recv_move_one(qubits[i], dest, tag);
 }
 
 void Context::unrecv_move(const Qubit* qubits, std::size_t count, int source,
                           int tag) {
+  check_user_tag(tag, "unrecv_move");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnmove);
   for (std::size_t i = 0; i < count; ++i)
     send_move_one(qubits[i], source, tag);
@@ -380,6 +410,7 @@ void Context::exchange_move(Qubit* qubits, std::size_t count, int dest,
 
 void Context::sendrecv_replace(Qubit* qubits, std::size_t count, int dest,
                                int source, int tag) {
+  check_user_tag(tag, "sendrecv_replace");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kMove);
   exchange_move(qubits, count, dest, source, tag);
 }
@@ -388,6 +419,7 @@ void Context::unsendrecv_replace(Qubit* qubits, std::size_t count, int dest,
                                  int source, int tag) {
   // Inverse: teleport the replacement back to `source` and recover our
   // original from `dest`.
+  check_user_tag(tag, "unsendrecv_replace");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnmove);
   exchange_move(qubits, count, source, dest, tag);
 }
@@ -429,6 +461,7 @@ QRequest Context::irecv_move(const Qubit* qubits, std::size_t count,
 
 PersistentHandle Context::persistent_init(std::size_t count, int peer,
                                           int tag) {
+  check_user_tag(tag, "persistent_init");
   const ResourceTracker::Scope scope(*tracker_, OpCategory::kCopy);
   PersistentHandle handle;
   handle.peer = peer;
@@ -606,6 +639,17 @@ JobOptions JobOptions::from_env(JobOptions base) {
                            sim::kMaxSimBatchOps));
     }
   }
+  if (const char* p2p = std::getenv("QMPI_P2P")) {
+    const std::string_view p(p2p);
+    if (p == "on") {
+      base.p2p = true;
+    } else if (p == "off") {
+      base.p2p = false;
+    } else {
+      throw QmpiError(std::string("QMPI_P2P=\"") + p2p +
+                      "\" is not a peer-to-peer mode (use \"on\" or \"off\")");
+    }
+  }
   if (const char* simd = std::getenv("QMPI_SIMD")) {
     if (!sim::simd::parse_request(simd, base.simd)) {
       throw QmpiError(std::string("QMPI_SIMD=\"") + simd +
@@ -663,11 +707,12 @@ JobReport run_tcp(const JobOptions& options,
   cfg.num_shards = options.num_shards;
   cfg.sim_threads = options.sim_threads;
 
-  // Order matters: register the transport's delivery sinks before the
-  // begin barrier so no peer's first message can race the registration,
-  // and keep the transport alive until after end_run (the RUN_END_ACK
-  // guarantees no further deliveries are in flight).
-  classical::SocketTransport transport(hub, options.num_ranks);
+  // Order matters: register the transport's delivery sinks (and, with p2p
+  // enabled, the peer listener address) before the begin barrier so no
+  // peer's first message can race the registration, and keep the transport
+  // alive until after end_run (the RUN_END_ACK guarantees no further
+  // deliveries are in flight).
+  classical::SocketTransport transport(hub, options.num_ranks, options.p2p);
   hub.begin_run(cfg);
 
   // All locally hosted rank threads share one RemoteSimClient (and thus

@@ -19,6 +19,10 @@
 
 namespace qmpi {
 
+namespace algos {
+class ContextOps;  // the collective algorithm layer's bridge into Context
+}
+
 // QmpiError (the error type raised on API misuse and transport failures)
 // lives in classical/error.hpp so the socket transport can raise it; it is
 // available here through the include chain as qmpi::QmpiError.
@@ -459,6 +463,10 @@ class Context {
 
  private:
   friend class JobHarness;
+  /// Collective schedules live in core/collective_algos.{hpp,cpp} as free
+  /// functions selected per call (see algos::select_bcast/select_reduce);
+  /// ContextOps is their narrow doorway to the per-qubit copy protocol.
+  friend class algos::ContextOps;
 
   void gate1(const char* name, Qubit q, const sim::Gate1Q& gate);
   void rotation(const char* name, Qubit q, const sim::Gate1Q& gate);
@@ -494,17 +502,6 @@ class Context {
   void unrecv_one(Qubit q, int source, int tag);
   void send_move_one(Qubit q, int dest, int tag);
   void recv_move_one(Qubit q, int source, int tag);
-
-  void bcast_tree(const Qubit* qubits, std::size_t count, int root);
-  void bcast_cat(const Qubit* qubits, std::size_t count, int root);
-
-  /// Chain order for reductions rooted at `root`: root is last.
-  std::vector<int> chain_order(int root) const;
-
-  /// Binary-tree reduce schedule and its recomputing inverse (§4.6).
-  ReductionHandle reduce_tree(const Qubit* qubits, std::size_t width,
-                              const ReduceOp& op, int root, int tag);
-  void unreduce_tree(ReductionHandle& handle, const Qubit* qubits);
 
   /// Sub-context constructor: shares the simulation client, trace, and
   /// resource tracker with the parent.
@@ -555,6 +552,14 @@ struct JobOptions {
   /// per-process pipelining choice with bit-identical observable
   /// semantics, so processes may legally disagree on it.
   std::size_t sim_batch_ops = sim::kDefaultSimBatchOps;
+  /// Whether the tcp transport may open direct rank-process <-> rank-process
+  /// data-plane links (QMPI_P2P: on/off). Off forces every classical
+  /// message through the hub — the pre-p2p star topology — which is the
+  /// debugging/comparison baseline. Like sim_batch_ops this is a local
+  /// routing choice with bit-identical observable semantics, so it is not
+  /// part of the hub's RunConfig barrier and processes may disagree on it.
+  /// Ignored by the in-process transport (always peer-to-peer).
+  bool p2p = true;
   /// SIMD tier for the backend's sweep kernels
   /// (QMPI_SIMD=auto|scalar|avx2|avx512). kAuto picks the best tier this
   /// CPU supports; naming an unavailable ISA is not an error — the job
@@ -563,10 +568,10 @@ struct JobOptions {
   sim::simd::Request simd = sim::simd::Request::kAuto;
 
   /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS /
-  /// QMPI_TRANSPORT / QMPI_SIM_BATCH / QMPI_SIMD environment overrides on
-  /// top of `base`, so any benchmark or example binary is reproducible and
-  /// backend/transport-selectable from the command line without
-  /// recompiling.
+  /// QMPI_TRANSPORT / QMPI_SIM_BATCH / QMPI_P2P / QMPI_SIMD environment
+  /// overrides on top of `base`, so any benchmark or example binary is
+  /// reproducible and backend/transport-selectable from the command line
+  /// without recompiling.
   static JobOptions from_env();
   static JobOptions from_env(JobOptions base);
 };

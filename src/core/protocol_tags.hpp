@@ -15,4 +15,33 @@ constexpr int direction_sub(int source, int dest) {
   return source < dest ? 1 : 2;
 }
 
+// ---------------------------------------------------------- tag reservation
+//
+// The quantum protocol layer multiplexes user point-to-point traffic and
+// the runtime's own collective/reduction traffic over one protocol
+// communicator, distinguished by tag bands:
+//
+//   [0, kMaxUserTag]                        user tags (QMPI_Send etc.)
+//   [kCollTag, kReduceTagBase)              collective schedules (bcast,
+//                                           gather, alltoall, ...)
+//   [kReduceTagBase,
+//    kReduceTagBase + kMaxReduceTag]        reductions; the user-supplied
+//                                           reduction tag is added to the
+//                                           base so concurrent reductions
+//                                           with distinct tags can overlap
+//
+// A user tag inside a reserved band would let QMPI_Recv steal a
+// collective's fix-up bits (or vice versa), corrupting quantum state far
+// from the offending call — so the Context entry points reject out-of-band
+// tags up front with a QmpiError instead.
+
+/// First reserved tag; collective schedules send under this tag.
+constexpr int kCollTag = 1 << 20;
+/// Largest tag a user may pass to QMPI point-to-point operations.
+constexpr int kMaxUserTag = kCollTag - 1;
+/// Base of the reduction band (kCollTag band is below, width 2^16).
+constexpr int kReduceTagBase = kCollTag + (1 << 16);
+/// Largest user-supplied reduction tag (reduce/scan/exscan `tag` argument).
+constexpr int kMaxReduceTag = (1 << 16) - 1;
+
 }  // namespace qmpi::detail

@@ -1,12 +1,14 @@
+#include "core/collective_algos.hpp"
 #include "core/context.hpp"
+#include "core/protocol_tags.hpp"
 
 namespace qmpi {
 
 namespace {
-/// Base tag for reduction-chain traffic (outside the user tag space; the
-/// user-supplied reduction tag is added to it, so concurrent reductions
-/// with distinct tags do not interfere).
-constexpr int kRedTag = (1 << 20) + (1 << 16);
+/// Base tag for reduction-chain traffic (outside the user tag space — see
+/// core/protocol_tags.hpp; the user-supplied reduction tag is added to it,
+/// so concurrent reductions with distinct tags do not interfere).
+constexpr int kRedTag = detail::kReduceTagBase;
 }  // namespace
 
 const ReduceOp& parity_op() {
@@ -35,175 +37,25 @@ const ReduceOp& bxor_op() {
   return op;
 }
 
-std::vector<int> Context::chain_order(int root) const {
-  // Linear communication schedule (paper §4.6): a chain ending at the
-  // root, so the result materializes in the root's accumulator while every
-  // node holds exactly one extra output register.
-  std::vector<int> order;
-  order.reserve(static_cast<std::size_t>(size()));
-  for (int k = 1; k <= size(); ++k) order.push_back((root + k) % size());
-  return order;
-}
-
-ReductionHandle Context::reduce_tree(const Qubit* qubits, std::size_t width,
-                                     const ReduceOp& op, int root, int tag) {
-  // Binary-tree schedule (§4.6's alternative): O(log N) communication
-  // rounds. Intermediate copies are uncomputed immediately after folding
-  // (one output register per node is still enough), at the price of
-  // *recomputing* them during unreduce — doubling total EPR usage.
-  const ResourceTracker::Scope scope(*tracker_, OpCategory::kReduce);
-  const int n = size();
-  const int rel = (rank() - root + n) % n;
-
-  ReductionHandle handle;
-  handle.root = root;
-  handle.width = width;
-  handle.op = &op;
-  handle.tag = tag;
-  handle.kind = ReductionHandle::Kind::kReduceTree;
-  QubitArray acc = alloc_qmem(width);
-  handle.acc.assign(acc.begin(), acc.end());
-  const int rtag = kRedTag + tag;
-
-  // Local fold: acc <- op(0, data).
-  op.apply(*this, std::span<const Qubit>(qubits, width),
-           std::span<Qubit>(handle.acc));
-
-  for (int dist = 1; dist < n; dist <<= 1) {
-    if (rel % (2 * dist) == 0 && rel + dist < n) {
-      // Survivor: fold the partner's accumulator in via an entangled copy
-      // that is uncomputed right away (classical-only).
-      const int partner = (rel + dist + root) % n;
-      QubitArray tmp = alloc_qmem(width);
-      for (std::size_t i = 0; i < width; ++i)
-        recv_one(tmp[i], partner, rtag);
-      op.apply(*this, std::span<const Qubit>(tmp.data(), width),
-               std::span<Qubit>(handle.acc));
-      for (std::size_t i = 0; i < width; ++i)
-        unrecv_one(tmp[i], partner, rtag);
-      free_qmem(tmp, width);
-    } else if (rel % (2 * dist) == dist) {
-      const int partner = (rel - dist + root) % n;
-      for (std::size_t i = 0; i < width; ++i)
-        send_one(handle.acc[i], partner, rtag);
-      for (std::size_t i = 0; i < width; ++i)
-        unsend_one(handle.acc[i], partner, rtag);
-    }
-  }
-  handle.active = true;
-  return handle;
-}
-
-void Context::unreduce_tree(ReductionHandle& handle, const Qubit* qubits) {
-  // Reverse rounds; every fold's copy must be re-established (recomputed),
-  // hence the doubled EPR usage relative to the chain schedule.
-  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnreduce);
-  const int n = size();
-  const int root = handle.root;
-  const int rel = (rank() - root + n) % n;
-  const int rtag = kRedTag + handle.tag;
-
-  int start = 1;
-  while (start < n) start <<= 1;
-  for (int dist = start >> 1; dist >= 1; dist >>= 1) {
-    if (rel % (2 * dist) == 0 && rel + dist < n) {
-      const int partner = (rel + dist + root) % n;
-      QubitArray tmp = alloc_qmem(handle.width);
-      for (std::size_t i = 0; i < handle.width; ++i)
-        recv_one(tmp[i], partner, rtag);
-      handle.op->unapply(*this,
-                         std::span<const Qubit>(tmp.data(), handle.width),
-                         std::span<Qubit>(handle.acc));
-      for (std::size_t i = 0; i < handle.width; ++i)
-        unrecv_one(tmp[i], partner, rtag);
-      free_qmem(tmp, handle.width);
-    } else if (rel % (2 * dist) == dist) {
-      const int partner = (rel - dist + root) % n;
-      for (std::size_t i = 0; i < handle.width; ++i)
-        send_one(handle.acc[i], partner, rtag);
-      for (std::size_t i = 0; i < handle.width; ++i)
-        unsend_one(handle.acc[i], partner, rtag);
-    }
-  }
-  handle.op->unapply(*this, std::span<const Qubit>(qubits, handle.width),
-                     std::span<Qubit>(handle.acc));
-  free_qmem(handle.acc.data(), handle.acc.size());
-  handle.acc.clear();
-  handle.active = false;
-}
-
 ReductionHandle Context::reduce(const Qubit* qubits, std::size_t width,
                                 const ReduceOp& op, int root, int tag,
                                 ReduceAlg alg) {
-  if (alg == ReduceAlg::kBinaryTree) {
-    return reduce_tree(qubits, width, op, root, tag);
-  }
-  const ResourceTracker::Scope scope(*tracker_, OpCategory::kReduce);
-  const auto order = chain_order(root);
-  const int n = size();
-  int pos = 0;
-  while (order[static_cast<std::size_t>(pos)] != rank()) ++pos;
-
-  ReductionHandle handle;
-  handle.root = root;
-  handle.width = width;
-  handle.op = &op;
-  handle.tag = tag;
-  handle.kind = ReductionHandle::Kind::kReduce;
-  QubitArray acc = alloc_qmem(width);
-  handle.acc.assign(acc.begin(), acc.end());
-
-  const int rtag = kRedTag + tag;
-  if (pos > 0) {
-    // Receive the running prefix as an entangled copy.
-    const int prev = order[static_cast<std::size_t>(pos - 1)];
-    for (std::size_t i = 0; i < width; ++i)
-      recv_one(handle.acc[i], prev, rtag);
-  }
-  // Fold this rank's data into the accumulator.
-  op.apply(*this, std::span<const Qubit>(qubits, width),
-           std::span<Qubit>(handle.acc));
-  if (pos < n - 1) {
-    const int next = order[static_cast<std::size_t>(pos + 1)];
-    for (std::size_t i = 0; i < width; ++i)
-      send_one(handle.acc[i], next, rtag);
-  }
-  handle.active = true;
-  return handle;
+  const auto strategy = algos::select_reduce(alg, algos::env_of(*this));
+  return strategy.run(*this, qubits, width, op, root, tag);
 }
 
 void Context::unreduce(ReductionHandle& handle, const Qubit* qubits) {
+  // The inverse is dictated by the handle's recorded schedule, not by a
+  // fresh selection: the un-operation must retrace exactly the schedule
+  // that built the handle.
   if (handle.active && handle.kind == ReductionHandle::Kind::kReduceTree) {
-    unreduce_tree(handle, qubits);
+    algos::unreduce_binary_tree(*this, handle, qubits);
     return;
   }
   if (!handle.active || handle.kind != ReductionHandle::Kind::kReduce) {
     throw QmpiError("unreduce: handle is not an active reduce handle");
   }
-  const ResourceTracker::Scope scope(*tracker_, OpCategory::kUnreduce);
-  const auto order = chain_order(handle.root);
-  const int n = size();
-  int pos = 0;
-  while (order[static_cast<std::size_t>(pos)] != rank()) ++pos;
-  const int rtag = kRedTag + handle.tag;
-
-  if (pos < n - 1) {
-    // Apply the Z fix-ups produced by the next node's X-basis measurement
-    // while our accumulator still holds the value it copied.
-    const int next = order[static_cast<std::size_t>(pos + 1)];
-    for (std::size_t i = 0; i < handle.width; ++i)
-      unsend_one(handle.acc[i], next, rtag);
-  }
-  handle.op->unapply(*this, std::span<const Qubit>(qubits, handle.width),
-                     std::span<Qubit>(handle.acc));
-  if (pos > 0) {
-    const int prev = order[static_cast<std::size_t>(pos - 1)];
-    for (std::size_t i = 0; i < handle.width; ++i)
-      unrecv_one(handle.acc[i], prev, rtag);
-  }
-  free_qmem(handle.acc.data(), handle.acc.size());
-  handle.acc.clear();
-  handle.active = false;
+  algos::unreduce_chain(*this, handle, qubits);
 }
 
 ReductionHandle Context::allreduce(const Qubit* qubits, std::size_t width,

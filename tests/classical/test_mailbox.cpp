@@ -10,7 +10,7 @@
 namespace cl = qmpi::classical;
 
 namespace {
-cl::Message make(int source, int tag, cl::Channel ch = cl::Channel::kPointToPoint,
+cl::Message make(int source, int tag, cl::ChannelKind ch = cl::ChannelKind::kPointToPoint,
                  std::uint64_t context = 0, std::uint8_t payload = 0) {
   cl::Message m;
   m.source = source;
@@ -25,19 +25,19 @@ cl::Message make(int source, int tag, cl::Channel ch = cl::Channel::kPointToPoin
 TEST(Mailbox, ExactMatchConsumesMessage) {
   cl::Mailbox box;
   box.post(make(1, 5));
-  const auto m = box.match(1, 5, cl::Channel::kPointToPoint, 0);
+  const auto m = box.match(1, 5, cl::ChannelKind::kPointToPoint, 0);
   EXPECT_EQ(m.source, 1);
   EXPECT_EQ(m.tag, 5);
-  EXPECT_FALSE(box.try_match(1, 5, cl::Channel::kPointToPoint, 0).has_value());
+  EXPECT_FALSE(box.try_match(1, 5, cl::ChannelKind::kPointToPoint, 0).has_value());
 }
 
 TEST(Mailbox, FifoWithinMatchingStream) {
   cl::Mailbox box;
-  box.post(make(1, 5, cl::Channel::kPointToPoint, 0, 10));
-  box.post(make(1, 5, cl::Channel::kPointToPoint, 0, 20));
-  EXPECT_EQ(box.match(1, 5, cl::Channel::kPointToPoint, 0).payload[0],
+  box.post(make(1, 5, cl::ChannelKind::kPointToPoint, 0, 10));
+  box.post(make(1, 5, cl::ChannelKind::kPointToPoint, 0, 20));
+  EXPECT_EQ(box.match(1, 5, cl::ChannelKind::kPointToPoint, 0).payload[0],
             static_cast<std::byte>(10));
-  EXPECT_EQ(box.match(1, 5, cl::Channel::kPointToPoint, 0).payload[0],
+  EXPECT_EQ(box.match(1, 5, cl::ChannelKind::kPointToPoint, 0).payload[0],
             static_cast<std::byte>(20));
 }
 
@@ -46,49 +46,49 @@ TEST(Mailbox, NonMatchingMessagesAreSkippedNotConsumed) {
   box.post(make(1, 5));
   box.post(make(2, 7));
   // Match the later message first; the earlier one must survive.
-  EXPECT_EQ(box.match(2, 7, cl::Channel::kPointToPoint, 0).source, 2);
-  EXPECT_EQ(box.match(1, 5, cl::Channel::kPointToPoint, 0).source, 1);
+  EXPECT_EQ(box.match(2, 7, cl::ChannelKind::kPointToPoint, 0).source, 2);
+  EXPECT_EQ(box.match(1, 5, cl::ChannelKind::kPointToPoint, 0).source, 1);
 }
 
 TEST(Mailbox, WildcardsMatchAnySourceAndTag) {
   cl::Mailbox box;
   box.post(make(3, 9));
   const auto m =
-      box.match(cl::kAnySource, cl::kAnyTag, cl::Channel::kPointToPoint, 0);
+      box.match(cl::kAnySource, cl::kAnyTag, cl::ChannelKind::kPointToPoint, 0);
   EXPECT_EQ(m.source, 3);
   EXPECT_EQ(m.tag, 9);
 }
 
 TEST(Mailbox, ChannelsAreIsolated) {
   cl::Mailbox box;
-  box.post(make(1, 5, cl::Channel::kCollective));
+  box.post(make(1, 5, cl::ChannelKind::kCollective));
   // A point-to-point wildcard receive must NOT see collective traffic.
   EXPECT_FALSE(box.try_match(cl::kAnySource, cl::kAnyTag,
-                             cl::Channel::kPointToPoint, 0)
+                             cl::ChannelKind::kPointToPoint, 0)
                    .has_value());
   EXPECT_TRUE(
-      box.try_match(1, 5, cl::Channel::kCollective, 0).has_value());
+      box.try_match(1, 5, cl::ChannelKind::kCollective, 0).has_value());
 }
 
 TEST(Mailbox, ContextsAreIsolated) {
   cl::Mailbox box;
-  box.post(make(1, 5, cl::Channel::kPointToPoint, /*context=*/42));
+  box.post(make(1, 5, cl::ChannelKind::kPointToPoint, /*context=*/42));
   EXPECT_FALSE(
-      box.try_match(1, 5, cl::Channel::kPointToPoint, 0).has_value());
+      box.try_match(1, 5, cl::ChannelKind::kPointToPoint, 0).has_value());
   EXPECT_TRUE(
-      box.try_match(1, 5, cl::Channel::kPointToPoint, 42).has_value());
+      box.try_match(1, 5, cl::ChannelKind::kPointToPoint, 42).has_value());
 }
 
 TEST(Mailbox, ProbeReportsEnvelopeWithoutConsuming) {
   cl::Mailbox box;
-  box.post(make(4, 8, cl::Channel::kPointToPoint, 0, 1));
+  box.post(make(4, 8, cl::ChannelKind::kPointToPoint, 0, 1));
   cl::Status status;
   EXPECT_TRUE(box.probe(cl::kAnySource, cl::kAnyTag,
-                        cl::Channel::kPointToPoint, 0, &status));
+                        cl::ChannelKind::kPointToPoint, 0, &status));
   EXPECT_EQ(status.source, 4);
   EXPECT_EQ(status.tag, 8);
   EXPECT_EQ(status.byte_count, 1u);
-  EXPECT_TRUE(box.try_match(4, 8, cl::Channel::kPointToPoint, 0).has_value());
+  EXPECT_TRUE(box.try_match(4, 8, cl::ChannelKind::kPointToPoint, 0).has_value());
 }
 
 TEST(Mailbox, BlockedMatchWakesOnPost) {
@@ -96,7 +96,7 @@ TEST(Mailbox, BlockedMatchWakesOnPost) {
   std::thread poster([&box] {
     box.post(make(0, 1));
   });
-  const auto m = box.match(0, 1, cl::Channel::kPointToPoint, 0);
+  const auto m = box.match(0, 1, cl::ChannelKind::kPointToPoint, 0);
   EXPECT_EQ(m.source, 0);
   poster.join();
 }
@@ -104,13 +104,13 @@ TEST(Mailbox, BlockedMatchWakesOnPost) {
 TEST(Mailbox, ShutdownWakesBlockedWaiters) {
   cl::Mailbox box;
   std::thread waiter([&box] {
-    EXPECT_THROW(box.match(0, 1, cl::Channel::kPointToPoint, 0),
+    EXPECT_THROW(box.match(0, 1, cl::ChannelKind::kPointToPoint, 0),
                  cl::ShutdownError);
   });
   // Give the waiter a moment to block, then shut down.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   box.shutdown();
   waiter.join();
-  EXPECT_THROW(box.try_match(0, 1, cl::Channel::kPointToPoint, 0),
+  EXPECT_THROW(box.try_match(0, 1, cl::ChannelKind::kPointToPoint, 0),
                cl::ShutdownError);
 }

@@ -1,8 +1,11 @@
 // Tests for the TCP socket transport: framing, rank placement, hub-routed
 // point-to-point and collectives (parity with the in-memory Universe), the
-// run lifecycle barriers, and the three transport failure modes — connect
-// refusal, mid-message peer death, oversized frames — all of which must
-// surface as QmpiError with actionable text.
+// run lifecycle barriers, the transport failure modes — connect refusal,
+// mid-message peer death, oversized frames — all of which must surface as
+// QmpiError with actionable text, and the p2p data plane's defenses:
+// stale-epoch frames dropped on direct channels, permanent hub fallback
+// for unreachable peer listeners, and PeerLinkError naming the failing
+// edge when an established direct link dies.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -451,6 +454,242 @@ TEST(SocketComm, RunEndSumsTotalsAcrossProcesses) {
   ASSERT_EQ(sums.size(), 2u);
   EXPECT_EQ(sums[0], 6u);   // 2 from each of 3 processes
   EXPECT_EQ(sums[1], 15u);  // 5 from each of 3 processes
+}
+
+// --------------------------------------------------------- p2p data plane ---
+
+namespace {
+
+/// Mirrors of the anonymous wire constants in socket_transport.cpp, so the
+/// tests below can speak the peer handshake from the outside. A version
+/// bump there must be reflected here (deliberately: forged-frame tests
+/// should break loudly when the peer wire format changes).
+constexpr std::uint32_t kTestHelloMagic = 0x51'4d'50'49;  // "QMPI"
+constexpr std::uint16_t kTestWireVersion = 2;
+
+/// Connects to a loopback port; gtest-fails and returns -1 on error.
+int dial_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ADD_FAILURE() << "cannot dial peer listener on port " << port;
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Writes a kPeerPost frame carrying one int toward `dest` with the given
+/// epoch stamp — the body layout encode_routed() produces.
+void forge_peer_post(int fd, std::uint64_t epoch, int dest, int source,
+                     int tag, int value) {
+  WireWriter w;
+  w.u64(epoch);
+  w.i32(dest);
+  w.i32(source);
+  w.i32(tag);
+  w.u8(0);  // ChannelKind::kPointToPoint
+  w.u64(0); // world context
+  w.bytes(to_bytes(value));
+  write_frame(fd, FrameType::kPeerPost, w.data());
+}
+
+}  // namespace
+
+TEST(PeerDataPlane, StaleEpochFramesOnDirectChannelsAreDropped) {
+  // A direct peer connection carrying a frame stamped with an epoch other
+  // than the receiver's live run (a sender raced by an abort, a stream
+  // that straddles two runs) must drop that frame, exactly as the hub
+  // path's kDeliver check does — and still deliver correctly stamped
+  // frames arriving later on the same connection.
+  TestHub th(2);
+  std::vector<std::exception_ptr> errors(2);
+  std::thread proc0([&] {
+    try {
+      HubClient client("127.0.0.1", th.hub.port(), 0);
+      SocketTransport transport(client, 2);
+      RunConfig cfg;
+      cfg.num_ranks = 2;
+      client.begin_run(cfg);
+      Comm world = Comm::world(transport, 0);
+      // FIFO per (source, tag): if the stale 13 were delivered, it would
+      // arrive before the live 42 and this receive would return it.
+      EXPECT_EQ(world.recv<int>(1, 3), 42);
+      (void)client.end_run({});
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+  });
+  std::thread proc1([&] {
+    try {
+      HubClient client("127.0.0.1", th.hub.port(), 1);
+      SocketTransport transport(client, 2);
+      RunConfig cfg;
+      cfg.num_ranks = 2;
+      client.begin_run(cfg);
+      // Speak the peer protocol by hand toward proc 0's brokered address:
+      // a valid hello, then a post stamped with a wrong epoch, then one
+      // stamped with the live epoch.
+      const PeerAddr addr = client.peer_addresses()[0];
+      ASSERT_NE(addr.port, 0) << "proc 0 must have advertised a listener";
+      const int fd = dial_loopback(addr.port);
+      ASSERT_GE(fd, 0);
+      WireWriter hello;
+      hello.u32(kTestHelloMagic);
+      hello.u16(kTestWireVersion);
+      hello.u16(1);  // proc id
+      hello.u64(client.run_epoch());
+      write_frame(fd, FrameType::kPeerHello, hello.data());
+      forge_peer_post(fd, client.run_epoch() + 7, /*dest=*/0, /*source=*/1,
+                      /*tag=*/3, /*value=*/13);
+      forge_peer_post(fd, client.run_epoch(), /*dest=*/0, /*source=*/1,
+                      /*tag=*/3, /*value=*/42);
+      (void)client.end_run({});
+      ::close(fd);
+    } catch (...) {
+      errors[1] = std::current_exception();
+    }
+  });
+  proc0.join();
+  proc1.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+TEST(PeerDataPlane, UnreachablePeerListenerFallsBackToHubRouting) {
+  // A peer whose listener refuses connections (firewalled port, data
+  // plane that died before the first send) makes the pair hub-routed for
+  // the run: messages still arrive, just via the control-plane star.
+  TestHub th(2);
+  std::vector<std::exception_ptr> errors(2);
+  std::atomic<bool> listener_broken{false};
+  std::thread proc0([&] {
+    try {
+      HubClient client("127.0.0.1", th.hub.port(), 0);
+      SocketTransport transport(client, 2);
+      RunConfig cfg;
+      cfg.num_ranks = 2;
+      client.begin_run(cfg);
+      Comm world = Comm::world(transport, 0);
+      // First send toward proc 1 happens strictly after its listener is
+      // gone, so the dial must fail and resolve the pair to hub routing.
+      while (!listener_broken) std::this_thread::yield();
+      world.send(77, 1, 9);
+      EXPECT_EQ(world.recv<int>(1, 10), 78);
+      (void)client.end_run({});
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+  });
+  std::thread proc1([&] {
+    try {
+      HubClient client("127.0.0.1", th.hub.port(), 1);
+      SocketTransport transport(client, 2);
+      RunConfig cfg;
+      cfg.num_ranks = 2;
+      client.begin_run(cfg);
+      transport.break_peer_listener_for_test();
+      listener_broken = true;
+      Comm world = Comm::world(transport, 1);
+      EXPECT_EQ(world.recv<int>(0, 9), 77);
+      world.send(78, 0, 10);
+      (void)client.end_run({});
+    } catch (...) {
+      errors[1] = std::current_exception();
+    }
+  });
+  proc0.join();
+  proc1.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+TEST(PeerDataPlane, DeadDirectLinkRaisesPeerLinkErrorNamingTheEdge) {
+  // Once a pair's route resolved to a direct connection, that peer's
+  // death must surface as PeerLinkError naming the broken edge — the
+  // send/recv primitive every collective schedule is built on, so a
+  // collective dying on one of its O(log n) exchanges points at the pair.
+  // It must never silently fall back to hub routing (reordering hazard).
+  TestHub th(2);
+  std::vector<std::exception_ptr> errors(2);
+  std::atomic<bool> peer_gone{false};
+  std::string link_error;
+  bool next_send_refused = false;
+  std::thread proc0([&] {
+    try {
+      HubClient client("127.0.0.1", th.hub.port(), 0);
+      SocketTransport transport(client, 2);
+      RunConfig cfg;
+      cfg.num_ranks = 2;
+      client.begin_run(cfg);
+      Comm world = Comm::world(transport, 0);
+      world.send(1, 1, 0);  // resolves the 0 -> 1 route to direct
+      while (!peer_gone) std::this_thread::yield();
+      try {
+        // The kernel surfaces the peer's RST on a subsequent write, not
+        // necessarily the first; keep sending until it does.
+        for (int i = 0; i < 100000; ++i) world.send(i, 1, 1);
+        ADD_FAILURE() << "sends into a dead direct link must throw";
+      } catch (const PeerLinkError& e) {
+        link_error = e.what();
+      }
+      // Sender-side stale-epoch defense: the failure killed the run, so
+      // the next send must refuse to stamp a frame at all.
+      try {
+        world.send(0, 1, 2);
+      } catch (const TransportError&) {
+        next_send_refused = true;
+      }
+      try {
+        (void)client.end_run({});
+      } catch (const QmpiError&) {
+        // The aborted run is expected to fail the end barrier.
+      }
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+  });
+  std::thread proc1([&] {
+    try {
+      HubClient client("127.0.0.1", th.hub.port(), 1);
+      RunConfig cfg;
+      cfg.num_ranks = 2;
+      {
+        SocketTransport transport(client, 2);
+        client.begin_run(cfg);
+        Comm world = Comm::world(transport, 1);
+        EXPECT_EQ(world.recv<int>(0, 0), 1);
+        // Destroying the transport tears down the mesh and closes the
+        // accepted direct connections — to proc 0 this looks exactly
+        // like this process dying mid-run.
+      }
+      peer_gone = true;
+      try {
+        (void)client.end_run({});
+      } catch (const QmpiError&) {
+        // Aborted by proc 0's link failure.
+      }
+    } catch (...) {
+      errors[1] = std::current_exception();
+    }
+  });
+  proc0.join();
+  proc1.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  EXPECT_NE(link_error.find("peer link proc 0 -> proc 1 broken"),
+            std::string::npos)
+      << "error must name the failing edge, got: \"" << link_error << "\"";
+  EXPECT_TRUE(next_send_refused)
+      << "a send after the link failure must throw, not ship a stale frame";
 }
 
 TEST(SocketComm, BackToBackRunsReuseTheConnection) {

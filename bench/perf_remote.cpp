@@ -1,5 +1,7 @@
 // Remote-path benchmark: a gate-dense Trotter step driven through the
-// QMPI job harness, with the quantum-op batch pipeline on vs. off.
+// QMPI job harness, with the quantum-op batch pipeline on vs. off, plus
+// a distributed-backend series (QMPI_BACKEND=distributed: each process
+// hosts a state-vector replica, no quantum op crosses the hub).
 //
 //   ./build/perf_remote [options]               # in-process baseline
 //   ./build/qmpirun -n 2 ./build/perf_remote    # the interesting run:
@@ -10,8 +12,9 @@
 //   --qubits <n>   qubits per rank (default 6)
 //   --steps <n>    Trotter steps (default 60)
 //   --json         emit a BENCH_remote.json-style record on stdout
-//   --paritycheck  run batched and unbatched, compare observables, exit
-//                  nonzero on divergence (outcomes exact, values 1e-9)
+//   --paritycheck  run batched, unbatched, and distributed, compare
+//                  observables, exit nonzero on divergence (outcomes
+//                  exact, values 1e-9)
 //
 // Under qmpirun every forked process runs this main; the process hosting
 // rank 0 does the reporting. The figure of merit is the batched/unbatched
@@ -46,13 +49,19 @@ struct Observation {
 
 /// One timed job: `steps` first-order TFIM Trotter steps on each rank's
 /// private register, then rank-ordered measurements of every qubit.
-Observation run_trotter(std::size_t batch_ops, int qubits, int steps) {
+/// `distributed` swaps the hub-hosted backend for the distributed state
+/// vector (each process a replica, slabs rank-to-rank, zero hub quantum
+/// ops); under the in-process transport that falls back to sharded, so
+/// the series degenerates to ~1x there just like batching does.
+Observation run_trotter(std::size_t batch_ops, int qubits, int steps,
+                        bool distributed = false) {
   Observation obs;
   std::mutex mu;
   JobOptions opts = JobOptions::from_env();  // tcp coordinates under qmpirun
   opts.num_ranks = 2;
   opts.seed = 4242;
   opts.sim_batch_ops = batch_ops;
+  if (distributed) opts.backend = sim::BackendKind::kDistributed;
   const auto t0 = std::chrono::steady_clock::now();
   run(opts, [&](Context& ctx) {
     std::vector<int> outs;
@@ -95,10 +104,11 @@ Observation run_trotter(std::size_t batch_ops, int qubits, int steps) {
   return obs;
 }
 
-bool parity_ok(const Observation& a, const Observation& b) {
+bool parity_ok(const Observation& a, const Observation& b,
+               const char* what = "batched and unbatched") {
   if (a.outcomes != b.outcomes) {
     std::fprintf(stderr, "paritycheck: measurement outcomes diverged "
-                         "between batched and unbatched runs\n");
+                         "between %s runs\n", what);
     return false;
   }
   for (const auto& [rank, vals] : a.values) {
@@ -155,22 +165,35 @@ int main(int argc, char** argv) {
                       std::strcmp(transport, "tcp") == 0;
 
   // Warm up the transport (hub connection, first-run barriers) so the
-  // timed runs measure the op stream, not job spin-up.
+  // timed runs measure the op stream, not job spin-up. One warm-up per
+  // backend: the distributed series pays replica construction once here
+  // instead of inside its timed run.
   (void)run_trotter(0, 2, 1);
+  (void)run_trotter(0, 2, 1, /*distributed=*/true);
 
   const Observation unbatched = run_trotter(0, qubits, steps);
   const Observation batched =
       run_trotter(sim::kDefaultSimBatchOps, qubits, steps);
+  const Observation dist =
+      run_trotter(sim::kDefaultSimBatchOps, qubits, steps,
+                  /*distributed=*/true);
   const double speedup = batched.seconds > 0.0
                              ? unbatched.seconds / batched.seconds
                              : 0.0;
+  const double dist_speedup =
+      dist.seconds > 0.0 ? unbatched.seconds / dist.seconds : 0.0;
 
-  if (paritycheck && !parity_ok(batched, unbatched)) return 1;
+  if (paritycheck &&
+      (!parity_ok(batched, unbatched) ||
+       !parity_ok(dist, batched, "distributed and hub-backend"))) {
+    return 1;
+  }
 
   // One reporter per job: the process hosting rank 0.
   if (unbatched.hosted_rank0) {
     if (paritycheck) {
-      std::fprintf(stderr, "paritycheck: batched and unbatched runs agree "
+      std::fprintf(stderr, "paritycheck: batched, unbatched, and "
+                           "distributed runs agree "
                            "(%d qubits/rank, %d steps)\n",
                    qubits, steps);
     }
@@ -184,16 +207,20 @@ int main(int argc, char** argv) {
           "  \"local_gates\": %llu,\n"
           "  \"unbatched_ms\": %.3f,\n"
           "  \"batched_ms\": %.3f,\n"
-          "  \"batched_speedup\": %.2f\n"
+          "  \"batched_speedup\": %.2f,\n"
+          "  \"distributed_ms\": %.3f,\n"
+          "  \"distributed_speedup\": %.2f\n"
           "}\n",
           remote ? "tcp" : "inproc", qubits, steps,
           static_cast<unsigned long long>(unbatched.gates),
-          unbatched.seconds * 1e3, batched.seconds * 1e3, speedup);
+          unbatched.seconds * 1e3, batched.seconds * 1e3, speedup,
+          dist.seconds * 1e3, dist_speedup);
     } else {
       std::printf("BM_TrotterStep %s: unbatched %.3f ms, batched %.3f ms "
-                  "(%.2fx), %llu local gates\n",
+                  "(%.2fx), distributed %.3f ms (%.2fx), %llu local gates\n",
                   remote ? "tcp" : "inproc", unbatched.seconds * 1e3,
-                  batched.seconds * 1e3, speedup,
+                  batched.seconds * 1e3, speedup, dist.seconds * 1e3,
+                  dist_speedup,
                   static_cast<unsigned long long>(unbatched.gates));
     }
   }

@@ -89,17 +89,34 @@ int main(int argc, char** argv) {
   using qmpi::classical::Hub;
   using qmpi::classical::RunConfig;
 
-  // The hub owns the one true quantum state; reset rebuilds it with the
-  // config every process agreed on at the run-begin barrier.
+  // The hub owns the one true quantum state — except in distributed mode,
+  // where the state lives as rank-resident replicas and the hub is pure
+  // control plane: it hosts no backend and counts (then rejects) any
+  // quantum op that reaches it, making "the hub moved zero amplitudes"
+  // checkable from the launcher's output.
   std::unique_ptr<qmpi::sim::Backend> backend;
+  bool distributed_run = false;
+  std::uint64_t hub_sim_ops = 0;
   Hub::Services services;
-  services.reset = [&backend](const RunConfig& cfg) {
+  services.reset = [&](const RunConfig& cfg) {
+    distributed_run = static_cast<qmpi::sim::BackendKind>(cfg.backend) ==
+                      qmpi::sim::BackendKind::kDistributed;
+    if (distributed_run) {
+      backend.reset();
+      return;
+    }
     backend = qmpi::sim::make_backend(
         static_cast<qmpi::sim::BackendKind>(cfg.backend), cfg.seed,
         cfg.num_shards);
     backend->set_num_threads(cfg.sim_threads);
   };
-  services.sim = [&backend](std::span<const std::byte> request) {
+  services.sim = [&](std::span<const std::byte> request) {
+    if (distributed_run) {
+      ++hub_sim_ops;
+      throw qmpi::QmpiError(
+          "quantum op reached the hub in distributed mode (rank processes "
+          "host the state; this is a routing bug)");
+    }
     if (!backend) {
       throw qmpi::QmpiError("quantum operation before the run started");
     }
@@ -198,6 +215,12 @@ int main(int argc, char** argv) {
   }
   hub->stop();
   server.join();
+  if (distributed_run) {
+    // The acceptance line for the distributed data plane: with all
+    // amplitude traffic on rank-to-rank links, this stays at 0.
+    std::fprintf(stderr, "qmpirun: hub quantum ops: %llu (distributed)\n",
+                 static_cast<unsigned long long>(hub_sim_ops));
+  }
   if (exit_code != 0) {
     std::fprintf(stderr, "qmpirun: job failed with status %d\n", exit_code);
   }

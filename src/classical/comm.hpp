@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -467,25 +468,62 @@ template <typename T, typename Op>
   requires std::is_trivially_copyable_v<T>
 T Comm::allreduce(const T& value, Op op) {
   const int n = size();
-  const bool pow2 = (n & (n - 1)) == 0;
-  if (!transport_->peer_to_peer() || !pow2 || n == 1) {
+  if (!transport_->peer_to_peer() || n == 1) {
     T result = reduce(value, op, 0);
     return bcast(result, 0);
   }
   // Recursive doubling: round k exchanges partial results with the rank
   // whose k-th address bit differs, halving the remaining distance each
-  // round. Both sides fold lower-rank-group op higher-rank-group, which is
-  // exactly the balanced association the binomial reduce above uses — so
-  // the fallback path and this path agree bit-for-bit even for
-  // floating-point ops, keeping runs reproducible across transports.
+  // round. Both sides fold lower-rank-group op higher-rank-group; for
+  // power-of-two worlds that is exactly the balanced association the
+  // binomial reduce above uses, so the fallback path and this path agree
+  // bit-for-bit even for floating-point ops.
+  //
+  // Other sizes use the classic remainder handling: with n = pof2 + rem,
+  // the first 2*rem ranks pre-fold pairwise (odd rank into the even rank
+  // below it) so exactly pof2 survivors run the doubling rounds, and the
+  // folded-out odd ranks receive the total afterwards. The fold order is
+  // fixed for a given world size, so results are reproducible run to run;
+  // it differs from the binomial fallback's association, so non-pow2
+  // floating-point reductions are only comparable within one routing mode.
   const int tag = next_collective_tag();
+  const int pof2 = static_cast<int>(std::bit_floor(static_cast<unsigned>(n)));
+  const int rem = n - pof2;
   T acc = value;
-  int round = 0;
-  for (int dist = 1; dist < n; dist <<= 1, ++round) {
-    const int partner = rank() ^ dist;
-    coll_send(acc, partner, tag + round);
-    T other = coll_recv<T>(partner, tag + round);
-    acc = rank() < partner ? op(acc, other) : op(other, acc);
+  int me = -1;  // this rank's index among the pof2 doubling participants
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      T other = coll_recv<T>(rank() + 1, tag);
+      acc = op(acc, other);
+      me = rank() / 2;
+    }  // odd: hand the value down, sit out the doubling rounds
+    else {
+      coll_send(acc, rank() - 1, tag);
+    }
+  } else {
+    me = rank() - rem;
+  }
+  if (me >= 0) {
+    // Participant index -> comm rank: the survivors of the pre-fold are
+    // the even ranks below 2*rem followed by everything from 2*rem up.
+    const auto participant_rank = [rem](int q) {
+      return q < rem ? 2 * q : q + rem;
+    };
+    int round = 1;
+    for (int dist = 1; dist < pof2; dist <<= 1, ++round) {
+      const int peer = me ^ dist;
+      const int partner = participant_rank(peer);
+      coll_send(acc, partner, tag + round);
+      T other = coll_recv<T>(partner, tag + round);
+      acc = me < peer ? op(acc, other) : op(other, acc);
+    }
+  }
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      coll_send(acc, rank() + 1, tag + kTagsPerCollective - 1);
+    } else {
+      acc = coll_recv<T>(rank() - 1, tag + kTagsPerCollective - 1);
+    }
   }
   return acc;
 }

@@ -14,13 +14,24 @@ inline constexpr int kAnySource = -1;
 /// Wildcard tag, analogous to MPI_ANY_TAG.
 inline constexpr int kAnyTag = -1;
 
-/// Messages travel on one of two channels. User point-to-point traffic and
-/// internal collective traffic are kept separate so that a user posting a
-/// receive with kAnyTag can never steal a protocol message belonging to a
+/// Messages travel on one of several channels. User point-to-point traffic
+/// and internal collective traffic are kept separate so that a user posting
+/// a receive with kAnyTag can never steal a protocol message belonging to a
 /// collective operation that is in flight on the same communicator.
+///
+/// The kSim* channels carry the distributed quantum backend's traffic
+/// (QMPI_BACKEND=distributed). They never reach rank mailboxes: the
+/// transport diverts any message with channel >= kSimCtl to the registered
+/// sim sink, so classical matching (including wildcards) cannot observe
+/// them. kSimCtl is the rank->root op/fence submission stream, kSimExec is
+/// the root->everyone sequenced execution stream, and kSimData carries
+/// amplitude-slab exchange frames between slice owners.
 enum class ChannelKind : std::uint8_t {
   kPointToPoint = 0,
   kCollective = 1,
+  kSimCtl = 2,
+  kSimExec = 3,
+  kSimData = 4,
 };
 
 /// A classical message. Payloads are opaque byte vectors; the typed helpers

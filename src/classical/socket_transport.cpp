@@ -922,7 +922,13 @@ void HubClient::receiver_loop() {
           // run's epoch and must never reach the next run's mailboxes.
           if (epoch != epoch_ || run_dead_ || !deliver_) break;
           auto [dest, msg] = decode_routed_after_epoch(r);
-          deliver_(dest, std::move(msg));
+          // Invoke the sink OUTSIDE mu_: in distributed mode the sink is
+          // the sim plane, and the root's sequencer immediately
+          // rebroadcasts through post_remote(), which takes mu_ again.
+          // Staying on this thread keeps per-connection FIFO intact.
+          const auto deliver = deliver_;
+          lock.unlock();
+          deliver(dest, std::move(msg));
           break;
         }
         case FrameType::kRunReady:
@@ -1265,7 +1271,8 @@ std::string HubClient::dead_reason() {
 // ----------------------------------------------------------- peer mesh ---
 
 PeerMesh::PeerMesh(HubClient& hub,
-                   std::function<void(int dest, Message)> deliver)
+                   std::function<void(int dest, Message)> deliver,
+                   const std::string& advertised_host)
     : hub_(&hub), deliver_(std::move(deliver)) {
   links_.reserve(static_cast<std::size_t>(hub.nprocs()));
   for (int p = 0; p < hub.nprocs(); ++p) {
@@ -1277,9 +1284,15 @@ PeerMesh::PeerMesh(HubClient& hub,
     throw QmpiError("peer mesh: cannot create socket: " + errno_text());
   }
   set_cloexec(listen_fd_);
+  // With the loopback default the listener stays loopback-bound; a real
+  // (QMPI_P2P_HOST) advertisement means peers dial in from other hosts,
+  // so the listener must accept on all interfaces.
+  const bool loopback_only =
+      advertised_host.empty() || advertised_host == "127.0.0.1" ||
+      advertised_host == "localhost";
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
   addr.sin_port = 0;  // ephemeral: many rank processes share this host
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
@@ -1411,7 +1424,19 @@ void PeerMesh::resolve_locked(Link& link, int dest_proc,
     addr = peers[static_cast<std::size_t>(dest_proc)];
   }
   if (addr.port == 0 || addr.host.empty()) return;  // peer opted out
-  const int fd = dial_peer(addr, /*timeout_ms=*/2000);
+  // Bounded retry with backoff before the permanent hub fallback: a peer
+  // that advertised a listener may still be momentarily unreachable (its
+  // accept backlog full on a busy host, or a cross-host route still
+  // converging). Three dials spaced 100/300 ms keep worst-case first-send
+  // latency bounded while surviving transient refusals.
+  int fd = -1;
+  for (int attempt = 0; attempt < 3 && fd < 0; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(attempt == 1 ? 100 : 300));
+    }
+    fd = dial_peer(addr, /*timeout_ms=*/2000);
+  }
   if (fd < 0) return;  // unreachable peer: permanent hub fallback
   WireWriter hello;
   hello.u32(kHelloMagic);
@@ -1480,7 +1505,8 @@ class SocketTransport::RankChannel final : public Channel {
   int owner_;  ///< process hosting dest_
 };
 
-SocketTransport::SocketTransport(HubClient& hub, int num_ranks, bool p2p)
+SocketTransport::SocketTransport(HubClient& hub, int num_ranks, bool p2p,
+                                 const std::string& p2p_host)
     : hub_(&hub), num_ranks_(num_ranks) {
   local_ = rank_block(num_ranks, hub.nprocs(), hub.proc_id());
   boxes_.reserve(static_cast<std::size_t>(local_.count));
@@ -1489,25 +1515,22 @@ SocketTransport::SocketTransport(HubClient& hub, int num_ranks, bool p2p)
   }
   hub_->set_sinks(
       [this](int dest, Message msg) {
-        if (is_local(dest)) {
-          boxes_[static_cast<std::size_t>(dest - local_.first)]->post(
-              std::move(msg));
-        }
-        // Non-local: a routing bug upstream; dropping is safe (the sender
-        // will block and the job times out visibly rather than corrupting
-        // another rank's stream).
+        deliver_local(dest, std::move(msg));
       },
-      [this](const std::string&) { shutdown_local(); });
+      [this](const std::string& reason) {
+        run_sim_fail(reason);
+        shutdown_local();
+      });
   if (p2p && hub.nprocs() > 1) {
-    // The mesh delivers through the same local-mailbox sink as hub
-    // deliveries (epoch checking already done by the mesh reader).
-    mesh_ = std::make_unique<PeerMesh>(hub, [this](int dest, Message msg) {
-      if (is_local(dest)) {
-        boxes_[static_cast<std::size_t>(dest - local_.first)]->post(
-            std::move(msg));
-      }
-    });
-    hub_->set_peer_endpoint("127.0.0.1", mesh_->port());
+    // The mesh delivers through the same local sink as hub deliveries
+    // (epoch checking already done by the mesh reader).
+    mesh_ = std::make_unique<PeerMesh>(
+        hub,
+        [this](int dest, Message msg) {
+          deliver_local(dest, std::move(msg));
+        },
+        p2p_host);
+    hub_->set_peer_endpoint(p2p_host, mesh_->port());
   } else {
     // Advertise "no listener" so peers hub-route toward this process;
     // this also clears any endpoint a previous run's transport set.
@@ -1537,6 +1560,12 @@ void SocketTransport::send_to_rank(int dest_world_rank, int owner_proc,
         std::move(msg));
     return;
   }
+  // Cross-process classical sends must not outrun the quantum ops that
+  // precede them in program order. The distributed backend registers a
+  // fence here that sequences its pending ops through the root before
+  // the message leaves; same-process deliveries above need no fence
+  // because they share the origin's FIFO control stream.
+  run_sim_fence();
   if (mesh_ != nullptr) {
     // Restore the ops-before-message order hub routing gives for free:
     // any buffered quantum ops must be known executed before a message
@@ -1581,8 +1610,87 @@ void SocketTransport::shutdown_local() {
 }
 
 void SocketTransport::fail(const std::string& reason) {
-  shutdown_local();
+  // Report the root cause to the hub BEFORE any local teardown: waking
+  // sibling rank threads first lets their secondary ShutdownErrors race
+  // into abort_run() ahead of this reason, and first-abort-wins would
+  // then pin the job-level message to the symptom instead of the cause.
   hub_->abort_run(reason);
+  run_sim_fail(reason);
+  shutdown_local();
+}
+
+void SocketTransport::deliver_local(int dest, Message msg) {
+  if (msg.channel >= ChannelKind::kSimCtl) {
+    // Sim-plane traffic never reaches a mailbox: it is addressed to the
+    // process, not a rank, and the distributed backend consumes it on
+    // whatever thread delivered it.
+    std::function<void(Message)> sink;
+    {
+      const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+      sink = sim_sink_;
+    }
+    if (sink) sink(std::move(msg));
+    return;
+  }
+  if (is_local(dest)) {
+    boxes_[static_cast<std::size_t>(dest - local_.first)]->post(
+        std::move(msg));
+  }
+  // Non-local: a routing bug upstream; dropping is safe (the sender
+  // will block and the job times out visibly rather than corrupting
+  // another rank's stream).
+}
+
+void SocketTransport::post_sim(int dest_world_rank, Message msg) {
+  if (is_local(dest_world_rank)) {
+    deliver_local(dest_world_rank, std::move(msg));
+    return;
+  }
+  // Never run_sim_fence() here: sim-plane posts ARE the fenced traffic,
+  // and fencing would recurse.
+  const int owner = rank_owner(num_ranks_, hub_->nprocs(), dest_world_rank);
+  if (mesh_ != nullptr) {
+    try {
+      if (mesh_->try_send(owner, dest_world_rank, msg)) return;
+    } catch (const PeerLinkError& e) {
+      fail(e.what());
+      throw;
+    }
+  }
+  hub_->post_remote(dest_world_rank, msg);
+}
+
+void SocketTransport::set_sim_sink(std::function<void(Message)> sink) {
+  const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+  sim_sink_ = std::move(sink);
+}
+
+void SocketTransport::set_sim_fence(std::function<void()> fence) {
+  const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+  sim_fence_ = std::move(fence);
+}
+
+void SocketTransport::set_sim_fail(std::function<void(const std::string&)> on_fail) {
+  const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+  sim_fail_ = std::move(on_fail);
+}
+
+void SocketTransport::run_sim_fence() {
+  std::function<void()> fence;
+  {
+    const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+    fence = sim_fence_;
+  }
+  if (fence) fence();
+}
+
+void SocketTransport::run_sim_fail(const std::string& reason) {
+  std::function<void(const std::string&)> on_fail;
+  {
+    const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+    on_fail = sim_fail_;
+  }
+  if (on_fail) on_fail(reason);
 }
 
 }  // namespace qmpi::classical

@@ -376,8 +376,12 @@ class PeerMesh {
  public:
   /// Opens the listener and starts the accept thread. `deliver` receives
   /// decoded, epoch-checked messages on mesh reader threads (same
-  /// contract as HubClient's delivery sink).
-  PeerMesh(HubClient& hub, std::function<void(int dest, Message)> deliver);
+  /// contract as HubClient's delivery sink). `advertised_host` is the
+  /// address peers will be told to dial (QMPI_P2P_HOST): for the loopback
+  /// default the listener binds loopback only; any other value binds all
+  /// interfaces so out-of-host peers can actually reach it.
+  PeerMesh(HubClient& hub, std::function<void(int dest, Message)> deliver,
+           const std::string& advertised_host = "127.0.0.1");
   ~PeerMesh();
 
   PeerMesh(const PeerMesh&) = delete;
@@ -439,8 +443,10 @@ class SocketTransport final : public Transport {
   /// `p2p` enables the direct data plane (QMPI_P2P; default on). With it
   /// off this transport advertises no listener and routes every
   /// cross-process message through the hub — byte-identical to the
-  /// pre-p2p wire behavior.
-  SocketTransport(HubClient& hub, int num_ranks, bool p2p = true);
+  /// pre-p2p wire behavior. `p2p_host` is the address advertised to peers
+  /// for this process's mesh listener (QMPI_P2P_HOST; loopback default).
+  SocketTransport(HubClient& hub, int num_ranks, bool p2p = true,
+                  const std::string& p2p_host = "127.0.0.1");
   ~SocketTransport() override;
 
   int world_size() const override { return num_ranks_; }
@@ -457,6 +463,33 @@ class SocketTransport final : public Transport {
   /// shutdown() with a reason that peers will see in their QmpiError.
   void fail(const std::string& reason);
 
+  /// Ships a sim-channel message (channel >= ChannelKind::kSimCtl) toward
+  /// the process hosting `dest_world_rank`: self-delivery invokes the sim
+  /// sink inline, cross-process uses the mesh link (hub fallback, same
+  /// route permanence as classical traffic). Unlike send_to_rank this
+  /// never invokes the sim fence hook — sim traffic is what the fence
+  /// orders, so fencing it would recurse. Throws ShutdownError when the
+  /// run is dead.
+  void post_sim(int dest_world_rank, Message msg);
+
+  /// Registers the sink that receives every delivered message whose
+  /// channel is >= ChannelKind::kSimCtl (invoked on receiver threads, or
+  /// inline for self-sends). Such messages never reach rank mailboxes.
+  /// Pass nullptr to unregister; with no sink registered sim-channel
+  /// deliveries are dropped.
+  void set_sim_sink(std::function<void(Message)> sink);
+
+  /// Registers a hook invoked right before any cross-process classical
+  /// send leaves this process, restoring ops-before-message order for the
+  /// distributed backend (its op stream bypasses both hub and mesh FIFO
+  /// toward the destination). Pass nullptr to unregister.
+  void set_sim_fence(std::function<void()> fence);
+
+  /// Registers a hook invoked (with the reason) when the run dies —
+  /// locally via fail()/shutdown() or remotely via an abort broadcast —
+  /// so blocked sim waiters wake with a typed error instead of hanging.
+  void set_sim_fail(std::function<void(const std::string&)> on_fail);
+
   /// Test hooks (no-ops when p2p is off): see PeerMesh.
   void break_peer_listener_for_test();
   void break_peer_links_for_test();
@@ -469,6 +502,9 @@ class SocketTransport final : public Transport {
            world_rank < local_.first + local_.count;
   }
   void send_to_rank(int dest_world_rank, int owner_proc, Message msg);
+  void deliver_local(int dest_world_rank, Message msg);
+  void run_sim_fence();
+  void run_sim_fail(const std::string& reason);
   void shutdown_local();
 
   HubClient* hub_;
@@ -477,6 +513,13 @@ class SocketTransport final : public Transport {
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<PeerMesh> mesh_;  ///< null when p2p is off
   std::vector<std::unique_ptr<RankChannel>> channels_;
+
+  /// Guards the three sim hooks (set once per run by the distributed
+  /// backend, read on sender and receiver threads).
+  std::mutex sim_hooks_mu_;
+  std::function<void(Message)> sim_sink_;
+  std::function<void()> sim_fence_;
+  std::function<void(const std::string&)> sim_fail_;
 };
 
 }  // namespace qmpi::classical

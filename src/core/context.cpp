@@ -1,5 +1,6 @@
 #include "core/context.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cctype>
@@ -14,6 +15,7 @@
 
 #include "classical/socket_transport.hpp"
 #include "core/protocol_tags.hpp"
+#include "core/sim_dist.hpp"
 #include "core/sim_wire.hpp"
 #include "sim/sharded_statevector.hpp"
 #include "sim/thread_pool.hpp"
@@ -593,7 +595,8 @@ JobOptions JobOptions::from_env(JobOptions base) {
     sim::BackendKind kind;
     if (!sim::backend_kind_from_string(backend, kind)) {
       throw QmpiError(std::string("QMPI_BACKEND=\"") + backend +
-                      "\" is not a backend (use \"serial\" or \"sharded\")");
+                      "\" is not a backend (use \"serial\", \"sharded\", or "
+                      "\"distributed\")");
     }
     base.backend = kind;
   }
@@ -650,6 +653,16 @@ JobOptions JobOptions::from_env(JobOptions base) {
                       "\" is not a peer-to-peer mode (use \"on\" or \"off\")");
     }
   }
+  if (const char* host = std::getenv("QMPI_P2P_HOST")) {
+    // Same strict contract as every QMPI_* var: set-but-empty is a typo to
+    // reject loudly, not a silent fallback to loopback.
+    if (*host == '\0') {
+      throw QmpiError(
+          "QMPI_P2P_HOST is set but empty (give the address peers should "
+          "dial, e.g. this node's reachable IP)");
+    }
+    base.p2p_host = host;
+  }
   if (const char* simd = std::getenv("QMPI_SIMD")) {
     if (!sim::simd::parse_request(simd, base.simd)) {
       throw QmpiError(std::string("QMPI_SIMD=\"") + simd +
@@ -700,26 +713,68 @@ JobReport run_tcp(const JobOptions& options,
     throw QmpiError("run: num_ranks must be >= 1");
   }
   classical::HubClient& hub = tcp_hub_client();
+  const bool distributed =
+      options.backend == sim::BackendKind::kDistributed;
   classical::RunConfig cfg;
   cfg.num_ranks = static_cast<std::uint32_t>(options.num_ranks);
   cfg.seed = options.seed;
   cfg.backend = static_cast<std::uint8_t>(options.backend);
   cfg.num_shards = options.num_shards;
   cfg.sim_threads = options.sim_threads;
+  // Processes participating in the distributed sim plane: with more
+  // processes than ranks the extras host zero ranks, issue no quantum
+  // ops, and stay out of slice ownership entirely (they still sit in the
+  // run barriers, like hub mode).
+  const int sim_world = std::min(hub.nprocs(), options.num_ranks);
+  if (distributed) {
+    // Slices are the unit of cross-process ownership: at least one per
+    // participating process (rounded to the power of two the sharded
+    // layout needs). Every process computes the same count from the same
+    // env, and the RunConfig barrier rejects any disagreement.
+    const auto floor = std::bit_ceil(static_cast<unsigned>(sim_world));
+    cfg.num_shards = std::max(options.num_shards, floor);
+    if (cfg.num_shards > sim::kMaxShards) {
+      throw QmpiError("QMPI_BACKEND=distributed with " +
+                      std::to_string(sim_world) +
+                      " processes needs more than the maximum " +
+                      std::to_string(sim::kMaxShards) + " slices");
+    }
+  }
 
   // Order matters: register the transport's delivery sinks (and, with p2p
   // enabled, the peer listener address) before the begin barrier so no
   // peer's first message can race the registration, and keep the transport
   // alive until after end_run (the RUN_END_ACK guarantees no further
   // deliveries are in flight).
-  classical::SocketTransport transport(hub, options.num_ranks, options.p2p);
-  hub.begin_run(cfg);
+  classical::SocketTransport transport(hub, options.num_ranks, options.p2p,
+                                       options.p2p_host);
 
-  // All locally hosted rank threads share one RemoteSimClient (and thus
-  // one op pipeline): the buffer preserves per-process issue order, and
-  // the transport's flush-before-post hook extends that order across
+  // All locally hosted rank threads share one SimClient (and thus one op
+  // pipeline): the buffer preserves per-process issue order, and the
+  // transport's flush-before-post hook extends that order across
   // processes. Destroyed before `transport` goes away, after end_run.
-  auto sim = std::make_shared<RemoteSimClient>(hub, options.sim_batch_ops);
+  //
+  // distributed: this process's backend replica lives inside the client
+  // and sweeps run here, so resolve the SIMD tier locally. The client must
+  // exist before the begin barrier completes — its sim sink has to be
+  // registered before any peer can address us. Hub-hosted backends are
+  // created after the barrier instead (their first op is a hub round trip,
+  // which cannot race anything).
+  std::shared_ptr<sim::SimClient> sim;
+  if (distributed && hub.proc_id() < sim_world) {
+    sim::simd::set_active(sim::simd::resolve(options.simd).isa);
+    // Addressing inside the client uses rank_block over sim_world, which
+    // agrees with the transport's real placement for every participating
+    // process (the extras only ever truncate the tail of the blocks).
+    sim = std::make_shared<DistSimClient>(
+        transport, options.num_ranks, sim_world, hub.proc_id(),
+        cfg.num_shards, options.seed, options.sim_threads,
+        options.sim_batch_ops);
+  }
+  hub.begin_run(cfg);
+  if (!distributed) {
+    sim = std::make_shared<RemoteSimClient>(hub, options.sim_batch_ops);
+  }
   Trace trace;
   Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
   const classical::RankBlock block = transport.local_ranks();
@@ -821,12 +876,24 @@ JobReport run_tcp(const JobOptions& options,
 JobReport run(const JobOptions& options,
               const std::function<void(Context&)>& fn) {
   if (options.transport == TransportKind::kTcp) return run_tcp(options, fn);
+  // The distributed backend needs rank processes; in-process it degrades
+  // to its world-1 equivalent — the sharded backend — with a notice, so
+  // one job script runs under either transport and the report stays
+  // honest about what executed.
+  sim::BackendKind backend_kind = options.backend;
+  std::string backend_notice;
+  if (backend_kind == sim::BackendKind::kDistributed) {
+    backend_kind = sim::BackendKind::kSharded;
+    backend_notice =
+        "QMPI_BACKEND=distributed needs the tcp transport; this in-process "
+        "job ran the sharded backend (its single-process equivalent)";
+  }
   // Resolve the SIMD tier before the backend exists so every sweep of this
   // job runs the selected kernels. Unavailable-ISA fallback is a notice,
   // not an error — the report records what actually executed.
   const sim::simd::Selection simd_sel = sim::simd::resolve(options.simd);
   sim::simd::set_active(simd_sel.isa);
-  sim::SimServer server(options.seed, options.sim_threads, options.backend,
+  sim::SimServer server(options.seed, options.sim_threads, backend_kind,
                         options.num_shards);
   Trace trace;
   Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
@@ -855,6 +922,7 @@ JobReport run(const JobOptions& options,
     }
   }
   report.trace = trace.snapshot();
+  if (!backend_notice.empty()) report.notices.push_back(backend_notice);
   if (!simd_sel.notice.empty()) report.notices.push_back(simd_sel.notice);
   return report;
 }

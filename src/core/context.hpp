@@ -560,6 +560,12 @@ struct JobOptions {
   /// part of the hub's RunConfig barrier and processes may disagree on it.
   /// Ignored by the in-process transport (always peer-to-peer).
   bool p2p = true;
+  /// Address this process advertises for its peer data-plane listener
+  /// (QMPI_P2P_HOST). The loopback default binds the listener to loopback
+  /// only; any other value binds all interfaces and advertises the given
+  /// address, which is what a multi-machine job must set per node. Like
+  /// p2p, a local routing choice outside the RunConfig barrier.
+  std::string p2p_host = "127.0.0.1";
   /// SIMD tier for the backend's sweep kernels
   /// (QMPI_SIMD=auto|scalar|avx2|avx512). kAuto picks the best tier this
   /// CPU supports; naming an unavailable ISA is not an error — the job
@@ -568,8 +574,8 @@ struct JobOptions {
   sim::simd::Request simd = sim::simd::Request::kAuto;
 
   /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS /
-  /// QMPI_TRANSPORT / QMPI_SIM_BATCH / QMPI_P2P / QMPI_SIMD environment
-  /// overrides on top of `base`, so any benchmark or example binary is
+  /// QMPI_TRANSPORT / QMPI_SIM_BATCH / QMPI_P2P / QMPI_P2P_HOST /
+  /// QMPI_SIMD environment overrides on top of `base`, so any benchmark or example binary is
   /// reproducible and backend/transport-selectable from the command line
   /// without recompiling.
   static JobOptions from_env();

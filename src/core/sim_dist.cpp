@@ -1,0 +1,513 @@
+#include "core/sim_dist.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "classical/error.hpp"
+#include "classical/wire.hpp"
+
+namespace qmpi {
+
+namespace {
+
+using classical::ChannelKind;
+using classical::Message;
+
+/// Sub-kinds of sim-plane control/exec messages, carried in Message::tag.
+constexpr int kSimTagOps = 0;    ///< one-way kBatch body, fan out to all
+constexpr int kSimTagCall = 1;   ///< reply op body, fan out to all
+constexpr int kSimTagFence = 2;  ///< sequencing marker, echo to origin
+
+/// Sub-kinds of kSimData payloads (first byte).
+constexpr std::uint8_t kDataSlab = 0;     ///< pairwise exchange slab
+constexpr std::uint8_t kDataPublish = 1;  ///< replica materialization slice
+constexpr std::uint8_t kDataScalar = 2;   ///< root's consensus broadcast
+
+/// Amplitudes per kSimData frame: 2^21 * 16 B = 32 MiB of payload, half the
+/// transport's 64 MiB frame limit. Larger slabs travel as multiple
+/// offset-stamped chunks and reassemble at the receiver, so the data plane
+/// has no ceiling on state size that the classical plane doesn't share.
+constexpr std::uint64_t kSlabChunkAmps = std::uint64_t{1} << 21;
+
+void write_amplitudes(classical::WireWriter& w,
+                      std::span<const sim::Complex> amps) {
+  w.u64(amps.size());
+  w.bytes(std::as_bytes(amps));
+}
+
+std::vector<sim::Complex> read_amplitudes(classical::WireReader& r) {
+  const std::uint64_t count = r.u64();
+  // Guard the multiplication before r.bytes() can bounds-check it: a
+  // corrupt count must throw, never wrap into a tiny read.
+  if (count > r.remaining() / sizeof(sim::Complex)) {
+    throw QmpiError("malformed amplitude slab: count " +
+                    std::to_string(count) + " exceeds the frame body");
+  }
+  const auto raw = r.bytes(static_cast<std::size_t>(count) *
+                           sizeof(sim::Complex));
+  std::vector<sim::Complex> amps(static_cast<std::size_t>(count));
+  if (!amps.empty()) std::memcpy(amps.data(), raw.data(), raw.size());
+  return amps;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- PeerExchange ---
+
+PeerExchange::PeerExchange(classical::SocketTransport& transport,
+                           int num_ranks, int nprocs, int proc_id,
+                           unsigned num_shards)
+    : transport_(&transport),
+      num_ranks_(num_ranks),
+      nprocs_(nprocs),
+      proc_id_(proc_id),
+      mesh_(num_shards) {}
+
+void PeerExchange::post(unsigned dest, unsigned active,
+                        sim::ShardMessage msg) {
+  const int owner = static_cast<int>(
+      sim::slice_owner(static_cast<unsigned>(nprocs_), active, dest));
+  if (owner == proc_id_) {
+    mesh_.post(dest, active, std::move(msg));
+    return;
+  }
+  const std::span<const sim::Complex> amps(msg.amplitudes);
+  const std::uint64_t total = amps.size();
+  std::uint64_t off = 0;
+  do {  // an empty slab still sends one (complete) frame
+    const std::uint64_t n = std::min(kSlabChunkAmps, total - off);
+    classical::WireWriter w;
+    w.u8(kDataSlab);
+    w.u32(dest);
+    w.u32(msg.source);
+    w.u64(msg.tag);
+    w.u64(total);
+    w.u64(off);
+    write_amplitudes(w, amps.subspan(off, n));
+    Message m;
+    m.channel = ChannelKind::kSimData;
+    m.source = first_rank(proc_id_);
+    m.tag = 0;
+    m.payload = w.take();
+    transport_->post_sim(first_rank(owner), std::move(m));
+    off += n;
+  } while (off < total);
+}
+
+sim::ShardMessage PeerExchange::take(unsigned dest, unsigned source,
+                                     std::uint64_t tag) {
+  return mesh_.take(dest, source, tag);
+}
+
+void PeerExchange::publish(unsigned slice, std::uint64_t tag,
+                           std::span<const sim::Complex> amps) {
+  const std::uint64_t total = amps.size();
+  std::uint64_t off = 0;
+  do {
+    const std::uint64_t n = std::min(kSlabChunkAmps, total - off);
+    classical::WireWriter w;
+    w.u8(kDataPublish);
+    w.u32(slice);
+    w.u64(tag);
+    w.u64(total);
+    w.u64(off);
+    write_amplitudes(w, amps.subspan(off, n));
+    Message m;
+    m.channel = ChannelKind::kSimData;
+    m.source = first_rank(proc_id_);
+    m.tag = 0;
+    m.payload = w.take();
+    for (int p = 0; p < nprocs_; ++p) {
+      if (p == proc_id_) continue;
+      transport_->post_sim(first_rank(p), m);
+    }
+    off += n;
+  } while (off < total);
+}
+
+std::vector<sim::Complex> PeerExchange::take_published(unsigned slice,
+                                                       std::uint64_t tag) {
+  // Published slices reuse the slab inboxes keyed (dest=slice, source=slice):
+  // pairwise traffic for the same slice always has source != dest, so the
+  // streams cannot cross.
+  return mesh_.take(slice, slice, tag).amplitudes;
+}
+
+double PeerExchange::scalar_consensus(std::uint64_t tag, double value) {
+  if (nprocs_ == 1) return value;
+  if (proc_id_ == 0) {
+    classical::WireWriter w;
+    w.u8(kDataScalar);
+    w.u64(tag);
+    w.f64(value);
+    Message m;
+    m.channel = ChannelKind::kSimData;
+    m.source = first_rank(proc_id_);
+    m.tag = 0;
+    m.payload = w.take();
+    for (int p = 1; p < nprocs_; ++p) {
+      transport_->post_sim(first_rank(p), m);
+    }
+    return value;
+  }
+  std::unique_lock<std::mutex> lk(scalar_mu_);
+  scalar_cv_.wait(lk, [&] {
+    return scalars_.contains(tag) || !scalar_fail_.empty();
+  });
+  const auto it = scalars_.find(tag);
+  if (it == scalars_.end()) {
+    throw sim::SimulatorError("shard exchange failed: " + scalar_fail_);
+  }
+  const double v = it->second;
+  scalars_.erase(it);
+  return v;
+}
+
+void PeerExchange::fail(const std::string& reason) {
+  mesh_.fail(reason);
+  {
+    const std::lock_guard<std::mutex> lk(scalar_mu_);
+    if (scalar_fail_.empty()) scalar_fail_ = reason;
+  }
+  scalar_cv_.notify_all();
+}
+
+void PeerExchange::deliver_slab(std::uint8_t kind, unsigned dest,
+                                unsigned source, std::uint64_t tag,
+                                classical::WireReader& r) {
+  const std::uint64_t total = r.u64();
+  const std::uint64_t off = r.u64();
+  std::vector<sim::Complex> chunk = read_amplitudes(r);
+  if (off > total || chunk.size() > total - off) {
+    throw QmpiError("malformed amplitude slab chunk: offset " +
+                    std::to_string(off) + " + " +
+                    std::to_string(chunk.size()) + " exceeds total " +
+                    std::to_string(total));
+  }
+  if (dest >= mesh_.shards()) {
+    throw QmpiError("amplitude slab addressed to slice " +
+                    std::to_string(dest) + " of " +
+                    std::to_string(mesh_.shards()));
+  }
+  sim::ShardMessage sm;
+  sm.source = source;
+  sm.tag = tag;
+  if (off == 0 && chunk.size() == total) {
+    // Whole slab in one frame: skip the reassembly map entirely.
+    sm.amplitudes = std::move(chunk);
+    mesh_.post(dest, 0, std::move(sm));
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(partial_mu_);
+    PartialSlab& p = partial_[SlabKey{kind, dest, source, tag}];
+    if (p.amplitudes.size() != total) {
+      p.amplitudes.assign(static_cast<std::size_t>(total), sim::Complex{});
+      p.received = 0;
+    }
+    std::copy(chunk.begin(), chunk.end(),
+              p.amplitudes.begin() + static_cast<std::ptrdiff_t>(off));
+    p.received += chunk.size();
+    if (p.received < total) return;
+    sm.amplitudes = std::move(p.amplitudes);
+    partial_.erase(SlabKey{kind, dest, source, tag});
+  }
+  mesh_.post(dest, 0, std::move(sm));
+}
+
+void PeerExchange::deliver(Message msg) {
+  classical::WireReader r(msg.payload);
+  switch (const std::uint8_t kind = r.u8(); kind) {
+    case kDataSlab: {
+      const unsigned dest = r.u32();
+      const unsigned source = r.u32();
+      const std::uint64_t tag = r.u64();
+      deliver_slab(kind, dest, source, tag, r);
+      return;
+    }
+    case kDataPublish: {
+      // Published slices reuse the slab inboxes keyed (dest=slice,
+      // source=slice): pairwise traffic for the same slice always has
+      // source != dest, so the streams cannot cross.
+      const unsigned slice = r.u32();
+      const std::uint64_t tag = r.u64();
+      deliver_slab(kind, slice, slice, tag, r);
+      return;
+    }
+    case kDataScalar: {
+      const std::uint64_t tag = r.u64();
+      const double v = r.f64();
+      {
+        const std::lock_guard<std::mutex> lk(scalar_mu_);
+        scalars_[tag] = v;
+      }
+      scalar_cv_.notify_all();
+      return;
+    }
+    default:
+      return;  // unknown sub-kind from a newer peer: drop, never crash
+  }
+}
+
+// ------------------------------------------------------- DistSimClient ---
+
+DistSimClient::DistSimClient(classical::SocketTransport& transport,
+                             int num_ranks, int nprocs, int proc_id,
+                             unsigned num_shards, std::uint64_t seed,
+                             unsigned sim_threads,
+                             std::size_t max_batch_ops)
+    : BatchingSimClient(max_batch_ops),
+      transport_(&transport),
+      num_ranks_(num_ranks),
+      nprocs_(nprocs),
+      proc_id_(proc_id),
+      my_first_rank_(classical::rank_block(num_ranks, nprocs, proc_id).first),
+      provider_(transport, num_ranks, nprocs, proc_id, num_shards),
+      backend_(num_shards, seed, &provider_) {
+  if (nprocs > num_ranks) {
+    throw QmpiError(
+        "QMPI_BACKEND=distributed needs every process to host at least one "
+        "rank, but " +
+        std::to_string(nprocs) + " processes share " +
+        std::to_string(num_ranks) + " ranks (launch with -n <= num_ranks)");
+  }
+  backend_.set_num_threads(sim_threads);
+  executor_ = std::thread([this] { exec_loop(); });
+  transport_->set_sim_sink(
+      [this](Message m) { on_sim_message(std::move(m)); });
+  transport_->set_sim_fence([this] { fence(); });
+  transport_->set_sim_fail(
+      [this](const std::string& reason) { fail_run(reason); });
+}
+
+DistSimClient::~DistSimClient() {
+  // Unhook first so no new deliveries reach us; the transport outlives
+  // this object (run_tcp's declaration order), so racing receiver threads
+  // see a null sink and drop.
+  transport_->set_sim_sink(nullptr);
+  transport_->set_sim_fence(nullptr);
+  transport_->set_sim_fail(nullptr);
+  {
+    const std::lock_guard<std::mutex> lk(exec_mu_);
+    stop_ = true;
+  }
+  exec_cv_.notify_all();
+  // Abandon, don't drain: anything still queued after the end-of-run
+  // barrier is a tail of slice-local work no rank can observe anymore. The
+  // provider fail also wakes an executor blocked in a take mid-op.
+  provider_.fail("run ended");
+  if (executor_.joinable()) executor_.join();
+}
+
+std::uint64_t DistSimClient::post_ctl(Message msg) {
+  const std::lock_guard<std::mutex> lk(ctl_mu_);
+  const std::uint64_t gen = ++ctl_gen_;
+  // Root addressing: world rank 0 is always the root process's first rank.
+  transport_->post_sim(0, std::move(msg));
+  return gen;
+}
+
+std::vector<std::byte> DistSimClient::ship_call(
+    std::span<const std::byte> request) {
+  const std::uint64_t req = next_req_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lk(pending_mu_);
+    if (!failed_.empty()) throw classical::ShutdownError();
+    pending_.emplace(req, Pending{});
+  }
+  Message m;
+  m.channel = ChannelKind::kSimCtl;
+  m.source = my_first_rank_;
+  m.tag = kSimTagCall;
+  m.context = req;
+  m.payload.assign(request.begin(), request.end());
+  const std::uint64_t gen = post_ctl(std::move(m));
+  return wait_request(req, gen);
+}
+
+void DistSimClient::ship_batch(std::span<const std::byte> body,
+                               std::uint32_t /*count*/) {
+  Message m;
+  m.channel = ChannelKind::kSimCtl;
+  m.source = my_first_rank_;
+  m.tag = kSimTagOps;
+  m.payload.assign(body.begin(), body.end());
+  post_ctl(std::move(m));
+}
+
+void DistSimClient::fence() {
+  flush();
+  std::uint64_t target;
+  {
+    const std::lock_guard<std::mutex> lk(ctl_mu_);
+    target = ctl_gen_;
+  }
+  // Everything submitted so far already proven sequenced (by an earlier
+  // call or fence): the transport's per-send hook lands here for free.
+  if (sequenced_gen_.load() >= target) return;
+  const std::uint64_t req = next_req_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lk(pending_mu_);
+    if (!failed_.empty()) throw classical::ShutdownError();
+    pending_.emplace(req, Pending{});
+  }
+  Message m;
+  m.channel = ChannelKind::kSimCtl;
+  m.source = my_first_rank_;
+  m.tag = kSimTagFence;
+  m.context = req;
+  const std::uint64_t gen = post_ctl(std::move(m));
+  wait_request(req, gen);
+}
+
+void DistSimClient::on_sim_message(Message msg) {
+  switch (msg.channel) {
+    case ChannelKind::kSimData:
+      provider_.deliver(std::move(msg));
+      return;
+    case ChannelKind::kSimCtl:
+      sequence(std::move(msg));
+      return;
+    case ChannelKind::kSimExec:
+      enqueue_exec(std::move(msg));
+      return;
+    default:
+      return;  // classical channels never reach the sim sink
+  }
+}
+
+void DistSimClient::sequence(Message msg) {
+  if (proc_id_ != 0) return;  // ctl frames are addressed to the root only
+  const std::lock_guard<std::mutex> lk(seq_mu_);
+  msg.channel = ChannelKind::kSimExec;
+  if (msg.tag == kSimTagFence) {
+    // The echo is sequenced after every op the origin submitted before its
+    // fence (per-origin ctl FIFO), so its arrival through the origin's
+    // exec stream proves those ops globally sequenced & locally executed.
+    transport_->post_sim(msg.source, std::move(msg));
+    return;
+  }
+  for (int p = 0; p < nprocs_; ++p) {
+    if (p + 1 == nprocs_) {
+      transport_->post_sim(first_rank(p), std::move(msg));
+    } else {
+      transport_->post_sim(first_rank(p), msg);
+    }
+  }
+}
+
+void DistSimClient::enqueue_exec(Message msg) {
+  {
+    const std::lock_guard<std::mutex> lk(exec_mu_);
+    exec_q_.push_back(std::move(msg));
+  }
+  exec_cv_.notify_one();
+}
+
+void DistSimClient::exec_loop() {
+  for (;;) {
+    Message m;
+    {
+      std::unique_lock<std::mutex> lk(exec_mu_);
+      exec_cv_.wait(lk, [&] { return stop_ || !exec_q_.empty(); });
+      if (stop_) return;
+      m = std::move(exec_q_.front());
+      exec_q_.pop_front();
+    }
+    execute(m);
+  }
+}
+
+void DistSimClient::execute(Message& m) {
+  const bool mine = m.source == my_first_rank_;
+  switch (m.tag) {
+    case kSimTagFence:
+      fulfill(m.context, {}, deferred_error_);
+      return;
+    case kSimTagCall: {
+      // Every replica executes the call — one more RNG draw, one more
+      // collapse, in lockstep — but only the origin fulfills its waiter.
+      std::vector<std::byte> out;
+      std::string err;
+      try {
+        out = apply_sim_request(backend_, m.payload);
+      } catch (const std::exception& e) {
+        err = e.what();
+      }
+      if (mine) {
+        fulfill(m.context, std::move(out),
+                deferred_error_.empty() ? std::move(err) : deferred_error_);
+      }
+      return;
+    }
+    case kSimTagOps:
+      try {
+        apply_sim_request(backend_, m.payload);
+      } catch (const std::exception& e) {
+        // Deterministic replay stops every replica at the same sub-op, so
+        // state stays consistent everywhere; only the origin surfaces the
+        // error (at its next call/fence), mirroring hub-mode attribution.
+        if (mine && deferred_error_.empty()) deferred_error_ = e.what();
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void DistSimClient::fulfill(std::uint64_t req_id,
+                            std::vector<std::byte> result,
+                            std::string error) {
+  {
+    const std::lock_guard<std::mutex> lk(pending_mu_);
+    const auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // waiter already torn down
+    if (it->second.done) return;       // fail_run won the race
+    it->second.done = true;
+    it->second.result = std::move(result);
+    it->second.error = std::move(error);
+  }
+  pending_cv_.notify_all();
+}
+
+std::vector<std::byte> DistSimClient::wait_request(std::uint64_t req_id,
+                                                   std::uint64_t gen) {
+  Pending p;
+  {
+    std::unique_lock<std::mutex> lk(pending_mu_);
+    pending_cv_.wait(lk, [&] {
+      const auto it = pending_.find(req_id);
+      return it != pending_.end() && it->second.done;
+    });
+    p = std::move(pending_[req_id]);
+    pending_.erase(req_id);
+  }
+  // A completed request — result or backend error — proves every ctl
+  // message this process stamped with generation <= gen is sequenced.
+  std::uint64_t cur = sequenced_gen_.load();
+  while (cur < gen && !sequenced_gen_.compare_exchange_weak(cur, gen)) {
+  }
+  if (p.shutdown) throw classical::ShutdownError();
+  if (!p.error.empty()) throw sim::SimulatorError(p.error);
+  return std::move(p.result);
+}
+
+void DistSimClient::fail_run(const std::string& reason) {
+  {
+    const std::lock_guard<std::mutex> lk(pending_mu_);
+    if (failed_.empty()) failed_ = reason;
+    for (auto& [id, p] : pending_) {
+      if (p.done) continue;
+      p.done = true;
+      p.shutdown = true;
+      p.error = failed_;
+    }
+  }
+  pending_cv_.notify_all();
+  // Wake the executor out of any blocked take; it keeps draining (throws
+  // surface as recorded errors), and the destructor stops it for good.
+  provider_.fail(reason);
+}
+
+}  // namespace qmpi

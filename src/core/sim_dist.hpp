@@ -1,0 +1,223 @@
+#pragma once
+
+/// \file sim_dist.hpp
+/// The distributed state-vector runtime (QMPI_BACKEND=distributed): every
+/// rank process hosts a ShardedStateVector replica, reply-free operations
+/// fan out to all of them through a root-rank sequencer, and global gates
+/// move amplitude slabs rank-to-rank over the peer data plane. See
+/// docs/ARCHITECTURE.md §6.
+///
+/// Design in one paragraph: storage is replicated (every process allocates
+/// all slices) but COMPUTE is partitioned — each process sweeps only the
+/// slice block slice_block(world, rank, active) assigns it, so non-resident
+/// slices go harmlessly stale and operations that need the whole state
+/// materialize a replica first (sim/shard_exchange.hpp). Correctness then
+/// reduces to one invariant: every replica replays the identical operation
+/// stream in the identical order, so layout maps, op ticks, and the
+/// measurement RNG advance in lockstep and measurement outcomes agree
+/// everywhere by construction. The root rank's process provides that total
+/// order: all processes submit op bodies to it on the kSimCtl channel (one
+/// FIFO route per origin), and it rebroadcasts them on kSimExec to every
+/// process — itself included — in a single sequenced stream.
+///
+/// Happens-before across the classical plane: before any classical message
+/// leaves a process, the transport's sim-fence hook sequences that
+/// process's pending ops through the root. Any op a receiver issues after
+/// seeing the message therefore lands later in the total order than the
+/// ops the message announced — on every replica. Same-process classical
+/// sends need no fence because they share the origin's FIFO control
+/// stream.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "classical/message.hpp"
+#include "classical/socket_transport.hpp"
+#include "core/sim_wire.hpp"
+#include "sim/shard_exchange.hpp"
+#include "sim/sharded_statevector.hpp"
+
+namespace qmpi {
+
+/// ExchangeProvider over the peer data plane: slab posts addressed to a
+/// slice are routed to the process owning it (direct peer link when the
+/// mesh has one, hub kPost fallback otherwise — QMPI_P2P=off jobs stay
+/// correct, just slower), and locally received slabs land in an internal
+/// ShardMesh that provides the blocking matched take()s. Publish frames
+/// (replica materialization) and the root's scalar-consensus broadcasts
+/// ride the same kSimData channel.
+///
+/// Amplitude payloads travel as raw host-representation bytes, like every
+/// other trivially-copyable classical payload in this prototype
+/// (classical::to_bytes); a heterogeneous job would need an endian pass
+/// here first. Slabs larger than kSlabChunkAmps are split into
+/// offset-stamped chunks and reassembled at the receiver, so no payload
+/// can hit the transport's frame limit (classical::kMaxFrameBytes).
+class PeerExchange final : public sim::ExchangeProvider {
+ public:
+  PeerExchange(classical::SocketTransport& transport, int num_ranks,
+               int nprocs, int proc_id, unsigned num_shards);
+
+  unsigned world() const override { return static_cast<unsigned>(nprocs_); }
+  unsigned rank() const override { return static_cast<unsigned>(proc_id_); }
+
+  void post(unsigned dest, unsigned active, sim::ShardMessage msg) override;
+  sim::ShardMessage take(unsigned dest, unsigned source,
+                         std::uint64_t tag) override;
+  void publish(unsigned slice, std::uint64_t tag,
+               std::span<const sim::Complex> amps) override;
+  std::vector<sim::Complex> take_published(unsigned slice,
+                                           std::uint64_t tag) override;
+  double scalar_consensus(std::uint64_t tag, double value) override;
+  void fail(const std::string& reason) override;
+
+  /// Decodes one received kSimData message and routes it to the matching
+  /// inbox / scalar waiter. Called from whatever thread the transport
+  /// delivered on (receiver threads, or inline for self-posts).
+  void deliver(classical::Message msg);
+
+ private:
+  int first_rank(int proc) const {
+    return classical::rank_block(num_ranks_, nprocs_, proc).first;
+  }
+
+  /// A slab mid-reassembly: large amplitude payloads travel as multiple
+  /// offset-stamped chunks so no single frame can exceed the transport's
+  /// frame limit. Keyed by (sub-kind, dest slice, source, tag).
+  struct PartialSlab {
+    std::vector<sim::Complex> amplitudes;
+    std::uint64_t received = 0;
+  };
+  using SlabKey = std::tuple<std::uint8_t, unsigned, unsigned, std::uint64_t>;
+
+  void deliver_slab(std::uint8_t kind, unsigned dest, unsigned source,
+                    std::uint64_t tag, classical::WireReader& r);
+
+  classical::SocketTransport* transport_;
+  int num_ranks_;
+  int nprocs_;
+  int proc_id_;
+  sim::ShardMesh mesh_;  ///< inbox store for slabs and published slices
+
+  std::mutex partial_mu_;
+  std::map<SlabKey, PartialSlab> partial_;
+
+  std::mutex scalar_mu_;
+  std::condition_variable scalar_cv_;
+  std::unordered_map<std::uint64_t, double> scalars_;
+  std::string scalar_fail_;  ///< non-empty once fail() was called
+};
+
+/// BatchingSimClient whose backend is the process-resident replica. All
+/// locally hosted rank threads share one instance (one op pipeline, like
+/// RemoteSimClient); an executor thread replays the root-sequenced kSimExec
+/// stream through apply_sim_request into the replica.
+///
+/// Reply-producing ops (allocate, measure, probabilities) are sequenced
+/// and executed on EVERY replica — that is what keeps the RNG in lockstep —
+/// but only the origin process fulfills the caller's wait with the result.
+/// A fence submits a marker the root echoes back to the origin alone; its
+/// arrival through the origin's executor proves every earlier op from this
+/// process is sequenced globally and executed locally. The transport's
+/// sim-fence hook calls fence(), which skips the round trip entirely when
+/// nothing was submitted since the last proof — the common
+/// measure-then-send pattern pays nothing extra.
+///
+/// Error contract: a failed batched op is recorded by the origin's replica
+/// and surfaces at the origin's next call/fence as SimulatorError
+/// ("batched op N of M: ..."), exactly like hub mode; replay determinism
+/// keeps every replica's state consistent (all stop at the same sub-op). A
+/// transport-level death (peer process gone, hub abort) wakes every
+/// blocked waiter with ShutdownError so rank threads unwind instead of
+/// hanging, and the job-level cause travels via the hub's abort reason.
+class DistSimClient final : public BatchingSimClient {
+ public:
+  /// Builds the replica and registers the transport's sim sink/fence/fail
+  /// hooks. Construct before the run-begin barrier completes (no sim
+  /// traffic can arrive earlier, since peers learn our address at the
+  /// barrier) and destroy before the transport. Requires
+  /// nprocs <= num_ranks: processes are addressed through their first
+  /// hosted world rank, so every process must host one.
+  DistSimClient(classical::SocketTransport& transport, int num_ranks,
+                int nprocs, int proc_id, unsigned num_shards,
+                std::uint64_t seed, unsigned sim_threads,
+                std::size_t max_batch_ops = sim::kDefaultSimBatchOps);
+  ~DistSimClient() override;
+
+  void fence() override;
+
+ private:
+  struct Pending {
+    bool done = false;
+    bool shutdown = false;  ///< woken by run death, not an op result
+    std::vector<std::byte> result;
+    std::string error;
+  };
+
+  std::vector<std::byte> ship_call(
+      std::span<const std::byte> request) override;
+  void ship_batch(std::span<const std::byte> body,
+                  std::uint32_t count) override;
+
+  void on_sim_message(classical::Message msg);
+  void sequence(classical::Message msg);  ///< root process only
+  void enqueue_exec(classical::Message msg);
+  void exec_loop();
+  void execute(classical::Message& msg);  ///< executor thread only
+  void fulfill(std::uint64_t req_id, std::vector<std::byte> result,
+               std::string error);
+  void fail_run(const std::string& reason);
+  /// Posts one ctl message to the root under ctl_mu_, so the generation
+  /// stamp order matches the wire order; returns the stamped generation.
+  std::uint64_t post_ctl(classical::Message msg);
+  std::vector<std::byte> wait_request(std::uint64_t req_id,
+                                      std::uint64_t gen);
+  int first_rank(int proc) const {
+    return classical::rank_block(num_ranks_, nprocs_, proc).first;
+  }
+
+  classical::SocketTransport* transport_;
+  int num_ranks_;
+  int nprocs_;
+  int proc_id_;
+  int my_first_rank_;
+
+  PeerExchange provider_;            ///< declared before the replica using it
+  sim::ShardedStateVector backend_;  ///< executor-thread only after ctor
+
+  /// Orders generation stamping with ctl wire order: a completed request
+  /// at generation g proves every generation <= g is sequenced.
+  std::mutex ctl_mu_;
+  std::uint64_t ctl_gen_ = 0;
+  std::atomic<std::uint64_t> sequenced_gen_{0};
+  std::atomic<std::uint64_t> next_req_{1};
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::string failed_;  ///< run-fatal transport reason, first cause wins
+
+  /// Sticky first batched-op error from this process's stream; executor
+  /// thread only (recorded and read while fulfilling, both there).
+  std::string deferred_error_;
+
+  std::mutex seq_mu_;  ///< serializes the root's rebroadcast fan-out
+
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  std::deque<classical::Message> exec_q_;
+  bool stop_ = false;
+  std::thread executor_;
+};
+
+}  // namespace qmpi

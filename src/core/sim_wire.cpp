@@ -103,11 +103,179 @@ void apply_replyfree_op(sim::Backend& backend, SimOp op, WireReader& r) {
 
 }  // namespace
 
-// --------------------------------------------------------------- client ---
+// --------------------------------------------------------- batching base ---
+
+BatchingSimClient::BatchingSimClient(std::size_t max_batch_ops)
+    : max_batch_ops_(max_batch_ops) {}
+
+std::vector<std::byte> BatchingSimClient::call(const WireWriter& w) {
+  flush();
+  return ship_call(w.data());
+}
+
+void BatchingSimClient::submit_replyfree(const WireWriter& op) {
+  if (max_batch_ops_ == 0) {
+    (void)call(op);  // flush() inside is an immediate no-op return
+    return;
+  }
+  const std::lock_guard lock(batch_mu_);
+  batch_.bytes(op.data());
+  ++batch_count_;
+  if (batch_count_ >= max_batch_ops_ ||
+      batch_.data().size() >= kMaxSimBatchBytes) {
+    flush_locked();
+  }
+}
+
+void BatchingSimClient::flush() {
+  if (max_batch_ops_ == 0) return;
+  const std::lock_guard lock(batch_mu_);
+  flush_locked();
+}
+
+void BatchingSimClient::flush_locked() {
+  if (batch_count_ == 0) return;
+  WireWriter body;
+  body.u8(static_cast<std::uint8_t>(SimOp::kBatch));
+  body.u32(batch_count_);
+  body.bytes(batch_.data());
+  const std::uint32_t count = batch_count_;
+  // Reset before the send: if the transport is dead these ops can never be
+  // delivered, and retrying them on the next flush would be a lie.
+  batch_ = WireWriter();
+  batch_count_ = 0;
+  ship_batch(body.data(), count);
+  // Count only bodies that actually left: a dead-transport throw above
+  // must not inflate the statistics tests and the bench assert on.
+  ops_batched_ += count;
+  ++batches_sent_;
+}
+
+std::uint64_t BatchingSimClient::batches_sent() const {
+  const std::lock_guard lock(batch_mu_);
+  return batches_sent_;
+}
+
+std::uint64_t BatchingSimClient::ops_batched() const {
+  const std::lock_guard lock(batch_mu_);
+  return ops_batched_;
+}
+
+std::vector<sim::QubitId> BatchingSimClient::allocate(std::size_t count) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kAllocate));
+  w.u64(count);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return get_ids(r);
+}
+
+void BatchingSimClient::deallocate_classical(
+    std::span<const sim::QubitId> ids) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kDeallocateClassical));
+  put_ids(w, ids);
+  submit_replyfree(w);
+}
+
+void BatchingSimClient::apply(const sim::Gate1Q& gate, sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kApply1));
+  w.u64(qubit);
+  put_gate(w, gate);
+  submit_replyfree(w);
+}
+
+void BatchingSimClient::cnot(sim::QubitId control, sim::QubitId target) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kCnot));
+  w.u64(control);
+  w.u64(target);
+  submit_replyfree(w);
+}
+
+void BatchingSimClient::cz(sim::QubitId control, sim::QubitId target) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kCz));
+  w.u64(control);
+  w.u64(target);
+  submit_replyfree(w);
+}
+
+void BatchingSimClient::toffoli(sim::QubitId c0, sim::QubitId c1,
+                                sim::QubitId target) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kToffoli));
+  w.u64(c0);
+  w.u64(c1);
+  w.u64(target);
+  submit_replyfree(w);
+}
+
+bool BatchingSimClient::measure(sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kMeasure));
+  w.u64(qubit);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.u8() != 0;
+}
+
+bool BatchingSimClient::measure_x(sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kMeasureX));
+  w.u64(qubit);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.u8() != 0;
+}
+
+bool BatchingSimClient::measure_parity(std::span<const sim::QubitId> qubits) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kMeasureParity));
+  put_ids(w, qubits);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.u8() != 0;
+}
+
+double BatchingSimClient::probability_one(sim::QubitId qubit) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kProbabilityOne));
+  w.u64(qubit);
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.f64();
+}
+
+double BatchingSimClient::expectation(
+    std::span<const std::pair<sim::QubitId, char>> paulis) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kExpectation));
+  wire_detail::check_u32_count(paulis.size(), "Pauli term");
+  w.u32(static_cast<std::uint32_t>(paulis.size()));
+  for (const auto& [id, p] : paulis) {
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(p));
+  }
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return r.f64();
+}
+
+std::size_t BatchingSimClient::num_qubits() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(SimOp::kNumQubits));
+  const auto reply_body = call(w);
+  WireReader r(reply_body);
+  return static_cast<std::size_t>(r.u64());
+}
+
+// ------------------------------------------------------------ hub client ---
 
 RemoteSimClient::RemoteSimClient(classical::HubClient& hub,
                                  std::size_t max_batch_ops)
-    : hub_(&hub), max_batch_ops_(max_batch_ops) {
+    : BatchingSimClient(max_batch_ops), hub_(&hub) {
   if (max_batch_ops_ > 0) {
     // The hook drains this buffer right before any classical post or
     // run-end barrier leaves the process: the batch frame hits the hub
@@ -130,10 +298,10 @@ RemoteSimClient::~RemoteSimClient() {
   }
 }
 
-std::vector<std::byte> RemoteSimClient::call(const WireWriter& w) {
-  flush();
+std::vector<std::byte> RemoteSimClient::ship_call(
+    std::span<const std::byte> request) {
   try {
-    return hub_->sim_call(w.data());
+    return hub_->sim_call(request);
   } catch (const RemoteSimError& e) {
     // Same type the local path throws, same message the remote Backend
     // produced: error handling is location-transparent.
@@ -141,48 +309,15 @@ std::vector<std::byte> RemoteSimClient::call(const WireWriter& w) {
   }
 }
 
-void RemoteSimClient::submit_replyfree(const WireWriter& op) {
-  if (max_batch_ops_ == 0) {
-    (void)call(op);  // flush() inside is an immediate no-op return
-    return;
-  }
-  const std::lock_guard lock(batch_mu_);
-  batch_.bytes(op.data());
-  ++batch_count_;
-  if (batch_count_ >= max_batch_ops_ ||
-      batch_.data().size() >= kMaxSimBatchBytes) {
-    flush_locked();
-  }
-}
-
-void RemoteSimClient::flush() {
-  if (max_batch_ops_ == 0) return;
-  const std::lock_guard lock(batch_mu_);
-  flush_locked();
-}
-
-void RemoteSimClient::flush_locked() {
-  if (batch_count_ == 0) return;
-  WireWriter body;
-  body.u8(static_cast<std::uint8_t>(SimOp::kBatch));
-  body.u32(batch_count_);
-  body.bytes(batch_.data());
-  const std::uint32_t count = batch_count_;
-  // Reset before the send: if the transport is dead these ops can never be
-  // delivered, and retrying them on the next flush would be a lie.
-  batch_ = WireWriter();
-  batch_count_ = 0;
+void RemoteSimClient::ship_batch(std::span<const std::byte> body,
+                                 std::uint32_t /*count*/) {
   try {
-    hub_->sim_post(body.data());
+    hub_->sim_post(body);
   } catch (const RemoteSimError& e) {
     // A previously posted batch failed at the hub; surface it here, at
     // this process's next synchronization point.
     throw sim::SimulatorError(e.what());
   }
-  // Count only frames that actually left: a dead-transport throw above
-  // must not inflate the statistics tests and the bench assert on.
-  ops_batched_ += count;
-  ++batches_sent_;
 }
 
 void RemoteSimClient::fence() {
@@ -192,134 +327,10 @@ void RemoteSimClient::fence() {
   // sim_call) proves all earlier batches have executed.
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(SimOp::kNumQubits));
-  try {
-    (void)hub_->sim_call(w.data());
-  } catch (const RemoteSimError& e) {
-    throw sim::SimulatorError(e.what());
-  }
+  (void)ship_call(w.data());
 }
 
-std::uint64_t RemoteSimClient::batches_sent() const {
-  const std::lock_guard lock(batch_mu_);
-  return batches_sent_;
-}
-
-std::uint64_t RemoteSimClient::ops_batched() const {
-  const std::lock_guard lock(batch_mu_);
-  return ops_batched_;
-}
-
-std::vector<sim::QubitId> RemoteSimClient::allocate(std::size_t count) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kAllocate));
-  w.u64(count);
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return get_ids(r);
-}
-
-void RemoteSimClient::deallocate_classical(
-    std::span<const sim::QubitId> ids) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kDeallocateClassical));
-  put_ids(w, ids);
-  submit_replyfree(w);
-}
-
-void RemoteSimClient::apply(const sim::Gate1Q& gate, sim::QubitId qubit) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kApply1));
-  w.u64(qubit);
-  put_gate(w, gate);
-  submit_replyfree(w);
-}
-
-void RemoteSimClient::cnot(sim::QubitId control, sim::QubitId target) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kCnot));
-  w.u64(control);
-  w.u64(target);
-  submit_replyfree(w);
-}
-
-void RemoteSimClient::cz(sim::QubitId control, sim::QubitId target) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kCz));
-  w.u64(control);
-  w.u64(target);
-  submit_replyfree(w);
-}
-
-void RemoteSimClient::toffoli(sim::QubitId c0, sim::QubitId c1,
-                              sim::QubitId target) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kToffoli));
-  w.u64(c0);
-  w.u64(c1);
-  w.u64(target);
-  submit_replyfree(w);
-}
-
-bool RemoteSimClient::measure(sim::QubitId qubit) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kMeasure));
-  w.u64(qubit);
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return r.u8() != 0;
-}
-
-bool RemoteSimClient::measure_x(sim::QubitId qubit) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kMeasureX));
-  w.u64(qubit);
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return r.u8() != 0;
-}
-
-bool RemoteSimClient::measure_parity(std::span<const sim::QubitId> qubits) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kMeasureParity));
-  put_ids(w, qubits);
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return r.u8() != 0;
-}
-
-double RemoteSimClient::probability_one(sim::QubitId qubit) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kProbabilityOne));
-  w.u64(qubit);
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return r.f64();
-}
-
-double RemoteSimClient::expectation(
-    std::span<const std::pair<sim::QubitId, char>> paulis) {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kExpectation));
-  wire_detail::check_u32_count(paulis.size(), "Pauli term");
-  w.u32(static_cast<std::uint32_t>(paulis.size()));
-  for (const auto& [id, p] : paulis) {
-    w.u64(id);
-    w.u8(static_cast<std::uint8_t>(p));
-  }
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return r.f64();
-}
-
-std::size_t RemoteSimClient::num_qubits() {
-  WireWriter w;
-  w.u8(static_cast<std::uint8_t>(SimOp::kNumQubits));
-  const auto reply_body = call(w);
-  WireReader r(reply_body);
-  return static_cast<std::size_t>(r.u64());
-}
-
-// ------------------------------------------------------------------ hub ---
+// ------------------------------------------------------------- executor ---
 
 std::vector<std::byte> apply_sim_request(sim::Backend& backend,
                                          std::span<const std::byte> request) {

@@ -13,24 +13,30 @@
 
 namespace qmpi {
 
-/// Wire protocol for forwarding quantum operations to the hub's backend.
+/// Wire protocol for forwarding quantum operations to a remote backend.
 ///
-/// Each SimClient call with a reply becomes one kSim frame whose body is
-/// (u8 opcode, operands); the hub executes it on its Backend under the
-/// same serialization as classical routing and replies with the result.
-/// Backend exceptions travel back as kSimError and are rethrown locally
-/// as sim::SimulatorError, so protocol code behaves identically whether
-/// the state vector is in-process or three processes away.
+/// Each SimClient call with a reply becomes one request whose body is
+/// (u8 opcode, operands); the executing side runs it on its Backend under
+/// a single serialization and replies with the result. Backend exceptions
+/// travel back and are rethrown locally as sim::SimulatorError, so
+/// protocol code behaves identically whether the state vector is
+/// in-process or three processes away.
 ///
 /// Reply-free operations (gates, classical deallocation) additionally
 /// have a *batched* form: a kBatch body is (u8 kBatch, u32 count, then
-/// `count` concatenated reply-free op encodings). The hub replays the
-/// sub-ops in order against the same Backend; a sub-op failure is
+/// `count` concatenated reply-free op encodings). The executor replays
+/// the sub-ops in order against the same Backend; a sub-op failure is
 /// rethrown as "batched op N of M: <original message>" and breaks the
-/// rest of the sending process's op stream for the run (the hub drops
-/// its later batches and refuses its later requests with the same
-/// reason), so a pipelined stream attributes failures — and stops at
-/// them — exactly like the one-op-per-frame path.
+/// rest of the sending process's op stream for the run, so a pipelined
+/// stream attributes failures — and stops at them — exactly like the
+/// one-op-per-frame path.
+///
+/// Two shippers implement the protocol: RemoteSimClient sends every body
+/// over the hub connection to the launcher-hosted backend
+/// (QMPI_BACKEND=serial/sharded under tcp), and core/sim_dist.hpp's
+/// DistSimClient routes bodies through the root-rank sequencer to a
+/// backend replica resident in every rank process
+/// (QMPI_BACKEND=distributed).
 ///
 /// The opcode values are part of the wire format; append only.
 enum class SimOp : std::uint8_t {
@@ -62,28 +68,29 @@ namespace wire_detail {
 void check_u32_count(std::size_t n, const char* what);
 }  // namespace wire_detail
 
-/// SimClient that ships every call over the rank process's hub
-/// connection. Used under QMPI_TRANSPORT=tcp; thread-safe (all locally
+/// SimClient base that owns the op encodings and the pipelining batch
+/// buffer, independent of where the bodies go. Subclasses provide the
+/// shipping: ship_call() round-trips one reply-producing request body and
+/// ship_batch() sends one one-way kBatch body. Thread-safe (all locally
 /// hosted rank threads share one instance) because the batch buffer has
-/// its own mutex and HubClient serializes and correlates requests.
+/// its own mutex; subclasses must make the ship hooks callable
+/// concurrently.
 ///
 /// With `max_batch_ops` > 0, reply-free operations are buffered and
-/// shipped as one kBatch body in a one-way kSimBatch frame — no
-/// per-gate round trip. The buffer flushes at every synchronization
-/// point: any op with a reply, flush()/fence(), `max_batch_ops` buffered
-/// ops, a kMaxSimBatchBytes-sized body, and (via the HubClient sim-flush
-/// hook) right before any classical post or run-end barrier leaves this
-/// process, which is what keeps cross-process happens-before intact (see
-/// docs/ARCHITECTURE.md §4). With `max_batch_ops` == 0 every call is a
-/// blocking round trip (the pre-batching behavior).
-class RemoteSimClient final : public sim::SimClient {
+/// shipped as one kBatch body — no per-gate round trip. The buffer
+/// flushes at every synchronization point: any op with a reply,
+/// flush()/fence(), `max_batch_ops` buffered ops, and a
+/// kMaxSimBatchBytes-sized body; subclasses additionally hook their
+/// transport so the buffer drains right before any classical message
+/// leaves the process, which is what keeps cross-process happens-before
+/// intact (see docs/ARCHITECTURE.md §4). With `max_batch_ops` == 0 every
+/// call is a blocking round trip (the pre-batching behavior).
+class BatchingSimClient : public sim::SimClient {
  public:
-  explicit RemoteSimClient(classical::HubClient& hub,
-                           std::size_t max_batch_ops = sim::kDefaultSimBatchOps);
-  ~RemoteSimClient() override;
+  explicit BatchingSimClient(std::size_t max_batch_ops);
 
-  RemoteSimClient(const RemoteSimClient&) = delete;
-  RemoteSimClient& operator=(const RemoteSimClient&) = delete;
+  BatchingSimClient(const BatchingSimClient&) = delete;
+  BatchingSimClient& operator=(const BatchingSimClient&) = delete;
 
   std::vector<sim::QubitId> allocate(std::size_t count) override;
   void deallocate_classical(std::span<const sim::QubitId> ids) override;
@@ -100,21 +107,31 @@ class RemoteSimClient final : public sim::SimClient {
   std::size_t num_qubits() override;
 
   void flush() override;
-  void fence() override;
 
   /// Pipeline statistics (tests and the remote bench assert on these):
-  /// how many kSimBatch frames left, and how many ops they carried.
+  /// how many batch bodies left, and how many ops they carried.
   std::uint64_t batches_sent() const;
   std::uint64_t ops_batched() const;
 
- private:
+ protected:
+  /// Ships one reply-producing request body and returns the reply body.
+  /// Must throw sim::SimulatorError (or a subclass) on failure.
+  virtual std::vector<std::byte> ship_call(
+      std::span<const std::byte> request) = 0;
+
+  /// Ships one kBatch body carrying `count` ops, one-way. Called with the
+  /// batch mutex held, so bodies leave in buffer order.
+  virtual void ship_batch(std::span<const std::byte> body,
+                          std::uint32_t count) = 0;
+
+  /// Flushes buffered ops then ships `w` as a reply-producing request.
+  std::vector<std::byte> call(const classical::WireWriter& w);
+
   /// Buffers one encoded reply-free op (batching on) or round-trips it
   /// immediately (batching off).
   void submit_replyfree(const classical::WireWriter& op);
   void flush_locked();
-  std::vector<std::byte> call(const classical::WireWriter& w);
 
-  classical::HubClient* hub_;
   std::size_t max_batch_ops_;
 
   mutable std::mutex batch_mu_;  ///< guards everything below
@@ -124,11 +141,35 @@ class RemoteSimClient final : public sim::SimClient {
   std::uint64_t ops_batched_ = 0;
 };
 
+/// BatchingSimClient that ships every body over the rank process's hub
+/// connection to the launcher-hosted backend. Used under
+/// QMPI_TRANSPORT=tcp with a hub-resident backend; batches travel as
+/// one-way kSimBatch frames and the HubClient sim-flush hook drains the
+/// buffer right before any classical post or run-end barrier leaves this
+/// process.
+class RemoteSimClient final : public BatchingSimClient {
+ public:
+  explicit RemoteSimClient(classical::HubClient& hub,
+                           std::size_t max_batch_ops = sim::kDefaultSimBatchOps);
+  ~RemoteSimClient() override;
+
+  void fence() override;
+
+ private:
+  std::vector<std::byte> ship_call(
+      std::span<const std::byte> request) override;
+  void ship_batch(std::span<const std::byte> body,
+                  std::uint32_t count) override;
+
+  classical::HubClient* hub_;
+};
+
 /// Executes one encoded SimOp against `backend` and returns the encoded
-/// reply. This is the hub side of the protocol: the launcher installs
-/// `[&](req) { return apply_sim_request(*backend, req); }` as the hub's
-/// sim service. Throws sim::SimulatorError on misuse (marshalled to the
-/// requesting rank by the hub).
+/// reply. This is the executing side of the protocol: the launcher
+/// installs `[&](req) { return apply_sim_request(*backend, req); }` as
+/// the hub's sim service, and the distributed executor replays sequenced
+/// bodies through the same function — one decoder, no semantic drift.
+/// Throws sim::SimulatorError on misuse.
 std::vector<std::byte> apply_sim_request(sim::Backend& backend,
                                          std::span<const std::byte> request);
 

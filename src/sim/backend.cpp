@@ -302,6 +302,8 @@ const char* to_string(BackendKind kind) {
       return "serial";
     case BackendKind::kSharded:
       return "sharded";
+    case BackendKind::kDistributed:
+      return "distributed";
   }
   return "?";
 }
@@ -315,6 +317,10 @@ bool backend_kind_from_string(std::string_view text, BackendKind& out) {
     out = BackendKind::kSharded;
     return true;
   }
+  if (text == "distributed") {
+    out = BackendKind::kDistributed;
+    return true;
+  }
   return false;
 }
 
@@ -325,6 +331,15 @@ std::unique_ptr<Backend> make_backend(BackendKind kind, std::uint64_t seed,
       return std::make_unique<StateVector>(seed);
     case BackendKind::kSharded:
       return std::make_unique<ShardedStateVector>(num_shards, seed);
+    case BackendKind::kDistributed:
+      // No single process can host "the" distributed backend: each rank
+      // process builds its replica through core/sim_dist.hpp, wired to the
+      // transport. Reaching here means a layer tried to treat it like a
+      // hub-hostable backend.
+      throw SimulatorError(
+          "the distributed backend spans rank processes and is constructed "
+          "by the tcp transport layer (core/sim_dist.hpp), not "
+          "make_backend()");
   }
   throw SimulatorError("unknown backend kind");
 }

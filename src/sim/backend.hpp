@@ -309,14 +309,18 @@ class Backend {
 };
 
 /// Which Backend implementation a SimServer (or a whole job) runs on.
+/// The numeric values travel in RunConfig::backend; append only.
 enum class BackendKind {
-  kSerial,   ///< single flat amplitude array (the paper's §6 prototype)
-  kSharded,  ///< amplitudes partitioned into per-worker slices
+  kSerial,       ///< single flat amplitude array (the paper's §6 prototype)
+  kSharded,      ///< amplitudes partitioned into per-worker slices
+  kDistributed,  ///< sharded replica per rank process, slices partitioned
+                 ///< across processes over the peer data plane (tcp only;
+                 ///< constructed by core/sim_dist.hpp, not make_backend)
 };
 
 const char* to_string(BackendKind kind);
 
-/// Parses "serial" / "sharded"; returns false on anything else.
+/// Parses "serial" / "sharded" / "distributed"; returns false otherwise.
 bool backend_kind_from_string(std::string_view text, BackendKind& out);
 
 /// Constructs a backend of `kind`. `num_shards` (power of two) is only

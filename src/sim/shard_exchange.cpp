@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/backend.hpp"
+
 namespace qmpi::sim {
 
 ShardMesh::ShardMesh(unsigned shards) : shards_(shards) {
@@ -22,7 +24,7 @@ ShardMesh::Inbox& ShardMesh::inbox(unsigned shard) {
   return *inboxes_[shard];
 }
 
-void ShardMesh::post(unsigned dest, ShardMessage msg) {
+void ShardMesh::post(unsigned dest, unsigned /*active*/, ShardMessage msg) {
   Inbox& box = inbox(dest);
   {
     const std::lock_guard lock(box.mutex);
@@ -45,7 +47,43 @@ ShardMessage ShardMesh::take(unsigned dest, unsigned source,
       box.queue.erase(it);
       return msg;
     }
+    {
+      const std::lock_guard fl(fail_mu_);
+      if (!fail_reason_.empty()) {
+        throw SimulatorError("shard exchange failed: " + fail_reason_);
+      }
+    }
     box.cv.wait(lock);
+  }
+}
+
+void ShardMesh::publish(unsigned /*slice*/, std::uint64_t /*tag*/,
+                        std::span<const Complex> /*amps*/) {
+  // World 1: there is no other rank to publish to.
+}
+
+std::vector<Complex> ShardMesh::take_published(unsigned slice,
+                                               std::uint64_t /*tag*/) {
+  throw std::logic_error("take_published(" + std::to_string(slice) +
+                         ") on the in-process mesh: every slice is already "
+                         "resident at world 1");
+}
+
+double ShardMesh::scalar_consensus(std::uint64_t /*tag*/, double value) {
+  return value;  // rank 0 of a world of 1 is its own root
+}
+
+void ShardMesh::fail(const std::string& reason) {
+  {
+    const std::lock_guard lock(fail_mu_);
+    if (!fail_reason_.empty()) return;  // first cause wins
+    fail_reason_ = reason.empty() ? "unknown failure" : reason;
+  }
+  // Notify under each inbox mutex: a taker that checked the flag and is
+  // about to wait must not miss the wakeup.
+  for (auto& box : inboxes_) {
+    const std::lock_guard lock(box->mutex);
+    box->cv.notify_all();
   }
 }
 

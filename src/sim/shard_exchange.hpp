@@ -1,10 +1,14 @@
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/gates.hpp"
@@ -20,29 +24,118 @@ struct ShardMessage {
   std::vector<Complex> amplitudes;
 };
 
+/// Contiguous block of slices a rank owns when `active` slices are split
+/// across `world` ranks: blocks differ by at most one, earlier ranks take
+/// the remainder (same shape as classical::rank_block, duplicated here so
+/// the sim layer stays free of transport headers). With `active < world`
+/// the trailing ranks own an empty range — they still replay the op stream
+/// (ticks, RNG) but move no amplitudes.
+inline std::pair<unsigned, unsigned> slice_block(unsigned world,
+                                                 unsigned rank,
+                                                 unsigned active) {
+  const unsigned base = active / world;
+  const unsigned rem = active % world;
+  const unsigned begin = rank * base + std::min(rank, rem);
+  return {begin, begin + base + (rank < rem ? 1U : 0U)};
+}
+
+/// Inverse of slice_block: the rank that owns `slice` out of `active`.
+inline unsigned slice_owner(unsigned world, unsigned active, unsigned slice) {
+  const unsigned base = active / world;
+  const unsigned rem = active % world;
+  const unsigned fat = rem * (base + 1);  // slices held by the wider ranks
+  if (slice < fat) return slice / (base + 1);
+  return rem + (slice - fat) / base;
+}
+
+/// Exchange seam between the sharded state vector and whatever fabric moves
+/// amplitude slabs — the scaleout-provider shape: one interface, an in-box
+/// (in-process ShardMesh) implementation and an out-of-box (cross-rank peer
+/// channel) implementation.
+///
+/// The pairwise surface (post/take) carries the slab exchange of global
+/// gates and relabel swaps: post is eager and addressed to a *slice* (the
+/// provider routes it to that slice's owning rank for the given active
+/// count); take blocks until the matching (dest, source, tag) slab arrives.
+///
+/// The collective surface exists for world > 1: publish() hands a resident
+/// slice to every other rank and take_published() collects one, which is
+/// how reduction-style operations (probabilities, norms, snapshots, state
+/// reshapes) materialize a full replica before running the exact serial
+/// enumeration — the bit-identity contract does not allow re-associating
+/// partial sums across ranks. scalar_consensus() lets the root rank's
+/// reduction result become authoritative for everyone (measurement
+/// consensus); at world 1 it returns `value` unchanged.
+///
+/// fail() wakes every blocked take with a SimulatorError so a dead peer
+/// surfaces as a typed error instead of a hang.
+class ExchangeProvider {
+ public:
+  virtual ~ExchangeProvider() = default;
+
+  /// Number of ranks slices are partitioned across (1 = in-process).
+  virtual unsigned world() const = 0;
+  /// This rank's index in [0, world()).
+  virtual unsigned rank() const = 0;
+
+  /// Deposits `msg` for slice `dest` (owned by slice_owner(world, active,
+  /// dest)) and returns without blocking.
+  virtual void post(unsigned dest, unsigned active, ShardMessage msg) = 0;
+
+  /// Blocks until a message for slice `dest` from slice `source` with `tag`
+  /// is available and removes it. `dest` must be resident on this rank.
+  virtual ShardMessage take(unsigned dest, unsigned source,
+                            std::uint64_t tag) = 0;
+
+  /// Sends resident slice `slice`'s amplitudes to every other rank.
+  virtual void publish(unsigned slice, std::uint64_t tag,
+                       std::span<const Complex> amps) = 0;
+
+  /// Blocks until the owner's publish() of `slice` under `tag` arrives.
+  virtual std::vector<Complex> take_published(unsigned slice,
+                                              std::uint64_t tag) = 0;
+
+  /// Root (rank 0) broadcasts `value`; everyone returns the root's value.
+  virtual double scalar_consensus(std::uint64_t tag, double value) = 0;
+
+  /// Wakes all blocked take()/take_published()/scalar waiters with a
+  /// SimulatorError carrying `reason`.
+  virtual void fail(const std::string& reason) = 0;
+};
+
 /// In-process message fabric between shard workers, modeled on the rank
 /// mailboxes in classical/mailbox.hpp: one inbox per shard, FIFO per
-/// (source, tag), blocking matched receive. This is the stand-in for the
-/// MPI exchange a multi-rank sharded simulator performs when a gate acts on
-/// a global qubit — each shard posts the slab its partner needs, then takes
-/// the partner's slab and combines locally.
+/// (source, tag), blocking matched receive. This is the in-box stand-in for
+/// the cross-rank exchange a multi-rank sharded simulator performs when a
+/// gate acts on a global qubit — each shard posts the slab its partner
+/// needs, then takes the partner's slab and combines locally.
 ///
 /// post() never blocks (eager, buffered, like classical::Comm::send_bytes);
 /// take() blocks until a matching message arrives. The sharded sweeps run
 /// post-everything then take-everything phases, so takes cannot deadlock
 /// regardless of how the ThreadPool schedules shard work onto lanes.
-class ShardMesh {
+class ShardMesh final : public ExchangeProvider {
  public:
   explicit ShardMesh(unsigned shards);
 
   unsigned shards() const { return shards_; }
 
-  /// Deposits `msg` in `dest`'s inbox and wakes any waiter.
-  void post(unsigned dest, ShardMessage msg);
+  unsigned world() const override { return 1; }
+  unsigned rank() const override { return 0; }
 
-  /// Blocks until a message from `source` with `tag` is in `dest`'s inbox
-  /// and removes it.
-  ShardMessage take(unsigned dest, unsigned source, std::uint64_t tag);
+  void post(unsigned dest, unsigned active, ShardMessage msg) override;
+  ShardMessage take(unsigned dest, unsigned source,
+                    std::uint64_t tag) override;
+
+  /// At world 1 every slice is already resident: the collective surface
+  /// degenerates to no-ops (publish) and programming errors (take).
+  void publish(unsigned slice, std::uint64_t tag,
+               std::span<const Complex> amps) override;
+  std::vector<Complex> take_published(unsigned slice,
+                                      std::uint64_t tag) override;
+  double scalar_consensus(std::uint64_t tag, double value) override;
+
+  void fail(const std::string& reason) override;
 
  private:
   /// Per-shard inbox. Kept behind unique_ptr so the mesh stays movable
@@ -57,6 +150,8 @@ class ShardMesh {
 
   unsigned shards_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::mutex fail_mu_;
+  std::string fail_reason_;  ///< non-empty once fail() was called
 };
 
 }  // namespace qmpi::sim

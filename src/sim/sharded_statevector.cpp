@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 #include <span>
+#include <utility>
 
 #include "sim/kernels.hpp"
 #include "sim/simd.hpp"
@@ -14,7 +15,8 @@
 namespace qmpi::sim {
 
 ShardedStateVector::ShardedStateVector(unsigned num_shards,
-                                       std::uint64_t seed)
+                                       std::uint64_t seed,
+                                       ExchangeProvider* exchange)
     : Backend(seed),
       shards_(num_shards == 0 ? 1 : num_shards),
       mesh_(num_shards == 0 ? 1 : num_shards) {
@@ -24,6 +26,13 @@ ShardedStateVector::ShardedStateVector(unsigned num_shards,
                          std::to_string(shards_));
   }
   gbits_ = static_cast<unsigned>(std::countr_zero(shards_));
+  exchange_ = exchange != nullptr ? exchange : &mesh_;
+  world_ = exchange_->world();
+  rank_ = exchange_->rank();
+  if (world_ == 0 || rank_ >= world_) {
+    throw SimulatorError("exchange provider rank " + std::to_string(rank_) +
+                         " outside world of " + std::to_string(world_));
+  }
   slices_.resize(shards_);
   slices_[0] = {Complex(1.0, 0.0)};  // the empty register: a scalar 1
 }
@@ -31,6 +40,47 @@ ShardedStateVector::ShardedStateVector(unsigned num_shards,
 unsigned ShardedStateVector::active_log2() const {
   return std::min<unsigned>(gbits_,
                             static_cast<unsigned>(num_qubits()));
+}
+
+std::pair<unsigned, unsigned> ShardedStateVector::resident_range(
+    unsigned active) const {
+  if (world_ == 1) return {0U, active};
+  return slice_block(world_, rank_, active);
+}
+
+std::vector<unsigned> ShardedStateVector::resident_parts(
+    std::vector<unsigned> parts) const {
+  if (world_ == 1) return parts;
+  const auto [rb, re] = resident_range(1U << active_log2());
+  std::erase_if(parts, [rb = rb, re = re](unsigned w) {
+    return w < rb || w >= re;
+  });
+  return parts;
+}
+
+void ShardedStateVector::mark_partial_write() const {
+  if (world_ > 1) replicated_fresh_ = false;
+}
+
+void ShardedStateVector::materialize(unsigned active) const {
+  if (world_ == 1 || replicated_fresh_) return;
+  // One tick for the whole gather: ticks advance identically on every rank
+  // (the op stream is replayed in lockstep), so (slice, tick) uniquely
+  // names each published slab across the run.
+  const std::uint64_t tag = ++op_tick_;
+  const auto [rb, re] = resident_range(active);
+  for (unsigned w = rb; w < re; ++w) {
+    exchange_->publish(w, tag, std::span<const Complex>(slices_[w]));
+  }
+  for (unsigned w = 0; w < active; ++w) {
+    if (w >= rb && w < re) continue;
+    slices_[w] = exchange_->take_published(w, tag);
+  }
+  replicated_fresh_ = true;
+}
+
+void ShardedStateVector::materialize_all() const {
+  materialize(1U << active_log2());
 }
 
 std::size_t ShardedStateVector::local_bits() const {
@@ -85,17 +135,25 @@ std::vector<unsigned> ShardedStateVector::controlled_shards(
 
 template <typename Fn>
 void ShardedStateVector::for_each_amp(Fn&& fn) const {
-  // Flat sweep over the whole physical index space, split across lanes
-  // regardless of the shard count: elementwise ops don't need per-shard
-  // dispatch and shouldn't cap parallelism at the number of slices.
+  // Flat sweep over this rank's resident stretch of the physical index
+  // space (the whole space in-process), split across lanes regardless of
+  // the shard count: elementwise ops don't need per-shard dispatch and
+  // shouldn't cap parallelism at the number of slices. Only writers use
+  // this sweep, so non-resident replicas go stale.
   const unsigned active = 1U << active_log2();
+  const auto [rb, re] = resident_range(active);
+  mark_partial_write();
+  if (rb == re) return;
   const std::size_t nl = local_bits();
   const std::uint64_t mask = (1ULL << nl) - 1;
   std::vector<Complex*> ptr(active);
-  for (unsigned w = 0; w < active; ++w) ptr[w] = slices_[w].data();
-  parallel_sweep(num_threads_, 1ULL << num_qubits(),
+  for (unsigned w = rb; w < re; ++w) ptr[w] = slices_[w].data();
+  const std::uint64_t base = static_cast<std::uint64_t>(rb) << nl;
+  parallel_sweep(num_threads_,
+                 static_cast<std::size_t>(re - rb) << nl,
                  [&](std::size_t begin, std::size_t end) {
-                   for (std::size_t i = begin; i < end; ++i) {
+                   for (std::size_t k = begin; k < end; ++k) {
+                     const std::uint64_t i = base + k;
                      fn(i, ptr[i >> nl][i & mask]);
                    }
                  });
@@ -110,6 +168,10 @@ void ShardedStateVector::grow_state() {
   const unsigned ge_old =
       std::min<unsigned>(gbits_, static_cast<unsigned>(n - 1));
   const unsigned ge_new = std::min<unsigned>(gbits_, static_cast<unsigned>(n));
+  // Changing the active slice count reshuffles slice residency, so every
+  // rank must hold a fresh replica first; both growth paths below then
+  // write all slices identically on all ranks, leaving the replica fresh.
+  materialize(1U << ge_old);
   if (ge_new > ge_old) {
     // Still growing into the shard budget: the active slice count doubles
     // (the new top bit is a fresh shard bit), slice size is unchanged, and
@@ -147,6 +209,9 @@ void ShardedStateVector::grow_state() {
 void ShardedStateVector::remove_position_state(std::size_t pos, bool bit) {
   const std::size_t n = num_qubits();  // still the old count here
   const unsigned ge_old = active_log2();
+  // Residency reshuffles with the active count (see grow_state); the
+  // compaction gather below also reads across slice boundaries.
+  materialize(1U << ge_old);
   const std::size_t lb_old = n - ge_old;
   const std::uint64_t mask_old = (1ULL << lb_old) - 1;
   const std::size_t pp = l2p_[pos];
@@ -268,7 +333,10 @@ void ShardedStateVector::sweep_blocks_planned(
     const std::uint64_t local_mask = pmask & (m - 1);
     const std::uint64_t tick = ++op_tick_;
     for (std::size_t j = 0; j < k; ++j) local_last_use_[pt[j]] = tick;
-    const std::vector<unsigned> parts = controlled_shards(shard_ctrl);
+    const std::vector<unsigned> parts =
+        resident_parts(controlled_shards(shard_ctrl));
+    mark_partial_write();
+    if (parts.empty()) return;
     if (parts.size() == 1) {
       local_fn(slices_[parts[0]].data(), m,
                std::span<const std::size_t>(pt), local_mask,
@@ -286,9 +354,10 @@ void ShardedStateVector::sweep_blocks_planned(
   // local budget): enumerate physical block bases over the whole index
   // space and gather through the slice pointers. Every amplitude belongs
   // to exactly one block, so lane splits stay race-free, and the per-block
-  // arithmetic is the serial one — bit-identity is preserved. A real
-  // multi-rank deployment would pay an exchange here; in-process we read
-  // the partner slice directly, like the Pauli-rotation pair sweep.
+  // arithmetic is the serial one — bit-identity is preserved. Across ranks
+  // this pays a full materialize; every rank then runs the identical full
+  // sweep, so the replica stays fresh.
+  materialize_all();
   const unsigned active = 1U << active_log2();
   std::vector<Complex*> ptr(active);
   for (unsigned w = 0; w < active; ++w) ptr[w] = slices_[w].data();
@@ -361,7 +430,10 @@ void ShardedStateVector::apply_local(const Gate1Q& gate, std::size_t pt,
                                      std::uint64_t local_mask) const {
   local_last_use_[pt] = ++op_tick_;
   const std::size_t m = 1ULL << local_bits();
-  const std::vector<unsigned> parts = controlled_shards(shard_ctrl);
+  const std::vector<unsigned> parts =
+      resident_parts(controlled_shards(shard_ctrl));
+  mark_partial_write();
+  if (parts.empty()) return;
   if (parts.size() == 1) {
     // One participating slice: let the kernel itself span the lanes.
     kernels::apply_1q(slices_[parts[0]].data(), m, pt, gate, local_mask,
@@ -381,12 +453,13 @@ void ShardedStateVector::apply_global_diagonal(
   const Complex m00 = gate.m[0], m11 = gate.m[3];
   const std::size_t m = 1ULL << local_bits();
   std::vector<unsigned> parts;
-  for (const unsigned w : controlled_shards(shard_ctrl)) {
+  for (const unsigned w : resident_parts(controlled_shards(shard_ctrl))) {
     // Phase-type gates (m00 == 1) leave the target-0 half untouched; the
     // serial kernel skips those amplitudes too.
     if (m00 == one && (w & target_bit) == 0) continue;
     parts.push_back(w);
   }
+  mark_partial_write();
   kernels::IndexExpander ex;
   ex.add_mask(local_mask);
   ex.base = local_mask;
@@ -426,8 +499,16 @@ void ShardedStateVector::apply_global_exchange(
     std::uint64_t local_mask) const {
   ++exchange_sweeps_;
   const std::uint64_t tag = ++op_tick_;
+  const unsigned active = 1U << active_log2();
   const std::size_t m = 1ULL << local_bits();
-  const std::vector<unsigned> parts = controlled_shards(shard_ctrl);
+  // Each rank exchanges on behalf of its resident participating slices:
+  // it posts their slabs toward the partner slice's owner and takes the
+  // partner slabs the owners posted back. A slice and its XOR partner
+  // always participate together (the target bit cannot be a control), so
+  // every take below has a matching post on some rank.
+  const std::vector<unsigned> parts =
+      resident_parts(controlled_shards(shard_ctrl));
+  mark_partial_write();
   kernels::IndexExpander ex;
   ex.add_mask(local_mask);
   ex.base = local_mask;
@@ -442,7 +523,7 @@ void ShardedStateVector::apply_global_exchange(
     msg.amplitudes.resize(cnt);
     const Complex* s = slices_[w].data();
     for (std::size_t k = 0; k < cnt; ++k) msg.amplitudes[k] = s[ex(k)];
-    mesh_.post(w ^ target_bit, std::move(msg));
+    exchange_->post(w ^ target_bit, active, std::move(msg));
   });
 
   // Phase B: take the partner slab and combine into the local half. The
@@ -460,7 +541,7 @@ void ShardedStateVector::apply_global_exchange(
                        vo.isa != simd::Isa::kScalar &&
                        cnt >= simd::kMinRun;
   for_shards(parts, [&](unsigned w) {
-    ShardMessage msg = mesh_.take(w, w ^ target_bit, tag);
+    ShardMessage msg = exchange_->take(w, w ^ target_bit, tag);
     const Complex* theirs = msg.amplitudes.data();
     Complex* mine = slices_[w].data();
     const bool hi = (w & target_bit) != 0;
@@ -505,8 +586,10 @@ void ShardedStateVector::relabel_swap(std::size_t pg, std::size_t pl) const {
   const unsigned gbit = 1U << (pg - nl);
   const std::size_t cnt = m / 2;
   const unsigned active = 1U << active_log2();
-  std::vector<unsigned> parts(active);
-  std::iota(parts.begin(), parts.end(), 0U);
+  const auto [rb, re] = resident_range(active);
+  std::vector<unsigned> parts(re - rb);
+  std::iota(parts.begin(), parts.end(), rb);
+  mark_partial_write();
 
   // Swapping bit values: element (pg=0, pl=1, rest) trades places with
   // (pg=1, pl=0, rest). Each shard sends the slab that belongs to its
@@ -521,11 +604,11 @@ void ShardedStateVector::relabel_swap(std::size_t pg, std::size_t pl) const {
     for (std::size_t k = 0; k < cnt; ++k) {
       msg.amplitudes[k] = s[kernels::insert_bit(k, pl, send_bit)];
     }
-    mesh_.post(w ^ gbit, std::move(msg));
+    exchange_->post(w ^ gbit, active, std::move(msg));
   });
   for_shards(parts, [&](unsigned w) {
     const bool slot_bit = (w & gbit) == 0;
-    ShardMessage msg = mesh_.take(w, w ^ gbit, tag);
+    ShardMessage msg = exchange_->take(w, w ^ gbit, tag);
     Complex* s = slices_[w].data();
     for (std::size_t k = 0; k < cnt; ++k) {
       s[kernels::insert_bit(k, pl, slot_bit)] = msg.amplitudes[k];
@@ -563,6 +646,12 @@ std::size_t ShardedStateVector::pick_victim(std::size_t nl,
 // ------------------------------------------------------- measurements ---
 
 double ShardedStateVector::probability_one_at(std::size_t pos) const {
+  // Reductions must add partial sums in the serial chunk order, so a
+  // distributed replica is first made whole; the root rank's result is
+  // then authoritative for everyone (measurement consensus), keeping the
+  // seeded RNG draws — and therefore outcomes — in lockstep even if a
+  // rank's arithmetic ever diverged.
+  materialize_all();
   const std::size_t nl = local_bits();
   const std::uint64_t mask = (1ULL << nl) - 1;
   std::vector<const Complex*> ptr(1U << active_log2());
@@ -571,7 +660,7 @@ double ShardedStateVector::probability_one_at(std::size_t pos) const {
   // Same enumeration and chunked combine as the serial backend: compressed
   // logical indices with the target bit spliced in, so the partial sums are
   // added in the exact same order.
-  return chunked_reduce<double>(
+  const double p1 = chunked_reduce<double>(
       num_threads_, half, [&](std::size_t begin, std::size_t end) {
         double p = 0.0;
         for (std::size_t k = begin; k < end; ++k) {
@@ -581,6 +670,7 @@ double ShardedStateVector::probability_one_at(std::size_t pos) const {
         }
         return p;
       });
+  return exchange_->scalar_consensus(++op_tick_, p1);
 }
 
 void ShardedStateVector::collapse_at(std::size_t pos, bool bit,
@@ -597,22 +687,24 @@ void ShardedStateVector::collapse_at(std::size_t pos, bool bit,
 }
 
 double ShardedStateVector::parity_odd_probability(std::uint64_t mask) const {
+  materialize_all();  // + root consensus below, as in probability_one_at
   const std::size_t nl = local_bits();
   const std::uint64_t lmask_local = (1ULL << nl) - 1;
   std::vector<const Complex*> ptr(1U << active_log2());
   for (unsigned w = 0; w < ptr.size(); ++w) ptr[w] = slices_[w].data();
   const std::size_t n = 1ULL << num_qubits();
-  return chunked_reduce<double>(
+  const double p = chunked_reduce<double>(
       num_threads_, n, [&](std::size_t begin, std::size_t end) {
-        double p = 0.0;
+        double acc = 0.0;
         for (std::size_t i = begin; i < end; ++i) {
           if (std::popcount(i & mask) & 1U) {
             const std::uint64_t ph = to_physical(i);
-            p += std::norm(ptr[ph >> nl][ph & lmask_local]);
+            acc += std::norm(ptr[ph >> nl][ph & lmask_local]);
           }
         }
-        return p;
+        return acc;
       });
+  return exchange_->scalar_consensus(++op_tick_, p);
 }
 
 void ShardedStateVector::parity_collapse(std::uint64_t mask, bool outcome,
@@ -634,12 +726,14 @@ void ShardedStateVector::parity_collapse(std::uint64_t mask, bool outcome,
 // -------------------------------------------------------- inspection ---
 
 Complex ShardedStateVector::amplitude_at(std::uint64_t index) const {
+  materialize_all();  // the index may fall in any rank's slice block
   const std::size_t nl = local_bits();
   const std::uint64_t ph = to_physical(index);
   return slices_[ph >> nl][ph & ((1ULL << nl) - 1)];
 }
 
 double ShardedStateVector::expectation_masks(const PauliMasks& masks) const {
+  materialize_all();  // i and i^flip may live in different slice blocks
   const std::uint64_t flip_mask = masks.flip;
   const std::uint64_t z_mask = masks.z;
   const Complex y_phase = kernels::i_power(masks.y_count);
@@ -685,7 +779,10 @@ void ShardedStateVector::pauli_rotation_masks(const PauliMasks& masks,
   }
   // Pair sweep over logical indices; pairs may straddle shards but every
   // pair is owned by exactly one loop iteration, so in-place updates stay
-  // race-free under any lane split.
+  // race-free under any lane split. Pairs may also straddle rank slice
+  // blocks, so across ranks this materializes first and every rank runs
+  // the identical full sweep (replica stays fresh).
+  materialize_all();
   const std::size_t nl = local_bits();
   const std::uint64_t lmask_local = (1ULL << nl) - 1;
   std::vector<Complex*> ptr(1U << active_log2());
@@ -717,6 +814,7 @@ void ShardedStateVector::pauli_rotation_masks(const PauliMasks& masks,
 }
 
 double ShardedStateVector::norm_state() const {
+  materialize_all();  // serial chunk order over the whole index space
   const std::size_t nl = local_bits();
   const std::uint64_t lmask_local = (1ULL << nl) - 1;
   std::vector<const Complex*> ptr(1U << active_log2());
@@ -735,6 +833,7 @@ double ShardedStateVector::norm_state() const {
 }
 
 std::vector<Complex> ShardedStateVector::snapshot_state() const {
+  materialize_all();
   const std::size_t nl = local_bits();
   const unsigned active = 1U << active_log2();
   const std::size_t m = 1ULL << nl;

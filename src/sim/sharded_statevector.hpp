@@ -49,10 +49,26 @@ class ShardedStateVector : public Backend {
   /// `num_shards` must be a power of two (1 degenerates to an unsharded
   /// slice). Registers smaller than the shard count keep only 2^n shards
   /// active until enough qubits exist to populate all slices.
+  ///
+  /// With `exchange == nullptr` (the in-process default) all slices are
+  /// resident here and slabs move through the internal ShardMesh. A
+  /// non-null provider distributes the slices: this instance sweeps only
+  /// the contiguous slice block slice_block(world, rank, active) assigns
+  /// it, global gates and relabel swaps route slabs through the provider,
+  /// and operations that need the whole state (reductions, snapshots,
+  /// register reshapes) first materialize every active slice via the
+  /// provider's publish/take surface. The provider must outlive this
+  /// backend. Every rank must replay the identical operation stream — the
+  /// op tick, layout maps, and RNG advance in lockstep on all ranks.
   explicit ShardedStateVector(unsigned num_shards,
-                              std::uint64_t seed = kDefaultSeed);
+                              std::uint64_t seed = kDefaultSeed,
+                              ExchangeProvider* exchange = nullptr);
 
   unsigned num_shards() const { return shards_; }
+
+  /// Rank geometry as seen through the exchange provider (1/0 in-process).
+  unsigned world() const { return world_; }
+  unsigned rank() const { return rank_; }
 
   /// Enables/disables the relabeling swap pass for non-diagonal gates on
   /// global qubits (default: enabled). When disabled such gates always go
@@ -97,6 +113,24 @@ class ShardedStateVector : public Backend {
 
   /// log2 of the currently active shard count: min(gbits_, num_qubits()).
   unsigned active_log2() const;
+
+  /// Contiguous [begin, end) of slices resident on this rank out of
+  /// `active`. The whole range at world 1.
+  std::pair<unsigned, unsigned> resident_range(unsigned active) const;
+
+  /// Filters `parts` down to the slices resident on this rank.
+  std::vector<unsigned> resident_parts(std::vector<unsigned> parts) const;
+
+  /// Records that a sweep wrote resident slices only, so non-resident
+  /// replicas went stale (world > 1 only; no-op in-process).
+  void mark_partial_write() const;
+
+  /// Ensures every one of the `active` slices is fresh on this rank:
+  /// publishes the resident block, takes everything else. No-op at world 1
+  /// or when the replica is already fresh (tracked deterministically, so
+  /// all ranks skip or materialize together).
+  void materialize(unsigned active) const;
+  void materialize_all() const;
 
   /// Logical index/mask -> physical via the relabeling permutation.
   std::uint64_t to_physical(std::uint64_t logical) const;
@@ -160,7 +194,15 @@ class ShardedStateVector : public Backend {
   mutable std::vector<std::uint8_t> l2p_;  ///< logical pos -> physical bit
   mutable std::vector<std::uint8_t> p2l_;  ///< physical bit -> logical pos
   mutable bool identity_layout_ = true;
-  mutable ShardMesh mesh_;
+  mutable ShardMesh mesh_;  ///< in-process fabric (used when unprovided)
+  ExchangeProvider* exchange_ = nullptr;  ///< &mesh_ or external, not owned
+  unsigned world_ = 1;  ///< exchange_->world(), cached
+  unsigned rank_ = 0;   ///< exchange_->rank(), cached
+  /// True while every slice (not just the resident block) holds current
+  /// amplitudes on this rank. Flips false on resident-only writes and back
+  /// on materialize; always true at world 1. Mutable for the same reason
+  /// the slices are.
+  mutable bool replicated_fresh_ = true;
   mutable std::uint64_t op_tick_ = 0;  ///< message tags + LRU clock
   mutable std::vector<std::uint64_t> local_last_use_;  ///< per local bit
   mutable std::uint64_t exchange_sweeps_ = 0;

@@ -137,6 +137,36 @@ TEST_P(CollectiveSizes, AllreduceXorMatchesReference) {
   });
 }
 
+namespace {
+
+/// 2x2 integer matrix: associative under multiplication but NOT
+/// commutative, so any reduction schedule that folds operands out of rank
+/// order produces a different matrix. Pins down the remainder handling of
+/// the recursive-doubling allreduce on non-power-of-two worlds.
+struct M2 {
+  long long a, b, c, d;
+  bool operator==(const M2&) const = default;
+};
+
+M2 m2_mul(const M2& x, const M2& y) {
+  return M2{x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+            x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+}
+
+M2 m2_rank(int r) { return M2{1, r + 1, 1, 0}; }
+
+}  // namespace
+
+TEST_P(CollectiveSizes, AllreduceFoldsInStrictRankOrder) {
+  const int n = GetParam();
+  M2 expected = m2_rank(0);
+  for (int r = 1; r < n; ++r) expected = m2_mul(expected, m2_rank(r));
+  cl::Runtime::run(n, [&](cl::Comm& comm) {
+    const M2 got = comm.allreduce(m2_rank(comm.rank()), m2_mul);
+    EXPECT_EQ(got, expected) << "world size " << n;
+  });
+}
+
 TEST_P(CollectiveSizes, InclusiveScanPrefixSums) {
   const int n = GetParam();
   cl::Runtime::run(n, [&](cl::Comm& comm) {

@@ -432,6 +432,33 @@ TEST(SocketComm, CollectivesAndCommAlgebraOverFourProcesses) {
   });
 }
 
+TEST(SocketComm, AllreduceHandlesNonPowerOfTwoWorlds) {
+  // 3 processes x 5 ranks: the recursive-doubling path must pre-fold the
+  // remainder (5 = 4 + 1) and still combine operands in strict rank order.
+  // A non-commutative associative op (2x2 matrix product) catches any
+  // schedule that reorders operands.
+  struct M2 {
+    long long a, b, c, d;
+    bool operator==(const M2&) const = default;
+  };
+  const auto mul = [](const M2& x, const M2& y) {
+    return M2{x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+              x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+  };
+  const auto elem = [](int r) { return M2{1, r + 1, 1, 0}; };
+  for (const int nranks : {3, 5, 6, 7}) {
+    M2 expected = elem(0);
+    for (int r = 1; r < nranks; ++r) expected = mul(expected, elem(r));
+    run_tcp_job(3, nranks, [&](Comm& world) {
+      const M2 got = world.allreduce(elem(world.rank()), mul);
+      EXPECT_EQ(got, expected) << "world size " << nranks;
+      const int sum =
+          world.allreduce(world.rank() + 1, [](int a, int b) { return a + b; });
+      EXPECT_EQ(sum, nranks * (nranks + 1) / 2);
+    });
+  }
+}
+
 TEST(SocketComm, OversubscribedRanksShareProcessesCorrectly) {
   // 2 processes x 3 ranks: local pairs short-circuit the hub, the
   // cross-process edge goes through it; results must be identical.

@@ -1,0 +1,172 @@
+// qmpid: the resident multi-tenant job service (paper §6's shared-backend
+// design promoted from one-job-per-launch to a long-lived daemon).
+//
+//   qmpid [--port P] [--max-sessions N] [--mem-budget BYTES]
+//         [--cache N|on|off] [--executors N]
+//
+// One process hosts many concurrent quantum sessions. Each kSvcOpen is
+// admitted against a shared memory budget (a session asking for n qubits
+// reserves exactly 2^n amplitudes — over-budget opens get a typed reject
+// instead of an OOM; merely-busy capacity queues FIFO), gets its own
+// backend with its own seeded RNG and epoch/context-id namespace, and has
+// its O(2^n) sweeps fair-scheduled round-robin against the other tenants.
+// Sessions share one compiled-cluster cache, so a repeated circuit — a
+// Trotter loop, or the same user job run twice — skips cluster
+// compilation entirely.
+//
+// Clients connect with QMPI_TRANSPORT=service and QMPI_SERVICE_PORT=<P>
+// (see docs/ARCHITECTURE.md §9). Environment defaults: QMPI_MAX_SESSIONS,
+// QMPI_MEM_BUDGET, QMPI_CIRCUIT_CACHE, QMPI_SERVICE_EXECUTORS; flags
+// override the environment.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/job_service.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port P] [--max-sessions N] [--mem-budget BYTES]\n"
+      "            [--cache N|on|off] [--executors N]\n"
+      "  --port <p>          TCP port to serve on (default: ephemeral)\n"
+      "  --max-sessions <n>  concurrent session cap (QMPI_MAX_SESSIONS)\n"
+      "  --mem-budget <b>    total amplitude memory in bytes"
+      " (QMPI_MEM_BUDGET)\n"
+      "  --cache <n|on|off>  compiled-circuit cache entries"
+      " (QMPI_CIRCUIT_CACHE)\n"
+      "  --executors <n>     executor threads (QMPI_SERVICE_EXECUTORS)\n",
+      argv0);
+  return 2;
+}
+
+/// Strict decimal parse (same fail-loud contract as qmpirun's flags).
+bool parse_u64(const char* text, unsigned long long min,
+               unsigned long long max, unsigned long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < min || v > max ||
+      text[0] == '-') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_signal(int) { g_stop_requested = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qmpi::service::ServiceConfig cfg;
+  try {
+    cfg = qmpi::service::ServiceConfig::from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qmpid: %s\n", e.what());
+    return 1;
+  }
+
+  for (int argi = 1; argi < argc;) {
+    unsigned long long v = 0;
+    if (std::strcmp(argv[argi], "--port") == 0 && argi + 1 < argc) {
+      if (!parse_u64(argv[argi + 1], 0, 65535, &v)) {
+        std::fprintf(stderr, "qmpid: --port \"%s\" is not a TCP port\n",
+                     argv[argi + 1]);
+        return usage(argv[0]);
+      }
+      cfg.port = static_cast<std::uint16_t>(v);
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--max-sessions") == 0 &&
+               argi + 1 < argc) {
+      if (!parse_u64(argv[argi + 1], 1, 1u << 16, &v)) {
+        std::fprintf(stderr,
+                     "qmpid: --max-sessions \"%s\" is not a session count\n",
+                     argv[argi + 1]);
+        return usage(argv[0]);
+      }
+      cfg.max_sessions = static_cast<std::size_t>(v);
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--mem-budget") == 0 &&
+               argi + 1 < argc) {
+      if (!parse_u64(argv[argi + 1], 1, ~0ull, &v)) {
+        std::fprintf(stderr,
+                     "qmpid: --mem-budget \"%s\" is not a byte count\n",
+                     argv[argi + 1]);
+        return usage(argv[0]);
+      }
+      cfg.mem_budget_bytes = v;
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--cache") == 0 && argi + 1 < argc) {
+      if (std::strcmp(argv[argi + 1], "on") == 0) {
+        cfg.circuit_cache_entries = qmpi::sim::kDefaultCircuitCacheEntries;
+      } else if (std::strcmp(argv[argi + 1], "off") == 0) {
+        cfg.circuit_cache_entries = 0;
+      } else if (parse_u64(argv[argi + 1], 1, 1u << 24, &v)) {
+        cfg.circuit_cache_entries = static_cast<std::size_t>(v);
+      } else {
+        std::fprintf(stderr, "qmpid: --cache \"%s\" is not a cache size\n",
+                     argv[argi + 1]);
+        return usage(argv[0]);
+      }
+      argi += 2;
+    } else if (std::strcmp(argv[argi], "--executors") == 0 &&
+               argi + 1 < argc) {
+      if (!parse_u64(argv[argi + 1], 1, 256, &v)) {
+        std::fprintf(stderr,
+                     "qmpid: --executors \"%s\" is not a thread count\n",
+                     argv[argi + 1]);
+        return usage(argv[0]);
+      }
+      cfg.executors = static_cast<unsigned>(v);
+      argi += 2;
+    } else {
+      std::fprintf(stderr, "qmpid: unknown argument \"%s\"\n", argv[argi]);
+      return usage(argv[0]);
+    }
+  }
+
+  qmpi::service::JobService service(cfg);
+  try {
+    service.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qmpid: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "qmpid: serving on 127.0.0.1:%u (max sessions %zu, budget %llu "
+               "amplitudes, cache %zu entries)\n",
+               service.port(), cfg.max_sessions,
+               static_cast<unsigned long long>(service.budget_amps()),
+               cfg.circuit_cache_entries);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop_requested) {
+    ::pause();  // returns on any signal delivery
+  }
+
+  const qmpi::service::ServiceStats stats = service.stats();
+  service.stop();
+  std::fprintf(stderr,
+               "qmpid: stopped (admitted %llu, rejected %llu, queued %llu, "
+               "ops %llu, forged frames dropped %llu, cache %llu/%llu "
+               "hits/misses)\n",
+               static_cast<unsigned long long>(stats.admitted),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.queued_admissions),
+               static_cast<unsigned long long>(stats.ops_executed),
+               static_cast<unsigned long long>(stats.forged_dropped),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_misses));
+  return 0;
+}

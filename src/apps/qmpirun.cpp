@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "classical/socket_transport.hpp"
+#include "core/context.hpp"
 #include "core/sim_wire.hpp"
 #include "sim/backend.hpp"
+#include "sim/circuit_cache.hpp"
 
 namespace {
 
@@ -97,6 +99,23 @@ int main(int argc, char** argv) {
   std::unique_ptr<qmpi::sim::Backend> backend;
   bool distributed_run = false;
   std::uint64_t hub_sim_ops = 0;
+  // One compiled-cluster cache across all runs this launcher hosts
+  // (QMPI_CIRCUIT_CACHE, read through the same strict env contract the
+  // rank processes use): a repeated job replays compiled clusters from
+  // its predecessor. The cache survives backend resets by design —
+  // compilation is a pure function of circuit content, never of state.
+  std::shared_ptr<qmpi::sim::ClusterCache> circuit_cache;
+  try {
+    const std::size_t cache_entries =
+        qmpi::JobOptions::from_env().circuit_cache;
+    if (cache_entries > 0) {
+      circuit_cache =
+          std::make_shared<qmpi::sim::ClusterCache>(cache_entries);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qmpirun: %s\n", e.what());
+    return 1;
+  }
   Hub::Services services;
   services.reset = [&](const RunConfig& cfg) {
     distributed_run = static_cast<qmpi::sim::BackendKind>(cfg.backend) ==
@@ -109,6 +128,7 @@ int main(int argc, char** argv) {
         static_cast<qmpi::sim::BackendKind>(cfg.backend), cfg.seed,
         cfg.num_shards);
     backend->set_num_threads(cfg.sim_threads);
+    if (circuit_cache) backend->set_cluster_cache(circuit_cache);
   };
   services.sim = [&](std::span<const std::byte> request) {
     if (distributed_run) {

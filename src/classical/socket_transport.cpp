@@ -104,16 +104,49 @@ RunConfig decode_run_config(WireReader& r) {
   return cfg;
 }
 
-/// Bounded peer dial: non-blocking connect with a poll() deadline, so a
-/// peer whose listener wedged (accepts nothing, answers nothing) costs at
-/// most `timeout_ms` before this pair falls back to hub routing — a
-/// blocking connect() to a dead-but-routed address could hang for minutes.
-/// Returns a blocking, TCP_NODELAY, CLOEXEC fd, or -1 on any failure.
-int dial_peer(const PeerAddr& addr, int timeout_ms) {
+}  // namespace
+
+// ------------------------------------------------------- socket helpers ---
+
+namespace net {
+
+int listen_tcp(std::uint16_t port, int backlog, const char* role,
+               std::uint16_t& bound_port, bool loopback_only) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw QmpiError(std::string(role) + ": cannot create socket: " +
+                    errno_text());
+  }
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string what = errno_text();
+    ::close(fd);
+    throw QmpiError(std::string(role) + ": cannot bind " +
+                    (loopback_only ? "127.0.0.1" : "0.0.0.0") + ":" +
+                    std::to_string(port) + ": " + what);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const std::string what = errno_text();
+    ::close(fd);
+    throw QmpiError(std::string(role) + ": listen failed: " + what);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int dial_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
-  sa.sin_port = htons(addr.port);
-  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) return -1;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) return -1;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   set_cloexec(fd);
@@ -145,7 +178,7 @@ int dial_peer(const PeerAddr& addr, int timeout_ms) {
   return fd;
 }
 
-}  // namespace
+}  // namespace net
 
 // -------------------------------------------------------------- framing ---
 
@@ -261,34 +294,7 @@ Hub::Hub(int nprocs, std::uint16_t port, Services services)
   conns_.reserve(static_cast<std::size_t>(nprocs));
   for (int p = 0; p < nprocs; ++p) conns_.push_back(std::make_unique<Conn>());
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw QmpiError("hub: cannot create socket: " + errno_text());
-  }
-  set_cloexec(listen_fd_);
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string what = errno_text();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw QmpiError("hub: cannot bind 127.0.0.1:" + std::to_string(port) +
-                    ": " + what);
-  }
-  if (::listen(listen_fd_, nprocs) < 0) {
-    const std::string what = errno_text();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw QmpiError("hub: listen failed: " + what);
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = ntohs(addr.sin_port);
+  listen_fd_ = net::listen_tcp(port, nprocs, "hub", port_);
 }
 
 Hub::~Hub() {
@@ -1279,32 +1285,15 @@ PeerMesh::PeerMesh(HubClient& hub,
     links_.push_back(std::make_unique<Link>());
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw QmpiError("peer mesh: cannot create socket: " + errno_text());
-  }
-  set_cloexec(listen_fd_);
   // With the loopback default the listener stays loopback-bound; a real
   // (QMPI_P2P_HOST) advertisement means peers dial in from other hosts,
-  // so the listener must accept on all interfaces.
+  // so the listener must accept on all interfaces. Ephemeral port always:
+  // many rank processes share this host.
   const bool loopback_only =
       advertised_host.empty() || advertised_host == "127.0.0.1" ||
       advertised_host == "localhost";
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
-  addr.sin_port = 0;  // ephemeral: many rank processes share this host
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, hub.nprocs()) < 0) {
-    const std::string what = errno_text();
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw QmpiError("peer mesh: cannot listen on loopback: " + what);
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = ntohs(addr.sin_port);
+  listen_fd_ = net::listen_tcp(/*port=*/0, hub.nprocs(), "peer mesh", port_,
+                               loopback_only);
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -1435,7 +1424,7 @@ void PeerMesh::resolve_locked(Link& link, int dest_proc,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(attempt == 1 ? 100 : 300));
     }
-    fd = dial_peer(addr, /*timeout_ms=*/2000);
+    fd = net::dial_tcp(addr.host, addr.port, /*timeout_ms=*/2000);
   }
   if (fd < 0) return;  // unreachable peer: permanent hub fallback
   WireWriter hello;

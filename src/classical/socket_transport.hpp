@@ -101,6 +101,27 @@ RankBlock rank_block(int num_ranks, int nprocs, int proc);
 /// Inverse mapping: which process hosts `world_rank`.
 int rank_owner(int num_ranks, int nprocs, int world_rank);
 
+// ------------------------------------------------------- socket helpers ---
+
+namespace net {
+
+/// Creates a TCP listener on `port` (0 = ephemeral), writes the bound port
+/// back to `bound_port`, and returns the listening fd (CLOEXEC,
+/// SO_REUSEADDR). `loopback_only` binds 127.0.0.1; otherwise all
+/// interfaces. Throws QmpiError prefixed with `role` ("hub", "qmpid", ...)
+/// on failure. Shared by the hub, the peer mesh, and the job service so
+/// every listener in the system has identical bind semantics.
+int listen_tcp(std::uint16_t port, int backlog, const char* role,
+               std::uint16_t& bound_port, bool loopback_only = true);
+
+/// Bounded dial: non-blocking connect with a poll() deadline, so a dead or
+/// wedged listener costs at most `timeout_ms` instead of a minutes-long
+/// blocking connect. Returns a blocking, TCP_NODELAY, CLOEXEC fd, or -1 on
+/// any failure (callers decide whether that is fatal or a fallback).
+int dial_tcp(const std::string& host, std::uint16_t port, int timeout_ms);
+
+}  // namespace net
+
 // ---------------------------------------------------------------- hub ---
 
 /// The routing/quantum server at the center of a multi-process job.

@@ -141,6 +141,24 @@ enum class FrameType : std::uint8_t {
                    ///< (a direct peer send fences first, restoring the
                    ///< ops-before-message order hub routing gave for free)
   kSimFenceAck = 19,  ///< hub->client: req id
+  // Multi-tenant job-service frames (qmpid; see src/service/). One TCP
+  // connection carries exactly one session; every post-open frame is
+  // stamped with the (session id, epoch) pair the service issued, so a
+  // frame forged for another session is detectable — and dropped — on
+  // arrival.
+  kSvcOpen = 20,    ///< client->svc: req id, magic, version, session config
+  kSvcAccept = 21,  ///< svc->client: req id, session id, epoch
+  kSvcReject = 22,  ///< svc->client: req id, reject kind, requested/available
+                    ///< amplitude budget, human-readable reason
+  kSvcCall = 23,    ///< client->svc: req id, session, epoch, opaque quantum op
+  kSvcResult = 24,  ///< svc->client: req id, opaque reply
+  kSvcError = 25,   ///< svc->client: req id (0 = deferred batch failure),
+                    ///< simulator error string
+  kSvcBatch = 26,   ///< client->svc: session, epoch, opaque batched quantum
+                    ///< ops (one-way; failure latches and comes back as a
+                    ///< req-id-0 kSvcError, exactly like the hub's kSimBatch)
+  kSvcClose = 27,   ///< client->svc: req id, session, epoch (orderly close)
+  kSvcClosed = 28,  ///< svc->client: req id, session op count (close ack)
 };
 
 struct Frame {

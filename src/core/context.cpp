@@ -14,9 +14,12 @@
 #include <utility>
 
 #include "classical/socket_transport.hpp"
+#include "core/env.hpp"
 #include "core/protocol_tags.hpp"
 #include "core/sim_dist.hpp"
 #include "core/sim_wire.hpp"
+#include "service/session_client.hpp"
+#include "sim/circuit_cache.hpp"
 #include "sim/sharded_statevector.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -546,17 +549,12 @@ ResourceTracker::Counts Context::aggregate_total() {
 
 // ------------------------------------------------------------ job harness ---
 
-namespace {
+namespace env {
 
-/// Strict numeric parse for the QMPI_* overrides: an explicit override
-/// that doesn't parse, wraps negative, or overflows must fail loud, or a
-/// typo silently changes what the user thinks they are measuring.
-/// strtoull alone is not strict enough — it eats leading whitespace,
-/// wraps "-1" to 2^64-1, and saturates out-of-range input — so reject
-/// anything that does not start with a digit and check errno explicitly.
-std::uint64_t parse_env_number(
-    const char* name, const char* text, bool allow_zero,
-    std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max()) {
+// Declared in core/env.hpp (rationale there); defined here with the rest
+// of the environment-contract handling.
+std::uint64_t parse_env_number(const char* name, const char* text,
+                               bool allow_zero, std::uint64_t max_value) {
   if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
     throw QmpiError(std::string(name) + "=\"" + text + "\" is not a " +
                     (allow_zero ? "number" : "positive number"));
@@ -583,6 +581,10 @@ std::uint64_t parse_env_number(
   return v;
 }
 
+}  // namespace env
+
+namespace {
+using env::parse_env_number;
 }  // namespace
 
 JobOptions JobOptions::from_env() { return from_env(JobOptions{}); }
@@ -623,9 +625,12 @@ JobOptions JobOptions::from_env(JobOptions base) {
       base.transport = TransportKind::kInproc;
     } else if (t == "tcp") {
       base.transport = TransportKind::kTcp;
+    } else if (t == "service") {
+      base.transport = TransportKind::kService;
     } else {
       throw QmpiError(std::string("QMPI_TRANSPORT=\"") + transport +
-                      "\" is not a transport (use \"inproc\" or \"tcp\")");
+                      "\" is not a transport (use \"inproc\", \"tcp\", or "
+                      "\"service\")");
     }
   }
   if (const char* batch = std::getenv("QMPI_SIM_BATCH")) {
@@ -668,6 +673,36 @@ JobOptions JobOptions::from_env(JobOptions base) {
       throw QmpiError(std::string("QMPI_SIMD=\"") + simd +
                       "\" is not a SIMD tier (use \"auto\", \"scalar\", "
                       "\"avx2\", or \"avx512\")");
+    }
+  }
+  if (const char* host = std::getenv("QMPI_SERVICE_HOST")) {
+    if (*host == '\0') {
+      throw QmpiError(
+          "QMPI_SERVICE_HOST is set but empty (give the address qmpid "
+          "listens on)");
+    }
+    base.service_host = host;
+  }
+  if (const char* port = std::getenv("QMPI_SERVICE_PORT")) {
+    base.service_port = static_cast<std::uint16_t>(parse_env_number(
+        "QMPI_SERVICE_PORT", port, /*allow_zero=*/false, 65535));
+  }
+  if (const char* qubits = std::getenv("QMPI_SERVICE_QUBITS")) {
+    base.service_qubits = static_cast<unsigned>(parse_env_number(
+        "QMPI_SERVICE_QUBITS", qubits, /*allow_zero=*/false, 62));
+  }
+  if (const char* cache = std::getenv("QMPI_CIRCUIT_CACHE")) {
+    const std::string_view c(cache);
+    if (c == "on") {
+      base.circuit_cache = sim::kDefaultCircuitCacheEntries;
+    } else if (c == "off") {
+      base.circuit_cache = 0;
+    } else {
+      // Same contract as QMPI_SIM_BATCH: an explicit size must be a
+      // positive number; disabling is spelled "off".
+      base.circuit_cache = static_cast<std::size_t>(
+          parse_env_number("QMPI_CIRCUIT_CACHE", cache, /*allow_zero=*/false,
+                           1u << 24));
     }
   }
   return base;
@@ -871,11 +906,89 @@ JobReport run_tcp(const JobOptions& options,
   return report;
 }
 
+/// One run() under QMPI_TRANSPORT=service: ranks are threads of this
+/// process (exactly the in-process harness) but every quantum operation
+/// goes to a session opened on a resident qmpid job service, which admits
+/// the session against its memory budget and fair-schedules its sweeps
+/// against other tenants'. The session is this job's private epoch/RNG
+/// namespace; other tenants on the same service cannot perturb it.
+JobReport run_service(const JobOptions& options,
+                      const std::function<void(Context&)>& fn) {
+  if (options.num_ranks < 1) {
+    throw QmpiError("run: num_ranks must be >= 1");
+  }
+  if (options.service_port == 0) {
+    throw QmpiError(
+        "QMPI_TRANSPORT=service requires QMPI_SERVICE_PORT (qmpid prints "
+        "the port it serves on)");
+  }
+  // The service hosts serial/sharded sessions; the distributed backend
+  // needs rank processes, so degrade exactly as the in-process path does.
+  sim::BackendKind backend_kind = options.backend;
+  std::string backend_notice;
+  if (backend_kind == sim::BackendKind::kDistributed) {
+    backend_kind = sim::BackendKind::kSharded;
+    backend_notice =
+        "QMPI_BACKEND=distributed needs the tcp transport; this service "
+        "session ran the sharded backend (its single-process equivalent)";
+  }
+  service::SessionConfig scfg;
+  scfg.host = options.service_host;
+  scfg.port = options.service_port;
+  scfg.seed = options.seed;
+  scfg.backend = backend_kind;
+  scfg.num_shards = options.num_shards;
+  scfg.sim_threads = options.sim_threads;
+  scfg.max_qubits = options.service_qubits;
+  scfg.max_batch_ops = options.sim_batch_ops;
+  // Throws the typed AdmissionError when the session can never fit the
+  // service's memory budget; blocks (FIFO) while capacity is merely busy.
+  const auto sim = std::make_shared<service::SessionClient>(scfg);
+
+  Trace trace;
+  Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
+  constexpr auto kCategories = static_cast<std::size_t>(OpCategory::kCount_);
+  std::vector<std::array<ResourceTracker::Counts, kCategories>> per_rank(
+      static_cast<std::size_t>(options.num_ranks));
+
+  classical::Runtime::run(options.num_ranks, [&](classical::Comm& world) {
+    Context ctx(world, sim, trace_ptr);
+    fn(ctx);
+    // Run boundary, as under tcp: every op must execute (and any deferred
+    // batch error must surface here, attributed to a rank) before the job
+    // may complete.
+    ctx.sim().fence();
+    ctx.classical_comm().barrier();
+    for (std::size_t c = 0; c < kCategories; ++c) {
+      per_rank[static_cast<std::size_t>(ctx.rank())][c] =
+          ctx.tracker()[static_cast<OpCategory>(c)];
+    }
+  });
+  sim->close();
+
+  JobReport report;
+  for (const auto& rank_counts : per_rank) {
+    for (std::size_t c = 0; c < kCategories; ++c) {
+      report.totals_by_category[c] += rank_counts[c];
+    }
+  }
+  report.trace = trace.snapshot();
+  if (!backend_notice.empty()) report.notices.push_back(backend_notice);
+  // Sweeps run in the qmpid process, which resolves its own QMPI_SIMD;
+  // recording the local fallback notice keeps reports honest, as in tcp.
+  const sim::simd::Selection simd_sel = sim::simd::resolve(options.simd);
+  if (!simd_sel.notice.empty()) report.notices.push_back(simd_sel.notice);
+  return report;
+}
+
 }  // namespace
 
 JobReport run(const JobOptions& options,
               const std::function<void(Context&)>& fn) {
   if (options.transport == TransportKind::kTcp) return run_tcp(options, fn);
+  if (options.transport == TransportKind::kService) {
+    return run_service(options, fn);
+  }
   // The distributed backend needs rank processes; in-process it degrades
   // to its world-1 equivalent — the sharded backend — with a notice, so
   // one job script runs under either transport and the report stays
@@ -895,6 +1008,16 @@ JobReport run(const JobOptions& options,
   sim::simd::set_active(simd_sel.isa);
   sim::SimServer server(options.seed, options.sim_threads, backend_kind,
                         options.num_shards);
+  if (options.circuit_cache > 0) {
+    // Attach the compiled-cluster cache through the command queue so it
+    // never races gate traffic. Replay is bit-identical to a cold
+    // compile, so this is purely a throughput knob.
+    auto cache = std::make_shared<sim::ClusterCache>(options.circuit_cache);
+    server.call([&cache](sim::Backend& b) {
+      b.set_cluster_cache(cache);
+      return 0;
+    });
+  }
   Trace trace;
   Trace* trace_ptr = options.enable_trace ? &trace : nullptr;
 

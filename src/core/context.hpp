@@ -524,10 +524,14 @@ class Context {
 /// Which classical fabric connects the ranks of a job (see
 /// classical/transport.hpp). kInproc runs ranks as threads of this
 /// process; kTcp joins a multi-process job through the qmpirun hub named
-/// by QMPI_TCP_HOST/QMPI_TCP_PORT.
+/// by QMPI_TCP_HOST/QMPI_TCP_PORT; kService runs ranks as threads but
+/// forwards quantum operations to a session opened on a resident qmpid
+/// job service (QMPI_SERVICE_HOST/QMPI_SERVICE_PORT) shared with other
+/// tenants.
 enum class TransportKind {
   kInproc,
   kTcp,
+  kService,
 };
 
 /// Options for a QMPI job.
@@ -572,12 +576,30 @@ struct JobOptions {
   /// falls back and records a notice in the JobReport, so the same job
   /// script runs on any node without silently lying about what executed.
   sim::simd::Request simd = sim::simd::Request::kAuto;
+  /// Where the qmpid job service lives for TransportKind::kService
+  /// (QMPI_SERVICE_HOST / QMPI_SERVICE_PORT). The port has no usable
+  /// default — the service assigns it at startup — so it must be set
+  /// whenever the service transport is selected.
+  std::string service_host = "127.0.0.1";
+  std::uint16_t service_port = 0;
+  /// Qubit ceiling this job asks the service to admit (the session
+  /// reserves 2^service_qubits amplitudes against QMPI_MEM_BUDGET;
+  /// QMPI_SERVICE_QUBITS). Only meaningful under kService.
+  unsigned service_qubits = 20;
+  /// Entry cap for the compiled-cluster cache attached to the in-process
+  /// backend (QMPI_CIRCUIT_CACHE: on/off/<n>); 0 disables it. Under
+  /// kService the cache lives service-side (qmpid's own knob) and this
+  /// field is ignored. Replay through the cache is bit-identical to a
+  /// cold compile, so like sim_batch_ops this never changes results.
+  std::size_t circuit_cache = 0;
 
   /// Applies QMPI_SEED / QMPI_BACKEND / QMPI_SHARDS / QMPI_SIM_THREADS /
   /// QMPI_TRANSPORT / QMPI_SIM_BATCH / QMPI_P2P / QMPI_P2P_HOST /
-  /// QMPI_SIMD environment overrides on top of `base`, so any benchmark or example binary is
-  /// reproducible and backend/transport-selectable from the command line
-  /// without recompiling.
+  /// QMPI_SIMD / QMPI_SERVICE_HOST / QMPI_SERVICE_PORT /
+  /// QMPI_SERVICE_QUBITS / QMPI_CIRCUIT_CACHE environment overrides on
+  /// top of `base`, so any benchmark or example binary is reproducible
+  /// and backend/transport-selectable from the command line without
+  /// recompiling.
   static JobOptions from_env();
   static JobOptions from_env(JobOptions base);
 };

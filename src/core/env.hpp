@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file env.hpp
+/// Strict parsing for the QMPI_* environment contract, shared by every
+/// layer that reads overrides (core/context.cpp for job options,
+/// service/job_service.cpp for qmpid's tenancy knobs, apps for CLI
+/// defaults). One parser means one failure mode: an explicit override
+/// that doesn't parse fails loud with the variable name, everywhere.
+
+#include <cstdint>
+#include <limits>
+
+namespace qmpi::env {
+
+/// Strict numeric parse for a QMPI_* override: an explicit override that
+/// doesn't parse, wraps negative, or overflows must fail loud
+/// (classical::QmpiError naming `name`), or a typo silently changes what
+/// the user thinks they are measuring. strtoull alone is not strict
+/// enough — it eats leading whitespace, wraps "-1" to 2^64-1, and
+/// saturates out-of-range input — so anything that does not start with a
+/// digit is rejected and errno is checked explicitly. Decimal unless
+/// explicitly 0x-prefixed (base 0 would silently read "010" as octal 8).
+std::uint64_t parse_env_number(
+    const char* name, const char* text, bool allow_zero,
+    std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max());
+
+}  // namespace qmpi::env

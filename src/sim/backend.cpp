@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "sim/circuit_cache.hpp"
 #include "sim/sharded_statevector.hpp"
 #include "sim/statevector.hpp"
 
@@ -69,6 +70,27 @@ void Backend::apply_cluster(const GateCluster& cluster) const {
   }
   // Compile the run once — precomputed index lists make the per-block
   // replay branch-free — then hand the whole cluster to one block sweep.
+  // With a cluster cache attached, probe by content key first: a repeated
+  // cluster (Trotter step, repeated job) replays the cached program, which
+  // is bit-identical to a fresh compile because both feed the same
+  // instruction stream to apply_cluster_at.
+  if (cluster_cache_) {
+    const ClusterKey key = make_cluster_key(cluster);
+    if (ClusterCache::Program hit = cluster_cache_->lookup(key)) {
+      apply_cluster_at(pos, *hit);
+      return;
+    }
+    auto compiled = std::make_shared<std::vector<kernels::BlockOp>>();
+    compiled->reserve(cluster.num_ops());
+    const std::size_t block_size = 1ULL << pos.size();
+    for (const ClusterOp& op : cluster.ops()) {
+      kernels::compile_block_op(op.gate, op.target, op.ctrl_mask, block_size,
+                                *compiled);
+    }
+    apply_cluster_at(pos, *compiled);
+    cluster_cache_->insert(key, std::move(compiled));
+    return;
+  }
   const std::size_t block_size = 1ULL << pos.size();
   std::vector<kernels::BlockOp> compiled;
   compiled.reserve(cluster.num_ops());

@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/fusion.hpp"
@@ -21,6 +22,8 @@
 #include "sim/kernels.hpp"
 
 namespace qmpi::sim {
+
+class ClusterCache;
 
 /// Stable handle for a simulated qubit. Handles survive allocation and
 /// deallocation of other qubits (the underlying state-vector position is an
@@ -203,6 +206,21 @@ class Backend {
   void set_fusion_enabled(bool on);
   bool fusion_enabled() const { return fusion_enabled_; }
 
+  /// Attaches a compiled-cluster cache (sim/circuit_cache.hpp): multi-op
+  /// fused clusters look up their compiled block program by content key
+  /// before compiling, so repeated circuit structure (Trotter steps,
+  /// repeated jobs) skips compile_block_op entirely. The cache may be
+  /// shared across backends — compilation is a pure function of the key.
+  /// Null (the default) disables caching. Replay through the cache is
+  /// bit-identical to a cold compile: both paths feed the same program to
+  /// apply_cluster_at.
+  void set_cluster_cache(std::shared_ptr<ClusterCache> cache) {
+    cluster_cache_ = std::move(cache);
+  }
+  const std::shared_ptr<ClusterCache>& cluster_cache() const {
+    return cluster_cache_;
+  }
+
   /// Applies all pending fused clusters to the state vector. Called
   /// automatically at every boundary that observes the state; public so
   /// benchmarks can time gate application itself. Loops until the queue is
@@ -306,6 +324,7 @@ class Backend {
   std::mt19937_64 rng_;
   unsigned num_threads_ = 1;
   bool fusion_enabled_ = true;
+  std::shared_ptr<ClusterCache> cluster_cache_;
 };
 
 /// Which Backend implementation a SimServer (or a whole job) runs on.

@@ -1,0 +1,98 @@
+#include "sim/circuit_cache.hpp"
+
+#include <utility>
+
+namespace qmpi::sim {
+
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(v));
+  __builtin_memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// FNV-1a over the key words. Collisions are harmless (full-key equality
+/// backs every probe); the hash only spreads the buckets.
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& words) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+ClusterKey make_cluster_key(const GateCluster& cluster) {
+  ClusterKey key;
+  // Layout: [num_qubits, then per op: (target | ctrl_mask << 8), 8 matrix
+  // bit-pattern words]. num_qubits pins the block size; nothing else about
+  // the cluster (not even the qubit ids — positions are bound at replay
+  // time by apply_cluster_at) affects the compiled program.
+  key.words.reserve(1 + cluster.num_ops() * 9);
+  key.words.push_back(cluster.num_qubits());
+  for (const ClusterOp& op : cluster.ops()) {
+    key.words.push_back(static_cast<std::uint64_t>(op.target) |
+                        (static_cast<std::uint64_t>(op.ctrl_mask) << 8));
+    for (const Complex& amp : op.gate.m) {
+      key.words.push_back(bits_of(amp.real()));
+      key.words.push_back(bits_of(amp.imag()));
+    }
+  }
+  key.hash = fnv1a(key.words);
+  return key;
+}
+
+ClusterCache::ClusterCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+ClusterCache::Program ClusterCache::lookup(const ClusterKey& key) {
+  const std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->program;
+}
+
+void ClusterCache::insert(const ClusterKey& key, Program program) {
+  const std::lock_guard lock(mu_);
+  if (index_.contains(key)) return;
+  lru_.push_front(Entry{key, std::move(program)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ClusterCache::size() const {
+  const std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t ClusterCache::hits() const {
+  const std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ClusterCache::misses() const {
+  const std::lock_guard lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ClusterCache::evictions() const {
+  const std::lock_guard lock(mu_);
+  return evictions_;
+}
+
+}  // namespace qmpi::sim

@@ -9,6 +9,8 @@
 #include <cstdlib>
 
 #include "core/context.hpp"
+#include "service/job_service.hpp"
+#include "sim/circuit_cache.hpp"
 #include "sim/sharded_statevector.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -38,6 +40,13 @@ class EnvGuard {
     unsetenv("QMPI_TRANSPORT");
     unsetenv("QMPI_SIM_BATCH");
     unsetenv("QMPI_SIMD");
+    unsetenv("QMPI_SERVICE_HOST");
+    unsetenv("QMPI_SERVICE_PORT");
+    unsetenv("QMPI_SERVICE_QUBITS");
+    unsetenv("QMPI_CIRCUIT_CACHE");
+    unsetenv("QMPI_MAX_SESSIONS");
+    unsetenv("QMPI_MEM_BUDGET");
+    unsetenv("QMPI_SERVICE_EXECUTORS");
   }
 };
 
@@ -59,6 +68,8 @@ TEST(EnvOptions, TransportParsesStrictly) {
   EXPECT_EQ(JobOptions::from_env().transport, TransportKind::kInproc);
   env.set("QMPI_TRANSPORT", "tcp");
   EXPECT_EQ(JobOptions::from_env().transport, TransportKind::kTcp);
+  env.set("QMPI_TRANSPORT", "service");
+  EXPECT_EQ(JobOptions::from_env().transport, TransportKind::kService);
   // Anything else must fail loud: a typo silently falling back to inproc
   // would run a "distributed" job single-process without a word.
   for (const char* bad : {"TCP", "socket", "tcp ", "", "inproc,tcp"}) {
@@ -242,6 +253,94 @@ TEST(EnvOptions, SimdFallbackNoticeLandsInJobReport) {
       ASSERT_EQ(report.notices.size(), 1u) << "QMPI_SIMD=" << tier;
       EXPECT_EQ(report.notices[0], sel.notice);
     }
+  }
+}
+
+TEST(EnvOptions, ServiceSettingsDefaultAndParse) {
+  EnvGuard env;
+  const JobOptions defaults = JobOptions::from_env();
+  EXPECT_EQ(defaults.service_host, "127.0.0.1");
+  EXPECT_EQ(defaults.service_port, 0u);
+  EXPECT_EQ(defaults.service_qubits, 20u);
+  env.set("QMPI_SERVICE_HOST", "10.0.0.7");
+  env.set("QMPI_SERVICE_PORT", "4242");
+  env.set("QMPI_SERVICE_QUBITS", "12");
+  const JobOptions opts = JobOptions::from_env();
+  EXPECT_EQ(opts.service_host, "10.0.0.7");
+  EXPECT_EQ(opts.service_port, 4242u);
+  EXPECT_EQ(opts.service_qubits, 12u);
+}
+
+TEST(EnvOptions, ServicePortAndQubitsRejectOutOfRange) {
+  EnvGuard env;
+  // Port 0 is "unset", so an explicit 0 is a mistake, not a default.
+  for (const char* bad : {"0", "65536", "abc", "-1", ""}) {
+    EnvGuard inner;
+    inner.set("QMPI_SERVICE_PORT", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError)
+        << "QMPI_SERVICE_PORT=\"" << bad << "\"";
+  }
+  // 2^63 amplitudes cannot be indexed; 63+ qubits must fail at parse time.
+  for (const char* bad : {"0", "63", "1000", "8q", ""}) {
+    EnvGuard inner;
+    inner.set("QMPI_SERVICE_QUBITS", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError)
+        << "QMPI_SERVICE_QUBITS=\"" << bad << "\"";
+  }
+  EnvGuard ok;
+  ok.set("QMPI_SERVICE_QUBITS", "62");  // the ceiling itself is fine
+  EXPECT_EQ(JobOptions::from_env().service_qubits, 62u);
+  ok.set("QMPI_SERVICE_HOST", "");  // empty host is a mistake, not a default
+  EXPECT_THROW(JobOptions::from_env(), QmpiError);
+}
+
+TEST(EnvOptions, CircuitCacheParsesOnOffAndSize) {
+  EnvGuard env;
+  EXPECT_EQ(JobOptions::from_env().circuit_cache, 0u);  // off by default
+  env.set("QMPI_CIRCUIT_CACHE", "on");
+  EXPECT_EQ(JobOptions::from_env().circuit_cache,
+            qmpi::sim::kDefaultCircuitCacheEntries);
+  env.set("QMPI_CIRCUIT_CACHE", "off");
+  EXPECT_EQ(JobOptions::from_env().circuit_cache, 0u);
+  env.set("QMPI_CIRCUIT_CACHE", "1024");
+  EXPECT_EQ(JobOptions::from_env().circuit_cache, 1024u);
+  // Same contract as QMPI_SIM_BATCH: disabling is spelled "off", so a
+  // typoed size ("0") cannot silently disable the cache.
+  for (const char* bad : {"0", "ON", "true", "-1", "1k", "", "16777217"}) {
+    env.set("QMPI_CIRCUIT_CACHE", bad);
+    EXPECT_THROW(JobOptions::from_env(), QmpiError)
+        << "QMPI_CIRCUIT_CACHE=\"" << bad << "\"";
+  }
+}
+
+TEST(EnvOptions, ServiceConfigFromEnvParsesStrictly) {
+  namespace service = qmpi::service;
+  EnvGuard env;
+  const service::ServiceConfig defaults = service::ServiceConfig::from_env();
+  EXPECT_EQ(defaults.max_sessions, 8u);
+  EXPECT_EQ(defaults.mem_budget_bytes, 1ull << 30);
+  EXPECT_EQ(defaults.circuit_cache_entries,
+            qmpi::sim::kDefaultCircuitCacheEntries);
+
+  env.set("QMPI_MAX_SESSIONS", "32");
+  env.set("QMPI_MEM_BUDGET", "1048576");
+  env.set("QMPI_CIRCUIT_CACHE", "off");
+  env.set("QMPI_SERVICE_EXECUTORS", "2");
+  const service::ServiceConfig cfg = service::ServiceConfig::from_env();
+  EXPECT_EQ(cfg.max_sessions, 32u);
+  EXPECT_EQ(cfg.mem_budget_bytes, 1048576u);
+  EXPECT_EQ(cfg.circuit_cache_entries, 0u);
+  EXPECT_EQ(cfg.executors, 2u);
+
+  for (const char* bad : {"0", "abc", "-1", ""}) {
+    EnvGuard inner;
+    inner.set("QMPI_MAX_SESSIONS", bad);
+    EXPECT_THROW(service::ServiceConfig::from_env(), QmpiError)
+        << "QMPI_MAX_SESSIONS=\"" << bad << "\"";
+    inner.set("QMPI_MAX_SESSIONS", "8");
+    inner.set("QMPI_MEM_BUDGET", bad);
+    EXPECT_THROW(service::ServiceConfig::from_env(), QmpiError)
+        << "QMPI_MEM_BUDGET=\"" << bad << "\"";
   }
 }
 

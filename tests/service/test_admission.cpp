@@ -1,0 +1,163 @@
+// Admission-control contract of the job service: 2^n amplitudes is an
+// exact memory predictor, so an over-budget session fails FAST with a
+// typed AdmissionError naming the requested and available amplitude
+// budget (instead of OOM-killing the process mid-sweep), in-flight
+// sessions are unaffected by a rejected open, and capacity that is merely
+// busy — session slots or amplitudes currently reserved — queues FIFO
+// rather than rejecting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "service/job_service.hpp"
+#include "service/protocol.hpp"
+#include "service/session_client.hpp"
+#include "sim/gates.hpp"
+
+namespace {
+
+using qmpi::service::AdmissionError;
+using qmpi::service::JobService;
+using qmpi::service::ServiceConfig;
+using qmpi::service::SessionClient;
+using qmpi::service::SessionConfig;
+
+SessionConfig session_config(const JobService& service, unsigned max_qubits) {
+  SessionConfig cfg;
+  cfg.port = service.port();
+  cfg.max_qubits = max_qubits;
+  return cfg;
+}
+
+TEST(Admission, OverBudgetOpenFailsFastWithTypedError) {
+  ServiceConfig cfg;
+  cfg.mem_budget_bytes = (1ull << 10) * 16;  // budget: 2^10 amplitudes
+  JobService service(cfg);
+  service.start();
+  EXPECT_EQ(service.budget_amps(), 1ull << 10);
+
+  // 12 qubits need 2^12 amplitudes: can NEVER fit, must reject, not queue.
+  try {
+    SessionClient session(session_config(service, 12));
+    FAIL() << "over-budget open was admitted";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.requested_amps(), 1ull << 12);
+    EXPECT_EQ(e.available_amps(), 1ull << 10);
+    // The message must name both budgets — it is the user's sizing hint.
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(1ull << 12)), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(1ull << 10)), std::string::npos);
+  }
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().admitted, 0u);
+  service.stop();
+}
+
+TEST(Admission, RejectionLeavesInFlightSessionsUntouched) {
+  ServiceConfig cfg;
+  cfg.mem_budget_bytes = (1ull << 10) * 16;
+  JobService service(cfg);
+  service.start();
+
+  SessionClient resident(session_config(service, 8));
+  const auto q = resident.allocate(4);
+  resident.apply(qmpi::sim::gate_h(), q[0]);
+  resident.cnot(q[0], q[1]);
+  const double before = resident.probability_one(q[1]);
+
+  EXPECT_THROW(SessionClient(session_config(service, 12)), AdmissionError);
+
+  // The resident session keeps operating, state intact.
+  EXPECT_EQ(resident.probability_one(q[1]), before);
+  resident.apply(qmpi::sim::gate_h(), q[0]);
+  EXPECT_EQ(resident.num_qubits(), 4u);
+  EXPECT_EQ(service.stats().active_sessions, 1u);
+  resident.close();
+  service.stop();
+}
+
+TEST(Admission, SlotExhaustionQueuesInsteadOfRejecting) {
+  ServiceConfig cfg;
+  cfg.max_sessions = 1;
+  JobService service(cfg);
+  service.start();
+
+  auto first = std::make_unique<SessionClient>(session_config(service, 8));
+  std::atomic<bool> second_admitted{false};
+  std::thread waiter([&] {
+    // Blocks in the open handshake until the slot frees, then succeeds.
+    SessionClient second(session_config(service, 8));
+    second_admitted.store(true);
+    second.close();
+  });
+
+  // Give the queued open ample time to (wrongly) fail or sneak in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(second_admitted.load());
+  EXPECT_EQ(service.stats().admitted, 1u);
+  EXPECT_EQ(service.stats().rejected, 0u);
+
+  first->close();
+  first.reset();
+  waiter.join();
+  EXPECT_TRUE(second_admitted.load());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.queued_admissions, 1u);
+  service.stop();
+}
+
+TEST(Admission, MemoryExhaustionQueuesUntilReservationReleases) {
+  ServiceConfig cfg;
+  cfg.mem_budget_bytes = (1ull << 10) * 16;  // exactly one 10-qubit session
+  cfg.max_sessions = 8;                      // slots are NOT the bottleneck
+  JobService service(cfg);
+  service.start();
+
+  auto big = std::make_unique<SessionClient>(session_config(service, 10));
+  std::atomic<bool> small_admitted{false};
+  std::thread waiter([&] {
+    SessionClient small(session_config(service, 4));  // 16 amps: over budget
+    small_admitted.store(true);                       // ...only while big lives
+    small.close();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(small_admitted.load());
+
+  big->close();
+  big.reset();
+  waiter.join();
+  EXPECT_TRUE(small_admitted.load());
+  EXPECT_EQ(service.stats().rejected, 0u);
+  EXPECT_GE(service.stats().queued_admissions, 1u);
+  service.stop();
+}
+
+TEST(Admission, SessionCannotAllocatePastItsAdmittedCeiling) {
+  // The admission predicate is only exact if a session cannot outgrow its
+  // reservation: allocating a 9th qubit in an 8-qubit session must fail
+  // with an error naming the ceiling, and must not kill the session.
+  JobService service{ServiceConfig{}};
+  service.start();
+  SessionClient session(session_config(service, 8));
+  const auto q = session.allocate(8);
+  try {
+    (void)session.allocate(1);
+    FAIL() << "allocation beyond the admitted ceiling succeeded";
+  } catch (const qmpi::sim::SimulatorError& e) {
+    EXPECT_NE(std::string(e.what()).find("ceiling"), std::string::npos);
+  }
+  // The session survives the refused allocation.
+  session.apply(qmpi::sim::gate_x(), q[0]);
+  EXPECT_EQ(session.probability_one(q[0]), 1.0);
+  session.close();
+  service.stop();
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Compiled-circuit cache contract: replaying a cached cluster program is
+// bit-identical to compiling it cold (the cache key is the exact content
+// the compiler consumes, so a hit can never change the math), the LRU
+// bound actually evicts, and a service with the cache enabled returns the
+// same outcomes as one with it disabled.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "service/job_service.hpp"
+#include "service/session_client.hpp"
+#include "sim/backend.hpp"
+#include "sim/circuit_cache.hpp"
+#include "sim/gates.hpp"
+
+namespace {
+
+using qmpi::sim::Backend;
+using qmpi::sim::BackendKind;
+using qmpi::sim::ClusterCache;
+using qmpi::sim::make_backend;
+using qmpi::sim::QubitId;
+using qmpi::service::JobService;
+using qmpi::service::ServiceConfig;
+using qmpi::service::SessionClient;
+using qmpi::service::SessionConfig;
+
+constexpr std::uint64_t kSeed = 0xCAC4E;
+
+/// A fusible circuit: runs of single-qubit gates on the same target fuse
+/// into multi-op clusters, which is exactly the population the cache
+/// serves (single-op clusters take the direct kernel path).
+void trotter_step(Backend& b, const std::vector<QubitId>& q, double theta) {
+  for (const QubitId qi : q) {
+    b.h(qi);
+    b.rz(qi, theta);
+    b.t(qi);
+  }
+  for (std::size_t i = 0; i + 1 < q.size(); ++i) b.cnot(q[i], q[i + 1]);
+}
+
+TEST(CircuitCache, HitReplayBitIdenticalToColdCompile) {
+  const auto cache = std::make_shared<ClusterCache>(64);
+
+  // Cold: no cache. Warm A: populates the cache. Warm B: replays from it.
+  const std::unique_ptr<Backend> cold = make_backend(BackendKind::kSerial, kSeed);
+  const std::unique_ptr<Backend> warm_a = make_backend(BackendKind::kSerial, kSeed);
+  const std::unique_ptr<Backend> warm_b = make_backend(BackendKind::kSerial, kSeed);
+  warm_a->set_cluster_cache(cache);
+  warm_b->set_cluster_cache(cache);
+
+  for (Backend* b : {cold.get(), warm_a.get(), warm_b.get()}) {
+    const std::vector<QubitId> q = b->allocate(6);
+    for (int step = 0; step < 4; ++step) trotter_step(*b, q, 0.3);
+  }
+  const std::vector<qmpi::sim::Complex> want = cold->snapshot();
+  EXPECT_EQ(warm_a->snapshot(), want);  // miss path == uncached path
+  EXPECT_EQ(warm_b->snapshot(), want);  // hit path == uncached path
+
+  EXPECT_GT(cache->misses(), 0u);
+  // warm_b ran the identical circuit after warm_a filled the cache, so it
+  // (and warm_a's own repeated Trotter steps) must have hit.
+  EXPECT_GT(cache->hits(), 0u);
+}
+
+TEST(CircuitCache, RepeatedTrotterStepsHitWithinOneRun) {
+  const auto cache = std::make_shared<ClusterCache>(64);
+  const std::unique_ptr<Backend> b = make_backend(BackendKind::kSerial, kSeed);
+  b->set_cluster_cache(cache);
+  const std::vector<QubitId> q = b->allocate(4);
+  // Flush per step so every step forms the same cluster boundaries: one
+  // 4-qubit cluster of (composed 1q run per qubit) + cnot chain. The same
+  // angle makes later steps content-equal to the first, so they replay.
+  trotter_step(*b, q, 0.7);
+  b->flush_gates();
+  const std::uint64_t hits_after_first = cache->hits();
+  for (int step = 0; step < 8; ++step) {
+    trotter_step(*b, q, 0.7);
+    b->flush_gates();
+  }
+  EXPECT_GT(cache->hits(), hits_after_first);
+}
+
+TEST(CircuitCache, EvictsLeastRecentlyUsedUnderSmallCap) {
+  const auto cache = std::make_shared<ClusterCache>(2);
+  const std::unique_ptr<Backend> b = make_backend(BackendKind::kSerial, kSeed);
+  b->set_cluster_cache(cache);
+  const std::vector<QubitId> q = b->allocate(2);
+  // Three content-distinct multi-op clusters through a 2-entry cache.
+  // (Targets must alternate: consecutive same-target gates compose into a
+  // single op, and single-op clusters bypass the cache by design.)
+  for (const double theta : {0.1, 0.2, 0.3}) {
+    b->h(q[0]);
+    b->h(q[1]);
+    b->cnot(q[0], q[1]);
+    b->rz(q[1], theta);
+    b->flush_gates();
+  }
+  EXPECT_LE(cache->size(), 2u);
+  EXPECT_GE(cache->evictions(), 1u);
+  EXPECT_GE(cache->misses(), 3u);
+}
+
+/// One job against a session of `service`; returns its full visible
+/// outcome so cache-on and cache-off services can be compared exactly.
+std::vector<double> run_service_job(JobService& service) {
+  SessionConfig cfg;
+  cfg.port = service.port();
+  cfg.seed = kSeed;
+  cfg.max_qubits = 6;
+  SessionClient session(cfg);
+  const std::vector<QubitId> q = session.allocate(6);
+  for (int step = 0; step < 3; ++step) {
+    for (const QubitId qi : q) {
+      session.apply(qmpi::sim::gate_h(), qi);
+      session.apply(qmpi::sim::gate_rz(0.4), qi);
+      session.apply(qmpi::sim::gate_t(), qi);
+    }
+    for (std::size_t i = 0; i + 1 < q.size(); ++i) {
+      session.cnot(q[i], q[i + 1]);
+    }
+  }
+  std::vector<double> probs;
+  probs.reserve(q.size());
+  for (const QubitId qi : q) probs.push_back(session.probability_one(qi));
+  for (const QubitId qi : q) probs.push_back(session.measure(qi) ? 1.0 : 0.0);
+  session.close();
+  return probs;
+}
+
+TEST(CircuitCache, ServiceWithCacheMatchesServiceWithoutAndHitsOnRepeat) {
+  ServiceConfig cached_cfg;
+  cached_cfg.circuit_cache_entries = 256;
+  JobService cached(cached_cfg);
+  cached.start();
+
+  ServiceConfig uncached_cfg;
+  uncached_cfg.circuit_cache_entries = 0;
+  JobService uncached(uncached_cfg);
+  uncached.start();
+
+  const std::vector<double> first = run_service_job(cached);
+  EXPECT_EQ(first, run_service_job(uncached));
+
+  // The same job again: the cached service replays compiled clusters.
+  EXPECT_EQ(first, run_service_job(cached));
+  const auto stats = cached.stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+
+  cached.stop();
+  uncached.stop();
+}
+
+}  // namespace

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/qmpi.hpp"
 
 using namespace qmpi;
@@ -160,7 +161,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const char* transport = std::getenv("QMPI_TRANSPORT");
+  const char* transport = qmpi::env::get("QMPI_TRANSPORT");
   const bool remote = transport != nullptr &&
                       std::strcmp(transport, "tcp") == 0;
 

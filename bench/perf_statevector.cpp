@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/env.hpp"
 #include "sim/sharded_statevector.hpp"
 #include "sim/simd.hpp"
 #include "sim/statevector.hpp"
@@ -685,7 +686,7 @@ void register_isa_series() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (const char* env = std::getenv("QMPI_SEED")) {
+  if (const char* env = qmpi::env::get("QMPI_SEED")) {
     g_seed = std::strtoull(env, nullptr, 0);
   }
   int parity_shards = -1;

@@ -1,0 +1,32 @@
+// Seeded counter-example for wire-narrowing: an unchecked u32 count
+// write, plus a clean decoy that routes through check_u32_count. The two
+// sites are spaced more than WIRE_CHECK_WINDOW lines apart so the decoy's
+// check cannot satisfy the seeded violation.
+#include <cstdint>
+#include <vector>
+
+namespace qmpi {
+
+struct Writer {
+  void u32(std::uint32_t v);
+};
+
+void check_u32_count(std::size_t n, const char* what);
+
+void good_encode(Writer& w, const std::vector<int>& ids) {
+  check_u32_count(ids.size(), "id");
+  w.u32(static_cast<std::uint32_t>(ids.size()));  // clean: checked above
+}
+
+// ---------------------------------------------------------------------------
+// spacer so the decoy's check_u32_count call above falls outside the
+// proximity window of the violation below; the rule must judge each wire
+// write by its own neighborhood, not by an unrelated check elsewhere in
+// the file.
+// ---------------------------------------------------------------------------
+
+void bad_encode(Writer& w, const std::vector<int>& ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));  // VIOLATION: wire-narrowing
+}
+
+}  // namespace qmpi

@@ -4,7 +4,7 @@ namespace qmpi::classical {
 
 void Mailbox::post(Message msg) {
   {
-    const std::lock_guard lock(mutex_);
+    const qmpi::LockGuard lock(mutex_);
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
@@ -33,7 +33,7 @@ std::optional<Message> Mailbox::extract_locked(int source, int tag,
 
 Message Mailbox::match(int source, int tag, ChannelKind channel,
                        std::uint64_t context) {
-  std::unique_lock lock(mutex_);
+  qmpi::UniqueLock lock(mutex_);
   for (;;) {
     if (shutdown_) throw ShutdownError();
     if (auto msg = extract_locked(source, tag, channel, context)) {
@@ -45,14 +45,14 @@ Message Mailbox::match(int source, int tag, ChannelKind channel,
 
 std::optional<Message> Mailbox::try_match(int source, int tag, ChannelKind channel,
                                           std::uint64_t context) {
-  const std::lock_guard lock(mutex_);
+  const qmpi::LockGuard lock(mutex_);
   if (shutdown_) throw ShutdownError();
   return extract_locked(source, tag, channel, context);
 }
 
 bool Mailbox::probe(int source, int tag, ChannelKind channel,
                     std::uint64_t context, Status* status) {
-  const std::lock_guard lock(mutex_);
+  const qmpi::LockGuard lock(mutex_);
   if (shutdown_) throw ShutdownError();
   for (const auto& msg : queue_) {
     if (matches(msg, source, tag, channel, context)) {
@@ -67,7 +67,7 @@ bool Mailbox::probe(int source, int tag, ChannelKind channel,
 
 void Mailbox::shutdown() {
   {
-    const std::lock_guard lock(mutex_);
+    const qmpi::LockGuard lock(mutex_);
     shutdown_ = true;
   }
   cv_.notify_all();

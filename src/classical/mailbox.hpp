@@ -1,12 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "classical/error.hpp"
 #include "classical/message.hpp"
+#include "core/sync.hpp"
 
 namespace qmpi::classical {
 
@@ -46,12 +45,13 @@ class Mailbox {
                std::uint64_t context) const;
   /// Scans the queue under the lock; extracts and returns the first match.
   std::optional<Message> extract_locked(int source, int tag, ChannelKind channel,
-                                        std::uint64_t context);
+                                        std::uint64_t context)
+      QMPI_REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool shutdown_ = false;
+  qmpi::Mutex mutex_{"Mailbox::mutex"};
+  qmpi::CondVar cv_;
+  std::deque<Message> queue_ QMPI_GUARDED_BY(mutex_);
+  bool shutdown_ QMPI_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qmpi::classical

@@ -190,6 +190,7 @@ void write_frame(int fd, FrameType type, std::span<const std::byte> body) {
                     "-byte frame limit (split the payload)");
   }
   WireWriter header;
+  wire_detail::check_u32_count(body.size() + 1, "frame byte");
   header.u32(static_cast<std::uint32_t>(body.size() + 1));
   header.u8(static_cast<std::uint8_t>(type));
   const auto& head = header.data();
@@ -311,13 +312,13 @@ Hub::~Hub() {
 void Hub::serve() {
   while (true) {
     {
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       if (stopping_ || connected_ == nprocs_) break;
     }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       if (stopping_) break;
       throw QmpiError("hub: accept failed: " + errno_text());
     }
@@ -352,7 +353,7 @@ void Hub::serve() {
     }
 
     {
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       if (stopping_) {
         // stop() already swept the registered connections; anything
         // accepted after that must not spawn an unstoppable reader.
@@ -374,7 +375,7 @@ void Hub::serve() {
       {
         // fd/open are read under write_mu by stop() and send_to(); take
         // it here too so registration is visible under either guard.
-        const std::lock_guard wlock(conn.write_mu);
+        const qmpi::LockGuard wlock(conn.write_mu);
         conn.fd = fd;
         conn.open = true;
       }
@@ -392,18 +393,18 @@ void Hub::serve() {
     }
   }
   // All processes connected (or stop requested): wait for them to leave.
-  std::unique_lock lock(mu_);
-  done_cv_.wait(lock, [this] { return alive_ == 0 || stopping_; });
+  qmpi::UniqueLock lock(mu_);
+  while (alive_ != 0 && !stopping_) done_cv_.wait(lock);
 }
 
 int Hub::connected_count() {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return connected_;
 }
 
 void Hub::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (stopping_) return;
     stopping_ = true;
     // Only shutdown() here — the fd stays valid (and un-recyclable) until
@@ -415,7 +416,7 @@ void Hub::stop() {
   // fds under the same mutex, so we can never SHUT_RDWR a descriptor the
   // kernel has already recycled for another socket.
   for (auto& conn : conns_) {
-    const std::lock_guard wlock(conn->write_mu);
+    const qmpi::LockGuard wlock(conn->write_mu);
     if (conn->open) ::shutdown(conn->fd, SHUT_RDWR);
   }
   done_cv_.notify_all();
@@ -423,7 +424,7 @@ void Hub::stop() {
 
 void Hub::send_to(int proc, FrameType type, std::span<const std::byte> body) {
   Conn& conn = *conns_[static_cast<std::size_t>(proc)];
-  const std::lock_guard lock(conn.write_mu);
+  const qmpi::LockGuard lock(conn.write_mu);
   if (!conn.open) return;  // already gone; routing noticed separately
   write_frame(conn.fd, type, body);
 }
@@ -438,7 +439,7 @@ void Hub::reader_loop(int proc) {
       handle_frame(proc, std::move(frame));
     }
   } catch (const std::exception& e) {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     // A process leaving mid-run kills the job; between runs it is a normal
     // exit (the gtest binary finished).
     if (run_active_ || begin_count_ > 0 || end_count_ > 0) {
@@ -453,7 +454,7 @@ void Hub::reader_loop(int proc) {
 void Hub::on_disconnect(int proc) {
   Conn& conn = *conns_[static_cast<std::size_t>(proc)];
   {
-    const std::lock_guard wlock(conn.write_mu);
+    const qmpi::LockGuard wlock(conn.write_mu);
     if (conn.open) {
       ::close(conn.fd);
       conn.open = false;
@@ -509,7 +510,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       const int dest = r.i32();
       int owner = -1;
       {
-        const std::lock_guard lock(mu_);
+        const qmpi::LockGuard lock(mu_);
         if (!run_active_ || epoch != hub_epoch_ || dest < 0 ||
             dest >= static_cast<int>(active_cfg_.num_ranks)) {
           return;  // stale traffic from an aborted/finished run
@@ -523,7 +524,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       try {
         send_to(owner, FrameType::kDeliver, frame.body);
       } catch (const QmpiError& e) {
-        const std::lock_guard lock(mu_);
+        const qmpi::LockGuard lock(mu_);
         abort_run_locked(-1, "cannot deliver to rank process " +
                                  std::to_string(owner) + ": " + e.what());
       }
@@ -541,7 +542,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       WireReader r(frame.body);
       const std::uint64_t epoch = r.u64();
       {
-        const std::lock_guard lock(mu_);
+        const qmpi::LockGuard lock(mu_);
         if (!run_active_ || epoch != hub_epoch_) return;  // stale batch
         // This process's op stream already broke: later batches may be
         // in flight ahead of the error notice, and executing them would
@@ -550,14 +551,14 @@ void Hub::handle_frame(int proc, Frame frame) {
       }
       const auto request = r.rest();
       try {
-        const std::lock_guard sim_lock(sim_mu_);
+        const qmpi::LockGuard sim_lock(sim_mu_);
         if (!services_.sim) {
           throw QmpiError("hub has no quantum service configured");
         }
         (void)services_.sim(request);
       } catch (const std::exception& e) {
         {
-          const std::lock_guard lock(mu_);
+          const qmpi::LockGuard lock(mu_);
           auto& reason = sim_failed_[static_cast<std::size_t>(proc)];
           if (reason.empty()) reason = e.what();
         }
@@ -580,7 +581,7 @@ void Hub::handle_frame(int proc, Frame frame) {
         // observe the broken state; answer it with the root cause (this
         // also makes the deferred error deterministic: even if the
         // req-id-0 notice races, the next round trip reports it).
-        const std::lock_guard lock(mu_);
+        const qmpi::LockGuard lock(mu_);
         const auto& reason = sim_failed_[static_cast<std::size_t>(proc)];
         if (!reason.empty()) {
           reply.str(reason);
@@ -596,7 +597,7 @@ void Hub::handle_frame(int proc, Frame frame) {
           // ranks execute in arrival order, exactly like the in-process
           // SimServer command thread. It is separate from mu_ so an
           // O(2^n) sweep never stalls classical routing.
-          const std::lock_guard sim_lock(sim_mu_);
+          const qmpi::LockGuard sim_lock(sim_mu_);
           if (!services_.sim) {
             throw QmpiError("hub has no quantum service configured");
           }
@@ -616,7 +617,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       const std::uint64_t req_id = r.u64();
       std::uint64_t ctx = 0;
       {
-        const std::lock_guard lock(mu_);
+        const qmpi::LockGuard lock(mu_);
         ctx = next_context_++;
       }
       WireWriter reply;
@@ -653,7 +654,7 @@ void Hub::handle_frame(int proc, Frame frame) {
         addr.host = r.str();
         addr.port = r.u16();
       }
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       if (departed_ > 0) {
         // A peer left the job for good between runs; this barrier can
         // never complete, so fail it immediately instead of hanging.
@@ -731,6 +732,7 @@ void Hub::handle_frame(int proc, Frame frame) {
         ready.u64(begin_req_ids_[static_cast<std::size_t>(p)]);
         // The brokered data plane: every process learns where every other
         // process accepts direct peer connections (port 0 = hub-route it).
+        wire_detail::check_u32_count(begin_addrs_.size(), "peer address");
         ready.u32(static_cast<std::uint32_t>(begin_addrs_.size()));
         for (const auto& a : begin_addrs_) {
           ready.str(a.host);
@@ -752,7 +754,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       const std::uint64_t req_id = r.u64();
       const std::uint64_t epoch = r.u64();
       const std::uint32_t n = r.u32();
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       if (!run_active_ || epoch != hub_epoch_) return;  // aborted already
       if (end_count_ == 0) {  // first RUN_END of this barrier
         end_totals_.assign(n, 0);
@@ -776,6 +778,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       for (int p = 0; p < nprocs_; ++p) {
         WireWriter ack;
         ack.u64(end_req_ids_[static_cast<std::size_t>(p)]);
+        wire_detail::check_u32_count(end_totals_.size(), "resource total");
         ack.u32(static_cast<std::uint32_t>(end_totals_.size()));
         for (const auto v : end_totals_) ack.u64(v);
         try {
@@ -795,7 +798,7 @@ void Hub::handle_frame(int proc, Frame frame) {
       WireReader r(frame.body);
       const std::uint64_t epoch = r.u64();
       const std::string reason = r.str();
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       const std::uint64_t current =
           pending_cfg_.has_value() ? hub_epoch_ + 1 : hub_epoch_;
       if (epoch == current && (run_active_ || pending_cfg_.has_value() ||
@@ -898,7 +901,7 @@ HubClient::HubClient(const std::string& host, std::uint16_t port, int proc_id,
 
 HubClient::~HubClient() {
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     fatal_ = true;
   }
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
@@ -918,7 +921,7 @@ void HubClient::receiver_loop() {
   try {
     while (true) {
       Frame frame = read_frame(fd_);
-      std::unique_lock lock(mu_);
+      qmpi::UniqueLock lock(mu_);
       switch (frame.type) {
         case FrameType::kDeliver: {
           WireReader r(frame.body);
@@ -975,7 +978,7 @@ void HubClient::receiver_loop() {
       }
     }
   } catch (const std::exception& e) {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (!fatal_) {
       fail_locked(std::string("lost connection to QMPI hub: ") + e.what(),
                   /*fatal=*/true);
@@ -1005,7 +1008,7 @@ void HubClient::throw_sim_post_error_locked() {
 void HubClient::run_sim_flush() {
   std::function<void()> flush;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     flush = sim_flush_;
   }
   // Invoked without any HubClient lock held: the hook calls back into
@@ -1015,10 +1018,10 @@ void HubClient::run_sim_flush() {
 
 std::vector<std::byte> HubClient::request(FrameType type, FrameType expect,
                                           std::span<const std::byte> body) {
-  const std::lock_guard req_lock(req_mu_);
+  const qmpi::LockGuard req_lock(req_mu_);
   std::uint64_t req_id = 0;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     check_alive_locked();
     req_id = next_req_id_++;
     waiting_req_id_ = req_id;
@@ -1028,11 +1031,11 @@ std::vector<std::byte> HubClient::request(FrameType type, FrameType expect,
   w.u64(req_id);
   w.bytes(body);
   {
-    const std::lock_guard wlock(wr_mu_);
+    const qmpi::LockGuard wlock(wr_mu_);
     write_frame(fd_, type, w.data());
   }
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return reply_.has_value() || run_dead_ || fatal_; });
+  qmpi::UniqueLock lock(mu_);
+  while (!reply_.has_value() && !run_dead_ && !fatal_) cv_.wait(lock);
   waiting_req_id_ = 0;
   if (!reply_.has_value()) throw ShutdownError();
   Frame reply = std::move(*reply_);
@@ -1058,7 +1061,7 @@ void HubClient::begin_run(const RunConfig& cfg) {
   std::uint64_t epoch = 0;
   PeerAddr endpoint;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (fatal_) {
       throw QmpiError("cannot start a run: " + dead_reason_);
     }
@@ -1099,28 +1102,28 @@ void HubClient::begin_run(const RunConfig& cfg) {
       peers.push_back(std::move(a));
     }
   }
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   peers_ = std::move(peers);
 }
 
 void HubClient::set_peer_endpoint(std::string host, std::uint16_t port) {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   endpoint_ = PeerAddr{std::move(host), port};
 }
 
 std::vector<PeerAddr> HubClient::peer_addresses() {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return peers_;
 }
 
 std::uint64_t HubClient::run_epoch() {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   check_alive_locked();
   return epoch_;
 }
 
 bool HubClient::run_epoch_live(std::uint64_t epoch) {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return epoch == epoch_ && !run_dead_ && !fatal_;
 }
 
@@ -1133,7 +1136,7 @@ void HubClient::sim_fence() {
   {
     // The FIFO hub->client stream delivered any req-id-0 batch error
     // before the fence ack; surface it now, exactly like sim_call does.
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     throw_sim_post_error_locked();
   }
   // Monotonic max: a concurrent fence may already have advanced it.
@@ -1151,9 +1154,10 @@ std::vector<std::uint64_t> HubClient::end_run(
   run_sim_flush();
   WireWriter w;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     w.u64(epoch_);
   }
+  wire_detail::check_u32_count(totals.size(), "resource total");
   w.u32(static_cast<std::uint32_t>(totals.size()));
   for (const auto v : totals) w.u64(v);
   std::vector<std::byte> body;
@@ -1178,7 +1182,7 @@ std::vector<std::uint64_t> HubClient::end_run(
 void HubClient::abort_run(const std::string& reason) {
   std::uint64_t epoch = 0;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (fatal_ || run_dead_) return;  // already failed; first reason wins
     epoch = epoch_;
     fail_locked(reason, /*fatal=*/false);
@@ -1187,7 +1191,7 @@ void HubClient::abort_run(const std::string& reason) {
   w.u64(epoch);
   w.str(reason);
   try {
-    const std::lock_guard wlock(wr_mu_);
+    const qmpi::LockGuard wlock(wr_mu_);
     write_frame(fd_, FrameType::kAbort, w.data());
   } catch (const QmpiError&) {
     // Hub is gone too; local ranks are already unblocked.
@@ -1206,7 +1210,7 @@ std::vector<std::byte> HubClient::sim_call(
   {
     // An already-known batch failure is the root cause of whatever this
     // call would observe; throw it instead of issuing the request.
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     throw_sim_post_error_locked();
   }
   auto reply = request(FrameType::kSim, FrameType::kSimResult, request_body);
@@ -1215,7 +1219,7 @@ std::vector<std::byte> HubClient::sim_call(
     // any batch that executed before this request has been processed by
     // the receiver before our reply woke us: if the flag is set now, the
     // reply was computed on post-failure state and must not be returned.
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     throw_sim_post_error_locked();
   }
   return reply;
@@ -1224,7 +1228,7 @@ std::vector<std::byte> HubClient::sim_call(
 void HubClient::sim_post(std::span<const std::byte> request) {
   std::uint64_t epoch = 0;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     check_alive_locked();
     throw_sim_post_error_locked();
     epoch = epoch_;
@@ -1232,7 +1236,7 @@ void HubClient::sim_post(std::span<const std::byte> request) {
   WireWriter w;
   w.u64(epoch);
   w.bytes(request);
-  const std::lock_guard wlock(wr_mu_);
+  const qmpi::LockGuard wlock(wr_mu_);
   // Number the batch under the write lock, before it hits the wire: wire
   // order and seq order then agree, which is what sim_fence()'s "ack
   // covers every batch <= target" argument rests on.
@@ -1247,30 +1251,30 @@ void HubClient::post_remote(int dest_world_rank, const Message& msg) {
   run_sim_flush();
   std::uint64_t epoch = 0;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     check_alive_locked();
     epoch = epoch_;
   }
   const auto body = encode_routed(epoch, dest_world_rank, msg);
-  const std::lock_guard wlock(wr_mu_);
+  const qmpi::LockGuard wlock(wr_mu_);
   write_frame(fd_, FrameType::kPost, body);
 }
 
 void HubClient::set_sinks(
     std::function<void(int, Message)> deliver,
     std::function<void(const std::string&)> on_abort) {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   deliver_ = std::move(deliver);
   on_abort_ = std::move(on_abort);
 }
 
 void HubClient::set_sim_flush(std::function<void()> flush) {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   sim_flush_ = std::move(flush);
 }
 
 std::string HubClient::dead_reason() {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return dead_reason_;
 }
 
@@ -1299,7 +1303,7 @@ PeerMesh::PeerMesh(HubClient& hub,
 
 PeerMesh::~PeerMesh() {
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     stopping_ = true;
     // shutdown(), never close(), while threads may still use the fds: a
     // closed descriptor number could be recycled by an unrelated socket
@@ -1319,12 +1323,12 @@ PeerMesh::~PeerMesh() {
 }
 
 void PeerMesh::break_listener_for_test() {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
 }
 
 void PeerMesh::break_links_for_test() {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   for (const int fd : peer_fds_) ::shutdown(fd, SHUT_RDWR);
 }
@@ -1365,7 +1369,7 @@ void PeerMesh::accept_loop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &no_timeout,
                  sizeof(no_timeout));
 
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (stopping_) {
       ::close(fd);
       return;
@@ -1448,7 +1452,7 @@ bool PeerMesh::try_send(int dest_proc, int dest_world_rank,
   // already dead (the sender-side stale-epoch defense).
   const std::uint64_t epoch = hub_->run_epoch();
   Link& link = *links_[static_cast<std::size_t>(dest_proc)];
-  const std::lock_guard lock(link.mu);
+  const qmpi::LockGuard lock(link.mu);
   if (link.state == Link::State::kUnresolved) {
     resolve_locked(link, dest_proc, epoch);
   }
@@ -1615,7 +1619,7 @@ void SocketTransport::deliver_local(int dest, Message msg) {
     // whatever thread delivered it.
     std::function<void(Message)> sink;
     {
-      const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+      const qmpi::LockGuard lock(sim_hooks_mu_);
       sink = sim_sink_;
     }
     if (sink) sink(std::move(msg));
@@ -1650,24 +1654,24 @@ void SocketTransport::post_sim(int dest_world_rank, Message msg) {
 }
 
 void SocketTransport::set_sim_sink(std::function<void(Message)> sink) {
-  const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+  const qmpi::LockGuard lock(sim_hooks_mu_);
   sim_sink_ = std::move(sink);
 }
 
 void SocketTransport::set_sim_fence(std::function<void()> fence) {
-  const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+  const qmpi::LockGuard lock(sim_hooks_mu_);
   sim_fence_ = std::move(fence);
 }
 
 void SocketTransport::set_sim_fail(std::function<void(const std::string&)> on_fail) {
-  const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+  const qmpi::LockGuard lock(sim_hooks_mu_);
   sim_fail_ = std::move(on_fail);
 }
 
 void SocketTransport::run_sim_fence() {
   std::function<void()> fence;
   {
-    const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+    const qmpi::LockGuard lock(sim_hooks_mu_);
     fence = sim_fence_;
   }
   if (fence) fence();
@@ -1676,7 +1680,7 @@ void SocketTransport::run_sim_fence() {
 void SocketTransport::run_sim_fail(const std::string& reason) {
   std::function<void(const std::string&)> on_fail;
   {
-    const std::lock_guard<std::mutex> lock(sim_hooks_mu_);
+    const qmpi::LockGuard lock(sim_hooks_mu_);
     on_fail = sim_fail_;
   }
   if (on_fail) on_fail(reason);

@@ -6,11 +6,9 @@
 
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +19,7 @@
 #include "classical/message.hpp"
 #include "classical/transport.hpp"
 #include "classical/wire.hpp"
+#include "core/sync.hpp"
 
 namespace qmpi::classical {
 
@@ -165,17 +164,23 @@ class Hub {
 
  private:
   struct Conn {
-    int fd = -1;
-    std::mutex write_mu;
+    /// Serializes frame writes to this process and guards fd/open.
+    /// Ordered after Hub::mu_: the abort/stop paths hold mu_ while taking
+    /// a connection's write_mu, never the reverse.
+    qmpi::Mutex write_mu{"Hub::Conn::write_mu"};
+    int fd QMPI_GUARDED_BY(write_mu) = -1;
+    bool open QMPI_GUARDED_BY(write_mu) = false;  ///< connection live
     std::thread reader;
-    bool open = false;     ///< connection currently live (write_mu + mu_)
-    bool claimed = false;  ///< proc id was ever taken; reconnects rejected
+    /// Proc id was ever taken; reconnects rejected. Guarded by Hub::mu_
+    /// (a nested struct cannot spell that in an attribute).
+    bool claimed = false;
   };
 
   void reader_loop(int proc);
   void handle_frame(int proc, Frame frame);
   void send_to(int proc, FrameType type, std::span<const std::byte> body);
-  void abort_run_locked(int origin_proc, const std::string& reason);
+  void abort_run_locked(int origin_proc, const std::string& reason)
+      QMPI_REQUIRES(mu_);
   void on_disconnect(int proc);
 
   int nprocs_;
@@ -184,40 +189,45 @@ class Hub {
   std::uint16_t port_ = 0;
 
   /// Serializes quantum operations only (kept separate from mu_ so a long
-  /// state-vector sweep never blocks classical routing).
-  std::mutex sim_mu_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
+  /// state-vector sweep never blocks classical routing). Leaf lock: no
+  /// other lock is ever taken while holding it.
+  qmpi::Mutex sim_mu_{"Hub::sim_mu"};
+  qmpi::Mutex mu_{"Hub::mu"};
+  qmpi::CondVar done_cv_;
+  /// Sized once in the constructor, elements never move; each Conn
+  /// carries its own write_mu.
   std::vector<std::unique_ptr<Conn>> conns_;
-  int connected_ = 0;
-  int alive_ = 0;
-  bool stopping_ = false;
+  int connected_ QMPI_GUARDED_BY(mu_) = 0;
+  int alive_ QMPI_GUARDED_BY(mu_) = 0;
+  bool stopping_ QMPI_GUARDED_BY(mu_) = false;
 
   // Run lifecycle (guarded by mu_). hub_epoch_ counts completed RUN_BEGIN
   // barriers; a run is live between the RUN_READY broadcast and either the
   // RUN_END_ACK broadcast or an abort.
-  std::uint64_t hub_epoch_ = 0;
-  bool run_active_ = false;
-  std::uint64_t aborted_epoch_ = 0;  ///< last epoch whose abort broadcast ran
-  int departed_ = 0;                 ///< processes that left the job for good
-  RunConfig active_cfg_;
+  std::uint64_t hub_epoch_ QMPI_GUARDED_BY(mu_) = 0;
+  bool run_active_ QMPI_GUARDED_BY(mu_) = false;
+  /// Last epoch whose abort broadcast ran.
+  std::uint64_t aborted_epoch_ QMPI_GUARDED_BY(mu_) = 0;
+  /// Processes that left the job for good.
+  int departed_ QMPI_GUARDED_BY(mu_) = 0;
+  RunConfig active_cfg_ QMPI_GUARDED_BY(mu_);
   /// Per-process broken-op-stream marker: once a batched op from process
   /// p fails, later sim frames from p in the same run are refused with
   /// this reason (batches dropped, requests answered with kSimError), so
   /// "ops after the failing one never execute" holds across batch
   /// boundaries exactly as the RPC path's throw stops the op stream.
   /// Cleared when a run goes live or aborts.
-  std::vector<std::string> sim_failed_;
-  std::optional<RunConfig> pending_cfg_;
-  int begin_count_ = 0;
-  std::vector<std::uint64_t> begin_req_ids_;
+  std::vector<std::string> sim_failed_ QMPI_GUARDED_BY(mu_);
+  std::optional<RunConfig> pending_cfg_ QMPI_GUARDED_BY(mu_);
+  int begin_count_ QMPI_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> begin_req_ids_ QMPI_GUARDED_BY(mu_);
   /// Peer-listener addresses collected from this run's kRunBegin frames
   /// and echoed back to every process in its kRunReady (the broker step).
-  std::vector<PeerAddr> begin_addrs_;
-  int end_count_ = 0;
-  std::vector<std::uint64_t> end_req_ids_;
-  std::vector<std::uint64_t> end_totals_;
-  std::uint64_t next_context_ = 1;
+  std::vector<PeerAddr> begin_addrs_ QMPI_GUARDED_BY(mu_);
+  int end_count_ QMPI_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> end_req_ids_ QMPI_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> end_totals_ QMPI_GUARDED_BY(mu_);
+  std::uint64_t next_context_ QMPI_GUARDED_BY(mu_) = 1;
 };
 
 // --------------------------------------------------------------- client ---
@@ -330,11 +340,12 @@ class HubClient {
 
  private:
   void receiver_loop();
-  void fail_locked(const std::string& reason, bool fatal);
+  void fail_locked(const std::string& reason, bool fatal)
+      QMPI_REQUIRES(mu_);
   std::vector<std::byte> request(FrameType type, FrameType expect,
                                  std::span<const std::byte> body);
-  void check_alive_locked();
-  void throw_sim_post_error_locked();
+  void check_alive_locked() QMPI_REQUIRES(mu_);
+  void throw_sim_post_error_locked() QMPI_REQUIRES(mu_);
   void run_sim_flush();
 
   int fd_ = -1;
@@ -342,24 +353,33 @@ class HubClient {
   int nprocs_ = 0;
   std::thread receiver_;
 
-  std::mutex req_mu_;   ///< serializes request/reply users
-  std::mutex wr_mu_;    ///< serializes frame writes
-  std::mutex mu_;       ///< guards everything below
-  std::condition_variable cv_;
-  std::uint64_t next_req_id_ = 1;
-  std::uint64_t waiting_req_id_ = 0;  ///< 0 = nobody waiting
-  std::optional<Frame> reply_;
-  std::uint64_t epoch_ = 0;
-  bool epoch_done_ = true;
-  bool run_dead_ = false;   ///< current run failed (cleared by begin_run)
-  bool fatal_ = false;      ///< connection gone for good
-  std::string dead_reason_;
-  std::string sim_post_error_;  ///< deferred failure of a one-way sim batch
-  std::function<void(int, Message)> deliver_;
-  std::function<void(const std::string&)> on_abort_;
-  std::function<void()> sim_flush_;
-  PeerAddr endpoint_;             ///< advertised by the next begin_run
-  std::vector<PeerAddr> peers_;   ///< brokered table from the last begin_run
+  /// Serializes request/reply users; held while taking wr_mu_ (to write
+  /// the request frame) and mu_ (to park on the reply), hence the top of
+  /// this client's ordering.
+  qmpi::Mutex req_mu_ QMPI_ACQUIRED_BEFORE(wr_mu_, mu_){"HubClient::req_mu"};
+  qmpi::Mutex wr_mu_{"HubClient::wr_mu"};  ///< serializes frame writes
+  qmpi::Mutex mu_{"HubClient::mu"};        ///< guards everything below
+  qmpi::CondVar cv_;
+  std::uint64_t next_req_id_ QMPI_GUARDED_BY(mu_) = 1;
+  /// 0 = nobody waiting.
+  std::uint64_t waiting_req_id_ QMPI_GUARDED_BY(mu_) = 0;
+  std::optional<Frame> reply_ QMPI_GUARDED_BY(mu_);
+  std::uint64_t epoch_ QMPI_GUARDED_BY(mu_) = 0;
+  bool epoch_done_ QMPI_GUARDED_BY(mu_) = true;
+  /// Current run failed (cleared by begin_run).
+  bool run_dead_ QMPI_GUARDED_BY(mu_) = false;
+  /// Connection gone for good.
+  bool fatal_ QMPI_GUARDED_BY(mu_) = false;
+  std::string dead_reason_ QMPI_GUARDED_BY(mu_);
+  /// Deferred failure of a one-way sim batch.
+  std::string sim_post_error_ QMPI_GUARDED_BY(mu_);
+  std::function<void(int, Message)> deliver_ QMPI_GUARDED_BY(mu_);
+  std::function<void(const std::string&)> on_abort_ QMPI_GUARDED_BY(mu_);
+  std::function<void()> sim_flush_ QMPI_GUARDED_BY(mu_);
+  /// Advertised by the next begin_run.
+  PeerAddr endpoint_ QMPI_GUARDED_BY(mu_);
+  /// Brokered table from the last begin_run.
+  std::vector<PeerAddr> peers_ QMPI_GUARDED_BY(mu_);
   /// One-way batches written (seq) vs. known executed by the hub
   /// (synced); seq is incremented under wr_mu_ immediately before each
   /// kSimBatch write so wire order and numbering agree, which is what
@@ -425,13 +445,15 @@ class PeerMesh {
 
  private:
   struct Link {
-    std::mutex mu;  ///< serializes dial + frame writes to this peer
+    /// Serializes dial + frame writes to this peer.
+    qmpi::Mutex mu{"PeerMesh::Link::mu"};
     enum class State { kUnresolved, kDirect, kHubRouted, kBroken };
-    State state = State::kUnresolved;
-    int fd = -1;
+    State state QMPI_GUARDED_BY(mu) = State::kUnresolved;
+    int fd QMPI_GUARDED_BY(mu) = -1;
   };
 
-  void resolve_locked(Link& link, int dest_proc, std::uint64_t epoch);
+  void resolve_locked(Link& link, int dest_proc, std::uint64_t epoch)
+      QMPI_REQUIRES(link.mu);
   void accept_loop();
   void peer_reader(int fd);
 
@@ -442,10 +464,12 @@ class PeerMesh {
   std::thread acceptor_;
   std::vector<std::unique_ptr<Link>> links_;  ///< outgoing, per proc id
 
-  std::mutex mu_;  ///< guards the accepted-connection bookkeeping below
-  std::vector<int> peer_fds_;       ///< accepted (incoming) connections
-  std::vector<std::thread> readers_;
-  bool stopping_ = false;
+  /// Guards the accepted-connection bookkeeping below.
+  qmpi::Mutex mu_{"PeerMesh::mu"};
+  /// Accepted (incoming) connections.
+  std::vector<int> peer_fds_ QMPI_GUARDED_BY(mu_);
+  std::vector<std::thread> readers_ QMPI_GUARDED_BY(mu_);
+  bool stopping_ QMPI_GUARDED_BY(mu_) = false;
 };
 
 // ------------------------------------------------------------ transport ---
@@ -536,11 +560,13 @@ class SocketTransport final : public Transport {
   std::vector<std::unique_ptr<RankChannel>> channels_;
 
   /// Guards the three sim hooks (set once per run by the distributed
-  /// backend, read on sender and receiver threads).
-  std::mutex sim_hooks_mu_;
-  std::function<void(Message)> sim_sink_;
-  std::function<void()> sim_fence_;
-  std::function<void(const std::string&)> sim_fail_;
+  /// backend, read on sender and receiver threads). Leaf lock: hooks are
+  /// copied out under it and invoked with no lock held.
+  qmpi::Mutex sim_hooks_mu_{"SocketTransport::sim_hooks_mu"};
+  std::function<void(Message)> sim_sink_ QMPI_GUARDED_BY(sim_hooks_mu_);
+  std::function<void()> sim_fence_ QMPI_GUARDED_BY(sim_hooks_mu_);
+  std::function<void(const std::string&)> sim_fail_
+      QMPI_GUARDED_BY(sim_hooks_mu_);
 };
 
 }  // namespace qmpi::classical

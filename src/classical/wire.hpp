@@ -17,6 +17,20 @@ namespace qmpi::classical {
 /// malicious length prefix from driving a multi-gigabyte allocation.
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 
+namespace wire_detail {
+/// Guards every count the wire encoders narrow to u32: a count that does
+/// not fit must throw, never wrap — a silently truncated length prefix
+/// desynchronizes the framing for every later field. The lint rule
+/// wire-narrowing (scripts/lint/run_lints.py) requires each
+/// `u32(static_cast<...>(x.size()))` write to route through this check.
+inline void check_u32_count(std::size_t n, const char* what) {
+  if (n > 0xffffffffu) {
+    throw QmpiError(std::string(what) + " count " + std::to_string(n) +
+                    " does not fit the u32 wire format");
+  }
+}
+}  // namespace wire_detail
+
 /// Little-endian append-only serializer for frame bodies. All multi-byte
 /// integers on the wire are little-endian regardless of host order, so a
 /// heterogeneous job (or a future big-endian port) cannot silently corrupt
@@ -39,11 +53,13 @@ class WireWriter {
   }
   /// Length-prefixed byte blob (u32 count + raw bytes).
   void blob(std::span<const std::byte> b) {
+    wire_detail::check_u32_count(b.size(), "blob byte");
     u32(static_cast<std::uint32_t>(b.size()));
     bytes(b);
   }
   /// Length-prefixed UTF-8 string.
   void str(std::string_view s) {
+    wire_detail::check_u32_count(s.size(), "string byte");
     u32(static_cast<std::uint32_t>(s.size()));
     for (const char c : s) out_.push_back(static_cast<std::byte>(c));
   }

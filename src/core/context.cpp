@@ -549,40 +549,6 @@ ResourceTracker::Counts Context::aggregate_total() {
 
 // ------------------------------------------------------------ job harness ---
 
-namespace env {
-
-// Declared in core/env.hpp (rationale there); defined here with the rest
-// of the environment-contract handling.
-std::uint64_t parse_env_number(const char* name, const char* text,
-                               bool allow_zero, std::uint64_t max_value) {
-  if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
-    throw QmpiError(std::string(name) + "=\"" + text + "\" is not a " +
-                    (allow_zero ? "number" : "positive number"));
-  }
-  // Decimal unless explicitly 0x-prefixed: base 0 would silently read a
-  // leading-zero value ("010") as octal 8.
-  const bool hex = text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, hex ? 16 : 10);
-  if (end == text || *end != '\0') {
-    throw QmpiError(std::string(name) + "=\"" + text + "\" is not a " +
-                    (allow_zero ? "number" : "positive number"));
-  }
-  if (errno == ERANGE || v > max_value) {
-    throw QmpiError(std::string(name) + "=\"" + text +
-                    "\" is out of range (max " + std::to_string(max_value) +
-                    ")");
-  }
-  if (!allow_zero && v == 0) {
-    throw QmpiError(std::string(name) + "=\"" + text +
-                    "\" must be a positive number");
-  }
-  return v;
-}
-
-}  // namespace env
-
 namespace {
 using env::parse_env_number;
 }  // namespace
@@ -590,10 +556,10 @@ using env::parse_env_number;
 JobOptions JobOptions::from_env() { return from_env(JobOptions{}); }
 
 JobOptions JobOptions::from_env(JobOptions base) {
-  if (const char* seed = std::getenv("QMPI_SEED")) {
+  if (const char* seed = env::get("QMPI_SEED")) {
     base.seed = parse_env_number("QMPI_SEED", seed, /*allow_zero=*/true);
   }
-  if (const char* backend = std::getenv("QMPI_BACKEND")) {
+  if (const char* backend = env::get("QMPI_BACKEND")) {
     sim::BackendKind kind;
     if (!sim::backend_kind_from_string(backend, kind)) {
       throw QmpiError(std::string("QMPI_BACKEND=\"") + backend +
@@ -602,7 +568,7 @@ JobOptions JobOptions::from_env(JobOptions base) {
     }
     base.backend = kind;
   }
-  if (const char* shards = std::getenv("QMPI_SHARDS")) {
+  if (const char* shards = env::get("QMPI_SHARDS")) {
     base.num_shards = static_cast<unsigned>(parse_env_number(
         "QMPI_SHARDS", shards, /*allow_zero=*/false, sim::kMaxShards));
     // Reject bad shard counts at parse time: deferring to backend
@@ -614,12 +580,12 @@ JobOptions JobOptions::from_env(JobOptions base) {
                       std::to_string(sim::kMaxShards));
     }
   }
-  if (const char* threads = std::getenv("QMPI_SIM_THREADS")) {
+  if (const char* threads = env::get("QMPI_SIM_THREADS")) {
     base.sim_threads = static_cast<unsigned>(
         parse_env_number("QMPI_SIM_THREADS", threads, /*allow_zero=*/false,
                          sim::ThreadPool::kMaxLanes));
   }
-  if (const char* transport = std::getenv("QMPI_TRANSPORT")) {
+  if (const char* transport = env::get("QMPI_TRANSPORT")) {
     const std::string_view t(transport);
     if (t == "inproc") {
       base.transport = TransportKind::kInproc;
@@ -633,7 +599,7 @@ JobOptions JobOptions::from_env(JobOptions base) {
                       "\"service\")");
     }
   }
-  if (const char* batch = std::getenv("QMPI_SIM_BATCH")) {
+  if (const char* batch = env::get("QMPI_SIM_BATCH")) {
     const std::string_view b(batch);
     if (b == "on") {
       base.sim_batch_ops = sim::kDefaultSimBatchOps;
@@ -647,7 +613,7 @@ JobOptions JobOptions::from_env(JobOptions base) {
                            sim::kMaxSimBatchOps));
     }
   }
-  if (const char* p2p = std::getenv("QMPI_P2P")) {
+  if (const char* p2p = env::get("QMPI_P2P")) {
     const std::string_view p(p2p);
     if (p == "on") {
       base.p2p = true;
@@ -658,7 +624,7 @@ JobOptions JobOptions::from_env(JobOptions base) {
                       "\" is not a peer-to-peer mode (use \"on\" or \"off\")");
     }
   }
-  if (const char* host = std::getenv("QMPI_P2P_HOST")) {
+  if (const char* host = env::get("QMPI_P2P_HOST")) {
     // Same strict contract as every QMPI_* var: set-but-empty is a typo to
     // reject loudly, not a silent fallback to loopback.
     if (*host == '\0') {
@@ -668,14 +634,14 @@ JobOptions JobOptions::from_env(JobOptions base) {
     }
     base.p2p_host = host;
   }
-  if (const char* simd = std::getenv("QMPI_SIMD")) {
+  if (const char* simd = env::get("QMPI_SIMD")) {
     if (!sim::simd::parse_request(simd, base.simd)) {
       throw QmpiError(std::string("QMPI_SIMD=\"") + simd +
                       "\" is not a SIMD tier (use \"auto\", \"scalar\", "
                       "\"avx2\", or \"avx512\")");
     }
   }
-  if (const char* host = std::getenv("QMPI_SERVICE_HOST")) {
+  if (const char* host = env::get("QMPI_SERVICE_HOST")) {
     if (*host == '\0') {
       throw QmpiError(
           "QMPI_SERVICE_HOST is set but empty (give the address qmpid "
@@ -683,15 +649,15 @@ JobOptions JobOptions::from_env(JobOptions base) {
     }
     base.service_host = host;
   }
-  if (const char* port = std::getenv("QMPI_SERVICE_PORT")) {
+  if (const char* port = env::get("QMPI_SERVICE_PORT")) {
     base.service_port = static_cast<std::uint16_t>(parse_env_number(
         "QMPI_SERVICE_PORT", port, /*allow_zero=*/false, 65535));
   }
-  if (const char* qubits = std::getenv("QMPI_SERVICE_QUBITS")) {
+  if (const char* qubits = env::get("QMPI_SERVICE_QUBITS")) {
     base.service_qubits = static_cast<unsigned>(parse_env_number(
         "QMPI_SERVICE_QUBITS", qubits, /*allow_zero=*/false, 62));
   }
-  if (const char* cache = std::getenv("QMPI_CIRCUIT_CACHE")) {
+  if (const char* cache = env::get("QMPI_CIRCUIT_CACHE")) {
     const std::string_view c(cache);
     if (c == "on") {
       base.circuit_cache = sim::kDefaultCircuitCacheEntries;
@@ -715,7 +681,7 @@ namespace {
 /// (the hub brackets each run with its own begin/end barriers).
 classical::HubClient& tcp_hub_client() {
   static std::unique_ptr<classical::HubClient> client = [] {
-    const char* port_text = std::getenv("QMPI_TCP_PORT");
+    const char* port_text = env::get("QMPI_TCP_PORT");
     if (port_text == nullptr) {
       throw QmpiError(
           "QMPI_TRANSPORT=tcp requires QMPI_TCP_PORT (qmpirun sets it; for "
@@ -724,9 +690,9 @@ classical::HubClient& tcp_hub_client() {
     const auto port = static_cast<std::uint16_t>(
         parse_env_number("QMPI_TCP_PORT", port_text, /*allow_zero=*/false,
                          65535));
-    const char* host = std::getenv("QMPI_TCP_HOST");
+    const char* host = env::get("QMPI_TCP_HOST");
     int proc_id = 0;
-    if (const char* proc_text = std::getenv("QMPI_PROC_ID")) {
+    if (const char* proc_text = env::get("QMPI_PROC_ID")) {
       proc_id = static_cast<int>(parse_env_number(
           "QMPI_PROC_ID", proc_text, /*allow_zero=*/true, 65535));
     }

@@ -1,16 +1,25 @@
 #pragma once
 
 /// \file env.hpp
-/// Strict parsing for the QMPI_* environment contract, shared by every
-/// layer that reads overrides (core/context.cpp for job options,
-/// service/job_service.cpp for qmpid's tenancy knobs, apps for CLI
-/// defaults). One parser means one failure mode: an explicit override
-/// that doesn't parse fails loud with the variable name, everywhere.
+/// The QMPI_* environment contract: one lookup chokepoint and one strict
+/// parser, shared by every layer that reads overrides (core/context.cpp
+/// for job options, service/job_service.cpp for qmpid's tenancy knobs,
+/// apps for CLI defaults). One parser means one failure mode: an explicit
+/// override that doesn't parse fails loud with the variable name,
+/// everywhere. `scripts/lint/run_lints.py` (rule: env-chokepoint) bans
+/// raw getenv elsewhere in src/, and (rule: env-docs) requires every
+/// QMPI_* variable named here or in context.cpp to appear in README.md's
+/// environment table.
 
 #include <cstdint>
 #include <limits>
 
 namespace qmpi::env {
+
+/// The process environment lookup every QMPI_* read must route through.
+/// Returns nullptr when unset; the pointed-to text is owned by the
+/// process environment and stays valid (qmpi never mutates it).
+const char* get(const char* name);
 
 /// Strict numeric parse for a QMPI_* override: an explicit override that
 /// doesn't parse, wraps negative, or overflows must fail loud

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file lock_order.hpp
+/// Runtime lock-order validator behind the qmpi::Mutex wrappers (see
+/// core/sync.hpp and docs/ARCHITECTURE.md §10).
+///
+/// Every annotated mutex registers a *site* (one per declaration, named
+/// "Class::member" — instances of the same declaration share a site, the
+/// same classing discipline Linux lockdep uses so per-session locks don't
+/// blow up the graph). Each acquisition records held-site → new-site edges
+/// into a global directed graph; the moment an edge would close a cycle the
+/// acquire throws a typed LockOrderError naming both sites involved —
+/// *before* blocking, so an inconsistent order surfaces as a test failure
+/// instead of a hung process. This catches AB/BA orders that ThreadSanitizer
+/// misses when the two orders never race in one run.
+///
+/// The validator is always compiled (so Mutex has one layout everywhere)
+/// but runtime-gated: debug builds (!NDEBUG) default on, release builds
+/// default off; `QMPI_LOCK_CHECK=on|off` or set_enabled() overrides either
+/// way. Disabled cost is one relaxed atomic load per lock operation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "classical/error.hpp"
+
+namespace qmpi::lockorder {
+
+/// Identifies one mutex declaration site in the global ordering graph.
+using SiteId = std::uint32_t;
+
+/// A→B followed by B→A (possibly through intermediates) on some thread's
+/// acquisition stack, or a self-relock. Typed so tests and harnesses can
+/// distinguish an ordering bug from ordinary transport failures; the
+/// message names both lock sites of the offending edge.
+class LockOrderError : public QmpiError {
+ public:
+  LockOrderError(const std::string& what, const char* holding,
+                 const char* acquiring)
+      : QmpiError(what), holding_(holding), acquiring_(acquiring) {}
+
+  /// Site name of the lock already held when the cycle closed.
+  const char* holding_site() const noexcept { return holding_; }
+  /// Site name of the lock whose acquisition closed the cycle.
+  const char* acquiring_site() const noexcept { return acquiring_; }
+
+ private:
+  const char* holding_;
+  const char* acquiring_;
+};
+
+/// Registers (or finds) the site for a mutex declaration. Called from
+/// Mutex constructors; `name` is conventionally "Class::member".
+SiteId register_site(const char* name);
+
+/// Stable name for a registered site.
+const char* site_name(SiteId site);
+
+/// Ordering check for a blocking acquire: records every held→site edge and
+/// throws LockOrderError if one closes a cycle (or `site` is already on
+/// this thread's stack). Call BEFORE blocking on the underlying mutex.
+void pre_acquire(SiteId site);
+
+/// Pushes `site` onto this thread's held stack once the mutex is owned.
+void post_acquire(SiteId site);
+
+/// A successful try_lock: pushes the stack but records no ordering edges
+/// (try_lock cannot deadlock, so it imposes no order).
+void on_try_acquired(SiteId site);
+
+/// Pops `site` from this thread's held stack (scan from top, so a mid-run
+/// enable/disable toggle never corrupts the stack).
+void on_release(SiteId site);
+
+/// Overrides the build-type default (and any QMPI_LOCK_CHECK setting).
+void set_enabled(bool on);
+
+/// True when acquisitions are being validated.
+bool enabled();
+
+/// Distinct ordering edges observed so far (for tests: proves the
+/// validator actually watched a workload).
+std::size_t edge_count();
+
+/// Cycles detected so far (each also threw a LockOrderError).
+std::uint64_t violation_count();
+
+/// Clears edges and violation counts — NOT registered sites, which live
+/// Mutex instances still reference. Test isolation only.
+void reset_for_test();
+
+}  // namespace qmpi::lockorder

@@ -151,10 +151,10 @@ double PeerExchange::scalar_consensus(std::uint64_t tag, double value) {
     }
     return value;
   }
-  std::unique_lock<std::mutex> lk(scalar_mu_);
-  scalar_cv_.wait(lk, [&] {
-    return scalars_.contains(tag) || !scalar_fail_.empty();
-  });
+  qmpi::UniqueLock lk(scalar_mu_);
+  while (!scalars_.contains(tag) && scalar_fail_.empty()) {
+    scalar_cv_.wait(lk);
+  }
   const auto it = scalars_.find(tag);
   if (it == scalars_.end()) {
     throw sim::SimulatorError("shard exchange failed: " + scalar_fail_);
@@ -167,7 +167,7 @@ double PeerExchange::scalar_consensus(std::uint64_t tag, double value) {
 void PeerExchange::fail(const std::string& reason) {
   mesh_.fail(reason);
   {
-    const std::lock_guard<std::mutex> lk(scalar_mu_);
+    const qmpi::LockGuard lk(scalar_mu_);
     if (scalar_fail_.empty()) scalar_fail_ = reason;
   }
   scalar_cv_.notify_all();
@@ -200,7 +200,7 @@ void PeerExchange::deliver_slab(std::uint8_t kind, unsigned dest,
     return;
   }
   {
-    const std::lock_guard<std::mutex> lk(partial_mu_);
+    const qmpi::LockGuard lk(partial_mu_);
     PartialSlab& p = partial_[SlabKey{kind, dest, source, tag}];
     if (p.amplitudes.size() != total) {
       p.amplitudes.assign(static_cast<std::size_t>(total), sim::Complex{});
@@ -239,7 +239,7 @@ void PeerExchange::deliver(Message msg) {
       const std::uint64_t tag = r.u64();
       const double v = r.f64();
       {
-        const std::lock_guard<std::mutex> lk(scalar_mu_);
+        const qmpi::LockGuard lk(scalar_mu_);
         scalars_[tag] = v;
       }
       scalar_cv_.notify_all();
@@ -289,7 +289,7 @@ DistSimClient::~DistSimClient() {
   transport_->set_sim_fence(nullptr);
   transport_->set_sim_fail(nullptr);
   {
-    const std::lock_guard<std::mutex> lk(exec_mu_);
+    const qmpi::LockGuard lk(exec_mu_);
     stop_ = true;
   }
   exec_cv_.notify_all();
@@ -301,7 +301,7 @@ DistSimClient::~DistSimClient() {
 }
 
 std::uint64_t DistSimClient::post_ctl(Message msg) {
-  const std::lock_guard<std::mutex> lk(ctl_mu_);
+  const qmpi::LockGuard lk(ctl_mu_);
   const std::uint64_t gen = ++ctl_gen_;
   // Root addressing: world rank 0 is always the root process's first rank.
   transport_->post_sim(0, std::move(msg));
@@ -312,7 +312,7 @@ std::vector<std::byte> DistSimClient::ship_call(
     std::span<const std::byte> request) {
   const std::uint64_t req = next_req_.fetch_add(1);
   {
-    const std::lock_guard<std::mutex> lk(pending_mu_);
+    const qmpi::LockGuard lk(pending_mu_);
     if (!failed_.empty()) throw classical::ShutdownError();
     pending_.emplace(req, Pending{});
   }
@@ -340,7 +340,7 @@ void DistSimClient::fence() {
   flush();
   std::uint64_t target;
   {
-    const std::lock_guard<std::mutex> lk(ctl_mu_);
+    const qmpi::LockGuard lk(ctl_mu_);
     target = ctl_gen_;
   }
   // Everything submitted so far already proven sequenced (by an earlier
@@ -348,7 +348,7 @@ void DistSimClient::fence() {
   if (sequenced_gen_.load() >= target) return;
   const std::uint64_t req = next_req_.fetch_add(1);
   {
-    const std::lock_guard<std::mutex> lk(pending_mu_);
+    const qmpi::LockGuard lk(pending_mu_);
     if (!failed_.empty()) throw classical::ShutdownError();
     pending_.emplace(req, Pending{});
   }
@@ -379,7 +379,7 @@ void DistSimClient::on_sim_message(Message msg) {
 
 void DistSimClient::sequence(Message msg) {
   if (proc_id_ != 0) return;  // ctl frames are addressed to the root only
-  const std::lock_guard<std::mutex> lk(seq_mu_);
+  const qmpi::LockGuard lk(seq_mu_);
   msg.channel = ChannelKind::kSimExec;
   if (msg.tag == kSimTagFence) {
     // The echo is sequenced after every op the origin submitted before its
@@ -399,7 +399,7 @@ void DistSimClient::sequence(Message msg) {
 
 void DistSimClient::enqueue_exec(Message msg) {
   {
-    const std::lock_guard<std::mutex> lk(exec_mu_);
+    const qmpi::LockGuard lk(exec_mu_);
     exec_q_.push_back(std::move(msg));
   }
   exec_cv_.notify_one();
@@ -409,8 +409,8 @@ void DistSimClient::exec_loop() {
   for (;;) {
     Message m;
     {
-      std::unique_lock<std::mutex> lk(exec_mu_);
-      exec_cv_.wait(lk, [&] { return stop_ || !exec_q_.empty(); });
+      qmpi::UniqueLock lk(exec_mu_);
+      while (!stop_ && exec_q_.empty()) exec_cv_.wait(lk);
       if (stop_) return;
       m = std::move(exec_q_.front());
       exec_q_.pop_front();
@@ -460,7 +460,7 @@ void DistSimClient::fulfill(std::uint64_t req_id,
                             std::vector<std::byte> result,
                             std::string error) {
   {
-    const std::lock_guard<std::mutex> lk(pending_mu_);
+    const qmpi::LockGuard lk(pending_mu_);
     const auto it = pending_.find(req_id);
     if (it == pending_.end()) return;  // waiter already torn down
     if (it->second.done) return;       // fail_run won the race
@@ -475,11 +475,12 @@ std::vector<std::byte> DistSimClient::wait_request(std::uint64_t req_id,
                                                    std::uint64_t gen) {
   Pending p;
   {
-    std::unique_lock<std::mutex> lk(pending_mu_);
-    pending_cv_.wait(lk, [&] {
+    qmpi::UniqueLock lk(pending_mu_);
+    for (;;) {
       const auto it = pending_.find(req_id);
-      return it != pending_.end() && it->second.done;
-    });
+      if (it != pending_.end() && it->second.done) break;
+      pending_cv_.wait(lk);
+    }
     p = std::move(pending_[req_id]);
     pending_.erase(req_id);
   }
@@ -495,7 +496,7 @@ std::vector<std::byte> DistSimClient::wait_request(std::uint64_t req_id,
 
 void DistSimClient::fail_run(const std::string& reason) {
   {
-    const std::lock_guard<std::mutex> lk(pending_mu_);
+    const qmpi::LockGuard lk(pending_mu_);
     if (failed_.empty()) failed_ = reason;
     for (auto& [id, p] : pending_) {
       if (p.done) continue;

@@ -29,11 +29,9 @@
 /// stream.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -44,6 +42,7 @@
 #include "classical/message.hpp"
 #include "classical/socket_transport.hpp"
 #include "core/sim_wire.hpp"
+#include "core/sync.hpp"
 #include "sim/shard_exchange.hpp"
 #include "sim/sharded_statevector.hpp"
 
@@ -109,13 +108,16 @@ class PeerExchange final : public sim::ExchangeProvider {
   int proc_id_;
   sim::ShardMesh mesh_;  ///< inbox store for slabs and published slices
 
-  std::mutex partial_mu_;
-  std::map<SlabKey, PartialSlab> partial_;
+  /// Slab reassembly; ordered before the mesh inbox lock it posts into
+  /// (partial_mu_ -> ShardMesh::Inbox::mutex in deliver_slab).
+  qmpi::Mutex partial_mu_{"PeerExchange::partial_mu"};
+  std::map<SlabKey, PartialSlab> partial_ QMPI_GUARDED_BY(partial_mu_);
 
-  std::mutex scalar_mu_;
-  std::condition_variable scalar_cv_;
-  std::unordered_map<std::uint64_t, double> scalars_;
-  std::string scalar_fail_;  ///< non-empty once fail() was called
+  qmpi::Mutex scalar_mu_{"PeerExchange::scalar_mu"};
+  qmpi::CondVar scalar_cv_;
+  std::unordered_map<std::uint64_t, double> scalars_
+      QMPI_GUARDED_BY(scalar_mu_);
+  std::string scalar_fail_ QMPI_GUARDED_BY(scalar_mu_);  ///< set by fail()
 };
 
 /// BatchingSimClient whose backend is the process-resident replica. All
@@ -197,26 +199,29 @@ class DistSimClient final : public BatchingSimClient {
 
   /// Orders generation stamping with ctl wire order: a completed request
   /// at generation g proves every generation <= g is sequenced.
-  std::mutex ctl_mu_;
-  std::uint64_t ctl_gen_ = 0;
+  qmpi::Mutex ctl_mu_{"DistSimClient::ctl_mu"};
+  std::uint64_t ctl_gen_ QMPI_GUARDED_BY(ctl_mu_) = 0;
   std::atomic<std::uint64_t> sequenced_gen_{0};
   std::atomic<std::uint64_t> next_req_{1};
 
-  std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::string failed_;  ///< run-fatal transport reason, first cause wins
+  qmpi::Mutex pending_mu_{"DistSimClient::pending_mu"};
+  qmpi::CondVar pending_cv_;
+  std::unordered_map<std::uint64_t, Pending> pending_
+      QMPI_GUARDED_BY(pending_mu_);
+  /// Run-fatal transport reason, first cause wins.
+  std::string failed_ QMPI_GUARDED_BY(pending_mu_);
 
   /// Sticky first batched-op error from this process's stream; executor
   /// thread only (recorded and read while fulfilling, both there).
   std::string deferred_error_;
 
-  std::mutex seq_mu_;  ///< serializes the root's rebroadcast fan-out
+  /// Serializes the root's rebroadcast fan-out.
+  qmpi::Mutex seq_mu_{"DistSimClient::seq_mu"};
 
-  std::mutex exec_mu_;
-  std::condition_variable exec_cv_;
-  std::deque<classical::Message> exec_q_;
-  bool stop_ = false;
+  qmpi::Mutex exec_mu_{"DistSimClient::exec_mu"};
+  qmpi::CondVar exec_cv_;
+  std::deque<classical::Message> exec_q_ QMPI_GUARDED_BY(exec_mu_);
+  bool stop_ QMPI_GUARDED_BY(exec_mu_) = false;
   std::thread executor_;
 };
 

@@ -118,7 +118,7 @@ void BatchingSimClient::submit_replyfree(const WireWriter& op) {
     (void)call(op);  // flush() inside is an immediate no-op return
     return;
   }
-  const std::lock_guard lock(batch_mu_);
+  const qmpi::LockGuard lock(batch_mu_);
   batch_.bytes(op.data());
   ++batch_count_;
   if (batch_count_ >= max_batch_ops_ ||
@@ -129,7 +129,7 @@ void BatchingSimClient::submit_replyfree(const WireWriter& op) {
 
 void BatchingSimClient::flush() {
   if (max_batch_ops_ == 0) return;
-  const std::lock_guard lock(batch_mu_);
+  const qmpi::LockGuard lock(batch_mu_);
   flush_locked();
 }
 
@@ -152,12 +152,12 @@ void BatchingSimClient::flush_locked() {
 }
 
 std::uint64_t BatchingSimClient::batches_sent() const {
-  const std::lock_guard lock(batch_mu_);
+  const qmpi::LockGuard lock(batch_mu_);
   return batches_sent_;
 }
 
 std::uint64_t BatchingSimClient::ops_batched() const {
-  const std::lock_guard lock(batch_mu_);
+  const qmpi::LockGuard lock(batch_mu_);
   return ops_batched_;
 }
 

@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "classical/socket_transport.hpp"
+#include "core/sync.hpp"
 #include "classical/wire.hpp"
 #include "sim/backend.hpp"
 #include "sim/sim_client.hpp"
@@ -120,9 +120,11 @@ class BatchingSimClient : public sim::SimClient {
       std::span<const std::byte> request) = 0;
 
   /// Ships one kBatch body carrying `count` ops, one-way. Called with the
-  /// batch mutex held, so bodies leave in buffer order.
+  /// batch mutex held, so bodies leave in buffer order. Locks a subclass
+  /// takes inside therefore order AFTER batch_mu_ (e.g. batch_mu_ ->
+  /// SessionClient::io_mu_ in the service client).
   virtual void ship_batch(std::span<const std::byte> body,
-                          std::uint32_t count) = 0;
+                          std::uint32_t count) QMPI_REQUIRES(batch_mu_) = 0;
 
   /// Flushes buffered ops then ships `w` as a reply-producing request.
   std::vector<std::byte> call(const classical::WireWriter& w);
@@ -130,15 +132,16 @@ class BatchingSimClient : public sim::SimClient {
   /// Buffers one encoded reply-free op (batching on) or round-trips it
   /// immediately (batching off).
   void submit_replyfree(const classical::WireWriter& op);
-  void flush_locked();
+  void flush_locked() QMPI_REQUIRES(batch_mu_);
 
   std::size_t max_batch_ops_;
 
-  mutable std::mutex batch_mu_;  ///< guards everything below
-  classical::WireWriter batch_;  ///< concatenated buffered op encodings
-  std::uint32_t batch_count_ = 0;
-  std::uint64_t batches_sent_ = 0;
-  std::uint64_t ops_batched_ = 0;
+  mutable qmpi::Mutex batch_mu_{"BatchingSimClient::batch_mu"};
+  /// Concatenated buffered op encodings.
+  classical::WireWriter batch_ QMPI_GUARDED_BY(batch_mu_);
+  std::uint32_t batch_count_ QMPI_GUARDED_BY(batch_mu_) = 0;
+  std::uint64_t batches_sent_ QMPI_GUARDED_BY(batch_mu_) = 0;
+  std::uint64_t ops_batched_ QMPI_GUARDED_BY(batch_mu_) = 0;
 };
 
 /// BatchingSimClient that ships every body over the rank process's hub

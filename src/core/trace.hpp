@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace qmpi {
 
@@ -32,28 +33,28 @@ struct TraceEvent {
 class Trace {
  public:
   void record(TraceEvent event) {
-    const std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     events_.push_back(std::move(event));
   }
 
   std::vector<TraceEvent> snapshot() const {
-    const std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     return events_;
   }
 
   std::size_t size() const {
-    const std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     return events_.size();
   }
 
   void clear() {
-    const std::lock_guard lock(mutex_);
+    const LockGuard lock(mutex_);
     events_.clear();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_{"Trace::mutex"};
+  std::vector<TraceEvent> events_ QMPI_GUARDED_BY(mutex_);
 };
 
 }  // namespace qmpi

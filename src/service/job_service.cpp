@@ -38,15 +38,15 @@ constexpr std::uint32_t kMaxSessionQubits = 62;
 
 ServiceConfig ServiceConfig::from_env() {
   ServiceConfig cfg;
-  if (const char* text = std::getenv("QMPI_MAX_SESSIONS")) {
+  if (const char* text = env::get("QMPI_MAX_SESSIONS")) {
     cfg.max_sessions = static_cast<std::size_t>(env::parse_env_number(
         "QMPI_MAX_SESSIONS", text, /*allow_zero=*/false, 1u << 16));
   }
-  if (const char* text = std::getenv("QMPI_MEM_BUDGET")) {
+  if (const char* text = env::get("QMPI_MEM_BUDGET")) {
     cfg.mem_budget_bytes =
         env::parse_env_number("QMPI_MEM_BUDGET", text, /*allow_zero=*/false);
   }
-  if (const char* text = std::getenv("QMPI_CIRCUIT_CACHE")) {
+  if (const char* text = env::get("QMPI_CIRCUIT_CACHE")) {
     const std::string_view v(text);
     if (v == "on") {
       cfg.circuit_cache_entries = sim::kDefaultCircuitCacheEntries;
@@ -59,7 +59,7 @@ ServiceConfig ServiceConfig::from_env() {
                                 /*allow_zero=*/false, 1u << 24));
     }
   }
-  if (const char* text = std::getenv("QMPI_SERVICE_EXECUTORS")) {
+  if (const char* text = env::get("QMPI_SERVICE_EXECUTORS")) {
     cfg.executors = static_cast<unsigned>(env::parse_env_number(
         "QMPI_SERVICE_EXECUTORS", text, /*allow_zero=*/false, 256));
   }
@@ -93,7 +93,7 @@ void JobService::start() {
 
 void JobService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (stopping_) return;
     stopping_ = true;
     // Sever every live session so blocked readers wake with EOF and run
@@ -110,7 +110,7 @@ void JobService::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> conns;
   {
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     conns.swap(conn_threads_);
   }
   for (std::thread& t : conns) {
@@ -123,7 +123,7 @@ void JobService::stop() {
 }
 
 ServiceStats JobService::stats() const {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   ServiceStats s;
   s.admitted = admitted_;
   s.rejected = rejected_;
@@ -150,7 +150,7 @@ void JobService::accept_loop() {
       return;  // listen fd closed by stop()
     }
     ::fcntl(fd, F_SETFD, FD_CLOEXEC);
-    const std::lock_guard lock(mu_);
+    const qmpi::LockGuard lock(mu_);
     if (stopping_) {
       ::close(fd);
       return;
@@ -165,7 +165,7 @@ void JobService::send_frame(const std::shared_ptr<Session>& session,
   // A dead client socket is the reader thread's problem (it sees EOF and
   // tears the session down); the executor must not die on a failed reply.
   try {
-    const std::lock_guard lock(session->write_mu);
+    const qmpi::LockGuard lock(session->write_mu);
     classical::write_frame(session->fd, type, body);
   } catch (const QmpiError&) {
   }
@@ -198,7 +198,7 @@ std::shared_ptr<JobService::Session> JobService::admit(
     std::uint32_t max_qubits) {
   const auto protocol_reject = [&](const std::string& reason) {
     {
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       ++rejected_;
     }
     send_reject(fd, req_id, RejectKind::kProtocol, 0, budget_amps_, reason);
@@ -216,7 +216,7 @@ std::shared_ptr<JobService::Session> JobService::admit(
   }
 
   const std::uint64_t requested = 1ull << max_qubits;
-  std::unique_lock lock(mu_);
+  qmpi::UniqueLock lock(mu_);
   if (requested > budget_amps_) {
     // Fail fast with the typed admission error: this reservation can NEVER
     // fit, so queueing would deadlock the client. 2^n amplitudes is an
@@ -294,7 +294,7 @@ std::shared_ptr<JobService::Session> JobService::admit(
 }
 
 void JobService::teardown(const std::shared_ptr<Session>& session) {
-  std::unique_lock lock(mu_);
+  qmpi::UniqueLock lock(mu_);
   if (session->dead) return;
   session->dead = true;
   session->pending.clear();
@@ -357,14 +357,14 @@ void JobService::serve_connection(int fd) {
           // The isolation property: a frame stamped for another tenant
           // (or a stale epoch) is dropped here, before any backend or
           // queue is touched. Counted so tests can assert the drop.
-          const std::lock_guard lock(mu_);
+          const qmpi::LockGuard lock(mu_);
           ++forged_dropped_;
           continue;
         }
         if (frame.type == FrameType::kSvcClose) {
           // Orderly close: drain everything already queued, then ack with
           // the session's op count and release its reservations.
-          std::unique_lock lock(mu_);
+          qmpi::UniqueLock lock(mu_);
           while (!stopping_ &&
                  (!session->pending.empty() || session->busy)) {
             work_cv_.wait(lock);
@@ -387,14 +387,14 @@ void JobService::serve_connection(int fd) {
           WireReader peek(cmd.body);
           if (peek.remaining() < 5 ||
               peek.u8() != static_cast<std::uint8_t>(SimOp::kBatch)) {
-            const std::lock_guard lock(mu_);
+            const qmpi::LockGuard lock(mu_);
             ++forged_dropped_;
             continue;
           }
           cmd.op_count = peek.u32();
         }
         {
-          const std::lock_guard lock(mu_);
+          const qmpi::LockGuard lock(mu_);
           if (!session->dead) {
             session->pending.push_back(std::move(cmd));
             work_cv_.notify_all();
@@ -419,10 +419,10 @@ void JobService::serve_connection(int fd) {
 
 void JobService::executor_loop() {
   while (true) {
-    std::unique_lock lock(mu_);
+    qmpi::UniqueLock lock(mu_);
     std::shared_ptr<Session> picked;
-    work_cv_.wait(lock, [&] {
-      if (stopping_) return true;
+    for (;;) {
+      if (stopping_) return;
       // Fair pick: scan from the rotating cursor so each session gets one
       // command per pass, regardless of how fast any one tenant enqueues.
       const std::size_t n = sessions_.size();
@@ -432,12 +432,12 @@ void JobService::executor_loop() {
         if (!s->dead && !s->busy && !s->pending.empty()) {
           picked = s;
           cursor_ = (idx + 1) % n;
-          return true;
+          break;
         }
       }
-      return false;
-    });
-    if (stopping_) return;
+      if (picked) break;
+      work_cv_.wait(lock);
+    }
     Command cmd = std::move(picked->pending.front());
     picked->pending.pop_front();
     picked->busy = true;
@@ -488,7 +488,7 @@ void JobService::execute(const std::shared_ptr<Session>& session,
     const std::vector<std::byte> reply =
         apply_sim_request(*session->backend, cmd.body);
     {
-      const std::lock_guard lock(mu_);
+      const qmpi::LockGuard lock(mu_);
       ops_executed_ += cmd.op_count;
       session->ops_executed += cmd.op_count;
     }

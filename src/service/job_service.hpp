@@ -13,18 +13,17 @@
 /// single-tenant execution path rather than re-encoding any op.
 /// See docs/ARCHITECTURE.md §9.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "classical/wire.hpp"
+#include "core/sync.hpp"
 #include "service/protocol.hpp"
 #include "sim/backend.hpp"
 #include "sim/circuit_cache.hpp"
@@ -134,10 +133,16 @@ class JobService {
     std::uint64_t id = 0;
     std::uint64_t epoch = 0;
     int fd = -1;
-    std::mutex write_mu;  ///< serializes frames to this client
-    std::unique_ptr<sim::Backend> backend;
+    /// Serializes frames to this client. Leaf lock: taken by executors and
+    /// the reader with no other lock held (never under JobService::mu_).
+    qmpi::Mutex write_mu{"JobService::Session::write_mu"};
+    std::unique_ptr<sim::Backend> backend;  ///< owning executor only (busy)
     unsigned max_qubits = 0;
     std::uint64_t reserved_amps = 0;
+    // The fields below are guarded by JobService::mu_ (a nested struct
+    // cannot spell QMPI_GUARDED_BY on the outer instance's member) —
+    // except broken/broken_reason/ops_executed, which only the single
+    // executor holding `busy` touches.
     std::deque<Command> pending;  ///< guarded by JobService::mu_
     bool busy = false;            ///< an executor is running a command
     bool dead = false;            ///< torn down; executors must skip it
@@ -179,25 +184,34 @@ class JobService {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::vector<std::thread> executors_;
-  std::vector<std::thread> conn_threads_;  ///< guarded by mu_
+  std::vector<std::thread> conn_threads_ QMPI_GUARDED_BY(mu_);
   bool started_ = false;
 
-  mutable std::mutex mu_;  ///< guards all mutable session/queue state below
-  std::condition_variable work_cv_;   ///< pending work / busy-flag changes
-  std::condition_variable admit_cv_;  ///< capacity released / FIFO advances
-  bool stopping_ = false;
-  std::vector<std::shared_ptr<Session>> sessions_;  ///< admission order
-  std::size_t cursor_ = 0;  ///< round-robin scheduling position
-  std::deque<std::uint64_t> admit_queue_;  ///< FIFO tickets awaiting capacity
-  std::uint64_t next_ticket_ = 1;
-  std::uint64_t next_session_ = 1;
-  std::uint64_t next_epoch_ = 1;
-  std::uint64_t reserved_amps_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t queued_admissions_ = 0;
-  std::uint64_t forged_dropped_ = 0;
-  std::uint64_t ops_executed_ = 0;
+  /// Guards all mutable session/queue state below. Top of the service
+  /// hierarchy: ordered before ClusterCache::mu (stats() reads the cache
+  /// counters under mu_; cross-class QMPI_ACQUIRED_BEFORE is not
+  /// expressible, so the runtime lock-order validator enforces it), and
+  /// never held while sending frames (Session::write_mu) or sweeping a
+  /// backend (ThreadPool locks).
+  mutable qmpi::Mutex mu_{"JobService::mu"};
+  qmpi::CondVar work_cv_;   ///< pending work / busy-flag changes
+  qmpi::CondVar admit_cv_;  ///< capacity released / FIFO advances
+  bool stopping_ QMPI_GUARDED_BY(mu_) = false;
+  /// Admission order.
+  std::vector<std::shared_ptr<Session>> sessions_ QMPI_GUARDED_BY(mu_);
+  /// Round-robin scheduling position.
+  std::size_t cursor_ QMPI_GUARDED_BY(mu_) = 0;
+  /// FIFO tickets awaiting capacity.
+  std::deque<std::uint64_t> admit_queue_ QMPI_GUARDED_BY(mu_);
+  std::uint64_t next_ticket_ QMPI_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_session_ QMPI_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_epoch_ QMPI_GUARDED_BY(mu_) = 1;
+  std::uint64_t reserved_amps_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t admitted_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t queued_admissions_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t forged_dropped_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t ops_executed_ QMPI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qmpi::service

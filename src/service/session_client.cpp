@@ -83,9 +83,14 @@ void SessionClient::fence() {
 }
 
 std::uint64_t SessionClient::close() {
-  if (closed_) return closed_op_count_;
+  {
+    // Check under the lock: the old unlocked fast-path read of closed_
+    // raced concurrent close()/abandon() callers.
+    const qmpi::LockGuard lock(io_mu_);
+    if (closed_) return closed_op_count_;
+  }
   flush();
-  const std::lock_guard lock(io_mu_);
+  const qmpi::LockGuard lock(io_mu_);
   if (closed_) return closed_op_count_;
   const std::uint64_t req_id = next_req_++;
   WireWriter w;
@@ -108,7 +113,7 @@ std::uint64_t SessionClient::close() {
 }
 
 void SessionClient::abandon() {
-  const std::lock_guard lock(io_mu_);
+  const qmpi::LockGuard lock(io_mu_);
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   closed_ = true;
@@ -116,7 +121,7 @@ void SessionClient::abandon() {
 
 void SessionClient::send_raw_batch(std::uint64_t session, std::uint64_t epoch,
                                    std::span<const std::byte> batch_body) {
-  const std::lock_guard lock(io_mu_);
+  const qmpi::LockGuard lock(io_mu_);
   WireWriter w;
   w.u64(session);
   w.u64(epoch);
@@ -126,7 +131,7 @@ void SessionClient::send_raw_batch(std::uint64_t session, std::uint64_t epoch,
 
 std::vector<std::byte> SessionClient::ship_call(
     std::span<const std::byte> request) {
-  const std::lock_guard lock(io_mu_);
+  const qmpi::LockGuard lock(io_mu_);
   if (closed_) {
     throw sim::SimulatorError("qmpid session is closed");
   }
@@ -146,7 +151,7 @@ std::vector<std::byte> SessionClient::ship_call(
 
 void SessionClient::ship_batch(std::span<const std::byte> body,
                                std::uint32_t /*count*/) {
-  const std::lock_guard lock(io_mu_);
+  const qmpi::LockGuard lock(io_mu_);
   if (closed_) {
     throw sim::SimulatorError("qmpid session is closed");
   }

@@ -10,12 +10,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/sim_wire.hpp"
+#include "core/sync.hpp"
 #include "service/protocol.hpp"
 
 namespace qmpi::service {
@@ -83,15 +83,18 @@ class SessionClient final : public BatchingSimClient {
   /// Reads frames until the reply for `req_id` arrives. A req-id-0
   /// kSvcError (deferred batch failure) throws immediately — the caller
   /// is by definition at a synchronization point.
-  std::vector<std::byte> await_reply(std::uint64_t req_id);
+  std::vector<std::byte> await_reply(std::uint64_t req_id)
+      QMPI_REQUIRES(io_mu_);
 
-  int fd_ = -1;
-  std::uint64_t session_ = 0;
-  std::uint64_t epoch_ = 0;
-  std::uint64_t next_req_ = 1;
-  std::mutex io_mu_;  ///< serializes request/reply cycles on the socket
-  bool closed_ = false;
-  std::uint64_t closed_op_count_ = 0;
+  /// Serializes request/reply cycles on the socket. Taken while the base
+  /// batch buffer ships, hence ordered after it (batch_mu_ -> io_mu_).
+  qmpi::Mutex io_mu_{"SessionClient::io_mu"};
+  int fd_ QMPI_GUARDED_BY(io_mu_) = -1;
+  std::uint64_t session_ = 0;  ///< immutable after the open handshake
+  std::uint64_t epoch_ = 0;    ///< immutable after the open handshake
+  std::uint64_t next_req_ QMPI_GUARDED_BY(io_mu_) = 1;
+  bool closed_ QMPI_GUARDED_BY(io_mu_) = false;
+  std::uint64_t closed_op_count_ QMPI_GUARDED_BY(io_mu_) = 0;
 };
 
 }  // namespace qmpi::service

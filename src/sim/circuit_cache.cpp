@@ -52,7 +52,7 @@ ClusterCache::ClusterCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 ClusterCache::Program ClusterCache::lookup(const ClusterKey& key) {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -64,7 +64,7 @@ ClusterCache::Program ClusterCache::lookup(const ClusterKey& key) {
 }
 
 void ClusterCache::insert(const ClusterKey& key, Program program) {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   if (index_.contains(key)) return;
   lru_.push_front(Entry{key, std::move(program)});
   index_[key] = lru_.begin();
@@ -76,22 +76,22 @@ void ClusterCache::insert(const ClusterKey& key, Program program) {
 }
 
 std::size_t ClusterCache::size() const {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return lru_.size();
 }
 
 std::uint64_t ClusterCache::hits() const {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return hits_;
 }
 
 std::uint64_t ClusterCache::misses() const {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return misses_;
 }
 
 std::uint64_t ClusterCache::evictions() const {
-  const std::lock_guard lock(mu_);
+  const qmpi::LockGuard lock(mu_);
   return evictions_;
 }
 

@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "sim/fusion.hpp"
 #include "sim/kernels.hpp"
 
@@ -90,12 +90,15 @@ class ClusterCache {
   };
 
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<ClusterKey, std::list<Entry>::iterator, KeyHash> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  /// Leaf lock of the service hierarchy (JobService::mu_ -> mu_ via the
+  /// stats surface); nothing is acquired while it is held.
+  mutable qmpi::Mutex mu_{"ClusterCache::mu"};
+  std::list<Entry> lru_ QMPI_GUARDED_BY(mu_);  ///< front = most recently used
+  std::unordered_map<ClusterKey, std::list<Entry>::iterator, KeyHash> index_
+      QMPI_GUARDED_BY(mu_);
+  std::uint64_t hits_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ QMPI_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ QMPI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qmpi::sim

@@ -1,14 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/sync.hpp"
 #include "sim/backend.hpp"
 
 namespace qmpi::sim {
@@ -45,7 +44,7 @@ class SimServer {
 
   ~SimServer() {
     {
-      const std::lock_guard lock(mutex_);
+      const qmpi::LockGuard lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -64,7 +63,7 @@ class SimServer {
         std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      const std::lock_guard lock(mutex_);
+      const qmpi::LockGuard lock(mutex_);
       queue_.emplace_back([task](Backend& sv) { (*task)(sv); });
     }
     cv_.notify_all();
@@ -91,9 +90,9 @@ class SimServer {
 
  private:
   void run() {
-    std::unique_lock lock(mutex_);
+    qmpi::UniqueLock lock(mutex_);
     for (;;) {
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -106,11 +105,11 @@ class SimServer {
     }
   }
 
-  std::unique_ptr<Backend> state_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void(Backend&)>> queue_;
-  bool stopping_ = false;
+  std::unique_ptr<Backend> state_;  ///< worker-thread-only after ctor
+  qmpi::Mutex mutex_{"SimServer::mutex"};
+  qmpi::CondVar cv_;
+  std::deque<std::function<void(Backend&)>> queue_ QMPI_GUARDED_BY(mutex_);
+  bool stopping_ QMPI_GUARDED_BY(mutex_) = false;
   std::thread worker_;
 };
 

@@ -27,7 +27,7 @@ ShardMesh::Inbox& ShardMesh::inbox(unsigned shard) {
 void ShardMesh::post(unsigned dest, unsigned /*active*/, ShardMessage msg) {
   Inbox& box = inbox(dest);
   {
-    const std::lock_guard lock(box.mutex);
+    const qmpi::LockGuard lock(box.mutex);
     box.queue.push_back(std::move(msg));
   }
   box.cv.notify_all();
@@ -36,7 +36,7 @@ void ShardMesh::post(unsigned dest, unsigned /*active*/, ShardMessage msg) {
 ShardMessage ShardMesh::take(unsigned dest, unsigned source,
                              std::uint64_t tag) {
   Inbox& box = inbox(dest);
-  std::unique_lock lock(box.mutex);
+  qmpi::UniqueLock lock(box.mutex);
   for (;;) {
     const auto it = std::find_if(
         box.queue.begin(), box.queue.end(), [&](const ShardMessage& m) {
@@ -48,7 +48,7 @@ ShardMessage ShardMesh::take(unsigned dest, unsigned source,
       return msg;
     }
     {
-      const std::lock_guard fl(fail_mu_);
+      const qmpi::LockGuard fl(fail_mu_);
       if (!fail_reason_.empty()) {
         throw SimulatorError("shard exchange failed: " + fail_reason_);
       }
@@ -75,14 +75,14 @@ double ShardMesh::scalar_consensus(std::uint64_t /*tag*/, double value) {
 
 void ShardMesh::fail(const std::string& reason) {
   {
-    const std::lock_guard lock(fail_mu_);
+    const qmpi::LockGuard lock(fail_mu_);
     if (!fail_reason_.empty()) return;  // first cause wins
     fail_reason_ = reason.empty() ? "unknown failure" : reason;
   }
   // Notify under each inbox mutex: a taker that checked the flag and is
   // about to wait must not miss the wakeup.
   for (auto& box : inboxes_) {
-    const std::lock_guard lock(box->mutex);
+    const qmpi::LockGuard lock(box->mutex);
     box->cv.notify_all();
   }
 }

@@ -1,16 +1,15 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "sim/gates.hpp"
 
 namespace qmpi::sim {
@@ -141,17 +140,20 @@ class ShardMesh final : public ExchangeProvider {
   /// Per-shard inbox. Kept behind unique_ptr so the mesh stays movable
   /// (mutexes are not).
   struct Inbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<ShardMessage> queue;
+    qmpi::Mutex mutex{"ShardMesh::Inbox::mutex"};
+    qmpi::CondVar cv;
+    std::deque<ShardMessage> queue QMPI_GUARDED_BY(mutex);
   };
 
   Inbox& inbox(unsigned shard);
 
   unsigned shards_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
-  std::mutex fail_mu_;
-  std::string fail_reason_;  ///< non-empty once fail() was called
+  /// Checked by a taker while its inbox mutex is held (Inbox::mutex is
+  /// QMPI_ACQUIRED_BEFORE fail_mu_); fail() itself takes the two in
+  /// separate scopes.
+  qmpi::Mutex fail_mu_{"ShardMesh::fail_mu"};
+  std::string fail_reason_ QMPI_GUARDED_BY(fail_mu_);  ///< set once by fail()
 };
 
 }  // namespace qmpi::sim

@@ -1,10 +1,10 @@
 #include "sim/simd.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <mutex>
 #include <utility>
 
+#include "core/env.hpp"
+#include "core/sync.hpp"
 #include "sim/backend.hpp"  // SimulatorError
 
 // x86-64 with a GNU-compatible compiler: the vector variants are compiled
@@ -399,15 +399,15 @@ constexpr Ops kAvx512Ops = {
 /// Active tier, -1 while uninitialized. Reads are on every sweep's hot
 /// path; writes only happen at init / set_active, both rare.
 std::atomic<int> g_active{-1};
-std::mutex g_init_mutex;
-std::string g_env_notice;
+qmpi::Mutex g_init_mutex{"simd::g_init_mutex"};
+std::string g_env_notice QMPI_GUARDED_BY(g_init_mutex);
 
 Isa init_from_env() {
-  std::lock_guard<std::mutex> lock(g_init_mutex);
+  qmpi::LockGuard lock(g_init_mutex);
   const int already = g_active.load(std::memory_order_acquire);
   if (already >= 0) return static_cast<Isa>(already);
   Request request = Request::kAuto;
-  if (const char* text = std::getenv("QMPI_SIMD")) {
+  if (const char* text = env::get("QMPI_SIMD")) {
     if (!parse_request(text, request)) {
       throw SimulatorError(std::string("QMPI_SIMD=\"") + text +
                            "\" is not a SIMD tier (use \"auto\", "
@@ -497,7 +497,7 @@ void set_active(Isa isa) {
     throw SimulatorError(std::string("SIMD tier \"") + to_string(isa) +
                          "\" is not available on this CPU");
   }
-  std::lock_guard<std::mutex> lock(g_init_mutex);
+  qmpi::LockGuard lock(g_init_mutex);
   g_active.store(static_cast<int>(isa), std::memory_order_release);
 }
 
@@ -508,7 +508,7 @@ Isa active() {
 }
 
 std::string take_env_notice() {
-  std::lock_guard<std::mutex> lock(g_init_mutex);
+  qmpi::LockGuard lock(g_init_mutex);
   return std::exchange(g_env_notice, std::string());
 }
 

@@ -11,7 +11,7 @@ ThreadPool& ThreadPool::instance() {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock(mutex_);
+    const qmpi::LockGuard lock(mutex_);
     stopping_ = true;
   }
   wake_cv_.notify_all();
@@ -19,7 +19,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::worker_count() const {
-  const std::lock_guard lock(mutex_);
+  const qmpi::LockGuard lock(mutex_);
   return workers_.size();
 }
 
@@ -27,7 +27,7 @@ void ThreadPool::ensure_workers(unsigned needed) {
   // Only called with job_mutex_ held, so workers_ cannot be resized
   // concurrently; workers themselves never touch the vector.
   if (workers_.size() >= needed) return;
-  const std::lock_guard lock(mutex_);
+  const qmpi::LockGuard lock(mutex_);
   while (workers_.size() < needed) {
     const unsigned index = static_cast<unsigned>(workers_.size());
     workers_.emplace_back([this, index] { worker_main(index); });
@@ -53,10 +53,10 @@ void ThreadPool::run(unsigned lanes, std::size_t count, RangeFn fn,
     return;
   }
 
-  const std::lock_guard job_lock(job_mutex_);
+  const qmpi::LockGuard job_lock(job_mutex_);
   ensure_workers(used - 1);
   {
-    const std::lock_guard lock(mutex_);
+    const qmpi::LockGuard lock(mutex_);
     job_fn_ = fn;
     job_ctx_ = ctx;
     job_count_ = count;
@@ -70,16 +70,15 @@ void ThreadPool::run(unsigned lanes, std::size_t count, RangeFn fn,
   // The submitter owns the last slice.
   fn(ctx, static_cast<std::size_t>(used - 1) * slice, count);
 
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  qmpi::UniqueLock lock(mutex_);
+  while (remaining_ != 0) done_cv_.wait(lock);
 }
 
 void ThreadPool::worker_main(unsigned index) {
   std::uint64_t seen = 0;
-  std::unique_lock lock(mutex_);
+  qmpi::UniqueLock lock(mutex_);
   for (;;) {
-    wake_cv_.wait(lock,
-                  [&] { return stopping_ || generation_ != seen; });
+    while (!stopping_ && generation_ == seen) wake_cv_.wait(lock);
     if (stopping_) return;
     seen = generation_;
     if (index >= job_workers_) continue;  // not a participant this job

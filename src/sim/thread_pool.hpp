@@ -5,12 +5,12 @@
 /// docs/ARCHITECTURE.md §7.
 
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace qmpi::sim {
 
@@ -74,25 +74,31 @@ class ThreadPool {
   void ensure_workers(unsigned needed);
   void worker_main(unsigned index);
 
+  /// Mutated only in ensure_workers (under both job_mutex_ and mutex_),
+  /// read under mutex_ by worker_count() and lock-free by the destructor,
+  /// which runs after the stopping_ handshake has quiesced every worker.
+  /// Deliberately unannotated: no single capability covers that protocol.
   std::vector<std::thread> workers_;
 
   /// Serializes whole jobs: held by the submitting thread for the full
   /// dispatch + completion-wait, so job_* fields never change mid-job.
-  std::mutex job_mutex_;
+  /// Always taken before mutex_ (run() dispatches under both).
+  qmpi::Mutex job_mutex_ QMPI_ACQUIRED_BEFORE(mutex_){
+      "ThreadPool::job_mutex"};
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  mutable qmpi::Mutex mutex_{"ThreadPool::mutex"};
+  qmpi::CondVar wake_cv_;
+  qmpi::CondVar done_cv_;
+  std::uint64_t generation_ QMPI_GUARDED_BY(mutex_) = 0;
+  bool stopping_ QMPI_GUARDED_BY(mutex_) = false;
 
   // Current job (valid while job_mutex_ is held by a submitter).
-  RangeFn job_fn_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::size_t job_count_ = 0;
-  std::size_t job_slice_ = 0;
-  unsigned job_workers_ = 0;   ///< workers participating (slices 0..n-1)
-  unsigned remaining_ = 0;     ///< worker slices not yet finished
+  RangeFn job_fn_ QMPI_GUARDED_BY(mutex_) = nullptr;
+  void* job_ctx_ QMPI_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_count_ QMPI_GUARDED_BY(mutex_) = 0;
+  std::size_t job_slice_ QMPI_GUARDED_BY(mutex_) = 0;
+  unsigned job_workers_ QMPI_GUARDED_BY(mutex_) = 0;  ///< participating workers
+  unsigned remaining_ QMPI_GUARDED_BY(mutex_) = 0;  ///< unfinished worker slices
 };
 
 }  // namespace qmpi::sim
